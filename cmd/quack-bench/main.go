@@ -1,0 +1,138 @@
+// quack-bench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index): it runs the experiment
+// implementations from internal/bench at paper scale and prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|all
+//	quack-bench -exp all -scale 0.1   # quicker, smaller datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, all)")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	flag.Parse()
+
+	if err := run(*exp, bench.Scale(*scale)); err != nil {
+		fmt.Fprintln(os.Stderr, "quack-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale bench.Scale) error {
+	w := os.Stdout
+	sep := func() {
+		fmt.Fprintln(w, "\n"+string(make([]byte, 0))+"----------------------------------------------------------------")
+	}
+
+	type experiment struct {
+		name string
+		fn   func() error
+	}
+	experiments := []experiment{
+		{"table1", func() error {
+			machines := int(2_000_000 * float64(scale))
+			if machines < 200_000 {
+				machines = 200_000
+			}
+			return bench.Table1(w, machines, 42)
+		}},
+		{"figure1", func() error {
+			values := int(8_000_000 * float64(scale))
+			if values < 100_000 {
+				values = 100_000
+			}
+			return bench.Figure1(w, values)
+		}},
+		{"ancode", func() error {
+			// Kernel benchmark: keep the working set near-cache so the
+			// measurement isolates compute overhead, not DRAM noise.
+			values := int(2_000_000 * float64(scale))
+			if values < 500_000 {
+				values = 500_000
+			}
+			_, err := bench.ANCode(w, values, 7)
+			return err
+		}},
+		{"transfer", func() error {
+			rows := int(5_000_000 * float64(scale))
+			if rows < 100_000 {
+				rows = 100_000
+			}
+			_, err := bench.Transfer(w, rows)
+			return err
+		}},
+		{"bulkupdate", func() error {
+			rows := int(5_000_000 * float64(scale))
+			if rows < 100_000 {
+				rows = 100_000
+			}
+			_, err := bench.BulkUpdate(w, rows)
+			return err
+		}},
+		{"engine", func() error {
+			rows := int(5_000_000 * float64(scale))
+			if rows < 100_000 {
+				rows = 100_000
+			}
+			_, err := bench.Engine(w, rows)
+			return err
+		}},
+		{"joins", func() error {
+			build := int(2_000_000 * float64(scale))
+			if build < 50_000 {
+				build = 50_000
+			}
+			_, err := bench.Joins(w, build, build)
+			return err
+		}},
+		{"checksum", func() error {
+			rows := int(5_000_000 * float64(scale))
+			if rows < 200_000 {
+				rows = 200_000
+			}
+			dir, err := os.MkdirTemp("", "quack-e8-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			_, err = bench.Checksum(w, dir, rows)
+			return err
+		}},
+		{"dashboard", func() error {
+			rows := int(1_000_000 * float64(scale))
+			if rows < 50_000 {
+				rows = 50_000
+			}
+			_, err := bench.Dashboard(w, rows, 3*time.Second)
+			return err
+		}},
+	}
+
+	matched := false
+	for _, e := range experiments {
+		if exp != "all" && exp != e.name {
+			continue
+		}
+		matched = true
+		fmt.Fprintf(w, "== %s ==\n", e.name)
+		if err := e.fn(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		sep()
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+// quack-cli is an interactive SQL shell over a QuackDB database file —
+// the embedded engine driven from a terminal.
+//
+// Usage:
+//
+//	quack-cli [path.qdb]       # empty path: in-memory database
+//	quack-cli -c 'SELECT 42' path.qdb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/quack"
+)
+
+func main() {
+	command := flag.String("c", "", "execute this SQL and exit")
+	timing := flag.Bool("timer", false, "print per-statement execution time")
+	flag.Parse()
+
+	path := ":memory:"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	db, err := quack.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quack-cli:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *command != "" {
+		if err := execute(db, *command, *timing); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("QuackDB shell (%s). Terminate statements with ';'. \\q quits.\n", path)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "quack> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "exit" || trimmed == "quit") {
+			break
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "   ..> "
+			continue
+		}
+		sql := buf.String()
+		buf.Reset()
+		prompt = "quack> "
+		if err := execute(db, sql, *timing); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func execute(db *quack.DB, sql string, timing bool) error {
+	start := time.Now()
+	rows, err := db.Query(sql)
+	if err != nil {
+		return err
+	}
+	printRows(rows)
+	if timing {
+		fmt.Printf("(%v)\n", time.Since(start).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func printRows(rows *quack.Rows) {
+	cols := rows.Columns()
+	if len(cols) == 0 {
+		if n := rows.NumRows(); n == 0 {
+			fmt.Println("ok")
+		}
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	var table [][]string
+	for rows.Next() {
+		row := make([]string, len(cols))
+		for i := range cols {
+			row[i] = rows.Value(i).String()
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		table = append(table, row)
+		if len(table) >= 10000 {
+			break // keep the terminal usable
+		}
+	}
+	line := func(parts []string) {
+		cells := make([]string, len(parts))
+		for i, p := range parts {
+			cells[i] = fmt.Sprintf("%-*s", widths[i], p)
+		}
+		fmt.Println("| " + strings.Join(cells, " | ") + " |")
+	}
+	rule := make([]string, len(cols))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(cols)
+	line(rule)
+	for _, row := range table {
+		line(row)
+	}
+	fmt.Printf("(%d rows)\n", len(table))
+}

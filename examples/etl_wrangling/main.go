@@ -1,0 +1,114 @@
+// ETL / data wrangling (paper §2): ingest a raw CSV file directly into
+// the database, then clean it in place with bulk updates and deletes —
+// out-of-core, transactional, and without rewriting untouched columns.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/quack"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quack-etl-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	csvPath := filepath.Join(dir, "sensors.csv")
+	writeRawCSV(csvPath, 200_000)
+
+	db, err := quack.Open(filepath.Join(dir, "etl.qdb"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Extract: scan the CSV straight into a persistent table.
+	if _, err := db.Exec("CREATE TABLE readings (sensor BIGINT, celsius DOUBLE, humidity BIGINT)"); err != nil {
+		log.Fatal(err)
+	}
+	n, err := db.Exec(fmt.Sprintf("COPY readings FROM '%s' WITH (HEADER)", csvPath))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d raw rows from CSV\n", n)
+
+	// Transform, step 1 — the paper's canonical wrangling query:
+	// sentinel-encoded missing values become NULLs. Only the touched
+	// column is written; the others are never copied.
+	n, err = db.Exec("UPDATE readings SET humidity = NULL WHERE humidity = -999")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded %d missing humidity values (-999 -> NULL)\n", n)
+
+	// Transform, step 2 — unit conversion as a bulk update.
+	n, err = db.Exec("UPDATE readings SET celsius = (celsius - 32.0) / 1.8 WHERE celsius > 60.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converted %d Fahrenheit stragglers to Celsius\n", n)
+
+	// Transform, step 3 — drop physically impossible rows.
+	n, err = db.Exec("DELETE FROM readings WHERE celsius < -90.0 OR celsius > 60.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted %d implausible rows\n", n)
+
+	// Load/verify: the cleaned table is ready for analysis.
+	rows, err := db.Query(`
+		SELECT count(*), count(humidity), min(celsius), max(celsius), avg(celsius)
+		FROM readings`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Next()
+	var total, withHumidity int64
+	var minC, maxC, avgC float64
+	if err := rows.Scan(&total, &withHumidity, &minC, &maxC, &avgC); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean table: %d rows (%d with humidity), celsius in [%.1f, %.1f], mean %.2f\n",
+		total, withHumidity, minC, maxC, avgC)
+
+	// Export the cleaned data back out for downstream tools.
+	outPath := filepath.Join(dir, "clean.csv")
+	if _, err := db.Exec(fmt.Sprintf("COPY readings TO '%s' WITH (HEADER)", outPath)); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(outPath)
+	fmt.Printf("exported cleaned CSV: %s (%d bytes)\n", outPath, st.Size())
+}
+
+// writeRawCSV produces a messy sensor dump: -999 humidity sentinels, a
+// few Fahrenheit readings, and some corrupted temperatures.
+func writeRawCSV(path string, rows int) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rng := rand.New(rand.NewSource(42))
+	fmt.Fprintln(f, "sensor,celsius,humidity")
+	for i := 0; i < rows; i++ {
+		celsius := rng.NormFloat64()*8 + 15
+		switch rng.Intn(100) {
+		case 0: // Fahrenheit by mistake
+			celsius = celsius*1.8 + 32
+		case 1: // corrupted reading
+			celsius = -273.15
+		}
+		humidity := int64(rng.Intn(100))
+		if rng.Intn(10) == 0 {
+			humidity = -999 // sentinel for "missing"
+		}
+		fmt.Fprintf(f, "%d,%.3f,%d\n", rng.Intn(500), celsius, humidity)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: open an embedded database, create a table, load rows, and
+// run OLAP queries — all inside this process, no server.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/quack"
+)
+
+func main() {
+	// ":memory:" gives a volatile database; pass a file path for a
+	// persistent single-file database.
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.Exec(`CREATE TABLE orders (
+		id       BIGINT NOT NULL,
+		region   VARCHAR,
+		quantity BIGINT,
+		price    DOUBLE
+	)`))
+
+	// Bulk load through the appender (the fast path).
+	app, err := db.Appender("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 100_000; i++ {
+		if err := app.AppendRow(int64(i), regions[i%4], int64(i%50+1), float64(i%997)*0.25); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// An OLAP query with grouping and ordering.
+	rows, err := db.Query(`
+		SELECT region, count(*) AS orders, sum(quantity * price) AS revenue
+		FROM orders
+		WHERE quantity > 10
+		GROUP BY region
+		ORDER BY revenue DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("region  orders  revenue")
+	for rows.Next() {
+		var region string
+		var orders int64
+		var revenue float64
+		if err := rows.Scan(&region, &orders, &revenue); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s %6d  %12.2f\n", region, orders, revenue)
+	}
+
+	// The same result consumed through the zero-copy chunk API: the
+	// application reads the engine's column slices directly.
+	rows, err = db.Query("SELECT quantity, price FROM orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var revenue float64
+	for {
+		chunk := rows.NextChunk()
+		if chunk == nil {
+			break
+		}
+		qty := chunk.Cols[0].I64[:chunk.Len()]
+		price := chunk.Cols[1].F64[:chunk.Len()]
+		for i := range qty {
+			revenue += float64(qty[i]) * price[i]
+		}
+	}
+	fmt.Printf("\ntotal revenue (computed app-side over chunks): %.2f\n", revenue)
+}
+
+func must(n int64, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package adaptive implements the paper's cooperation machinery (§4):
+// because the embedded DBMS shares the machine with its host
+// application, it monitors the application's resource usage and reacts —
+// compressing in-memory intermediates harder as the application's RAM
+// need grows (Figure 1), and trading the RAM-hungry hash join for the
+// CPU/IO-hungry out-of-core merge join under memory pressure.
+package adaptive
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+)
+
+// Usage is an observation of the host application's resource
+// consumption.
+type Usage struct {
+	AppRAM int64   // bytes of RAM the application is using
+	AppCPU float64 // fraction [0,1] of CPU the application is using
+}
+
+// Monitor tracks the most recent usage observation. In a real deployment
+// the feed comes from OS counters; experiments and the host application
+// push observations via SetAppUsage (see DESIGN.md substitutions).
+type Monitor struct {
+	mu  sync.RWMutex
+	cur Usage
+}
+
+// NewMonitor returns a monitor with zero usage.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// SetAppUsage records the application's current resource usage.
+func (m *Monitor) SetAppUsage(u Usage) {
+	m.mu.Lock()
+	m.cur = u
+	m.mu.Unlock()
+}
+
+// AppUsage returns the most recent observation.
+func (m *Monitor) AppUsage() Usage {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.cur
+}
+
+// SelfRAM samples the Go runtime's current heap footprint — the DBMS's
+// own share of the machine.
+func SelfRAM() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// Policy converts usage observations into engine decisions.
+type Policy struct {
+	Monitor *Monitor
+	// TotalRAM is the machine's memory the application and DBMS share.
+	TotalRAM int64
+	// LightAt and HeavyAt are the application-usage fractions of
+	// TotalRAM at which the engine switches to light and heavy
+	// compression of intermediates.
+	LightAt float64
+	HeavyAt float64
+}
+
+// NewPolicy returns a policy with the default thresholds (light
+// compression once the app uses 50% of RAM, heavy at 75%).
+func NewPolicy(m *Monitor, totalRAM int64) *Policy {
+	return &Policy{Monitor: m, TotalRAM: totalRAM, LightAt: 0.50, HeavyAt: 0.75}
+}
+
+// CompressionLevel picks the intermediate-compression level for the
+// current application pressure (Figure 1's reactive pattern).
+func (p *Policy) CompressionLevel() compress.Level {
+	if p.TotalRAM <= 0 {
+		return compress.None
+	}
+	frac := float64(p.Monitor.AppUsage().AppRAM) / float64(p.TotalRAM)
+	switch {
+	case frac >= p.HeavyAt:
+		return compress.Heavy
+	case frac >= p.LightAt:
+		return compress.Light
+	default:
+		return compress.None
+	}
+}
+
+// PreferMergeJoin reports whether an equi-join with the given estimated
+// build-side size should use the out-of-core merge join: either the
+// build would not leave the application enough RAM, or the application
+// is already CPU-idle but RAM-hungry (§4's hash→merge trade).
+func (p *Policy) PreferMergeJoin(buildBytes int64) bool {
+	if p.TotalRAM <= 0 {
+		return false
+	}
+	u := p.Monitor.AppUsage()
+	free := p.TotalRAM - u.AppRAM
+	return buildBytes > free/2
+}
+
+// CompressedIntermediate is an in-memory intermediate structure (e.g. an
+// aggregation hash table's payload) that re-encodes itself when the
+// policy's compression level changes — the mechanism behind Figure 1.
+type CompressedIntermediate struct {
+	mu    sync.Mutex
+	level compress.Level
+	raw   []int64 // kept only at level None
+	enc   []byte  // kept at Light/Heavy
+}
+
+// NewCompressedIntermediate wraps data (takes ownership).
+func NewCompressedIntermediate(data []int64) *CompressedIntermediate {
+	return &CompressedIntermediate{level: compress.None, raw: data}
+}
+
+// Level returns the current encoding level.
+func (c *CompressedIntermediate) Level() compress.Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// FootprintBytes returns the structure's current resident size.
+func (c *CompressedIntermediate) FootprintBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.level == compress.None {
+		return int64(len(c.raw)) * 8
+	}
+	return int64(len(c.enc))
+}
+
+// SetLevel re-encodes to the requested level, returning the CPU time
+// spent — the cycles the DBMS trades for the application's RAM.
+func (c *CompressedIntermediate) SetLevel(l compress.Level) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if l == c.level {
+		return 0, nil
+	}
+	start := time.Now()
+	// Decode to raw first if needed.
+	if c.level != compress.None {
+		raw, err := compress.DecompressInt64(c.enc)
+		if err != nil {
+			return 0, err
+		}
+		c.raw = raw
+		c.enc = nil
+	}
+	if l != compress.None {
+		c.enc = compress.CompressInt64(c.raw, l)
+		c.raw = nil
+	}
+	c.level = l
+	return time.Since(start), nil
+}
+
+// Values decodes the current contents (for correctness checks and for
+// the DBMS's own operators to consume).
+func (c *CompressedIntermediate) Values() ([]int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.level == compress.None {
+		out := make([]int64, len(c.raw))
+		copy(out, c.raw)
+		return out, nil
+	}
+	return compress.DecompressInt64(c.enc)
+}
+
+// Figure1Point is one timestep of the reactive-compression experiment.
+type Figure1Point struct {
+	Step     int
+	AppRAM   int64          // application's RAM use (driven by the scenario)
+	DBMSRAM  int64          // DBMS intermediate footprint after reacting
+	TotalRAM int64          // AppRAM + DBMSRAM
+	Level    compress.Level // level chosen by the policy
+	CPU      time.Duration  // re-encoding cost paid this step
+}
+
+// Figure1Config parameterizes the Figure 1 reproduction.
+type Figure1Config struct {
+	TotalRAM   int64   // machine RAM in bytes
+	Values     []int64 // the DBMS's intermediate data
+	AppProfile []int64 // application RAM usage per step
+}
+
+// SimulateFigure1 replays the paper's Figure 1 scenario: the application
+// ramps its RAM usage up and back down; the DBMS's policy reacts by
+// compressing its intermediate none→light→heavy and relaxing again.
+func SimulateFigure1(cfg Figure1Config) ([]Figure1Point, error) {
+	monitor := NewMonitor()
+	policy := NewPolicy(monitor, cfg.TotalRAM)
+	inter := NewCompressedIntermediate(append([]int64(nil), cfg.Values...))
+	out := make([]Figure1Point, 0, len(cfg.AppProfile))
+	for step, appRAM := range cfg.AppProfile {
+		monitor.SetAppUsage(Usage{AppRAM: appRAM})
+		level := policy.CompressionLevel()
+		cpu, err := inter.SetLevel(level)
+		if err != nil {
+			return nil, err
+		}
+		dbms := inter.FootprintBytes()
+		out = append(out, Figure1Point{
+			Step:     step,
+			AppRAM:   appRAM,
+			DBMSRAM:  dbms,
+			TotalRAM: appRAM + dbms,
+			Level:    level,
+			CPU:      cpu,
+		})
+	}
+	return out, nil
+}
+
+// RampProfile builds a symmetric app-RAM profile: idle, ramp up to peak,
+// hold, ramp down — the shape of Figure 1's application curve.
+func RampProfile(idle, peak int64, idleSteps, rampSteps, holdSteps int) []int64 {
+	var out []int64
+	for i := 0; i < idleSteps; i++ {
+		out = append(out, idle)
+	}
+	for i := 1; i <= rampSteps; i++ {
+		out = append(out, idle+(peak-idle)*int64(i)/int64(rampSteps))
+	}
+	for i := 0; i < holdSteps; i++ {
+		out = append(out, peak)
+	}
+	for i := rampSteps - 1; i >= 0; i-- {
+		out = append(out, idle+(peak-idle)*int64(i)/int64(rampSteps))
+	}
+	for i := 0; i < idleSteps; i++ {
+		out = append(out, idle)
+	}
+	return out
+}

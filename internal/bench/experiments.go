@@ -1,0 +1,632 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/ancode"
+	"repro/internal/compress"
+	"repro/internal/faults"
+	"repro/quack"
+)
+
+// E1: Table 1 — 30-day failure probabilities of consumer hardware.
+func Table1(w io.Writer, machines int, seed int64) error {
+	measured, err := faults.SimulateTable1(machines, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table 1: 30-day OS crash probability (Monte-Carlo, %d machines)\n", machines)
+	fmt.Fprintf(w, "%-16s %-22s %-22s\n", "Failure", "Pr[1st failure]", "Pr[2nd fail | 1 fail]")
+	order := []faults.Component{faults.CPU, faults.DRAM, faults.Disk}
+	for _, comp := range order {
+		pub := faults.Table1[comp]
+		got := measured[comp]
+		fmt.Fprintf(w, "%-16s 1 in %-7.0f (paper %-5s) 1 in %-6.1f (paper %s)\n",
+			comp, 1/got.PFirst, fmt.Sprintf("%.0f", 1/pub.PFirst),
+			1/got.PSecondGiven, fmt.Sprintf("%.1f", 1/pub.PSecondGiven))
+	}
+	return nil
+}
+
+// E2: Figure 1 — reactive intermediate compression under application
+// memory pressure.
+func Figure1(w io.Writer, values int) error {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]int64, values)
+	for i := range data {
+		// Skewed measurement data (a hot set plus a long tail): light
+		// bit-packing caps at the domain width, heavy entropy coding
+		// exploits the skew on top of it.
+		if rng.Intn(10) > 0 {
+			data[i] = rng.Int63n(8)
+		} else {
+			data[i] = rng.Int63n(1000)
+		}
+	}
+	const totalRAM = 1 << 30
+	profile := adaptive.RampProfile(totalRAM/10, totalRAM*9/10, 4, 8, 6)
+	points, err := adaptive.SimulateFigure1(adaptive.Figure1Config{
+		TotalRAM:   totalRAM,
+		Values:     data,
+		AppProfile: profile,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 1: reactive resource usage (RAM in MB; level chosen by the policy)")
+	fmt.Fprintf(w, "%-5s %-9s %-10s %-10s %-7s %s\n", "step", "app RAM", "DBMS RAM", "total", "level", "re-encode CPU")
+	mb := func(b int64) float64 { return float64(b) / (1 << 20) }
+	for _, p := range points {
+		fmt.Fprintf(w, "%-5d %-9.0f %-10.2f %-10.0f %-7s %v\n",
+			p.Step, mb(p.AppRAM), mb(p.DBMSRAM), mb(p.TotalRAM), p.Level, p.CPU.Round(time.Microsecond))
+	}
+	// Shape check data for EXPERIMENTS.md: footprints per level.
+	byLevel := map[compress.Level]int64{}
+	for _, p := range points {
+		byLevel[p.Level] = p.DBMSRAM
+	}
+	fmt.Fprintf(w, "footprint none=%.2fMB light=%.2fMB heavy=%.2fMB\n",
+		mb(byLevel[compress.None]), mb(byLevel[compress.Light]), mb(byLevel[compress.Heavy]))
+	return nil
+}
+
+// ANCodeResult carries E3 measurements.
+type ANCodeResult struct {
+	PlainNsPerVal    float64
+	HardenedNsPerVal float64
+	CheckNsPerVal    float64
+	Slowdown         float64
+	DetectionRate    float64
+}
+
+var ancodeSink int64
+
+// measureNsPerOp times f with a self-calibrating repetition count
+// (usable inside test binaries where nested testing.Benchmark would
+// deadlock). Returns nanoseconds per call.
+func measureNsPerOp(f func()) float64 {
+	f() // warm up
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= 200*time.Millisecond {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+		n *= 4
+	}
+}
+
+// ANCode (E3): overhead of AN-coded scans versus plain scans, plus
+// single-bit-flip detection probability. The paper cites 1.1x-1.6x for
+// this technique (AHEAD, with SIMD); the scalar Go kernels land close
+// but above that band (see EXPERIMENTS.md).
+func ANCode(w io.Writer, values int, seed int64) (ANCodeResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	plain := make([]int64, values)
+	for i := range plain {
+		plain[i] = rng.Int63n(1 << 20)
+	}
+	codec := ancode.MustNew(ancode.DefaultA)
+	hardened := make([]int64, values)
+	codec.EncodeSlice(hardened, plain)
+
+	var corrupted bool
+	plainNs := measureNsPerOp(func() {
+		var s int64
+		for _, v := range plain {
+			s += v
+		}
+		ancodeSink = s
+	})
+	hardNs := measureNsPerOp(func() {
+		s, corrupt := codec.SumDecoded(hardened)
+		if corrupt >= 0 {
+			corrupted = true
+		}
+		ancodeSink = s
+	})
+	checkNs := measureNsPerOp(func() {
+		if codec.CheckSlice(hardened) >= 0 {
+			corrupted = true
+		}
+	})
+	if corrupted {
+		return ANCodeResult{}, fmt.Errorf("false corruption reported on clean data")
+	}
+
+	// Detection: flip one random bit in each of many trials.
+	trials := 5000
+	detected := 0
+	for i := 0; i < trials; i++ {
+		idx := rng.Intn(values)
+		bit := uint(rng.Intn(64))
+		orig := hardened[idx]
+		hardened[idx] ^= 1 << bit
+		if !codec.Check(hardened[idx]) {
+			detected++
+		}
+		hardened[idx] = orig
+	}
+
+	res := ANCodeResult{
+		PlainNsPerVal:    plainNs / float64(values),
+		HardenedNsPerVal: hardNs / float64(values),
+		CheckNsPerVal:    checkNs / float64(values),
+		Slowdown:         hardNs / plainNs,
+		DetectionRate:    float64(detected) / float64(trials),
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E3 AN-code hardening (%d values, sum scan)\n", values)
+		fmt.Fprintf(w, "plain scan:             %.2f ns/value\n", res.PlainNsPerVal)
+		fmt.Fprintf(w, "AN-coded scan+decode:   %.2f ns/value\n", res.HardenedNsPerVal)
+		fmt.Fprintf(w, "AN-coded check only:    %.2f ns/value\n", res.CheckNsPerVal)
+		fmt.Fprintf(w, "slowdown:               %.2fx (paper band: 1.1x-1.6x with SIMD)\n", res.Slowdown)
+		fmt.Fprintf(w, "single-bit-flip detection: %.2f%%\n", res.DetectionRate*100)
+	}
+	return res, nil
+}
+
+// TransferResult carries E4 measurements.
+type TransferResult struct {
+	ValueAPIRowsPerSec float64
+	ChunkAPIRowsPerSec float64
+	Speedup            float64
+}
+
+// Transfer (E4): exporting a large result through the value-at-a-time
+// API versus the bulk chunk API (paper §5).
+func Transfer(w io.Writer, rows int) (TransferResult, error) {
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		return TransferResult{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT, b DOUBLE)"); err != nil {
+		return TransferResult{}, err
+	}
+	app, err := db.Appender("t")
+	if err != nil {
+		return TransferResult{}, err
+	}
+	for i := 0; i < rows; i++ {
+		if err := app.AppendRow(int64(i), float64(i)*1.5); err != nil {
+			return TransferResult{}, err
+		}
+	}
+	if err := app.Close(); err != nil {
+		return TransferResult{}, err
+	}
+
+	// Value-at-a-time export (ODBC/JDBC-style).
+	start := time.Now()
+	rowsRes, err := db.Query("SELECT a, b FROM t")
+	if err != nil {
+		return TransferResult{}, err
+	}
+	var sumA int64
+	var sumB float64
+	for rowsRes.Next() {
+		var a int64
+		var b float64
+		if err := rowsRes.Scan(&a, &b); err != nil {
+			return TransferResult{}, err
+		}
+		sumA += a
+		sumB += b
+	}
+	valueDur := time.Since(start)
+
+	// Bulk chunk export: the application becomes the root operator and
+	// consumes column slices directly.
+	start = time.Now()
+	rowsRes, err = db.Query("SELECT a, b FROM t")
+	if err != nil {
+		return TransferResult{}, err
+	}
+	var sumA2 int64
+	var sumB2 float64
+	for {
+		chunk := rowsRes.NextChunk()
+		if chunk == nil {
+			break
+		}
+		for _, v := range chunk.Cols[0].I64[:chunk.Len()] {
+			sumA2 += v
+		}
+		for _, v := range chunk.Cols[1].F64[:chunk.Len()] {
+			sumB2 += v
+		}
+	}
+	chunkDur := time.Since(start)
+	if sumA != sumA2 {
+		return TransferResult{}, fmt.Errorf("transfer mismatch: %d vs %d", sumA, sumA2)
+	}
+
+	res := TransferResult{
+		ValueAPIRowsPerSec: float64(rows) / valueDur.Seconds(),
+		ChunkAPIRowsPerSec: float64(rows) / chunkDur.Seconds(),
+		Speedup:            float64(valueDur) / float64(chunkDur),
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E4 result-set transfer (%d rows, 2 columns)\n", rows)
+		fmt.Fprintf(w, "value-at-a-time API: %12.0f rows/s (%v)\n", res.ValueAPIRowsPerSec, valueDur)
+		fmt.Fprintf(w, "bulk chunk API:      %12.0f rows/s (%v)\n", res.ChunkAPIRowsPerSec, chunkDur)
+		fmt.Fprintf(w, "speedup: %.1fx\n", res.Speedup)
+	}
+	return res, nil
+}
+
+// BulkUpdateResult carries E5 measurements.
+type BulkUpdateResult struct {
+	InPlace     time.Duration
+	RewriteAll  time.Duration
+	RowsUpdated int64
+	Speedup     float64
+}
+
+// BulkUpdate (E5): the paper's canonical wrangling query
+// `UPDATE t SET d = NULL WHERE d = -999` with column-granular in-place
+// updates, against the full-table-rewrite (CTAS) workaround users
+// resort to without such support.
+func BulkUpdate(w io.Writer, rows int) (BulkUpdateResult, error) {
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		return BulkUpdateResult{}, err
+	}
+	defer db.Close()
+	if err := GenSalesTable(db, "t", rows, 0.3, 42); err != nil {
+		return BulkUpdateResult{}, err
+	}
+
+	start := time.Now()
+	n, err := db.Exec("UPDATE t SET d = NULL WHERE d = -999")
+	if err != nil {
+		return BulkUpdateResult{}, err
+	}
+	inPlace := time.Since(start)
+
+	// Baseline: rewrite every column into a new table.
+	start = time.Now()
+	if _, err := db.Exec(`CREATE TABLE t2 AS
+		SELECT id, region, qty, price,
+		       CASE WHEN d = -999 THEN NULL ELSE d END AS d
+		FROM t`); err != nil {
+		return BulkUpdateResult{}, err
+	}
+	rewrite := time.Since(start)
+
+	res := BulkUpdateResult{
+		InPlace:     inPlace,
+		RewriteAll:  rewrite,
+		RowsUpdated: n,
+		Speedup:     float64(rewrite) / float64(inPlace),
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E5 bulk ETL update (%d rows, 30%% missing)\n", rows)
+		fmt.Fprintf(w, "column-granular in-place UPDATE: %v (%d rows updated)\n", inPlace, n)
+		fmt.Fprintf(w, "full-table rewrite baseline:     %v\n", rewrite)
+		fmt.Fprintf(w, "speedup: %.1fx\n", res.Speedup)
+	}
+	return res, nil
+}
+
+// EngineResult carries E6 measurements.
+type EngineResult struct {
+	Vectorized time.Duration
+	RowAtATime time.Duration
+	Speedup    float64
+}
+
+// Engine (E6): vectorized interpreted execution versus the
+// tuple-at-a-time Volcano baseline on a Q1-style filtered aggregation.
+func Engine(w io.Writer, rows int) (EngineResult, error) {
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		return EngineResult{}, err
+	}
+	defer db.Close()
+	if err := GenSalesTable(db, "t", rows, 0.0, 7); err != nil {
+		return EngineResult{}, err
+	}
+	const q = "SELECT region, count(*), sum(qty), avg(price), sum(price * CAST(qty AS DOUBLE)) FROM t WHERE qty > 10 AND price < 900.0 GROUP BY region"
+
+	start := time.Now()
+	vecRows, err := db.Query(q)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	vecDur := time.Since(start)
+
+	start = time.Now()
+	rowRows, err := db.Internal().NewSession().ExecuteRowEngine(q)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	rowDur := time.Since(start)
+
+	if vecRows.NumRows() != int64(len(rowRows)) {
+		return EngineResult{}, fmt.Errorf("engines disagree: %d vs %d groups", vecRows.NumRows(), len(rowRows))
+	}
+	res := EngineResult{
+		Vectorized: vecDur,
+		RowAtATime: rowDur,
+		Speedup:    float64(rowDur) / float64(vecDur),
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E6 execution engines (%d rows, filtered group-by)\n", rows)
+		fmt.Fprintf(w, "vectorized (1024-row chunks): %v\n", vecDur)
+		fmt.Fprintf(w, "tuple-at-a-time Volcano:      %v\n", rowDur)
+		fmt.Fprintf(w, "speedup: %.1fx\n", res.Speedup)
+	}
+	return res, nil
+}
+
+// JoinPoint is one row of the E7 sweep.
+type JoinPoint struct {
+	Strategy string
+	Limit    int64
+	Duration time.Duration
+	PeakRAM  int64
+	Rows     int64
+	Err      string
+}
+
+// Joins (E7): hash join versus out-of-core merge join — the paper's
+// RAM/CPU/IO trade (§4). The hash join is fast but needs the whole build
+// side resident; the merge join bounds its residency to the memory
+// budget by spilling sorted runs; Auto degrades from hash to merge when
+// the build does not fit.
+func Joins(w io.Writer, buildRows, probeRows int) ([]JoinPoint, error) {
+	var out []JoinPoint
+	run := func(strategy quack.JoinStrategy, label string, limit int64) (JoinPoint, error) {
+		db, err := quack.Open(":memory:", quack.WithMemoryLimit(limit))
+		if err != nil {
+			return JoinPoint{}, err
+		}
+		defer db.Close()
+		if err := GenKeyedTable(db, "build", buildRows, int64(buildRows), 1); err != nil {
+			return JoinPoint{}, err
+		}
+		if err := GenKeyedTable(db, "probe", probeRows, int64(buildRows), 2); err != nil {
+			return JoinPoint{}, err
+		}
+		db.Internal().Pool().ResetPeak()
+		tx, err := db.Begin()
+		if err != nil {
+			return JoinPoint{}, err
+		}
+		defer tx.Rollback()
+		tx.SetJoinStrategy(strategy)
+		start := time.Now()
+		rows, err := tx.Query("SELECT count(*) FROM probe JOIN build ON probe.k = build.k")
+		point := JoinPoint{Strategy: label, Limit: limit, Duration: time.Since(start)}
+		point.PeakRAM = db.Internal().Pool().Peak()
+		if err != nil {
+			point.Err = err.Error()
+		} else {
+			rows.Next()
+			var n int64
+			rows.Scan(&n)
+			point.Rows = n
+		}
+		out = append(out, point)
+		return point, nil
+	}
+
+	// Baseline: unconstrained hash join establishes the true footprint.
+	base, err := run(quack.JoinHash, "hash", 0)
+	if err != nil {
+		return nil, err
+	}
+	half := base.PeakRAM / 2
+	quarter := base.PeakRAM / 4
+	for _, p := range []struct {
+		strategy quack.JoinStrategy
+		label    string
+		limit    int64
+	}{
+		{quack.JoinMerge, "merge", 0},
+		{quack.JoinMerge, "merge", half},
+		{quack.JoinMerge, "merge", quarter},
+		{quack.JoinAuto, "auto", 0},
+		{quack.JoinAuto, "auto", half},
+		{quack.JoinAuto, "auto", quarter},
+		{quack.JoinHash, "hash", half}, // forced hash under pressure
+	} {
+		if _, err := run(p.strategy, p.label, p.limit); err != nil {
+			return nil, err
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E7 join strategies (%d build x %d probe rows)\n", buildRows, probeRows)
+		fmt.Fprintf(w, "%-8s %-12s %-12s %-12s %-10s %s\n", "strategy", "mem limit", "time", "peak RAM", "rows", "note")
+		for _, p := range out {
+			lim := "unlimited"
+			if p.Limit > 0 {
+				lim = fmt.Sprintf("%.0fMB", float64(p.Limit)/(1<<20))
+			}
+			note := p.Err
+			if len(note) > 48 {
+				note = note[:48]
+			}
+			fmt.Fprintf(w, "%-8s %-12s %-12v %-12s %-10d %s\n",
+				p.Strategy, lim, p.Duration.Round(time.Millisecond),
+				fmt.Sprintf("%.1fMB", float64(p.PeakRAM)/(1<<20)), p.Rows, note)
+		}
+	}
+	return out, nil
+}
+
+// ChecksumResult carries E8 measurements.
+type ChecksumResult struct {
+	WithVerification    time.Duration
+	WithoutVerification time.Duration
+	Overhead            float64
+}
+
+// Checksum (E8): cold-scan cost of verify-on-read block checksums.
+func Checksum(w io.Writer, dir string, rows int) (ChecksumResult, error) {
+	path := dir + "/e8.qdb"
+	db, err := quack.Open(path)
+	if err != nil {
+		return ChecksumResult{}, err
+	}
+	if err := GenSalesTable(db, "t", rows, 0.1, 5); err != nil {
+		db.Close()
+		return ChecksumResult{}, err
+	}
+	if err := db.Close(); err != nil { // checkpoint to disk
+		return ChecksumResult{}, err
+	}
+
+	scan := func(verify bool) (time.Duration, error) {
+		opts := []quack.Option{}
+		if !verify {
+			opts = append(opts, quack.WithoutChecksumVerification())
+		}
+		db, err := quack.Open(path, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer db.Close()
+		start := time.Now()
+		rowsRes, err := db.Query("SELECT sum(qty), sum(price) FROM t")
+		if err != nil {
+			return 0, err
+		}
+		rowsRes.Next()
+		return time.Since(start), nil
+	}
+	withV, err := scan(true)
+	if err != nil {
+		return ChecksumResult{}, err
+	}
+	withoutV, err := scan(false)
+	if err != nil {
+		return ChecksumResult{}, err
+	}
+	res := ChecksumResult{
+		WithVerification:    withV,
+		WithoutVerification: withoutV,
+		Overhead:            float64(withV)/float64(withoutV) - 1,
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E8 block checksum verification (%d rows, cold scan from disk)\n", rows)
+		fmt.Fprintf(w, "verify on read:  %v\n", withV)
+		fmt.Fprintf(w, "no verification: %v\n", withoutV)
+		fmt.Fprintf(w, "overhead: %.1f%%\n", res.Overhead*100)
+	}
+	return res, nil
+}
+
+// DashboardResult carries E9 measurements.
+type DashboardResult struct {
+	Queries      int64
+	Updates      int64
+	QueryP50     time.Duration
+	QueryMax     time.Duration
+	Inconsistent int64
+	Conflicts    int64
+}
+
+// Dashboard (E9): concurrent OLAP reads during ETL updates (§2's
+// dashboard scenario). Readers must keep making progress with
+// consistent snapshots while writers commit.
+func Dashboard(w io.Writer, rows int, duration time.Duration) (DashboardResult, error) {
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		return DashboardResult{}, err
+	}
+	defer db.Close()
+	if err := GenSalesTable(db, "t", rows, 0.0, 9); err != nil {
+		return DashboardResult{}, err
+	}
+
+	var res DashboardResult
+	var queries, updates, inconsistent, conflicts atomic.Int64
+	var latMu sync.Mutex
+	var latencies []time.Duration
+
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // ETL writers
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				_, err := db.Exec("UPDATE t SET qty = qty + 1 WHERE id % 2 = ?", int64(i))
+				if err != nil {
+					conflicts.Add(1)
+					continue
+				}
+				updates.Add(1)
+			}
+		}(i)
+	}
+	readers := runtime.GOMAXPROCS(0)
+	if readers > 4 {
+		readers = 4
+	}
+	for i := 0; i < readers; i++ { // OLAP readers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				rowsRes, err := db.Query("SELECT region, sum(qty), count(*) FROM t GROUP BY region")
+				if err != nil {
+					inconsistent.Add(1)
+					continue
+				}
+				var total int64
+				for {
+					c := rowsRes.NextChunk()
+					if c == nil {
+						break
+					}
+					for r := 0; r < c.Len(); r++ {
+						total += c.Cols[2].I64[r]
+					}
+				}
+				if total != int64(rows) {
+					inconsistent.Add(1)
+				}
+				lat := time.Since(start)
+				latMu.Lock()
+				latencies = append(latencies, lat)
+				latMu.Unlock()
+				queries.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Queries = queries.Load()
+	res.Updates = updates.Load()
+	res.Inconsistent = inconsistent.Load()
+	res.Conflicts = conflicts.Load()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		res.QueryP50 = latencies[len(latencies)/2]
+		res.QueryMax = latencies[len(latencies)-1]
+	}
+	if w != nil {
+		fmt.Fprintf(w, "E9 dashboard: concurrent OLAP + ETL (%d rows, %v)\n", rows, duration)
+		fmt.Fprintf(w, "OLAP queries completed: %d (p50 %v, max %v)\n", res.Queries, res.QueryP50, res.QueryMax)
+		fmt.Fprintf(w, "ETL update txns committed: %d (%d write-write conflicts retried)\n", res.Updates, res.Conflicts)
+		fmt.Fprintf(w, "inconsistent snapshots observed: %d\n", res.Inconsistent)
+	}
+	return res, nil
+}

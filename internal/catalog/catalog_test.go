@@ -1,0 +1,128 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/table"
+	"repro/internal/types"
+)
+
+func sampleTable(name string) *Table {
+	cols := []Column{
+		{Name: "id", Type: types.BigInt, NotNull: true},
+		{Name: "name", Type: types.Varchar},
+	}
+	t := &Table{Name: name, Columns: cols}
+	t.Data = table.New(t.Types(), nil)
+	return t
+}
+
+func TestCreateLookupDrop(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(sampleTable("users")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(sampleTable("users")); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	// Case-insensitive lookup.
+	tbl, err := c.Table("USERS")
+	if err != nil || tbl.Name != "users" {
+		t.Fatalf("%v %v", tbl, err)
+	}
+	if !c.HasTable("Users") {
+		t.Fatal("HasTable case sensitivity")
+	}
+	if _, err := c.DropTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("users"); err == nil {
+		t.Fatal("dropped table found")
+	}
+}
+
+func TestViewsAndNameCollisions(t *testing.T) {
+	c := New()
+	if err := c.CreateView(&View{Name: "v", SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(sampleTable("v")); err == nil {
+		t.Fatal("table with view's name accepted")
+	}
+	if err := c.CreateView(&View{Name: "v", SQL: "SELECT 2"}); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	v, ok := c.View("V")
+	if !ok || v.SQL != "SELECT 1" {
+		t.Fatalf("%+v %v", v, ok)
+	}
+	if err := c.DropView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v"); err == nil {
+		t.Fatal("double view drop accepted")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tbl := sampleTable("t")
+	if tbl.ColumnIndex("NAME") != 1 || tbl.ColumnIndex("id") != 0 || tbl.ColumnIndex("ghost") != -1 {
+		t.Fatal("column index resolution")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	c := New()
+	tbl := sampleTable("events")
+	tbl.DiskRows = 12345
+	tbl.ColChains = []storage.BlockID{7, storage.InvalidBlock}
+	tbl.ChainBlocks = make([][]storage.BlockID, 2)
+	if err := c.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	c.CreateView(&View{Name: "recent", SQL: "SELECT * FROM events"})
+
+	payload := c.Serialize()
+	tables, views, err := Deserialize(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(views) != 1 {
+		t.Fatalf("%d tables %d views", len(tables), len(views))
+	}
+	got := tables[0]
+	if got.Name != "events" || got.DiskRows != 12345 {
+		t.Fatalf("%+v", got)
+	}
+	if got.Columns[0].Name != "id" || !got.Columns[0].NotNull || got.Columns[1].Type != types.Varchar {
+		t.Fatalf("columns: %+v", got.Columns)
+	}
+	if got.ColChains[0] != 7 || got.ColChains[1] != storage.InvalidBlock {
+		t.Fatalf("chains: %+v", got.ColChains)
+	}
+	if views[0].SQL != "SELECT * FROM events" {
+		t.Fatalf("view: %+v", views[0])
+	}
+}
+
+func TestDeserializeCorrupt(t *testing.T) {
+	c := New()
+	c.CreateTable(sampleTable("t"))
+	payload := c.Serialize()
+	for _, cut := range []int{1, 5, len(payload) / 2} {
+		if _, _, err := Deserialize(payload[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestListingsSorted(t *testing.T) {
+	c := New()
+	c.CreateTable(sampleTable("zebra"))
+	c.CreateTable(sampleTable("apple"))
+	tabs := c.Tables()
+	if len(tabs) != 2 || tabs[0].Name != "apple" || tabs[1].Name != "zebra" {
+		t.Fatalf("%v", tabs)
+	}
+}

@@ -1,0 +1,67 @@
+// Package checksum provides the block checksums that protect QuackDB's
+// persistent storage against silent corruption (paper §3/§6): every
+// 256 KB block is checksummed as it is written and verified as it is
+// read, so bit rot on consumer-grade disks surfaces as an error instead
+// of silently corrupting query results.
+package checksum
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+)
+
+// table uses the ECMA polynomial, the conventional choice for storage
+// integrity checks.
+var table = crc64.MakeTable(crc64.ECMA)
+
+// Size is the number of bytes a serialized checksum occupies.
+const Size = 8
+
+// Sum returns the CRC-64/ECMA checksum of data.
+func Sum(data []byte) uint64 { return crc64.Checksum(data, table) }
+
+// Verify recomputes the checksum of data and compares it to want.
+func Verify(data []byte, want uint64) error {
+	if got := Sum(data); got != want {
+		return &Error{Want: want, Got: got}
+	}
+	return nil
+}
+
+// Put writes sum into the first 8 bytes of dst (little endian).
+func Put(dst []byte, sum uint64) { binary.LittleEndian.PutUint64(dst, sum) }
+
+// Get reads a checksum from the first 8 bytes of src.
+func Get(src []byte) uint64 { return binary.LittleEndian.Uint64(src) }
+
+// Frame checksums payload and returns checksum||payload.
+func Frame(payload []byte) []byte {
+	out := make([]byte, Size+len(payload))
+	Put(out, Sum(payload))
+	copy(out[Size:], payload)
+	return out
+}
+
+// Unframe verifies a checksum||payload frame and returns the payload.
+// The returned slice aliases frame.
+func Unframe(frame []byte) ([]byte, error) {
+	if len(frame) < Size {
+		return nil, fmt.Errorf("checksum: frame too short (%d bytes)", len(frame))
+	}
+	payload := frame[Size:]
+	if err := Verify(payload, Get(frame)); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Error reports a checksum mismatch: the block was corrupted between
+// write and read (disk bit rot, torn write, or an in-flight RAM flip).
+type Error struct {
+	Want, Got uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("checksum mismatch: stored %016x, computed %016x (block corrupted)", e.Want, e.Got)
+}

@@ -1,0 +1,74 @@
+package checksum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSumVerify(t *testing.T) {
+	data := []byte("the quick brown fox")
+	sum := Sum(data)
+	if err := Verify(data, sum); err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 1
+	if err := Verify(data, sum); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestFrameUnframe(t *testing.T) {
+	payload := []byte("payload bytes")
+	frame := Frame(payload)
+	got, err := Unframe(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("got %q", got)
+	}
+	frame[Size+2] ^= 0x80
+	if _, err := Unframe(frame); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+	if _, err := Unframe(frame[:Size-1]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestEveryBitMatters(t *testing.T) {
+	// Flipping any single bit in a small payload changes the checksum.
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		sum := Sum(data)
+		for i := 0; i < len(data)*8; i += 7 { // sample bits
+			data[i/8] ^= 1 << (i % 8)
+			changed := Sum(data) != sum
+			data[i/8] ^= 1 << (i % 8)
+			if !changed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	buf := make([]byte, Size)
+	Put(buf, 0xDEADBEEFCAFEF00D)
+	if Get(buf) != 0xDEADBEEFCAFEF00D {
+		t.Fatal("Put/Get mismatch")
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	err := &Error{Want: 1, Got: 2}
+	if err.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

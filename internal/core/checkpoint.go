@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/table"
+	"repro/internal/txn"
+)
+
+// ErrBusy is returned when a checkpoint is requested while transactions
+// are in flight. WAL truncation is only sound when every logged change
+// is covered by the new storage image, which requires quiescence.
+var ErrBusy = errors.New("checkpoint requires no active transactions")
+
+// Checkpoint persists all committed state into the database file and
+// truncates the WAL (§6): new blocks are written first (shadow paging),
+// then the header's root pointer is swapped atomically — a crash at any
+// point leaves either the old or the new checkpoint fully intact.
+// Columns that did not change since the last checkpoint keep their
+// existing block chains and are not rewritten (§2's column-partitioning
+// requirement); a bulk update of one column rewrites only that column.
+func (db *Database) Checkpoint() error {
+	if db.store.InMemory() {
+		return nil
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+
+	return db.txns.Quiesce(func(snap *txn.Transaction, inFlight int) error {
+		if inFlight > 0 {
+			return ErrBusy
+		}
+		var newlyFree []storage.BlockID
+
+		for _, entry := range db.cat.Tables() {
+			data := entry.Data
+			rewriteAll := data.AppendDirty() || data.DeleteDirty()
+			var serializedRows int64 = -1
+			for c := range entry.Columns {
+				if !rewriteAll && !data.ColDirty(c) && entry.ColChains[c] != storage.InvalidBlock {
+					continue // unchanged column: keep its chain
+				}
+				payload, rows, err := data.SerializeColumn(snap, c)
+				if err != nil {
+					return fmt.Errorf("checkpoint %s.%s: %w", entry.Name, entry.Columns[c].Name, err)
+				}
+				if serializedRows >= 0 && rows != serializedRows {
+					return fmt.Errorf("checkpoint %s: column row counts diverge (%d vs %d)", entry.Name, serializedRows, rows)
+				}
+				serializedRows = rows
+				w := storage.NewChainWriter(db.store)
+				if _, err := w.Write(payload); err != nil {
+					return err
+				}
+				head, blocks, err := w.Finish()
+				if err != nil {
+					return err
+				}
+				// Old chain blocks become free after the header swap.
+				if entry.ColChains[c] != storage.InvalidBlock {
+					old := entry.ChainBlocks[c]
+					if old == nil {
+						// Chain never read this run; walk it to free it.
+						_, ids, err := storage.ReadChain(db.store, entry.ColChains[c])
+						if err == nil {
+							old = ids
+						}
+					}
+					newlyFree = append(newlyFree, old...)
+				}
+				entry.ColChains[c] = head
+				entry.ChainBlocks[c] = blocks
+			}
+			if serializedRows >= 0 {
+				entry.DiskRows = serializedRows
+			}
+		}
+
+		// Serialize the catalog into a fresh chain; the old one is freed.
+		oldRoot := db.store.Root()
+		w := storage.NewChainWriter(db.store)
+		if _, err := w.Write(db.cat.Serialize()); err != nil {
+			return err
+		}
+		root, _, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		if oldRoot != storage.InvalidBlock {
+			_, oldBlocks, err := storage.ReadChain(db.store, oldRoot)
+			if err == nil {
+				newlyFree = append(newlyFree, oldBlocks...)
+			}
+		}
+		newlyFree = append(newlyFree, db.pendingFree...)
+		db.pendingFree = nil
+
+		if err := db.store.Checkpoint(root, newlyFree); err != nil {
+			return err
+		}
+		if err := db.wal.Truncate(); err != nil {
+			return err
+		}
+
+		// Reconcile in-memory state with the new image. Tables whose
+		// layout still matches the image just become clean (and their
+		// columns evictable); tables compacted by deletes or aborted
+		// appends are rebuilt lazily from the image so that in-memory
+		// row ids equal on-disk row ids again — future WAL records
+		// address rows by id and must agree with the image.
+		for _, entry := range db.cat.Tables() {
+			if entry.Data.LayoutDiverged() {
+				entry.ChainBlocks = make([][]storage.BlockID, len(entry.Columns))
+				entry.Data = table.NewPersisted(entry.Types(), entry.DiskRows, db.columnLoader(entry), db.pool)
+				continue
+			}
+			entry.Data.SetDiskRows(entry.DiskRows)
+			entry.Data.ResetDirty()
+		}
+		return nil
+	})
+}

@@ -1,0 +1,342 @@
+// Package core wires QuackDB's subsystems into the embedded database the
+// paper describes (§6): single-file checksummed storage with shadow-paged
+// checkpoints, a separate WAL consumed by those checkpoints, HyPer-style
+// MVCC, a cooperating buffer pool with allocation-time memory tests, the
+// vectorized execution engine, and the SQL front end. The public quack
+// package is a thin veneer over this one.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adaptive"
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/memtest"
+	"repro/internal/storage"
+	"repro/internal/table"
+	"repro/internal/txn"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+// Config controls a Database instance.
+type Config struct {
+	// Path of the database file; "" or ":memory:" is volatile.
+	Path string
+	// MemoryLimit caps the buffer pool (bytes); <=0 = unlimited. The
+	// cooperation requirement (§4): an embedded DBMS must not assume it
+	// owns the machine.
+	MemoryLimit int64
+	// TotalRAM the application and DBMS share, for the adaptive policy.
+	TotalRAM int64
+	// DisableChecksums skips verification on block reads (experiment E8).
+	DisableChecksums bool
+	// MemTest runs moving-inversions tests on buffer allocation (§3).
+	MemTest bool
+	// TmpDir for external-sort spill files ("" = os.TempDir()).
+	TmpDir string
+	// VacuumEvery runs undo-chain garbage collection after this many
+	// commits (0 = default 256).
+	VacuumEvery int64
+}
+
+// Database is one embedded database instance. It is safe for concurrent
+// use by multiple sessions.
+type Database struct {
+	cfg     Config
+	store   *storage.Manager
+	wal     *wal.Log
+	cat     *catalog.Catalog
+	txns    *txn.Manager
+	pool    *buffer.Pool
+	monitor *adaptive.Monitor
+	policy  *adaptive.Policy
+	logger  walLogger
+
+	ddlMu       sync.Mutex // serializes DDL and checkpoints
+	pendingFree []storage.BlockID
+	commitCount atomic.Int64
+	closed      atomic.Bool
+}
+
+// Open opens or creates a database.
+func Open(cfg Config) (*Database, error) {
+	if cfg.VacuumEvery <= 0 {
+		cfg.VacuumEvery = 256
+	}
+	if cfg.TotalRAM <= 0 {
+		cfg.TotalRAM = 8 << 30
+	}
+	tester := memtest.NewTester(nil)
+	pool := buffer.NewPool(cfg.MemoryLimit, tester)
+	pool.EnableMemTest(cfg.MemTest)
+
+	store, created, err := storage.Open(cfg.Path, storage.Options{DisableChecksums: cfg.DisableChecksums})
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		cfg:     cfg,
+		store:   store,
+		cat:     catalog.New(),
+		pool:    pool,
+		monitor: adaptive.NewMonitor(),
+	}
+	db.policy = adaptive.NewPolicy(db.monitor, cfg.TotalRAM)
+
+	if !store.InMemory() {
+		log, err := wal.Open(cfg.Path + ".wal")
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		db.wal = log
+	}
+	db.txns = txn.NewManager(func(records []txn.LogRecord, commitTS uint64) error {
+		if db.wal == nil {
+			return nil
+		}
+		recs := make([]wal.Record, len(records))
+		for i, r := range records {
+			recs[i] = wal.Record{Type: wal.RecordType(r.Type), Payload: r.Payload}
+		}
+		return db.wal.AppendCommit(recs, commitTS)
+	})
+
+	if !created {
+		if err := db.loadCatalog(); err != nil {
+			db.closeFiles()
+			return nil, err
+		}
+	}
+	if err := db.replayWAL(); err != nil {
+		db.closeFiles()
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	return db, nil
+}
+
+func (db *Database) closeFiles() {
+	if db.wal != nil {
+		db.wal.Close()
+	}
+	db.store.Close()
+}
+
+// Catalog exposes the schema objects.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// Txns exposes the transaction manager.
+func (db *Database) Txns() *txn.Manager { return db.txns }
+
+// Pool exposes the buffer pool.
+func (db *Database) Pool() *buffer.Pool { return db.pool }
+
+// Monitor exposes the resource monitor the host application feeds.
+func (db *Database) Monitor() *adaptive.Monitor { return db.monitor }
+
+// Policy exposes the adaptive resource policy.
+func (db *Database) Policy() *adaptive.Policy { return db.policy }
+
+// Store exposes the block manager (experiments and tools).
+func (db *Database) Store() *storage.Manager { return db.store }
+
+// WALSize returns the current WAL size in bytes (0 for in-memory).
+func (db *Database) WALSize() int64 { return db.wal.Size() }
+
+// LogInsert queues an insert WAL record into tx (bulk appenders).
+func (db *Database) LogInsert(tx *txn.Transaction, tableName string, chunk *vector.Chunk) {
+	db.logger.LogInsert(tx, tableName, chunk)
+}
+
+// AfterCommit runs post-commit housekeeping for externally managed
+// transactions (bulk appenders).
+func (db *Database) AfterCommit() { db.afterCommit() }
+
+// TmpDir returns the spill directory.
+func (db *Database) TmpDir() string {
+	if db.cfg.TmpDir != "" {
+		return db.cfg.TmpDir
+	}
+	return os.TempDir()
+}
+
+// loadCatalog reads the catalog chain from the storage root and
+// reconstructs the schema with lazy column loaders.
+func (db *Database) loadCatalog() error {
+	root := db.store.Root()
+	if root == storage.InvalidBlock {
+		return nil
+	}
+	payload, _, err := storage.ReadChain(db.store, root)
+	if err != nil {
+		return fmt.Errorf("catalog: %w", err)
+	}
+	tables, views, err := catalog.Deserialize(payload)
+	if err != nil {
+		return err
+	}
+	for _, dt := range tables {
+		entry := &catalog.Table{
+			Name:      dt.Name,
+			Columns:   dt.Columns,
+			DiskRows:  dt.DiskRows,
+			ColChains: dt.ColChains,
+		}
+		entry.ChainBlocks = make([][]storage.BlockID, len(dt.Columns))
+		entry.Data = table.NewPersisted(entry.Types(), dt.DiskRows, db.columnLoader(entry), db.pool)
+		if err := db.cat.CreateTable(entry); err != nil {
+			return err
+		}
+	}
+	for i := range views {
+		v := views[i]
+		if err := db.cat.CreateView(&v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// columnLoader returns the lazy loader reading one column's block chain.
+// It closes over the catalog entry so checkpoints that move chains are
+// picked up.
+func (db *Database) columnLoader(entry *catalog.Table) table.ColumnLoader {
+	return func(col int) ([]*vector.Vector, int64, error) {
+		head := entry.ColChains[col]
+		if head == storage.InvalidBlock {
+			return []*vector.Vector{}, 0, nil
+		}
+		payload, blocks, err := storage.ReadChain(db.store, head)
+		if err != nil {
+			return nil, 0, err
+		}
+		entry.ChainBlocks[col] = blocks
+		return table.DecodeColumnSegments(payload)
+	}
+}
+
+// replayWAL applies every committed transaction recovered from the log.
+func (db *Database) replayWAL() error {
+	committed, err := db.wal.Replay()
+	if err != nil {
+		return err
+	}
+	for _, tx := range committed {
+		for _, rec := range tx.Records {
+			if err := db.applyRecord(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (db *Database) applyRecord(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecCreateTable:
+		name, cols, err := decodeCreateTable(rec.Payload)
+		if err != nil {
+			return err
+		}
+		entry := &catalog.Table{Name: name}
+		for _, c := range cols {
+			entry.Columns = append(entry.Columns, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+		entry.Data = table.New(entry.Types(), db.pool)
+		return db.cat.CreateTable(entry)
+	case wal.RecDropTable:
+		name, _, err := getString(rec.Payload)
+		if err != nil {
+			return err
+		}
+		_, err = db.cat.DropTable(name)
+		return err
+	case wal.RecCreateView:
+		name, sqlText, err := decodeCreateView(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return db.cat.CreateView(&catalog.View{Name: name, SQL: sqlText})
+	case wal.RecDropView:
+		name, _, err := getString(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return db.cat.DropView(name)
+	case wal.RecInsert:
+		name, chunk, err := decodeInsert(rec.Payload)
+		if err != nil {
+			return err
+		}
+		entry, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		return entry.Data.AppendCommitted(chunk, txn.EpochTS)
+	case wal.RecUpdate:
+		name, col, rowIDs, vals, err := decodeUpdate(rec.Payload)
+		if err != nil {
+			return err
+		}
+		entry, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		return entry.Data.ApplyCommittedUpdate(col, rowIDs, vals)
+	case wal.RecDelete:
+		name, rowIDs, err := decodeDelete(rec.Payload)
+		if err != nil {
+			return err
+		}
+		entry, err := db.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		return entry.Data.ApplyCommittedDelete(rowIDs, txn.EpochTS)
+	default:
+		return fmt.Errorf("unknown WAL record type %d", rec.Type)
+	}
+}
+
+// afterCommit runs post-commit housekeeping: periodic undo vacuum.
+func (db *Database) afterCommit() {
+	n := db.commitCount.Add(1)
+	if n%db.cfg.VacuumEvery == 0 {
+		db.Vacuum()
+	}
+}
+
+// Vacuum prunes undo versions no snapshot can need anymore.
+func (db *Database) Vacuum() {
+	oldest := db.txns.OldestVisibleTS()
+	for _, t := range db.cat.Tables() {
+		t.Data.Vacuum(oldest)
+	}
+}
+
+// Close checkpoints (persistent databases) and releases all files.
+func (db *Database) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	if !db.store.InMemory() {
+		if err := db.Checkpoint(); err != nil {
+			firstErr = err
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

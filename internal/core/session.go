@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/csvio"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/table"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+// Result is the materialized outcome of one statement. SELECT results
+// carry chunks in the engine's native representation — the client
+// application consumes them without copies or per-value calls (§5).
+type Result struct {
+	Columns      []string
+	Types        []types.Type
+	Chunks       []*vector.Chunk
+	RowsAffected int64
+	HasRows      bool
+}
+
+// NumRows returns the total row count across chunks.
+func (r *Result) NumRows() int64 {
+	var n int64
+	for _, c := range r.Chunks {
+		n += int64(c.Len())
+	}
+	return n
+}
+
+// Session is one connection to the database: it owns the current
+// explicit transaction, if any. Sessions are not safe for concurrent
+// use; open one per goroutine (they are cheap).
+type Session struct {
+	db      *Database
+	current *txn.Transaction
+	// JoinStrategy overrides the adaptive join choice for experiments.
+	JoinStrategy exec.JoinStrategy
+}
+
+// NewSession opens a session.
+func (db *Database) NewSession() *Session { return &Session{db: db} }
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.current != nil && !s.current.Done() }
+
+// Execute parses and runs one or more semicolon-separated statements,
+// returning one result per statement. Parameters substitute `?`
+// placeholders across all statements.
+func (s *Session) Execute(sqlText string, params ...types.Value) ([]*Result, error) {
+	stmts, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		res, err := s.executeStmt(stmt, params)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ExecuteOne is Execute for a single statement.
+func (s *Session) ExecuteOne(sqlText string, params ...types.Value) (*Result, error) {
+	results, err := s.Execute(sqlText, params...)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return &Result{}, nil
+	}
+	return results[len(results)-1], nil
+}
+
+func (s *Session) executeStmt(stmt sql.Statement, params []types.Value) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sql.BeginStmt:
+		if s.InTransaction() {
+			return nil, fmt.Errorf("a transaction is already in progress")
+		}
+		s.current = s.db.txns.Begin()
+		return &Result{}, nil
+	case *sql.CommitStmt:
+		if !s.InTransaction() {
+			return nil, fmt.Errorf("no transaction is in progress")
+		}
+		tx := s.current
+		s.current = nil
+		if _, err := s.db.txns.Commit(tx); err != nil {
+			return nil, err
+		}
+		s.db.afterCommit()
+		return &Result{}, nil
+	case *sql.RollbackStmt:
+		if !s.InTransaction() {
+			return nil, fmt.Errorf("no transaction is in progress")
+		}
+		tx := s.current
+		s.current = nil
+		s.db.txns.Rollback(tx)
+		return &Result{}, nil
+	case *sql.CheckpointStmt:
+		if s.InTransaction() {
+			return nil, ErrBusy
+		}
+		if err := s.db.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.PragmaStmt:
+		return s.executePragma(st)
+	case *sql.ExplainStmt:
+		return s.explain(st, params)
+	default:
+		return s.inTxn(func(tx *txn.Transaction) (*Result, error) {
+			return s.executeInTxn(stmt, params, tx)
+		})
+	}
+}
+
+// inTxn runs fn in the session's explicit transaction, or in a
+// one-statement autocommit transaction.
+func (s *Session) inTxn(fn func(tx *txn.Transaction) (*Result, error)) (*Result, error) {
+	if s.InTransaction() {
+		return fn(s.current)
+	}
+	tx := s.db.txns.Begin()
+	res, err := fn(tx)
+	if err != nil {
+		s.db.txns.Rollback(tx)
+		return nil, err
+	}
+	if _, err := s.db.txns.Commit(tx); err != nil {
+		return nil, err
+	}
+	s.db.afterCommit()
+	return res, nil
+}
+
+func (s *Session) executeInTxn(stmt sql.Statement, params []types.Value, tx *txn.Transaction) (*Result, error) {
+	binder := &plan.Binder{Cat: s.db.cat, Params: params}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		node, err := binder.BindSelect(st)
+		if err != nil {
+			return nil, err
+		}
+		return s.runPlan(node, tx)
+	case *sql.InsertStmt:
+		node, err := binder.BindInsert(st)
+		if err != nil {
+			return nil, err
+		}
+		return s.runDML(node, tx)
+	case *sql.UpdateStmt:
+		node, err := binder.BindUpdate(st)
+		if err != nil {
+			return nil, err
+		}
+		return s.runDML(node, tx)
+	case *sql.DeleteStmt:
+		node, err := binder.BindDelete(st)
+		if err != nil {
+			return nil, err
+		}
+		return s.runDML(node, tx)
+	case *sql.CreateTableStmt:
+		return s.createTable(st, binder, tx)
+	case *sql.CreateViewStmt:
+		if err := s.db.cat.CreateView(&catalog.View{Name: st.Name, SQL: st.SQL}); err != nil {
+			return nil, err
+		}
+		tx.AppendLog(byte(wal.RecCreateView), encodeCreateView(st.Name, st.SQL))
+		return &Result{}, nil
+	case *sql.DropStmt:
+		return s.drop(st, tx)
+	case *sql.CopyStmt:
+		return s.copy(st, tx)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
+	return &exec.Context{
+		Txn:          tx,
+		Pool:         s.db.pool,
+		Logger:       s.db.logger,
+		TmpDir:       s.db.TmpDir(),
+		JoinStrategy: s.JoinStrategy,
+	}
+}
+
+func (s *Session) runPlan(node plan.Node, tx *txn.Transaction) (*Result, error) {
+	node = plan.Optimize(node)
+	op, err := exec.Build(node)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := exec.Collect(s.execContext(tx), op)
+	if err != nil {
+		return nil, err
+	}
+	schema := node.Schema()
+	res := &Result{HasRows: true, Chunks: chunks}
+	for _, c := range schema {
+		res.Columns = append(res.Columns, c.Name)
+		res.Types = append(res.Types, c.Type)
+	}
+	return res, nil
+}
+
+// ExecuteRowEngine runs a SELECT through the tuple-at-a-time Volcano
+// baseline engine instead of the vectorized one — the ablation of
+// experiment E6. It returns the materialized rows as boxed values.
+func (s *Session) ExecuteRowEngine(sqlText string, params ...types.Value) ([][]types.Value, error) {
+	stmt, err := sql.ParseOne(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("row engine supports SELECT only")
+	}
+	binder := &plan.Binder{Cat: s.db.cat, Params: params}
+	node, err := binder.BindSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Optimize(node)
+	it, err := exec.BuildRows(node)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]types.Value
+	runIt := func(tx *txn.Transaction) (*Result, error) {
+		err := exec.RunRows(s.execContext(tx), it, func(row []types.Value) error {
+			out = append(out, row)
+			return nil
+		})
+		return &Result{}, err
+	}
+	if _, err := s.inTxn(runIt); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Session) runDML(node plan.Node, tx *txn.Transaction) (*Result, error) {
+	node = plan.Optimize(node)
+	op, err := exec.Build(node)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := exec.Collect(s.execContext(tx), op)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	if len(chunks) > 0 && chunks[0].Len() > 0 {
+		affected = chunks[0].Cols[0].I64[0]
+	}
+	return &Result{RowsAffected: affected}, nil
+}
+
+func (s *Session) createTable(st *sql.CreateTableStmt, binder *plan.Binder, tx *txn.Transaction) (*Result, error) {
+	s.db.ddlMu.Lock()
+	defer s.db.ddlMu.Unlock()
+	if st.IfNotExists && s.db.cat.HasTable(st.Name) {
+		return &Result{}, nil
+	}
+	var cols []catalog.Column
+	var asPlan plan.Node
+	if st.AsSelect != nil {
+		node, err := binder.BindSelect(st.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range node.Schema() {
+			t := c.Type
+			if t == types.Null {
+				t = types.Varchar
+			}
+			cols = append(cols, catalog.Column{Name: c.Name, Type: t})
+		}
+		asPlan = node
+	} else {
+		for _, c := range st.Cols {
+			cols = append(cols, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
+		}
+	}
+	entry := &catalog.Table{Name: st.Name, Columns: cols}
+	entry.Data = table.New(entry.Types(), s.db.pool)
+	if err := s.db.cat.CreateTable(entry); err != nil {
+		return nil, err
+	}
+	recCols := make([]colDefRec, len(cols))
+	for i, c := range cols {
+		recCols[i] = colDefRec{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+	}
+	tx.AppendLog(byte(wal.RecCreateTable), encodeCreateTable(st.Name, recCols))
+
+	if asPlan != nil {
+		insert := &plan.InsertNode{Table: entry, Child: asPlan}
+		res, err := s.runDML(insert, tx)
+		if err != nil {
+			// Roll the catalog entry back; the data rollback happens
+			// via the transaction's undo log.
+			s.db.cat.DropTable(st.Name) //nolint:errcheck
+			return nil, err
+		}
+		return res, nil
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) drop(st *sql.DropStmt, tx *txn.Transaction) (*Result, error) {
+	s.db.ddlMu.Lock()
+	defer s.db.ddlMu.Unlock()
+	if st.View {
+		if err := s.db.cat.DropView(st.Name); err != nil {
+			if st.IfExists {
+				return &Result{}, nil
+			}
+			return nil, err
+		}
+		tx.AppendLog(byte(wal.RecDropView), putString(nil, st.Name))
+		return &Result{}, nil
+	}
+	entry, err := s.db.cat.DropTable(st.Name)
+	if err != nil {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	// The table's blocks become reusable at the next checkpoint (shadow
+	// paging: the previous checkpoint may still reference them).
+	for c := range entry.ColChains {
+		if entry.ColChains[c] == storage.InvalidBlock {
+			continue
+		}
+		blocks := entry.ChainBlocks[c]
+		if blocks == nil {
+			_, ids, err := storage.ReadChain(s.db.store, entry.ColChains[c])
+			if err == nil {
+				blocks = ids
+			}
+		}
+		s.db.pendingFree = append(s.db.pendingFree, blocks...)
+	}
+	tx.AppendLog(byte(wal.RecDropTable), putString(nil, st.Name))
+	return &Result{}, nil
+}
+
+func (s *Session) copy(st *sql.CopyStmt, tx *txn.Transaction) (*Result, error) {
+	entry, err := s.db.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	if st.From {
+		r, err := csvio.NewReader(st.Path, entry.Types(), csvio.Options{
+			Delimiter: st.Delimiter,
+			Header:    st.Header,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		var total int64
+		for {
+			chunk, err := r.NextChunk()
+			if err != nil {
+				return nil, err
+			}
+			if chunk == nil {
+				break
+			}
+			if err := entry.Data.Append(tx, chunk); err != nil {
+				return nil, err
+			}
+			s.db.logger.LogInsert(tx, entry.Name, chunk)
+			total += int64(chunk.Len())
+		}
+		return &Result{RowsAffected: total}, nil
+	}
+	// COPY ... TO: stream the table out.
+	names := make([]string, len(entry.Columns))
+	for i, c := range entry.Columns {
+		names[i] = c.Name
+	}
+	w, err := csvio.NewWriter(st.Path, names, csvio.Options{
+		Delimiter: st.Delimiter,
+		Header:    st.Header,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := entry.Data.NewScanner(tx, table.ScanOptions{})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	defer sc.Close()
+	var total int64
+	for {
+		chunk, err := sc.Next()
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		if err := w.WriteChunk(chunk); err != nil {
+			w.Close()
+			return nil, err
+		}
+		total += int64(chunk.Len())
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: total}, nil
+}
+
+func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, error) {
+	binder := &plan.Binder{Cat: s.db.cat, Params: params}
+	var node plan.Node
+	var err error
+	switch inner := st.Stmt.(type) {
+	case *sql.SelectStmt:
+		node, err = binder.BindSelect(inner)
+	case *sql.InsertStmt:
+		node, err = binder.BindInsert(inner)
+	case *sql.UpdateStmt:
+		node, err = binder.BindUpdate(inner)
+	case *sql.DeleteStmt:
+		node, err = binder.BindDelete(inner)
+	default:
+		return nil, fmt.Errorf("EXPLAIN supports SELECT, INSERT, UPDATE and DELETE")
+	}
+	if err != nil {
+		return nil, err
+	}
+	node = plan.Optimize(node)
+	text := plan.ExplainTree(node)
+	out := vector.NewChunk([]types.Type{types.Varchar})
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		out.AppendRow(types.NewVarchar(line))
+	}
+	return &Result{
+		Columns: []string{"plan"},
+		Types:   []types.Type{types.Varchar},
+		Chunks:  []*vector.Chunk{out},
+		HasRows: true,
+	}, nil
+}
+
+func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
+	readback := func(val string) *Result {
+		out := vector.NewChunk([]types.Type{types.Varchar})
+		out.AppendRow(types.NewVarchar(val))
+		return &Result{Columns: []string{st.Name}, Types: []types.Type{types.Varchar}, Chunks: []*vector.Chunk{out}, HasRows: true}
+	}
+	var strVal string
+	var intVal int64
+	var hasVal bool
+	if st.Value != nil {
+		lit, ok := st.Value.(*sql.Literal)
+		if !ok {
+			return nil, fmt.Errorf("PRAGMA %s requires a literal value", st.Name)
+		}
+		hasVal = true
+		strVal = lit.Val.String()
+		intVal = lit.Val.AsInt()
+	}
+	switch st.Name {
+	case "memory_limit":
+		if !hasVal {
+			return readback(strconv.FormatInt(s.db.pool.Limit(), 10)), nil
+		}
+		bytes, err := parseByteSize(strVal)
+		if err != nil {
+			return nil, err
+		}
+		s.db.pool.SetLimit(bytes)
+		return &Result{}, nil
+	case "memtest":
+		if !hasVal {
+			return readback("configured at open"), nil
+		}
+		s.db.pool.EnableMemTest(intVal != 0 || strings.EqualFold(strVal, "true"))
+		return &Result{}, nil
+	case "checksum_verification":
+		if !hasVal {
+			return readback("configured at open"), nil
+		}
+		s.db.store.SetChecksums(intVal != 0 || strings.EqualFold(strVal, "true"))
+		return &Result{}, nil
+	case "database_size":
+		read, written := s.db.store.Stats()
+		return readback(fmt.Sprintf("blocks read %d, written %d, free %d", read, written, s.db.store.FreeCount())), nil
+	case "wal_size":
+		return readback(strconv.FormatInt(s.db.WALSize(), 10)), nil
+	case "memory_used":
+		return readback(strconv.FormatInt(s.db.pool.Used(), 10)), nil
+	default:
+		return nil, fmt.Errorf("unknown PRAGMA %q", st.Name)
+	}
+}
+
+// parseByteSize parses "512MB", "1GB", "1048576" etc.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, suffix := range []struct {
+		s string
+		m int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40}, {"B", 1}} {
+		if strings.HasSuffix(s, suffix.s) {
+			s = strings.TrimSuffix(s, suffix.s)
+			mult = suffix.m
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("cannot parse byte size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+	"repro/internal/wal"
+)
+
+// WAL record payload encodings. The wal package frames bytes; this file
+// owns the logical layouts:
+//
+//	CreateTable: name | ncols u32 | (name, type u8, notnull u8)...
+//	DropTable/DropView: name
+//	CreateView: name | sql
+//	Insert: table | EncodeChunk
+//	Update: table | col u32 | n u32 | rowids i64... | EncodeVector
+//	Delete: table | n u32 | rowids i64...
+//
+// Strings are u32-length-prefixed.
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func getString(src []byte) (string, []byte, error) {
+	if len(src) < 4 {
+		return "", nil, fmt.Errorf("wal payload truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(src))
+	if len(src) < 4+n {
+		return "", nil, fmt.Errorf("wal payload truncated")
+	}
+	return string(src[4 : 4+n]), src[4+n:], nil
+}
+
+type colDefRec struct {
+	Name    string
+	Type    types.Type
+	NotNull bool
+}
+
+func encodeCreateTable(name string, cols []colDefRec) []byte {
+	out := putString(nil, name)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(cols)))
+	for _, c := range cols {
+		out = putString(out, c.Name)
+		out = append(out, byte(c.Type))
+		if c.NotNull {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+func decodeCreateTable(p []byte) (string, []colDefRec, error) {
+	name, p, err := getString(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(p) < 4 {
+		return "", nil, fmt.Errorf("wal create-table truncated")
+	}
+	n := binary.LittleEndian.Uint32(p)
+	p = p[4:]
+	cols := make([]colDefRec, 0, n)
+	for i := uint32(0); i < n; i++ {
+		cname, rest, err := getString(p)
+		if err != nil {
+			return "", nil, err
+		}
+		p = rest
+		if len(p) < 2 {
+			return "", nil, fmt.Errorf("wal create-table truncated")
+		}
+		cols = append(cols, colDefRec{Name: cname, Type: types.Type(p[0]), NotNull: p[1] == 1})
+		p = p[2:]
+	}
+	return name, cols, nil
+}
+
+func encodeCreateView(name, sqlText string) []byte {
+	return putString(putString(nil, name), sqlText)
+}
+
+func decodeCreateView(p []byte) (string, string, error) {
+	name, p, err := getString(p)
+	if err != nil {
+		return "", "", err
+	}
+	sqlText, _, err := getString(p)
+	return name, sqlText, err
+}
+
+func encodeInsert(table string, chunk *vector.Chunk) []byte {
+	out := putString(nil, table)
+	return vector.EncodeChunk(out, chunk)
+}
+
+func decodeInsert(p []byte) (string, *vector.Chunk, error) {
+	name, p, err := getString(p)
+	if err != nil {
+		return "", nil, err
+	}
+	chunk, _, err := vector.DecodeChunk(p)
+	return name, chunk, err
+}
+
+func encodeUpdate(table string, col int, rowIDs []int64, vals *vector.Vector) []byte {
+	out := putString(nil, table)
+	out = binary.LittleEndian.AppendUint32(out, uint32(col))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rowIDs)))
+	for _, r := range rowIDs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(r))
+	}
+	return vector.EncodeVector(out, vals)
+}
+
+func decodeUpdate(p []byte) (string, int, []int64, *vector.Vector, error) {
+	name, p, err := getString(p)
+	if err != nil {
+		return "", 0, nil, nil, err
+	}
+	if len(p) < 8 {
+		return "", 0, nil, nil, fmt.Errorf("wal update truncated")
+	}
+	col := int(binary.LittleEndian.Uint32(p))
+	n := int(binary.LittleEndian.Uint32(p[4:]))
+	p = p[8:]
+	if len(p) < 8*n {
+		return "", 0, nil, nil, fmt.Errorf("wal update truncated")
+	}
+	rowIDs := make([]int64, n)
+	for i := range rowIDs {
+		rowIDs[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	p = p[8*n:]
+	vals, _, err := vector.DecodeVector(p)
+	return name, col, rowIDs, vals, err
+}
+
+func encodeDelete(table string, rowIDs []int64) []byte {
+	out := putString(nil, table)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rowIDs)))
+	for _, r := range rowIDs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(r))
+	}
+	return out
+}
+
+func decodeDelete(p []byte) (string, []int64, error) {
+	name, p, err := getString(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(p) < 4 {
+		return "", nil, fmt.Errorf("wal delete truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) < 8*n {
+		return "", nil, fmt.Errorf("wal delete truncated")
+	}
+	rowIDs := make([]int64, n)
+	for i := range rowIDs {
+		rowIDs[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return name, rowIDs, nil
+}
+
+// walLogger queues logical change records into the transaction's log
+// buffer; the txn manager flushes them to the WAL at commit. It
+// implements exec.Logger.
+type walLogger struct{}
+
+func (walLogger) LogInsert(tx *txn.Transaction, table string, chunk *vector.Chunk) {
+	tx.AppendLog(byte(wal.RecInsert), encodeInsert(table, chunk))
+}
+
+func (walLogger) LogUpdate(tx *txn.Transaction, table string, col int, rowIDs []int64, vals *vector.Vector) {
+	tx.AppendLog(byte(wal.RecUpdate), encodeUpdate(table, col, rowIDs, vals))
+}
+
+func (walLogger) LogDelete(tx *txn.Transaction, table string, rowIDs []int64) {
+	tx.AppendLog(byte(wal.RecDelete), encodeDelete(table, rowIDs))
+}

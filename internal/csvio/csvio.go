@@ -1,0 +1,212 @@
+// Package csvio implements CSV import and export for the ETL workflows
+// of paper §2: the database can directly scan existing CSV files,
+// reshape the result and append it to a persistent table (COPY t FROM
+// 'file.csv'), with out-of-core streaming — files are decoded chunk by
+// chunk, never fully materialized.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Reader streams a CSV file as chunks typed against a table schema.
+type Reader struct {
+	f        *os.File
+	cr       *csv.Reader
+	colTypes []types.Type
+	row      int64
+	nullLit  string
+}
+
+// Options configures CSV parsing.
+type Options struct {
+	Delimiter rune
+	Header    bool
+	// NullLiteral is treated as NULL (in addition to the empty string).
+	NullLiteral string
+}
+
+// NewReader opens path for streaming chunked reads.
+func NewReader(path string, colTypes []types.Type, opts Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csv: %w", err)
+	}
+	cr := csv.NewReader(f)
+	if opts.Delimiter != 0 {
+		cr.Comma = opts.Delimiter
+	}
+	cr.FieldsPerRecord = len(colTypes)
+	cr.ReuseRecord = true
+	r := &Reader{f: f, cr: cr, colTypes: colTypes}
+	if opts.Header {
+		if _, err := cr.Read(); err != nil && err != io.EOF {
+			f.Close()
+			return nil, fmt.Errorf("csv: header: %w", err)
+		}
+	}
+	r.nullLit = opts.NullLiteral
+	return r, nil
+}
+
+// NextChunk returns up to ChunkCapacity parsed rows, or nil at EOF.
+func (r *Reader) NextChunk() (*vector.Chunk, error) {
+	chunk := vector.NewChunk(r.colTypes)
+	for chunk.Len() < vector.ChunkCapacity {
+		rec, err := r.cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv: row %d: %w", r.row+1, err)
+		}
+		r.row++
+		row := chunk.Len()
+		chunk.SetLen(row + 1)
+		for c, field := range rec {
+			v, err := parseField(field, r.colTypes[c], r.nullLit)
+			if err != nil {
+				return nil, fmt.Errorf("csv: row %d, column %d: %w", r.row, c+1, err)
+			}
+			chunk.Cols[c].Set(row, v)
+		}
+	}
+	if chunk.Len() == 0 {
+		return nil, nil
+	}
+	return chunk, nil
+}
+
+// Close releases the file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+func parseField(field string, t types.Type, nullLit string) (types.Value, error) {
+	if nullLit != "" && field == nullLit {
+		return types.NewNull(t), nil
+	}
+	if field == "" && t != types.Varchar {
+		return types.NewNull(t), nil
+	}
+	return types.NewVarchar(field).Cast(t)
+}
+
+// Writer streams chunks into a CSV file.
+type Writer struct {
+	f  *os.File
+	cw *csv.Writer
+}
+
+// NewWriter creates (truncates) path and optionally writes a header row.
+func NewWriter(path string, colNames []string, opts Options) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("csv: %w", err)
+	}
+	cw := csv.NewWriter(f)
+	if opts.Delimiter != 0 {
+		cw.Comma = opts.Delimiter
+	}
+	w := &Writer{f: f, cw: cw}
+	if opts.Header {
+		if err := cw.Write(colNames); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// WriteChunk appends every row of the chunk.
+func (w *Writer) WriteChunk(c *vector.Chunk) error {
+	rec := make([]string, c.NumCols())
+	for r := 0; r < c.Len(); r++ {
+		for i, col := range c.Cols {
+			if col.IsNull(r) {
+				rec[i] = ""
+			} else {
+				rec[i] = col.Get(r).String()
+			}
+		}
+		if err := w.cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	w.cw.Flush()
+	if err := w.cw.Error(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// InferTypes samples the first rows of a CSV file and guesses column
+// types (BIGINT → DOUBLE → VARCHAR fallback). Used by tooling when
+// importing into a new table.
+func InferTypes(path string, opts Options, sampleRows int) ([]string, []types.Type, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	if opts.Delimiter != 0 {
+		cr.Comma = opts.Delimiter
+	}
+	first, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("csv: empty file: %w", err)
+	}
+	var names []string
+	ncols := len(first)
+	var sample [][]string
+	if opts.Header {
+		names = append([]string(nil), first...)
+	} else {
+		for i := range first {
+			names = append(names, fmt.Sprintf("column%d", i))
+		}
+		sample = append(sample, append([]string(nil), first...))
+	}
+	for len(sample) < sampleRows {
+		rec, err := cr.Read()
+		if err != nil {
+			break
+		}
+		sample = append(sample, append([]string(nil), rec...))
+	}
+	out := make([]types.Type, ncols)
+	for c := 0; c < ncols; c++ {
+		t := types.BigInt
+		for _, row := range sample {
+			if c >= len(row) || row[c] == "" {
+				continue
+			}
+			v := strings.TrimSpace(row[c])
+			if t == types.BigInt {
+				if _, err := types.NewVarchar(v).Cast(types.BigInt); err != nil {
+					t = types.Double
+				}
+			}
+			if t == types.Double {
+				if _, err := types.NewVarchar(v).Cast(types.Double); err != nil {
+					t = types.Varchar
+					break
+				}
+			}
+		}
+		out[c] = t
+	}
+	return names, out, nil
+}

@@ -1,0 +1,338 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// aggState is the accumulator for one group.
+type aggState struct {
+	groupKey []types.Value // materialized group column values
+	accs     []accumulator
+}
+
+// accumulator is one aggregate's running state.
+type accumulator struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	best     types.Value // min/max
+	bestSet  bool
+	distinct map[string]struct{} // non-nil for DISTINCT aggregates
+}
+
+// aggOp is the blocking hash aggregation operator. On the first Next it
+// drains its child, building a hash table keyed by the encoded group
+// columns, then streams the result groups. Accumulation is vectorized:
+// group states are resolved for a whole chunk first, then each aggregate
+// runs a tight typed loop over the chunk (the per-value switch is hoisted
+// out of the row loop).
+type aggOp struct {
+	child Operator
+	node  *plan.AggNode
+
+	groups   map[string]*aggState
+	order    []string // emission order (first-seen)
+	stBuf    []*aggState
+	emitPos  int
+	built    bool
+	reserved int64
+}
+
+func newAggOp(child Operator, n *plan.AggNode) *aggOp {
+	return &aggOp{child: child, node: n}
+}
+
+func (a *aggOp) Open(ctx *Context) error {
+	a.groups = make(map[string]*aggState)
+	a.order = nil
+	a.emitPos = 0
+	a.built = false
+	a.reserved = 0
+	return a.child.Open(ctx)
+}
+
+func (a *aggOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if !a.built {
+		if err := a.build(ctx); err != nil {
+			return nil, err
+		}
+		a.built = true
+	}
+	if a.emitPos >= len(a.order) {
+		return nil, nil
+	}
+	out := vector.NewChunk(schemaTypes(a.node.Schema()))
+	ng := len(a.node.GroupBy)
+	for a.emitPos < len(a.order) && out.Len() < vector.ChunkCapacity {
+		st := a.groups[a.order[a.emitPos]]
+		a.emitPos++
+		row := out.Len()
+		out.SetLen(row + 1)
+		for i, gv := range st.groupKey {
+			out.Cols[i].Set(row, gv)
+		}
+		for j, spec := range a.node.Aggs {
+			out.Cols[ng+j].Set(row, finishAgg(spec, &st.accs[j]))
+		}
+	}
+	return out, nil
+}
+
+func (a *aggOp) build(ctx *Context) error {
+	ng := len(a.node.GroupBy)
+	na := len(a.node.Aggs)
+	rowEstimate := keyBytesEstimate(groupTypes(a.node)) + int64(na)*48 + 64
+	var keyBuf []byte
+	for {
+		chunk, err := a.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			break
+		}
+		n := chunk.Len()
+		groupVecs := make([]*vector.Vector, ng)
+		for i, g := range a.node.GroupBy {
+			v, err := g.Eval(chunk)
+			if err != nil {
+				return err
+			}
+			groupVecs[i] = v
+		}
+		argVecs := make([]*vector.Vector, na)
+		for j, spec := range a.node.Aggs {
+			if spec.Arg != nil {
+				v, err := spec.Arg.Eval(chunk)
+				if err != nil {
+					return err
+				}
+				argVecs[j] = v
+			}
+		}
+		if cap(a.stBuf) < n {
+			a.stBuf = make([]*aggState, n)
+		}
+		states := a.stBuf[:n]
+		for r := 0; r < n; r++ {
+			keyBuf = encodeKeyRow(keyBuf[:0], groupVecs, r)
+			// map lookup with string(bytes) is allocation-free; the key
+			// is only materialized for new groups.
+			st, ok := a.groups[string(keyBuf)]
+			if !ok {
+				key := string(keyBuf)
+				if ctx.Pool != nil {
+					if err := ctx.Pool.Reserve(rowEstimate); err != nil {
+						return fmt.Errorf("aggregation exceeded memory budget: %w", err)
+					}
+					a.reserved += rowEstimate
+				}
+				st = &aggState{
+					groupKey: make([]types.Value, ng),
+					accs:     make([]accumulator, na),
+				}
+				for i := range groupVecs {
+					st.groupKey[i] = groupVecs[i].Get(r)
+				}
+				for j, spec := range a.node.Aggs {
+					if spec.Distinct {
+						st.accs[j].distinct = make(map[string]struct{})
+					}
+				}
+				a.groups[key] = st
+				a.order = append(a.order, key)
+			}
+			states[r] = st
+		}
+		for j, spec := range a.node.Aggs {
+			updateAggChunk(spec, j, states, argVecs[j])
+		}
+	}
+	// A global aggregation (no GROUP BY) over zero rows still yields
+	// one row: count = 0, other aggregates NULL.
+	if ng == 0 && len(a.order) == 0 {
+		st := &aggState{accs: make([]accumulator, na)}
+		for j, spec := range a.node.Aggs {
+			if spec.Distinct {
+				st.accs[j].distinct = make(map[string]struct{})
+			}
+		}
+		a.groups[""] = st
+		a.order = append(a.order, "")
+	}
+	return nil
+}
+
+func groupTypes(n *plan.AggNode) []types.Type {
+	out := make([]types.Type, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		out[i] = g.Type()
+	}
+	return out
+}
+
+// updateAggChunk accumulates one aggregate over a whole chunk with the
+// type/function dispatch hoisted out of the row loop.
+func updateAggChunk(spec plan.AggSpec, j int, states []*aggState, arg *vector.Vector) {
+	if spec.Arg == nil { // count(*)
+		for _, st := range states {
+			st.accs[j].count++
+		}
+		return
+	}
+	if spec.Distinct {
+		for r, st := range states {
+			updateAgg(spec, &st.accs[j], arg, r)
+		}
+		return
+	}
+	allValid := arg.Valid.AllValid()
+	switch spec.Func {
+	case "count":
+		if allValid {
+			for _, st := range states {
+				st.accs[j].count++
+			}
+			return
+		}
+		for r, st := range states {
+			if arg.Valid.IsValid(r) {
+				st.accs[j].count++
+			}
+		}
+	case "sum", "avg":
+		switch arg.Type {
+		case types.Integer:
+			for r, st := range states {
+				if allValid || arg.Valid.IsValid(r) {
+					acc := &st.accs[j]
+					acc.count++
+					acc.sumI += int64(arg.I32[r])
+				}
+			}
+		case types.BigInt, types.Timestamp:
+			for r, st := range states {
+				if allValid || arg.Valid.IsValid(r) {
+					acc := &st.accs[j]
+					acc.count++
+					acc.sumI += arg.I64[r]
+				}
+			}
+		case types.Double:
+			for r, st := range states {
+				if allValid || arg.Valid.IsValid(r) {
+					acc := &st.accs[j]
+					acc.count++
+					acc.sumF += arg.F64[r]
+				}
+			}
+		case types.Boolean:
+			for r, st := range states {
+				if allValid || arg.Valid.IsValid(r) {
+					acc := &st.accs[j]
+					acc.count++
+					if arg.Bools[r] {
+						acc.sumI++
+					}
+				}
+			}
+		}
+	case "min", "max":
+		for r, st := range states {
+			updateAgg(spec, &st.accs[j], arg, r)
+		}
+	}
+}
+
+func updateAgg(spec plan.AggSpec, acc *accumulator, arg *vector.Vector, r int) {
+	if spec.Arg == nil { // count(*)
+		acc.count++
+		return
+	}
+	if arg.IsNull(r) {
+		return
+	}
+	if acc.distinct != nil {
+		key := string(encodeKeyRow(nil, []*vector.Vector{arg}, r))
+		if _, seen := acc.distinct[key]; seen {
+			return
+		}
+		acc.distinct[key] = struct{}{}
+	}
+	switch spec.Func {
+	case "count":
+		acc.count++
+	case "sum", "avg":
+		acc.count++
+		switch arg.Type {
+		case types.Integer:
+			acc.sumI += int64(arg.I32[r])
+		case types.BigInt, types.Timestamp:
+			acc.sumI += arg.I64[r]
+		case types.Boolean:
+			if arg.Bools[r] {
+				acc.sumI++
+			}
+		case types.Double:
+			acc.sumF += arg.F64[r]
+		}
+	case "min", "max":
+		v := arg.Get(r)
+		if !acc.bestSet {
+			acc.best = v
+			acc.bestSet = true
+			return
+		}
+		c := types.Compare(v, acc.best)
+		if (spec.Func == "max" && c > 0) || (spec.Func == "min" && c < 0) {
+			acc.best = v
+		}
+	}
+}
+
+func finishAgg(spec plan.AggSpec, acc *accumulator) types.Value {
+	switch spec.Func {
+	case "count":
+		return types.NewBigInt(acc.count)
+	case "sum":
+		if acc.count == 0 {
+			return types.NewNull(spec.Type)
+		}
+		if spec.Type == types.Double {
+			return types.NewDouble(acc.sumF)
+		}
+		return types.NewBigInt(acc.sumI)
+	case "avg":
+		if acc.count == 0 {
+			return types.NewNull(types.Double)
+		}
+		total := acc.sumF
+		if total == 0 && acc.sumI != 0 {
+			total = float64(acc.sumI)
+		} else if acc.sumI != 0 {
+			total += float64(acc.sumI)
+		}
+		return types.NewDouble(total / float64(acc.count))
+	case "min", "max":
+		if !acc.bestSet {
+			return types.NewNull(spec.Type)
+		}
+		return acc.best
+	default:
+		return types.NewNull(spec.Type)
+	}
+}
+
+func (a *aggOp) Close(ctx *Context) {
+	if ctx.Pool != nil && a.reserved > 0 {
+		ctx.Pool.Release(a.reserved)
+		a.reserved = 0
+	}
+	a.groups = nil
+	a.order = nil
+	a.child.Close(ctx)
+}

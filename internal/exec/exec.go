@@ -1,0 +1,211 @@
+// Package exec is QuackDB's vectorized "Vector Volcano" execution engine
+// (paper §6): pull-based physical operators exchanging 1024-row chunks
+// of column slices. Query execution commences by pulling the first chunk
+// from the root operator, which recursively pulls from its children down
+// to the table scans. The client application itself acts as the true
+// root: it polls the engine for chunks, which are handed over without
+// copying (§5).
+//
+// The package also houses the join-strategy decision the paper's
+// cooperation section describes (§4): an equi-join prefers an in-memory
+// hash join, but when the build side does not fit the buffer pool's
+// budget it degrades to an out-of-core merge join — fewer resident
+// bytes, more CPU and disk IO.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// JoinStrategy selects the physical equi-join implementation.
+type JoinStrategy int
+
+// Join strategies. Auto asks the buffer pool whether the estimated build
+// side fits and falls back to merge join when it does not.
+const (
+	JoinAuto JoinStrategy = iota
+	JoinForceHash
+	JoinForceMerge
+)
+
+// Logger receives the logical change records the engine queues into the
+// transaction's WAL buffer. The core layer implements it with the real
+// WAL encoding; tests may pass nil (no logging).
+type Logger interface {
+	LogInsert(tx *txn.Transaction, table string, chunk *vector.Chunk)
+	LogUpdate(tx *txn.Transaction, table string, col int, rowIDs []int64, vals *vector.Vector)
+	LogDelete(tx *txn.Transaction, table string, rowIDs []int64)
+}
+
+// Context carries per-query execution state.
+type Context struct {
+	Txn    *txn.Transaction
+	Pool   *buffer.Pool
+	Logger Logger
+	TmpDir string
+	// JoinStrategy overrides the adaptive join choice (experiments).
+	JoinStrategy JoinStrategy
+	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
+	// from the pool limit.
+	SortBudget int64
+}
+
+func (c *Context) sortBudget() int64 {
+	if c.SortBudget > 0 {
+		return c.SortBudget
+	}
+	if c.Pool != nil {
+		if l := c.Pool.Limit(); l > 0 {
+			return l / 2
+		}
+	}
+	return 0 // unlimited, no spill
+}
+
+// Operator is a pull-based physical operator.
+type Operator interface {
+	// Open prepares the operator (and its children) for execution.
+	Open(ctx *Context) error
+	// Next returns the next chunk, or nil when exhausted.
+	Next(ctx *Context) (*vector.Chunk, error)
+	// Close releases resources. Idempotent.
+	Close(ctx *Context)
+}
+
+// Build translates a logical plan into a physical operator tree.
+func Build(node plan.Node) (Operator, error) {
+	switch n := node.(type) {
+	case *plan.ScanNode:
+		return newScanOp(n), nil
+	case *plan.FilterNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{child: child, cond: n.Cond}, nil
+	case *plan.ProjectNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, exprs: n.Exprs, types: schemaTypes(n.Schema())}, nil
+	case *plan.JoinNode:
+		left, err := Build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.LeftKeys) == 0 {
+			if n.Type == plan.JoinCross && n.Extra == nil {
+				return newNLJoin(left, right, n, nil), nil
+			}
+			return newNLJoin(left, right, n, n.Extra), nil
+		}
+		return newEquiJoin(left, right, n), nil
+	case *plan.AggNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newAggOp(child, n), nil
+	case *plan.SortNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newSortOp(child, n), nil
+	case *plan.LimitNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, limit: n.Limit, offset: n.Offset}, nil
+	case *plan.UnionAllNode:
+		ops := make([]Operator, len(n.Inputs))
+		for i, in := range n.Inputs {
+			op, err := Build(in)
+			if err != nil {
+				return nil, err
+			}
+			ops[i] = op
+		}
+		return &unionOp{inputs: ops}, nil
+	case *plan.ValuesNode:
+		return &valuesOp{node: n}, nil
+	case *plan.InsertNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &insertOp{child: child, table: n.Table}, nil
+	case *plan.UpdateNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &updateOp{child: child, node: n}, nil
+	case *plan.DeleteNode:
+		child, err := Build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &deleteOp{child: child, table: n.Table}, nil
+	default:
+		return nil, fmt.Errorf("exec: no operator for %T", node)
+	}
+}
+
+// Run drains an operator tree, invoking sink for every chunk. It opens
+// and closes the tree.
+func Run(ctx *Context, op Operator, sink func(*vector.Chunk) error) error {
+	if err := op.Open(ctx); err != nil {
+		op.Close(ctx)
+		return err
+	}
+	defer op.Close(ctx)
+	for {
+		chunk, err := op.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			return nil
+		}
+		if sink != nil {
+			if err := sink(chunk); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Collect drains an operator tree into a slice of chunks.
+func Collect(ctx *Context, op Operator) ([]*vector.Chunk, error) {
+	var out []*vector.Chunk
+	err := Run(ctx, op, func(c *vector.Chunk) error {
+		out = append(out, c)
+		return nil
+	})
+	return out, err
+}
+
+func schemaTypes(cols []plan.ColInfo) []types.Type {
+	out := make([]types.Type, len(cols))
+	for i, c := range cols {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// errStop is used internally to stop Run early (limit).
+var errStop = errors.New("stop")

@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// newEquiJoin returns the adaptive equi-join operator: it builds an
+// in-memory hash table when the build side fits the buffer pool budget,
+// and degrades to the out-of-core merge join when it does not — the §4
+// RAM-versus-CPU trade-off. LEFT joins always use the hash
+// implementation (merge join here is inner-only).
+func newEquiJoin(left, right Operator, n *plan.JoinNode) Operator {
+	return &equiJoinOp{left: left, right: right, node: n}
+}
+
+type equiJoinOp struct {
+	left, right Operator
+	node        *plan.JoinNode
+	impl        Operator
+}
+
+func (j *equiJoinOp) Open(ctx *Context) error {
+	strategy := ctx.JoinStrategy
+	if j.node.Type == plan.JoinLeft && strategy == JoinAuto {
+		// LEFT joins have no merge fallback: run the hash join with the
+		// budget enforced so an oversized build surfaces as an error
+		// instead of silently starving the application.
+		hj := newHashJoin(j.left, j.right, j.node, nil, true)
+		j.impl = hj
+		return hj.Open(ctx)
+	}
+	switch strategy {
+	case JoinForceMerge:
+		if j.node.Type == plan.JoinLeft {
+			return fmt.Errorf("exec: merge join does not support LEFT joins")
+		}
+		j.impl = newMergeJoin(j.left, j.right, j.node, nil)
+		return j.impl.Open(ctx)
+	case JoinForceHash:
+		j.impl = newHashJoin(j.left, j.right, j.node, nil, false)
+		return j.impl.Open(ctx)
+	default:
+		hj := newHashJoin(j.left, j.right, j.node, nil, true)
+		err := hj.Open(ctx)
+		if err == nil {
+			j.impl = hj
+			return nil
+		}
+		if !errors.Is(err, buffer.ErrOutOfMemory) {
+			return err
+		}
+		// The build side exceeded the memory budget: hand the chunks
+		// already pulled from the right child to a merge join, which
+		// sorts with spill-to-disk instead of holding a hash table. The
+		// right child stays open; the merge join continues its stream.
+		prefetched := hj.takeBuild()
+		mj := newMergeJoin(j.left, j.right, j.node, prefetched)
+		mj.rightOpen = true
+		j.impl = mj
+		return mj.Open(ctx)
+	}
+}
+
+func (j *equiJoinOp) Next(ctx *Context) (*vector.Chunk, error) { return j.impl.Next(ctx) }
+
+func (j *equiJoinOp) Close(ctx *Context) {
+	if j.impl != nil {
+		j.impl.Close(ctx)
+		return
+	}
+	j.left.Close(ctx)
+	j.right.Close(ctx)
+}
+
+// buildRef packs (chunk, row) into one int64.
+type buildRef int64
+
+func makeRef(chunk, row int) buildRef { return buildRef(int64(chunk)<<20 | int64(row)) }
+func (r buildRef) chunk() int         { return int(int64(r) >> 20) }
+func (r buildRef) row() int           { return int(int64(r) & (1<<20 - 1)) }
+
+type hashJoinOp struct {
+	left, right Operator
+	node        *plan.JoinNode
+	enforce     bool // respect the pool budget (Auto mode)
+
+	buildChunks []*vector.Chunk
+	ht          map[string][]buildRef
+	reserved    int64
+	rightTypes  []types.Type
+	outTypes    []types.Type
+	nl          int // left column count
+
+	queue    []*vector.Chunk
+	done     bool
+	keyBuf   []byte
+	leftOpen bool
+}
+
+func newHashJoin(left, right Operator, n *plan.JoinNode, prefetched []*vector.Chunk, enforce bool) *hashJoinOp {
+	return &hashJoinOp{
+		left: left, right: right, node: n,
+		buildChunks: prefetched, enforce: enforce,
+	}
+}
+
+// takeBuild hands the materialized build chunks to a fallback strategy
+// and releases the hash table's reservations.
+func (h *hashJoinOp) takeBuild() []*vector.Chunk {
+	out := h.buildChunks
+	h.buildChunks = nil
+	h.ht = nil
+	return out
+}
+
+func (h *hashJoinOp) Open(ctx *Context) error {
+	h.nl = len(h.node.Left.Schema())
+	h.outTypes = schemaTypes(h.node.Schema())
+	h.rightTypes = schemaTypes(h.node.Right.Schema())
+	h.ht = make(map[string][]buildRef)
+	if err := h.right.Open(ctx); err != nil {
+		return err
+	}
+
+	// Build phase: drain the right child into the hash table.
+	refOverhead := int64(24)
+	insert := func(ci int, chunk *vector.Chunk) error {
+		keys := make([]*vector.Vector, len(h.node.RightKeys))
+		for i, k := range h.node.RightKeys {
+			v, err := k.Eval(chunk)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		for r := 0; r < chunk.Len(); r++ {
+			if anyNull(keys, r) {
+				continue // NULL keys never match
+			}
+			h.keyBuf = encodeKeyRow(h.keyBuf[:0], keys, r)
+			h.ht[string(h.keyBuf)] = append(h.ht[string(h.keyBuf)], makeRef(ci, r))
+		}
+		return nil
+	}
+	for ci, chunk := range h.buildChunks {
+		if err := insert(ci, chunk); err != nil {
+			return err
+		}
+	}
+	for {
+		chunk, err := h.right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			break
+		}
+		if ctx.Pool != nil {
+			need := chunkHeapBytes(chunk) + int64(chunk.Len())*refOverhead
+			if err := ctx.Pool.Reserve(need); err != nil {
+				if !h.enforce {
+					// Forced hash join: account what fits, keep going.
+					h.buildChunks = append(h.buildChunks, chunk)
+					if err := insert(len(h.buildChunks)-1, chunk); err != nil {
+						return err
+					}
+					continue
+				}
+				h.buildChunks = append(h.buildChunks, chunk)
+				if h.reserved > 0 {
+					ctx.Pool.Release(h.reserved)
+					h.reserved = 0
+				}
+				return err // ErrOutOfMemory → caller falls back
+			}
+			h.reserved += need
+		}
+		h.buildChunks = append(h.buildChunks, chunk)
+		if err := insert(len(h.buildChunks)-1, chunk); err != nil {
+			return err
+		}
+	}
+	if err := h.left.Open(ctx); err != nil {
+		return err
+	}
+	h.leftOpen = true
+	return nil
+}
+
+func anyNull(vecs []*vector.Vector, r int) bool {
+	for _, v := range vecs {
+		if v.IsNull(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hashJoinOp) Next(ctx *Context) (*vector.Chunk, error) {
+	for len(h.queue) == 0 {
+		if h.done {
+			return nil, nil
+		}
+		probe, err := h.left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if probe == nil {
+			h.done = true
+			return nil, nil
+		}
+		if err := h.processProbe(probe); err != nil {
+			return nil, err
+		}
+	}
+	out := h.queue[0]
+	h.queue = h.queue[1:]
+	return out, nil
+}
+
+func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
+	keys := make([]*vector.Vector, len(h.node.LeftKeys))
+	for i, k := range h.node.LeftKeys {
+		v, err := k.Eval(probe)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	n := probe.Len()
+	matched := make([]bool, n)
+
+	cand := vector.NewChunk(h.outTypes)
+	var candProbe []int
+	flush := func() error {
+		if cand.Len() == 0 {
+			return nil
+		}
+		keep := cand
+		probeRows := candProbe
+		if h.node.Extra != nil {
+			mask, err := h.node.Extra.Eval(cand)
+			if err != nil {
+				return err
+			}
+			sel := expr.SelectTrue(mask, nil)
+			if len(sel) < cand.Len() {
+				filtered := vector.NewChunk(h.outTypes)
+				cand.CompactInto(filtered, sel)
+				keep = filtered
+				probeRows = make([]int, len(sel))
+				for i, s := range sel {
+					probeRows[i] = candProbe[s]
+				}
+			}
+		}
+		for _, pr := range probeRows {
+			matched[pr] = true
+		}
+		if keep.Len() > 0 {
+			h.queue = append(h.queue, keep)
+		}
+		cand = vector.NewChunk(h.outTypes)
+		candProbe = nil
+		return nil
+	}
+
+	for r := 0; r < n; r++ {
+		if anyNull(keys, r) {
+			continue
+		}
+		h.keyBuf = encodeKeyRow(h.keyBuf[:0], keys, r)
+		for _, ref := range h.ht[string(h.keyBuf)] {
+			bc := h.buildChunks[ref.chunk()]
+			br := ref.row()
+			row := cand.Len()
+			cand.SetLen(row + 1)
+			for c := 0; c < h.nl; c++ {
+				if probe.Cols[c].IsNull(r) {
+					cand.Cols[c].SetNull(row)
+				} else {
+					cand.Cols[c].Set(row, probe.Cols[c].Get(r))
+				}
+			}
+			for c := 0; c < len(h.rightTypes); c++ {
+				if bc.Cols[c].IsNull(br) {
+					cand.Cols[h.nl+c].SetNull(row)
+				} else {
+					cand.Cols[h.nl+c].Set(row, bc.Cols[c].Get(br))
+				}
+			}
+			candProbe = append(candProbe, r)
+			if cand.Len() == vector.ChunkCapacity {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if h.node.Type == plan.JoinLeft {
+		outer := vector.NewChunk(h.outTypes)
+		for r := 0; r < n; r++ {
+			if matched[r] {
+				continue
+			}
+			row := outer.Len()
+			outer.SetLen(row + 1)
+			for c := 0; c < h.nl; c++ {
+				if probe.Cols[c].IsNull(r) {
+					outer.Cols[c].SetNull(row)
+				} else {
+					outer.Cols[c].Set(row, probe.Cols[c].Get(r))
+				}
+			}
+			for c := 0; c < len(h.rightTypes); c++ {
+				outer.Cols[h.nl+c].SetNull(row)
+			}
+			if outer.Len() == vector.ChunkCapacity {
+				h.queue = append(h.queue, outer)
+				outer = vector.NewChunk(h.outTypes)
+			}
+		}
+		if outer.Len() > 0 {
+			h.queue = append(h.queue, outer)
+		}
+	}
+	return nil
+}
+
+func (h *hashJoinOp) Close(ctx *Context) {
+	if ctx.Pool != nil && h.reserved > 0 {
+		ctx.Pool.Release(h.reserved)
+		h.reserved = 0
+	}
+	h.ht = nil
+	h.buildChunks = nil
+	if h.leftOpen {
+		h.left.Close(ctx)
+	}
+	h.right.Close(ctx)
+}
+
+// chunkHeapBytes estimates a chunk's resident size for pool accounting.
+func chunkHeapBytes(c *vector.Chunk) int64 {
+	var total int64
+	for _, col := range c.Cols {
+		n := int64(col.Len())
+		switch col.Type {
+		case types.Varchar:
+			for _, s := range col.Str {
+				total += int64(len(s)) + 16
+			}
+		case types.Boolean:
+			total += n
+		case types.Integer:
+			total += 4 * n
+		default:
+			total += 8 * n
+		}
+	}
+	return total
+}

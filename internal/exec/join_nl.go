@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// nlJoinOp is the nested-loop join used for CROSS joins and non-equi
+// conditions. The right side is materialized; each left chunk is paired
+// against every right row.
+type nlJoinOp struct {
+	left, right Operator
+	node        *plan.JoinNode
+	cond        expr.Expr
+
+	rightChunks []*vector.Chunk
+	outTypes    []types.Type
+	nl, nr      int
+	queue       []*vector.Chunk
+	done        bool
+}
+
+func newNLJoin(left, right Operator, n *plan.JoinNode, cond expr.Expr) *nlJoinOp {
+	return &nlJoinOp{left: left, right: right, node: n, cond: cond}
+}
+
+func (j *nlJoinOp) Open(ctx *Context) error {
+	j.nl = len(j.node.Left.Schema())
+	j.nr = len(j.node.Right.Schema())
+	j.outTypes = schemaTypes(j.node.Schema())
+	if err := openAndDrain(ctx, j.right, func(c *vector.Chunk) error {
+		j.rightChunks = append(j.rightChunks, c)
+		return nil
+	}); err != nil {
+		return err
+	}
+	return j.left.Open(ctx)
+}
+
+func (j *nlJoinOp) Next(ctx *Context) (*vector.Chunk, error) {
+	for len(j.queue) == 0 {
+		if j.done {
+			return nil, nil
+		}
+		probe, err := j.left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if probe == nil {
+			j.done = true
+			return nil, nil
+		}
+		if err := j.processProbe(probe); err != nil {
+			return nil, err
+		}
+	}
+	out := j.queue[0]
+	j.queue = j.queue[1:]
+	return out, nil
+}
+
+func (j *nlJoinOp) processProbe(probe *vector.Chunk) error {
+	n := probe.Len()
+	matched := make([]bool, n)
+	cand := vector.NewChunk(j.outTypes)
+	var candProbe []int
+
+	flush := func() error {
+		if cand.Len() == 0 {
+			return nil
+		}
+		keep := cand
+		probeRows := candProbe
+		if j.cond != nil {
+			mask, err := j.cond.Eval(cand)
+			if err != nil {
+				return err
+			}
+			sel := expr.SelectTrue(mask, nil)
+			if len(sel) < cand.Len() {
+				filtered := vector.NewChunk(j.outTypes)
+				cand.CompactInto(filtered, sel)
+				keep = filtered
+				probeRows = make([]int, len(sel))
+				for i, s := range sel {
+					probeRows[i] = candProbe[s]
+				}
+			}
+		}
+		for _, pr := range probeRows {
+			matched[pr] = true
+		}
+		if keep.Len() > 0 {
+			j.queue = append(j.queue, keep)
+		}
+		cand = vector.NewChunk(j.outTypes)
+		candProbe = nil
+		return nil
+	}
+
+	for r := 0; r < n; r++ {
+		for _, rc := range j.rightChunks {
+			for br := 0; br < rc.Len(); br++ {
+				row := cand.Len()
+				cand.SetLen(row + 1)
+				for c := 0; c < j.nl; c++ {
+					if probe.Cols[c].IsNull(r) {
+						cand.Cols[c].SetNull(row)
+					} else {
+						cand.Cols[c].Set(row, probe.Cols[c].Get(r))
+					}
+				}
+				for c := 0; c < j.nr; c++ {
+					if rc.Cols[c].IsNull(br) {
+						cand.Cols[j.nl+c].SetNull(row)
+					} else {
+						cand.Cols[j.nl+c].Set(row, rc.Cols[c].Get(br))
+					}
+				}
+				candProbe = append(candProbe, r)
+				if cand.Len() == vector.ChunkCapacity {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if j.node.Type == plan.JoinLeft {
+		outer := vector.NewChunk(j.outTypes)
+		for r := 0; r < n; r++ {
+			if matched[r] {
+				continue
+			}
+			row := outer.Len()
+			outer.SetLen(row + 1)
+			for c := 0; c < j.nl; c++ {
+				if probe.Cols[c].IsNull(r) {
+					outer.Cols[c].SetNull(row)
+				} else {
+					outer.Cols[c].Set(row, probe.Cols[c].Get(r))
+				}
+			}
+			for c := 0; c < j.nr; c++ {
+				outer.Cols[j.nl+c].SetNull(row)
+			}
+			if outer.Len() == vector.ChunkCapacity {
+				j.queue = append(j.queue, outer)
+				outer = vector.NewChunk(j.outTypes)
+			}
+		}
+		if outer.Len() > 0 {
+			j.queue = append(j.queue, outer)
+		}
+	}
+	return nil
+}
+
+func (j *nlJoinOp) Close(ctx *Context) {
+	j.rightChunks = nil
+	j.left.Close(ctx)
+	j.right.Close(ctx)
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// encodeKeyRow appends a canonical byte encoding of row r across the
+// given vectors to buf. Equal rows encode equally; a NULL marker keeps
+// NULLs distinct from every value (group-by treats NULLs as equal to
+// each other, per SQL).
+func encodeKeyRow(buf []byte, vecs []*vector.Vector, r int) []byte {
+	for _, v := range vecs {
+		if v.IsNull(r) {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		switch v.Type {
+		case types.Boolean:
+			if v.Bools[r] {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case types.Integer:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v.I32[r]))
+		case types.BigInt, types.Timestamp:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[r]))
+		case types.Double:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64[r]))
+		case types.Varchar:
+			s := v.Str[r]
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// keyBytesEstimate estimates the per-row key size for pool accounting.
+func keyBytesEstimate(ts []types.Type) int64 {
+	var n int64
+	for _, t := range ts {
+		switch t {
+		case types.Varchar:
+			n += 24
+		case types.Boolean:
+			n += 2
+		case types.Integer:
+			n += 5
+		default:
+			n += 9
+		}
+	}
+	return n
+}

@@ -1,0 +1,625 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/table"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// This file implements a classic tuple-at-a-time Volcano interpreter
+// over the same logical plans — the baseline the paper's §6 design
+// choice (vectorized interpreted execution) is measured against in
+// experiment E6. Every operator produces one row of boxed values per
+// call and every expression is re-interpreted per row, which is exactly
+// the per-value overhead the chunked engine amortizes away.
+
+// RowIterator produces one row at a time; nil row means exhausted.
+type RowIterator interface {
+	Open(ctx *Context) error
+	NextRow(ctx *Context) ([]types.Value, error)
+	Close(ctx *Context)
+}
+
+// BuildRows translates a logical plan into tuple-at-a-time operators.
+// Only the read-only core (scan, filter, project, aggregate, limit) is
+// supported — enough for the engine-comparison experiments.
+func BuildRows(node plan.Node) (RowIterator, error) {
+	switch n := node.(type) {
+	case *plan.ScanNode:
+		return &rowScan{node: n}, nil
+	case *plan.FilterNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowFilter{child: child, cond: n.Cond}, nil
+	case *plan.ProjectNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowProject{child: child, exprs: n.Exprs}, nil
+	case *plan.AggNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowAgg{child: child, node: n}, nil
+	case *plan.SortNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowSort{child: child, node: n}, nil
+	case *plan.LimitNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowLimit{child: child, limit: n.Limit, offset: n.Offset}, nil
+	default:
+		return nil, fmt.Errorf("exec: row engine does not support %T", node)
+	}
+}
+
+// RunRows drains a row iterator, invoking sink per row.
+func RunRows(ctx *Context, it RowIterator, sink func([]types.Value) error) error {
+	if err := it.Open(ctx); err != nil {
+		it.Close(ctx)
+		return err
+	}
+	defer it.Close(ctx)
+	for {
+		row, err := it.NextRow(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		if sink != nil {
+			if err := sink(row); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// rowScan iterates the table one row at a time (through the chunked
+// snapshot scanner, materializing each row into boxed values).
+type rowScan struct {
+	node    *plan.ScanNode
+	scanner *table.Scanner
+	chunk   *vector.Chunk
+	pos     int
+}
+
+func (s *rowScan) Open(ctx *Context) error {
+	sc, err := s.node.Table.Data.NewScanner(ctx.Txn, table.ScanOptions{
+		Columns:    s.node.Columns,
+		WithRowIDs: s.node.WithRowID,
+	})
+	if err != nil {
+		return err
+	}
+	s.scanner = sc
+	return nil
+}
+
+func (s *rowScan) NextRow(ctx *Context) ([]types.Value, error) {
+	for {
+		if s.chunk == nil || s.pos >= s.chunk.Len() {
+			chunk, err := s.scanner.Next()
+			if err != nil {
+				return nil, err
+			}
+			if chunk == nil {
+				return nil, nil
+			}
+			s.chunk = chunk
+			s.pos = 0
+		}
+		row := s.chunk.Row(s.pos)
+		s.pos++
+		if s.node.Filter != nil {
+			v, err := EvalRow(s.node.Filter, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Null || !v.Bool {
+				continue
+			}
+		}
+		return row, nil
+	}
+}
+
+func (s *rowScan) Close(ctx *Context) {
+	if s.scanner != nil {
+		s.scanner.Close()
+		s.scanner = nil
+	}
+}
+
+type rowFilter struct {
+	child RowIterator
+	cond  expr.Expr
+}
+
+func (f *rowFilter) Open(ctx *Context) error { return f.child.Open(ctx) }
+
+func (f *rowFilter) NextRow(ctx *Context) ([]types.Value, error) {
+	for {
+		row, err := f.child.NextRow(ctx)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := EvalRow(f.cond, row)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Null && v.Bool {
+			return row, nil
+		}
+	}
+}
+
+func (f *rowFilter) Close(ctx *Context) { f.child.Close(ctx) }
+
+type rowProject struct {
+	child RowIterator
+	exprs []expr.Expr
+}
+
+func (p *rowProject) Open(ctx *Context) error { return p.child.Open(ctx) }
+
+func (p *rowProject) NextRow(ctx *Context) ([]types.Value, error) {
+	row, err := p.child.NextRow(ctx)
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]types.Value, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := EvalRow(e, row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *rowProject) Close(ctx *Context) { p.child.Close(ctx) }
+
+type rowLimit struct {
+	child           RowIterator
+	limit, offset   int64
+	passed, skipped int64
+}
+
+func (l *rowLimit) Open(ctx *Context) error {
+	l.passed, l.skipped = 0, 0
+	return l.child.Open(ctx)
+}
+
+func (l *rowLimit) NextRow(ctx *Context) ([]types.Value, error) {
+	for {
+		if l.limit >= 0 && l.passed >= l.limit {
+			return nil, nil
+		}
+		row, err := l.child.NextRow(ctx)
+		if err != nil || row == nil {
+			return nil, err
+		}
+		if l.skipped < l.offset {
+			l.skipped++
+			continue
+		}
+		l.passed++
+		return row, nil
+	}
+}
+
+func (l *rowLimit) Close(ctx *Context) { l.child.Close(ctx) }
+
+// rowSort materializes and sorts rows in memory (tuple-at-a-time
+// engines cannot stream sorts either; this keeps the baseline honest
+// without duplicating the external sorter).
+type rowSort struct {
+	child RowIterator
+	node  *plan.SortNode
+	rows  [][]types.Value
+	pos   int
+	built bool
+}
+
+func (s *rowSort) Open(ctx *Context) error {
+	s.rows, s.pos, s.built = nil, 0, false
+	return s.child.Open(ctx)
+}
+
+func (s *rowSort) NextRow(ctx *Context) ([]types.Value, error) {
+	if !s.built {
+		for {
+			row, err := s.child.NextRow(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			s.rows = append(s.rows, row)
+		}
+		var sortErr error
+		sort.SliceStable(s.rows, func(i, j int) bool {
+			for _, k := range s.node.Keys {
+				a, err := EvalRow(k.Expr, s.rows[i])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				b, err := EvalRow(k.Expr, s.rows[j])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if a.Null || b.Null {
+					if a.Null && b.Null {
+						continue
+					}
+					return a.Null == k.NullsFirst
+				}
+				c := types.Compare(a, b)
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		s.built = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *rowSort) Close(ctx *Context) { s.child.Close(ctx) }
+
+type rowAgg struct {
+	child  RowIterator
+	node   *plan.AggNode
+	groups map[string]*aggState
+	order  []string
+	pos    int
+	built  bool
+}
+
+func (a *rowAgg) Open(ctx *Context) error {
+	a.groups = make(map[string]*aggState)
+	a.order = nil
+	a.pos = 0
+	a.built = false
+	return a.child.Open(ctx)
+}
+
+func (a *rowAgg) NextRow(ctx *Context) ([]types.Value, error) {
+	if !a.built {
+		if err := a.build(ctx); err != nil {
+			return nil, err
+		}
+		a.built = true
+	}
+	if a.pos >= len(a.order) {
+		return nil, nil
+	}
+	st := a.groups[a.order[a.pos]]
+	a.pos++
+	ng := len(a.node.GroupBy)
+	out := make([]types.Value, ng+len(a.node.Aggs))
+	copy(out, st.groupKey)
+	for j, spec := range a.node.Aggs {
+		out[ng+j] = finishAgg(spec, &st.accs[j])
+	}
+	return out, nil
+}
+
+func (a *rowAgg) build(ctx *Context) error {
+	ng := len(a.node.GroupBy)
+	na := len(a.node.Aggs)
+	var sb strings.Builder
+	for {
+		row, err := a.child.NextRow(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		gvals := make([]types.Value, ng)
+		sb.Reset()
+		for i, g := range a.node.GroupBy {
+			v, err := EvalRow(g, row)
+			if err != nil {
+				return err
+			}
+			gvals[i] = v
+			if v.Null {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString("\x01")
+				sb.WriteString(v.String())
+				sb.WriteString("\x00")
+			}
+		}
+		key := sb.String()
+		st, ok := a.groups[key]
+		if !ok {
+			st = &aggState{groupKey: gvals, accs: make([]accumulator, na)}
+			for j, spec := range a.node.Aggs {
+				if spec.Distinct {
+					st.accs[j].distinct = make(map[string]struct{})
+				}
+			}
+			a.groups[key] = st
+			a.order = append(a.order, key)
+		}
+		for j, spec := range a.node.Aggs {
+			if err := updateAggRow(spec, &st.accs[j], row); err != nil {
+				return err
+			}
+		}
+	}
+	if ng == 0 && len(a.order) == 0 {
+		st := &aggState{accs: make([]accumulator, na)}
+		a.groups[""] = st
+		a.order = append(a.order, "")
+	}
+	return nil
+}
+
+func updateAggRow(spec plan.AggSpec, acc *accumulator, row []types.Value) error {
+	if spec.Arg == nil {
+		acc.count++
+		return nil
+	}
+	v, err := EvalRow(spec.Arg, row)
+	if err != nil {
+		return err
+	}
+	if v.Null {
+		return nil
+	}
+	if acc.distinct != nil {
+		key := v.String()
+		if _, seen := acc.distinct[key]; seen {
+			return nil
+		}
+		acc.distinct[key] = struct{}{}
+	}
+	switch spec.Func {
+	case "count":
+		acc.count++
+	case "sum", "avg":
+		acc.count++
+		if v.Type == types.Double {
+			acc.sumF += v.F64
+		} else {
+			acc.sumI += v.AsInt()
+		}
+	case "min", "max":
+		if !acc.bestSet {
+			acc.best, acc.bestSet = v, true
+			return nil
+		}
+		c := types.Compare(v, acc.best)
+		if (spec.Func == "max" && c > 0) || (spec.Func == "min" && c < 0) {
+			acc.best = v
+		}
+	}
+	return nil
+}
+
+func (a *rowAgg) Close(ctx *Context) {
+	a.groups = nil
+	a.child.Close(ctx)
+}
+
+// EvalRow interprets a bound expression over one boxed row — the
+// tuple-at-a-time evaluation the vectorized engine exists to avoid.
+func EvalRow(e expr.Expr, row []types.Value) (types.Value, error) {
+	switch e := e.(type) {
+	case *expr.Const:
+		return e.Val, nil
+	case *expr.ColRef:
+		if e.Idx >= len(row) {
+			return types.Value{}, fmt.Errorf("row engine: column %d out of range", e.Idx)
+		}
+		return row[e.Idx], nil
+	case *expr.CastExpr:
+		v, err := EvalRow(e.X, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return v.Cast(e.To)
+	case *expr.Neg:
+		v, err := EvalRow(e.X, row)
+		if err != nil || v.Null {
+			return v, err
+		}
+		switch v.Type {
+		case types.Double:
+			return types.NewDouble(-v.F64), nil
+		case types.Integer:
+			return types.NewInt(int32(-v.I64)), nil
+		default:
+			return types.NewBigInt(-v.I64), nil
+		}
+	case *expr.Compare:
+		l, err := EvalRow(e.L, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := EvalRow(e.R, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if l.Null || r.Null {
+			return types.NewNull(types.Boolean), nil
+		}
+		c := types.Compare(l, r)
+		var out bool
+		switch e.Op {
+		case expr.CmpEq:
+			out = c == 0
+		case expr.CmpNe:
+			out = c != 0
+		case expr.CmpLt:
+			out = c < 0
+		case expr.CmpLe:
+			out = c <= 0
+		case expr.CmpGt:
+			out = c > 0
+		default:
+			out = c >= 0
+		}
+		return types.NewBool(out), nil
+	case *expr.Arith:
+		l, err := EvalRow(e.L, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := EvalRow(e.R, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		if l.Null || r.Null {
+			return types.NewNull(e.Typ), nil
+		}
+		if e.Typ == types.Double {
+			lf, rf := l.AsFloat(), r.AsFloat()
+			switch e.Op {
+			case expr.OpAdd:
+				return types.NewDouble(lf + rf), nil
+			case expr.OpSub:
+				return types.NewDouble(lf - rf), nil
+			case expr.OpMul:
+				return types.NewDouble(lf * rf), nil
+			case expr.OpDiv:
+				return types.NewDouble(lf / rf), nil
+			default:
+				return types.Value{}, fmt.Errorf("%% on DOUBLE")
+			}
+		}
+		li, ri := l.AsInt(), r.AsInt()
+		var out int64
+		switch e.Op {
+		case expr.OpAdd:
+			out = li + ri
+		case expr.OpSub:
+			out = li - ri
+		case expr.OpMul:
+			out = li * ri
+		case expr.OpDiv:
+			if ri == 0 {
+				return types.Value{}, fmt.Errorf("division by zero")
+			}
+			out = li / ri
+		default:
+			if ri == 0 {
+				return types.Value{}, fmt.Errorf("modulo by zero")
+			}
+			out = li % ri
+		}
+		if e.Typ == types.Integer {
+			return types.NewInt(int32(out)), nil
+		}
+		return types.NewBigInt(out), nil
+	case *expr.Logic:
+		l, err := EvalRow(e.L, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		r, err := EvalRow(e.R, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		lb, rb := !l.Null && l.Bool, !r.Null && r.Bool
+		if e.Op == expr.OpAnd {
+			if (!l.Null && !lb) || (!r.Null && !rb) {
+				return types.NewBool(false), nil
+			}
+			if l.Null || r.Null {
+				return types.NewNull(types.Boolean), nil
+			}
+			return types.NewBool(true), nil
+		}
+		if lb || rb {
+			return types.NewBool(true), nil
+		}
+		if l.Null || r.Null {
+			return types.NewNull(types.Boolean), nil
+		}
+		return types.NewBool(false), nil
+	case *expr.Not:
+		v, err := EvalRow(e.X, row)
+		if err != nil || v.Null {
+			return v, err
+		}
+		return types.NewBool(!v.Bool), nil
+	case *expr.IsNull:
+		v, err := EvalRow(e.X, row)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewBool(v.Null != e.Not), nil
+	default:
+		// Rare node types fall back to vectorized evaluation over a
+		// single-row chunk.
+		one := rowToChunk(row)
+		v, err := e.Eval(one)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return v.Get(0), nil
+	}
+}
+
+func rowToChunk(row []types.Value) *vector.Chunk {
+	c := &vector.Chunk{Cols: make([]*vector.Vector, len(row))}
+	for i, v := range row {
+		t := v.Type
+		if t == types.Null || t == types.Invalid {
+			t = types.BigInt
+		}
+		vec := vector.NewLen(t, 1)
+		vec.Set(0, v)
+		c.Cols[i] = vec
+	}
+	c.SetLen(1)
+	return c
+}
+
+// compile-time interface checks
+var (
+	_ RowIterator = (*rowScan)(nil)
+	_ RowIterator = (*rowFilter)(nil)
+	_ RowIterator = (*rowProject)(nil)
+	_ RowIterator = (*rowAgg)(nil)
+	_ RowIterator = (*rowLimit)(nil)
+)

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"repro/internal/extsort"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// sortOp implements ORDER BY via the external sorter: key columns are
+// appended to the payload, rows are sorted (spilling to disk past the
+// budget), and the payload columns are streamed back in order.
+type sortOp struct {
+	child Operator
+	node  *plan.SortNode
+
+	iter    *extsort.Iterator
+	np      int // payload column count
+	started bool
+}
+
+func newSortOp(child Operator, n *plan.SortNode) *sortOp {
+	return &sortOp{child: child, node: n}
+}
+
+func (s *sortOp) Open(ctx *Context) error {
+	s.started = false
+	s.iter = nil
+	return s.child.Open(ctx)
+}
+
+func (s *sortOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if !s.started {
+		if err := s.build(ctx); err != nil {
+			return nil, err
+		}
+		s.started = true
+	}
+	chunk, err := s.iter.Next()
+	if err != nil || chunk == nil {
+		return nil, err
+	}
+	// Strip the appended key columns.
+	out := &vector.Chunk{Cols: chunk.Cols[:s.np]}
+	out.SetLen(chunk.Len())
+	return out, nil
+}
+
+func (s *sortOp) build(ctx *Context) error {
+	payload := schemaTypes(s.node.Child.Schema())
+	s.np = len(payload)
+	extTypes := append(append([]types.Type(nil), payload...), keyTypesOf(s.node)...)
+	keys := make([]extsort.Key, len(s.node.Keys))
+	for i, k := range s.node.Keys {
+		keys[i] = extsort.Key{Col: s.np + i, Desc: k.Desc, NullsFirst: k.NullsFirst}
+	}
+	sorter := extsort.NewSorter(extTypes, keys, ctx.sortBudget(), ctx.TmpDir)
+	if ctx.Pool != nil {
+		sorter.SetPool(ctx.Pool)
+	}
+	for {
+		chunk, err := s.child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if chunk == nil {
+			break
+		}
+		ext := &vector.Chunk{Cols: make([]*vector.Vector, 0, len(chunk.Cols)+len(s.node.Keys))}
+		ext.Cols = append(ext.Cols, chunk.Cols...)
+		for _, k := range s.node.Keys {
+			v, err := k.Expr.Eval(chunk)
+			if err != nil {
+				return err
+			}
+			ext.Cols = append(ext.Cols, v)
+		}
+		ext.SetLen(chunk.Len())
+		if err := sorter.Add(ext); err != nil {
+			return err
+		}
+	}
+	iter, err := sorter.Finish()
+	if err != nil {
+		return err
+	}
+	s.iter = iter
+	return nil
+}
+
+func keyTypesOf(n *plan.SortNode) []types.Type {
+	out := make([]types.Type, len(n.Keys))
+	for i, k := range n.Keys {
+		out[i] = k.Expr.Type()
+	}
+	return out
+}
+
+func (s *sortOp) Close(ctx *Context) {
+	if s.iter != nil {
+		s.iter.Close()
+		s.iter = nil
+	}
+	s.child.Close(ctx)
+}

@@ -1,0 +1,543 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// LikeExpr implements SQL LIKE with % and _ wildcards. When the pattern
+// is constant it is compiled once.
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// Type implements Expr.
+func (e *LikeExpr) Type() types.Type { return types.Boolean }
+
+// Eval implements Expr.
+func (e *LikeExpr) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	xs, err := e.X.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := e.Pattern.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	out := vector.NewLen(types.Boolean, n)
+	propagateNulls(out, xs, ps, n)
+	var (
+		lastPat string
+		matcher func(string) bool
+	)
+	for i := 0; i < n; i++ {
+		if out.IsNull(i) {
+			continue
+		}
+		if matcher == nil || ps.Str[i] != lastPat {
+			lastPat = ps.Str[i]
+			matcher = compileLike(lastPat)
+		}
+		out.Bools[i] = matcher(xs.Str[i]) != e.Not
+	}
+	return out, nil
+}
+
+func (e *LikeExpr) String() string {
+	op := " LIKE "
+	if e.Not {
+		op = " NOT LIKE "
+	}
+	return e.X.String() + op + e.Pattern.String()
+}
+
+// compileLike builds a matcher for a LIKE pattern. % matches any
+// sequence, _ matches one character.
+func compileLike(pattern string) func(string) bool {
+	// Fast paths for the common shapes.
+	if !strings.ContainsAny(pattern, "%_") {
+		return func(s string) bool { return s == pattern }
+	}
+	if strings.Count(pattern, "%") == 1 && !strings.Contains(pattern, "_") {
+		if strings.HasSuffix(pattern, "%") {
+			prefix := pattern[:len(pattern)-1]
+			return func(s string) bool { return strings.HasPrefix(s, prefix) }
+		}
+		if strings.HasPrefix(pattern, "%") {
+			suffix := pattern[1:]
+			return func(s string) bool { return strings.HasSuffix(s, suffix) }
+		}
+	}
+	if strings.Count(pattern, "%") == 2 && !strings.Contains(pattern, "_") &&
+		strings.HasPrefix(pattern, "%") && strings.HasSuffix(pattern, "%") {
+		inner := pattern[1 : len(pattern)-1]
+		if !strings.Contains(inner, "%") {
+			return func(s string) bool { return strings.Contains(s, inner) }
+		}
+	}
+	return func(s string) bool { return likeMatch(pattern, s) }
+}
+
+// likeMatch is a backtracking wildcard matcher (bytes, not runes — LIKE
+// on multi-byte text matches per byte for _, consistent with simple
+// embedded engines).
+func likeMatch(pattern, s string) bool {
+	var pi, si, starP, starS = 0, 0, -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP = pi
+			starS = si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// CaseExpr is a searched CASE (operands are desugared by the binder).
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil means NULL
+	Typ   types.Type
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond, Result Expr
+}
+
+// Type implements Expr.
+func (e *CaseExpr) Type() types.Type { return e.Typ }
+
+// Eval implements Expr.
+func (e *CaseExpr) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	n := in.Len()
+	out := vector.NewLen(e.Typ, n)
+	decided := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out.SetNull(i) // default when no arm matches and no ELSE
+	}
+	for _, w := range e.Whens {
+		cond, err := w.Cond.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		res, err := w.Result.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if decided[i] {
+				continue
+			}
+			if !cond.IsNull(i) && cond.Bools[i] {
+				decided[i] = true
+				if res.IsNull(i) {
+					out.SetNull(i)
+				} else {
+					out.Set(i, res.Get(i))
+				}
+			}
+		}
+	}
+	if e.Else != nil {
+		els, err := e.Else.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if !decided[i] {
+				if els.IsNull(i) {
+					out.SetNull(i)
+				} else {
+					out.Set(i, els.Get(i))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *CaseExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	for _, w := range e.Whens {
+		fmt.Fprintf(&sb, " WHEN %s THEN %s", w.Cond.String(), w.Result.String())
+	}
+	if e.Else != nil {
+		fmt.Fprintf(&sb, " ELSE %s", e.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+// InConst is x IN (constants), evaluated with a hash set.
+type InConst struct {
+	X      Expr
+	Not    bool
+	keys   map[string]struct{}
+	labels []string
+}
+
+// NewInConst builds an IN-set expression from constant values already
+// cast to X's type.
+func NewInConst(x Expr, vals []types.Value, not bool) *InConst {
+	e := &InConst{X: x, Not: not, keys: make(map[string]struct{}, len(vals))}
+	for _, v := range vals {
+		if v.Null {
+			continue // NULL in an IN list never matches via =
+		}
+		e.keys[valueKey(v)] = struct{}{}
+		e.labels = append(e.labels, v.String())
+	}
+	return e
+}
+
+func valueKey(v types.Value) string {
+	switch v.Type {
+	case types.Varchar:
+		return v.Str
+	case types.Double:
+		return fmt.Sprintf("f%x", math.Float64bits(v.F64))
+	case types.Boolean:
+		if v.Bool {
+			return "b1"
+		}
+		return "b0"
+	default:
+		return fmt.Sprintf("i%d", v.I64)
+	}
+}
+
+// Type implements Expr.
+func (e *InConst) Type() types.Type { return types.Boolean }
+
+// Eval implements Expr.
+func (e *InConst) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	src, err := e.X.Eval(in)
+	if err != nil {
+		return nil, err
+	}
+	n := in.Len()
+	out := vector.NewLen(types.Boolean, n)
+	copyValidity(out, src, n)
+	for i := 0; i < n; i++ {
+		if out.IsNull(i) {
+			continue
+		}
+		_, ok := e.keys[valueKey(src.Get(i))]
+		out.Bools[i] = ok != e.Not
+	}
+	return out, nil
+}
+
+func (e *InConst) String() string {
+	op := " IN ("
+	if e.Not {
+		op = " NOT IN ("
+	}
+	return e.X.String() + op + strings.Join(e.labels, ", ") + ")"
+}
+
+// ScalarFunc is a built-in scalar function call.
+type ScalarFunc struct {
+	Name string
+	Args []Expr
+	Typ  types.Type
+}
+
+// Type implements Expr.
+func (e *ScalarFunc) Type() types.Type { return e.Typ }
+
+// FuncResultType resolves a scalar function's result type from its
+// argument types, or an error for unknown functions/signatures.
+func FuncResultType(name string, args []types.Type) (types.Type, error) {
+	switch name {
+	case "abs":
+		if len(args) == 1 && (args[0] == types.Integer || args[0] == types.BigInt || args[0] == types.Double) {
+			return args[0], nil
+		}
+	case "floor", "ceil", "round", "sqrt", "ln", "exp":
+		if len(args) >= 1 {
+			return types.Double, nil
+		}
+	case "length":
+		if len(args) == 1 && args[0] == types.Varchar {
+			return types.BigInt, nil
+		}
+	case "lower", "upper", "trim", "substr", "concat":
+		return types.Varchar, nil
+	case "coalesce":
+		if len(args) >= 1 {
+			t := args[0]
+			for _, a := range args[1:] {
+				ct, err := types.CommonType(t, a)
+				if err != nil {
+					return types.Invalid, err
+				}
+				t = ct
+			}
+			return t, nil
+		}
+	case "greatest", "least":
+		if len(args) >= 1 {
+			t := args[0]
+			for _, a := range args[1:] {
+				ct, err := types.CommonType(t, a)
+				if err != nil {
+					return types.Invalid, err
+				}
+				t = ct
+			}
+			return t, nil
+		}
+	}
+	return types.Invalid, fmt.Errorf("unknown function %s with %d argument(s)", name, len(args))
+}
+
+// Eval implements Expr.
+func (e *ScalarFunc) Eval(in *vector.Chunk) (*vector.Vector, error) {
+	n := in.Len()
+	argVecs := make([]*vector.Vector, len(e.Args))
+	for i, a := range e.Args {
+		v, err := a.Eval(in)
+		if err != nil {
+			return nil, err
+		}
+		argVecs[i] = v
+	}
+	out := vector.NewLen(e.Typ, n)
+	switch e.Name {
+	case "abs":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		switch a.Type {
+		case types.Integer:
+			for i := 0; i < n; i++ {
+				if v := a.I32[i]; v < 0 {
+					out.I32[i] = -v
+				} else {
+					out.I32[i] = v
+				}
+			}
+		case types.BigInt:
+			for i := 0; i < n; i++ {
+				if v := a.I64[i]; v < 0 {
+					out.I64[i] = -v
+				} else {
+					out.I64[i] = v
+				}
+			}
+		case types.Double:
+			for i := 0; i < n; i++ {
+				out.F64[i] = math.Abs(a.F64[i])
+			}
+		}
+	case "floor", "ceil", "round", "sqrt", "ln", "exp":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		f := mathFunc(e.Name)
+		for i := 0; i < n; i++ {
+			if !out.IsNull(i) {
+				out.F64[i] = f(numAsFloat(a, i))
+			}
+		}
+	case "length":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		for i := 0; i < n; i++ {
+			out.I64[i] = int64(len(a.Str[i]))
+		}
+	case "lower":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		for i := 0; i < n; i++ {
+			out.Str[i] = strings.ToLower(a.Str[i])
+		}
+	case "upper":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		for i := 0; i < n; i++ {
+			out.Str[i] = strings.ToUpper(a.Str[i])
+		}
+	case "trim":
+		a := argVecs[0]
+		copyValidity(out, a, n)
+		for i := 0; i < n; i++ {
+			out.Str[i] = strings.TrimSpace(a.Str[i])
+		}
+	case "substr":
+		if len(argVecs) < 2 {
+			return nil, fmt.Errorf("substr requires (string, start [, length])")
+		}
+		a := argVecs[0]
+		for i := 0; i < n; i++ {
+			if a.IsNull(i) || argVecs[1].IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			s := a.Str[i]
+			start := int(numAsInt(argVecs[1], i)) - 1 // SQL is 1-based
+			if start < 0 {
+				start = 0
+			}
+			end := len(s)
+			if len(argVecs) >= 3 && !argVecs[2].IsNull(i) {
+				if l := int(numAsInt(argVecs[2], i)); start+l < end {
+					end = start + l
+				}
+			}
+			if start > len(s) {
+				start = len(s)
+			}
+			if end < start {
+				end = start
+			}
+			out.Str[i] = s[start:end]
+		}
+	case "concat":
+		for i := 0; i < n; i++ {
+			var sb strings.Builder
+			for _, a := range argVecs {
+				if !a.IsNull(i) {
+					sb.WriteString(a.Get(i).String())
+				}
+			}
+			out.Str[i] = sb.String()
+		}
+	case "coalesce":
+		for i := 0; i < n; i++ {
+			out.SetNull(i)
+			for _, a := range argVecs {
+				if !a.IsNull(i) {
+					v, err := a.Get(i).Cast(e.Typ)
+					if err != nil {
+						return nil, err
+					}
+					out.Set(i, v)
+					break
+				}
+			}
+		}
+	case "greatest", "least":
+		wantGreatest := e.Name == "greatest"
+		for i := 0; i < n; i++ {
+			var best types.Value
+			bestSet := false
+			null := false
+			for _, a := range argVecs {
+				if a.IsNull(i) {
+					null = true
+					break
+				}
+				v, err := a.Get(i).Cast(e.Typ)
+				if err != nil {
+					return nil, err
+				}
+				if !bestSet {
+					best, bestSet = v, true
+					continue
+				}
+				c := types.Compare(v, best)
+				if (wantGreatest && c > 0) || (!wantGreatest && c < 0) {
+					best = v
+				}
+			}
+			if null || !bestSet {
+				out.SetNull(i)
+			} else {
+				out.Set(i, best)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown function %s", e.Name)
+	}
+	return out, nil
+}
+
+func (e *ScalarFunc) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func mathFunc(name string) func(float64) float64 {
+	switch name {
+	case "floor":
+		return math.Floor
+	case "ceil":
+		return math.Ceil
+	case "round":
+		return math.Round
+	case "sqrt":
+		return math.Sqrt
+	case "ln":
+		return math.Log
+	default:
+		return math.Exp
+	}
+}
+
+func numAsFloat(v *vector.Vector, i int) float64 {
+	switch v.Type {
+	case types.Integer:
+		return float64(v.I32[i])
+	case types.BigInt, types.Timestamp:
+		return float64(v.I64[i])
+	default:
+		return v.F64[i]
+	}
+}
+
+func numAsInt(v *vector.Vector, i int) int64 {
+	switch v.Type {
+	case types.Integer:
+		return int64(v.I32[i])
+	case types.BigInt, types.Timestamp:
+		return v.I64[i]
+	default:
+		return int64(v.F64[i])
+	}
+}
+
+// SelectTrue returns the indices of rows where v is TRUE (valid and
+// true), the core of vectorized filtering.
+func SelectTrue(v *vector.Vector, sel []int) []int {
+	sel = sel[:0]
+	n := v.Len()
+	if v.Valid.AllValid() {
+		for i := 0; i < n; i++ {
+			if v.Bools[i] {
+				sel = append(sel, i)
+			}
+		}
+		return sel
+	}
+	for i := 0; i < n; i++ {
+		if v.Bools[i] && v.Valid.IsValid(i) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,185 @@
+package extsort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+func chunkOf(vals ...int64) *vector.Chunk {
+	c := vector.NewChunk([]types.Type{types.BigInt})
+	for _, v := range vals {
+		c.AppendRow(types.NewBigInt(v))
+	}
+	return c
+}
+
+func drainSorted(t *testing.T, it *Iterator) []int64 {
+	t.Helper()
+	defer it.Close()
+	var out []int64
+	for {
+		c, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			return out
+		}
+		out = append(out, c.Cols[0].I64[:c.Len()]...)
+	}
+}
+
+func TestInMemorySort(t *testing.T) {
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 0, t.TempDir())
+	s.Add(chunkOf(5, 1, 9))
+	s.Add(chunkOf(3, 7))
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainSorted(t, it)
+	want := []int64{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if s.SpilledBytes() != 0 {
+		t.Fatal("unexpected spill")
+	}
+}
+
+func TestSpillingSortMatchesStdSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 50_000
+	ref := make([]int64, 0, n)
+	// Tiny budget forces several runs to disk.
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 64<<10, t.TempDir())
+	chunk := vector.NewChunk([]types.Type{types.BigInt})
+	for i := 0; i < n; i++ {
+		v := rng.Int63n(1 << 40)
+		ref = append(ref, v)
+		chunk.AppendRow(types.NewBigInt(v))
+		if chunk.Len() == vector.ChunkCapacity {
+			if err := s.Add(chunk); err != nil {
+				t.Fatal(err)
+			}
+			chunk = vector.NewChunk([]types.Type{types.BigInt})
+		}
+	}
+	s.Add(chunk)
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SpilledBytes() == 0 {
+		t.Fatal("expected spilling with 64KB budget")
+	}
+	got := drainSorted(t, it)
+	sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+	if len(got) != len(ref) {
+		t.Fatalf("%d rows, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("row %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestDescAndNullOrdering(t *testing.T) {
+	c := vector.NewChunk([]types.Type{types.BigInt})
+	c.AppendRow(types.NewBigInt(1))
+	c.AppendRow(types.NewNull(types.BigInt))
+	c.AppendRow(types.NewBigInt(3))
+
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0, Desc: true, NullsFirst: true}}, 0, t.TempDir())
+	s.Add(c)
+	it, _ := s.Finish()
+	defer it.Close()
+	out, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cols[0].IsNull(0) || out.Cols[0].I64[1] != 3 || out.Cols[0].I64[2] != 1 {
+		t.Fatalf("got %v %v %v", out.Row(0), out.Row(1), out.Row(2))
+	}
+}
+
+func TestMultiKeySort(t *testing.T) {
+	c := vector.NewChunk([]types.Type{types.Varchar, types.BigInt})
+	c.AppendRow(types.NewVarchar("b"), types.NewBigInt(1))
+	c.AppendRow(types.NewVarchar("a"), types.NewBigInt(2))
+	c.AppendRow(types.NewVarchar("a"), types.NewBigInt(1))
+	s := NewSorter(c.Types(), []Key{{Col: 0}, {Col: 1, Desc: true}}, 0, t.TempDir())
+	s.Add(c)
+	it, _ := s.Finish()
+	defer it.Close()
+	out, _ := it.Next()
+	want := [][2]string{{"a", "2"}, {"a", "1"}, {"b", "1"}}
+	for i, w := range want {
+		row := out.Row(i)
+		if row[0].Str != w[0] || row[1].String() != w[1] {
+			t.Fatalf("row %d: %v, want %v", i, row, w)
+		}
+	}
+}
+
+func TestStableForEqualKeys(t *testing.T) {
+	// Payload order of equal keys follows insertion (stable sort).
+	c := vector.NewChunk([]types.Type{types.BigInt, types.BigInt})
+	for i := 0; i < 10; i++ {
+		c.AppendRow(types.NewBigInt(42), types.NewBigInt(int64(i)))
+	}
+	s := NewSorter(c.Types(), []Key{{Col: 0}}, 0, t.TempDir())
+	s.Add(c)
+	it, _ := s.Finish()
+	defer it.Close()
+	out, _ := it.Next()
+	for i := 0; i < 10; i++ {
+		if out.Cols[1].I64[i] != int64(i) {
+			t.Fatalf("not stable at %d: %d", i, out.Cols[1].I64[i])
+		}
+	}
+}
+
+func TestPoolAccountingReleases(t *testing.T) {
+	pool := buffer.NewPool(0, nil)
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 16<<10, t.TempDir())
+	s.SetPool(pool)
+	for i := 0; i < 50; i++ {
+		c := vector.NewChunk([]types.Type{types.BigInt})
+		for j := 0; j < 1024; j++ {
+			c.AppendRow(types.NewBigInt(int64(i*1024 + j)))
+		}
+		if err := s.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainSorted(t, it)
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("pool leak: %d bytes still reserved", used)
+	}
+}
+
+func TestEmptySorter(t *testing.T) {
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 0, t.TempDir())
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	c, err := it.Next()
+	if err != nil || c != nil {
+		t.Fatalf("empty sorter produced %v, %v", c, err)
+	}
+}

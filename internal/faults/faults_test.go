@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCalibrateMatchesAnalytically(t *testing.T) {
+	for comp, rates := range Table1 {
+		m, err := Calibrate(rates)
+		if err != nil {
+			t.Fatalf("%v: %v", comp, err)
+		}
+		pred := m.Predict()
+		if rel(pred.PFirst, rates.PFirst) > 1e-9 {
+			t.Errorf("%v: predicted P1 %v, want %v", comp, pred.PFirst, rates.PFirst)
+		}
+		if rel(pred.PSecondGiven, rates.PSecondGiven) > 1e-9 {
+			t.Errorf("%v: predicted P2 %v, want %v", comp, pred.PSecondGiven, rates.PSecondGiven)
+		}
+	}
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	bad := []Rates{
+		{PFirst: 0, PSecondGiven: 0.5},
+		{PFirst: 0.5, PSecondGiven: 1.5},
+		{PFirst: 0.5, PSecondGiven: 0.1}, // conditional below marginal
+	}
+	for _, r := range bad {
+		if _, err := Calibrate(r); err == nil {
+			t.Errorf("calibrate(%+v) accepted", r)
+		}
+	}
+}
+
+func TestMonteCarloReproducesTable1(t *testing.T) {
+	// This IS experiment E1 at test scale: the simulated rates must
+	// land near the published Table 1 values.
+	got, err := SimulateTable1(2_000_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp, want := range Table1 {
+		g := got[comp]
+		if rel(g.PFirst, want.PFirst) > 0.10 {
+			t.Errorf("%v: simulated P[1st]=%.6f, published %.6f", comp, g.PFirst, want.PFirst)
+		}
+		if rel(g.PSecondGiven, want.PSecondGiven) > 0.15 {
+			t.Errorf("%v: simulated P[2nd|1st]=%.4f, published %.4f", comp, g.PSecondGiven, want.PSecondGiven)
+		}
+		// The paper's headline: two orders of magnitude more likely
+		// after a first failure.
+		if g.PSecondGiven/g.PFirst < 20 {
+			t.Errorf("%v: repeat-failure amplification only %.1fx", comp, g.PSecondGiven/g.PFirst)
+		}
+	}
+}
+
+func TestSimulateZeroFailures(t *testing.T) {
+	m := Model{LemonFraction: 0, PLemon: 0.5, PHealthy: 0}
+	r := m.Simulate(1000, rand.New(rand.NewSource(1)))
+	if r.PFirst != 0 || r.PSecondGiven != 0 {
+		t.Fatalf("no-failure model produced %+v", r)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	a := NewInjector(7)
+	b := NewInjector(7)
+	bufA := make([]byte, 1000)
+	bufB := make([]byte, 1000)
+	offA := a.FlipBitsBytes(bufA, 10)
+	offB := b.FlipBitsBytes(bufB, 10)
+	if len(offA) != 10 || len(offB) != 10 {
+		t.Fatal("wrong flip count")
+	}
+	for i := range offA {
+		if offA[i] != offB[i] {
+			t.Fatal("injector not deterministic")
+		}
+	}
+	if string(bufA) != string(bufB) {
+		t.Fatal("buffers diverged")
+	}
+}
+
+func TestFlipBitsInt64ActuallyFlips(t *testing.T) {
+	in := NewInjector(3)
+	buf := make([]int64, 100)
+	idxs := in.FlipBitsInt64(buf, 5)
+	changed := 0
+	for _, v := range buf {
+		if v != 0 {
+			changed++
+		}
+	}
+	if changed == 0 || len(idxs) != 5 {
+		t.Fatalf("changed=%d idxs=%d", changed, len(idxs))
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	if CPU.String() == "" || DRAM.String() == "" || Disk.String() == "" {
+		t.Fatal("empty component label")
+	}
+}
+
+func rel(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

@@ -1,0 +1,77 @@
+package memtest
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestHealthyMemoryPasses(t *testing.T) {
+	tester := NewTester(nil)
+	buf := make([]byte, 4096)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if !tester.Test(buf) {
+		t.Fatal("healthy memory failed the test")
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("buffer not zeroed at %d", i)
+		}
+	}
+	tested, failures, quarantined := tester.Stats()
+	if tested != 1 || failures != 0 || quarantined != 0 {
+		t.Fatalf("stats: %d %d %d", tested, failures, quarantined)
+	}
+}
+
+func TestStuckBitDetected(t *testing.T) {
+	tester := NewTester(faults.StuckBitRegion(100, 3))
+	buf := make([]byte, 4096)
+	if tester.Test(buf) {
+		t.Fatal("stuck bit went undetected")
+	}
+	_, failures, quarantined := tester.Stats()
+	if failures != 1 || quarantined != 4096 {
+		t.Fatalf("stats after failure: %d %d", failures, quarantined)
+	}
+}
+
+func TestStuckBitAtEveryPosition(t *testing.T) {
+	for _, offset := range []int{0, 1, 63, 64, 1000, 4095} {
+		for _, bit := range []uint{0, 4, 7} {
+			tester := NewTester(faults.StuckBitRegion(offset, bit))
+			if tester.Test(make([]byte, 4096)) {
+				t.Errorf("stuck bit at offset %d bit %d undetected", offset, bit)
+			}
+		}
+	}
+}
+
+func TestIntermittentFaultDetected(t *testing.T) {
+	// An intermittent fault firing every 3rd pass is still caught
+	// because moving inversions makes 12 passes over the buffer.
+	tester := NewTester(faults.IntermittentFlip(500, 2, 3))
+	if tester.Test(make([]byte, 2048)) {
+		t.Fatal("intermittent fault went undetected")
+	}
+}
+
+func TestSetFaultHookSwapsBehaviour(t *testing.T) {
+	tester := NewTester(faults.StuckBitRegion(0, 0))
+	if tester.Test(make([]byte, 128)) {
+		t.Fatal("faulty hook passed")
+	}
+	tester.SetFaultHook(nil)
+	if !tester.Test(make([]byte, 128)) {
+		t.Fatal("healthy memory failed after clearing hook")
+	}
+}
+
+func TestEmptyBuffer(t *testing.T) {
+	tester := NewTester(nil)
+	if !tester.Test(nil) {
+		t.Fatal("empty buffer should pass")
+	}
+}

@@ -1,0 +1,1106 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Binder resolves parsed statements against a catalog into logical
+// plans.
+type Binder struct {
+	Cat    *catalog.Catalog
+	Params []types.Value
+	// viewDepth guards against recursive view definitions.
+	viewDepth int
+}
+
+// scopeCol is one column visible to name resolution.
+type scopeCol struct {
+	Table string
+	Name  string
+	Type  types.Type
+}
+
+type scope struct {
+	cols []scopeCol
+}
+
+func scopeFrom(cols []ColInfo) *scope {
+	s := &scope{cols: make([]scopeCol, len(cols))}
+	for i, c := range cols {
+		s.cols[i] = scopeCol{Table: c.Table, Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+func (s *scope) lookup(table, name string) (int, types.Type, error) {
+	found := -1
+	var typ types.Type
+	for i, c := range s.cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, types.Invalid, fmt.Errorf("column reference %q is ambiguous", name)
+		}
+		found = i
+		typ = c.Type
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, types.Invalid, fmt.Errorf("column %s.%s does not exist", table, name)
+		}
+		return 0, types.Invalid, fmt.Errorf("column %q does not exist", name)
+	}
+	return found, typ, nil
+}
+
+// BindSelect binds a SELECT statement into a logical plan.
+func (b *Binder) BindSelect(stmt *sql.SelectStmt) (Node, error) {
+	node, err := b.bindSingleSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.UnionAll == nil {
+		return node, nil
+	}
+	inputs := []Node{node}
+	for arm := stmt.UnionAll; arm != nil; arm = arm.UnionAll {
+		n, err := b.bindSingleSelect(arm)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, n)
+	}
+	// Resolve the common supertype of every column across all arms, then
+	// cast each arm to it.
+	first := inputs[0].Schema()
+	common := make([]types.Type, len(first))
+	for j := range first {
+		common[j] = first[j].Type
+	}
+	for i := 1; i < len(inputs); i++ {
+		s := inputs[i].Schema()
+		if len(s) != len(first) {
+			return nil, fmt.Errorf("UNION ALL arms have %d vs %d columns", len(first), len(s))
+		}
+		for j := range s {
+			ct, err := types.CommonType(common[j], s[j].Type)
+			if err != nil {
+				return nil, fmt.Errorf("UNION ALL column %d: %w", j+1, err)
+			}
+			common[j] = ct
+		}
+	}
+	for i := range inputs {
+		s := inputs[i].Schema()
+		needsCast := false
+		exprs := make([]expr.Expr, len(s))
+		for j := range s {
+			exprs[j] = &expr.ColRef{Idx: j, Typ: s[j].Type, Name: s[j].Name}
+			if s[j].Type != common[j] {
+				exprs[j] = &expr.CastExpr{X: exprs[j], To: common[j]}
+				needsCast = true
+			}
+		}
+		if needsCast {
+			names := make([]string, len(first))
+			for j := range first {
+				names[j] = first[j].Name
+			}
+			inputs[i] = &ProjectNode{Child: inputs[i], Exprs: exprs, Names: names}
+		}
+	}
+	return &UnionAllNode{Inputs: inputs}, nil
+}
+
+func (b *Binder) bindSingleSelect(stmt *sql.SelectStmt) (Node, error) {
+	var (
+		cur       Node
+		fromScope *scope
+	)
+	if stmt.From != nil {
+		node, cols, err := b.bindFrom(stmt.From)
+		if err != nil {
+			return nil, err
+		}
+		cur = node
+		fromScope = scopeFrom(cols)
+	} else {
+		cur = &ValuesNode{Rows: [][]types.Value{{}}}
+		fromScope = &scope{}
+	}
+
+	if stmt.Where != nil {
+		cond, err := b.bindExpr(stmt.Where, fromScope, nil)
+		if err != nil {
+			return nil, err
+		}
+		cond, err = b.asBoolean(cond, "WHERE")
+		if err != nil {
+			return nil, err
+		}
+		cur = &FilterNode{Child: cur, Cond: cond}
+	}
+
+	// Expand stars in the select list.
+	var selExprs []sql.SelectExpr
+	for _, se := range stmt.Exprs {
+		if !se.Star {
+			selExprs = append(selExprs, se)
+			continue
+		}
+		matched := false
+		for _, c := range fromScope.cols {
+			if se.TableStar != "" && !strings.EqualFold(c.Table, se.TableStar) {
+				continue
+			}
+			matched = true
+			selExprs = append(selExprs, sql.SelectExpr{
+				Expr: &sql.ColumnRef{Table: c.Table, Name: c.Name},
+			})
+		}
+		if !matched {
+			if se.TableStar != "" {
+				return nil, fmt.Errorf("table %q not found for %s.*", se.TableStar, se.TableStar)
+			}
+			return nil, fmt.Errorf("SELECT * with no FROM columns")
+		}
+	}
+
+	// Aggregate handling.
+	var aggCalls []*sql.FuncCall
+	for _, se := range selExprs {
+		aggCalls = collectAggs(se.Expr, aggCalls)
+	}
+	if stmt.Having != nil {
+		aggCalls = collectAggs(stmt.Having, aggCalls)
+	}
+	isAgg := len(aggCalls) > 0 || len(stmt.GroupBy) > 0
+
+	var subst map[string]expr.Expr
+	outScope := fromScope
+	if isAgg {
+		subst = make(map[string]expr.Expr)
+		agg := &AggNode{Child: cur}
+		var aggScopeCols []scopeCol
+		for _, g := range stmt.GroupBy {
+			// GROUP BY <ordinal> or <output alias> resolves via the
+			// select list first.
+			gAST := resolveGroupRef(g, selExprs)
+			bound, err := b.bindExpr(gAST, fromScope, nil)
+			if err != nil {
+				return nil, err
+			}
+			name := exprName(gAST)
+			agg.GroupBy = append(agg.GroupBy, bound)
+			agg.Names = append(agg.Names, name)
+			idx := len(agg.GroupBy) - 1
+			subst[astKey(gAST)] = &expr.ColRef{Idx: idx, Typ: bound.Type(), Name: name}
+			var tbl string
+			if cr, ok := gAST.(*sql.ColumnRef); ok {
+				tbl = cr.Table
+				if tbl == "" {
+					if ci, _, err := fromScope.lookup("", cr.Name); err == nil {
+						tbl = fromScope.cols[ci].Table
+					}
+				}
+			}
+			aggScopeCols = append(aggScopeCols, scopeCol{Table: tbl, Name: name, Type: bound.Type()})
+		}
+		// Deduplicate aggregate calls by AST rendering.
+		seen := make(map[string]bool)
+		for _, call := range aggCalls {
+			k := astKey(call)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			spec, err := b.bindAgg(call, fromScope)
+			if err != nil {
+				return nil, err
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+			idx := len(agg.GroupBy) + len(agg.Aggs) - 1
+			subst[k] = &expr.ColRef{Idx: idx, Typ: spec.Type, Name: spec.Name}
+			aggScopeCols = append(aggScopeCols, scopeCol{Name: spec.Name, Type: spec.Type})
+		}
+		cur = agg
+		outScope = &scope{cols: aggScopeCols}
+	}
+
+	if stmt.Having != nil {
+		if !isAgg {
+			return nil, fmt.Errorf("HAVING requires GROUP BY or aggregates")
+		}
+		cond, err := b.bindExpr(stmt.Having, outScope, subst)
+		if err != nil {
+			return nil, err
+		}
+		cond, err = b.asBoolean(cond, "HAVING")
+		if err != nil {
+			return nil, err
+		}
+		cur = &FilterNode{Child: cur, Cond: cond}
+	}
+
+	// Projection. projScope keeps the source table alias of plain
+	// column references so ORDER BY can still resolve t.col.
+	proj := &ProjectNode{Child: cur}
+	var projScope []scopeCol
+	for _, se := range selExprs {
+		bound, err := b.bindExpr(se.Expr, outScope, subst)
+		if err != nil {
+			return nil, err
+		}
+		name := se.Alias
+		if name == "" {
+			name = exprName(se.Expr)
+		}
+		var tbl string
+		if cr, ok := se.Expr.(*sql.ColumnRef); ok {
+			tbl = cr.Table
+			if tbl == "" {
+				if ci, _, err := outScope.lookup("", cr.Name); err == nil {
+					tbl = outScope.cols[ci].Table
+				}
+			}
+		}
+		proj.Exprs = append(proj.Exprs, bound)
+		proj.Names = append(proj.Names, name)
+		projScope = append(projScope, scopeCol{Table: tbl, Name: name, Type: bound.Type()})
+	}
+	cur = proj
+
+	if stmt.Distinct {
+		agg := &AggNode{Child: cur}
+		for i, ci := range proj.Schema() {
+			agg.GroupBy = append(agg.GroupBy, &expr.ColRef{Idx: i, Typ: ci.Type, Name: ci.Name})
+			agg.Names = append(agg.Names, ci.Name)
+		}
+		cur = agg
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		outCols := cur.Schema()
+		sortScope := &scope{cols: projScope}
+		if len(projScope) != len(outCols) { // DISTINCT rewrapped the schema
+			sortScope = scopeFrom(outCols)
+		}
+		visible := len(outCols)
+		hiddenAllowed := !stmt.Distinct && cur == Node(proj)
+		sort := &SortNode{Child: cur}
+		for _, item := range stmt.OrderBy {
+			var key expr.Expr
+			// ORDER BY <ordinal>
+			if lit, ok := item.Expr.(*sql.Literal); ok && !lit.Val.Null &&
+				(lit.Val.Type == types.Integer || lit.Val.Type == types.BigInt) {
+				ord := int(lit.Val.I64)
+				if ord < 1 || ord > visible {
+					return nil, fmt.Errorf("ORDER BY position %d is out of range", ord)
+				}
+				key = &expr.ColRef{Idx: ord - 1, Typ: outCols[ord-1].Type, Name: outCols[ord-1].Name}
+			} else {
+				bound, err := b.bindExpr(item.Expr, sortScope, nil)
+				if err != nil {
+					if !hiddenAllowed {
+						return nil, err
+					}
+					// Not an output column: bind it over the
+					// pre-projection scope and carry it as a hidden
+					// projection column that is stripped after the sort.
+					hidden, herr := b.bindExpr(item.Expr, outScope, subst)
+					if herr != nil {
+						return nil, err // report the original error
+					}
+					proj.Exprs = append(proj.Exprs, hidden)
+					proj.Names = append(proj.Names, exprName(item.Expr))
+					bound = &expr.ColRef{Idx: len(proj.Exprs) - 1, Typ: hidden.Type(), Name: exprName(item.Expr)}
+				}
+				key = bound
+			}
+			nullsFirst := item.Desc // SQL default: NULLS LAST asc, FIRST desc
+			if item.NullsSet {
+				nullsFirst = !item.NullsLast
+			}
+			sort.Keys = append(sort.Keys, SortKey{Expr: key, Desc: item.Desc, NullsFirst: nullsFirst})
+		}
+		cur = sort
+		if len(proj.Exprs) > visible {
+			// Strip hidden sort columns.
+			strip := &ProjectNode{Child: cur}
+			for i := 0; i < visible; i++ {
+				strip.Exprs = append(strip.Exprs, &expr.ColRef{Idx: i, Typ: outCols[i].Type, Name: outCols[i].Name})
+				strip.Names = append(strip.Names, outCols[i].Name)
+			}
+			cur = strip
+		}
+	}
+
+	if stmt.Limit != nil || stmt.Offset != nil {
+		limit := int64(-1)
+		offset := int64(0)
+		if stmt.Limit != nil {
+			v, err := b.constInt(stmt.Limit, "LIMIT")
+			if err != nil {
+				return nil, err
+			}
+			limit = v
+		}
+		if stmt.Offset != nil {
+			v, err := b.constInt(stmt.Offset, "OFFSET")
+			if err != nil {
+				return nil, err
+			}
+			offset = v
+		}
+		cur = &LimitNode{Child: cur, Limit: limit, Offset: offset}
+	}
+	return cur, nil
+}
+
+// resolveGroupRef maps GROUP BY ordinals and output aliases back to the
+// underlying select expressions.
+func resolveGroupRef(g sql.Expr, selExprs []sql.SelectExpr) sql.Expr {
+	if lit, ok := g.(*sql.Literal); ok && !lit.Val.Null &&
+		(lit.Val.Type == types.Integer || lit.Val.Type == types.BigInt) {
+		ord := int(lit.Val.I64)
+		if ord >= 1 && ord <= len(selExprs) && selExprs[ord-1].Expr != nil {
+			return selExprs[ord-1].Expr
+		}
+	}
+	if cr, ok := g.(*sql.ColumnRef); ok && cr.Table == "" {
+		for _, se := range selExprs {
+			if se.Alias != "" && strings.EqualFold(se.Alias, cr.Name) && se.Expr != nil {
+				return se.Expr
+			}
+		}
+	}
+	return g
+}
+
+func (b *Binder) constInt(e sql.Expr, clause string) (int64, error) {
+	bound, err := b.bindExpr(e, &scope{}, nil)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", clause, err)
+	}
+	v, err := EvalConst(bound)
+	if err != nil {
+		return 0, fmt.Errorf("%s must be a constant: %w", clause, err)
+	}
+	if v.Null {
+		return 0, fmt.Errorf("%s must not be NULL", clause)
+	}
+	return v.AsInt(), nil
+}
+
+// asBoolean coerces a predicate to BOOLEAN.
+func (b *Binder) asBoolean(e expr.Expr, clause string) (expr.Expr, error) {
+	switch e.Type() {
+	case types.Boolean:
+		return e, nil
+	case types.Null:
+		return &expr.CastExpr{X: e, To: types.Boolean}, nil
+	default:
+		return nil, fmt.Errorf("%s clause must be BOOLEAN, got %s", clause, e.Type())
+	}
+}
+
+// bindFrom binds a FROM item, returning the plan and the scope columns
+// (which carry table aliases the node schema may not).
+func (b *Binder) bindFrom(ref sql.TableRef) (Node, []ColInfo, error) {
+	switch ref := ref.(type) {
+	case *sql.BaseTable:
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Name
+		}
+		if v, ok := b.Cat.View(ref.Name); ok {
+			if b.viewDepth > 16 {
+				return nil, nil, fmt.Errorf("view nesting too deep (recursive view %q?)", ref.Name)
+			}
+			stmt, err := sql.ParseOne(v.SQL)
+			if err != nil {
+				return nil, nil, fmt.Errorf("view %q: %w", v.Name, err)
+			}
+			sel, ok := stmt.(*sql.SelectStmt)
+			if !ok {
+				return nil, nil, fmt.Errorf("view %q is not a SELECT", v.Name)
+			}
+			b.viewDepth++
+			node, err := b.BindSelect(sel)
+			b.viewDepth--
+			if err != nil {
+				return nil, nil, fmt.Errorf("view %q: %w", v.Name, err)
+			}
+			cols := renameSchema(node.Schema(), alias)
+			return node, cols, nil
+		}
+		tbl, err := b.Cat.Table(ref.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols := make([]int, len(tbl.Columns))
+		for i := range cols {
+			cols[i] = i
+		}
+		node := &ScanNode{Table: tbl, TableAlias: alias, Columns: cols}
+		return node, node.Schema(), nil
+	case *sql.SubqueryRef:
+		node, err := b.BindSelect(ref.Select)
+		if err != nil {
+			return nil, nil, err
+		}
+		return node, renameSchema(node.Schema(), ref.Alias), nil
+	case *sql.JoinRef:
+		left, lcols, err := b.bindFrom(ref.Left)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, rcols, err := b.bindFrom(ref.Right)
+		if err != nil {
+			return nil, nil, err
+		}
+		combined := append(append([]ColInfo{}, lcols...), rcols...)
+		join := &JoinNode{Left: left, Right: right}
+		switch ref.Type {
+		case sql.JoinInner:
+			join.Type = JoinInner
+		case sql.JoinLeft:
+			join.Type = JoinLeft
+		case sql.JoinCross:
+			join.Type = JoinCross
+		}
+		if ref.On != nil {
+			if err := b.bindJoinCondition(join, ref.On, lcols, rcols, combined); err != nil {
+				return nil, nil, err
+			}
+		}
+		return join, combined, nil
+	default:
+		return nil, nil, fmt.Errorf("unsupported FROM clause")
+	}
+}
+
+func renameSchema(cols []ColInfo, alias string) []ColInfo {
+	out := make([]ColInfo, len(cols))
+	for i, c := range cols {
+		out[i] = ColInfo{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// bindJoinCondition splits the ON expression into equi-key pairs (bound
+// over each side's schema) and a residual condition over the combined
+// schema.
+func (b *Binder) bindJoinCondition(join *JoinNode, on sql.Expr, lcols, rcols, combined []ColInfo) error {
+	lScope, rScope, cScope := scopeFrom(lcols), scopeFrom(rcols), scopeFrom(combined)
+	var residual []sql.Expr
+	for _, conj := range splitConjuncts(on) {
+		bin, ok := conj.(*sql.Binary)
+		if ok && bin.Op == "=" {
+			if lk, rk, ok := b.tryKeyPair(bin.L, bin.R, lScope, rScope); ok {
+				join.LeftKeys = append(join.LeftKeys, lk)
+				join.RightKeys = append(join.RightKeys, rk)
+				continue
+			}
+			if lk, rk, ok := b.tryKeyPair(bin.R, bin.L, lScope, rScope); ok {
+				join.LeftKeys = append(join.LeftKeys, lk)
+				join.RightKeys = append(join.RightKeys, rk)
+				continue
+			}
+		}
+		residual = append(residual, conj)
+	}
+	if len(residual) > 0 {
+		cond, err := b.bindExpr(andAll(residual), cScope, nil)
+		if err != nil {
+			return err
+		}
+		cond, err = b.asBoolean(cond, "JOIN ON")
+		if err != nil {
+			return err
+		}
+		join.Extra = cond
+	}
+	return nil
+}
+
+// tryKeyPair attempts to bind l over the left scope and r over the right
+// scope, casting both to a common type.
+func (b *Binder) tryKeyPair(l, r sql.Expr, lScope, rScope *scope) (expr.Expr, expr.Expr, bool) {
+	lk, err := b.bindExpr(l, lScope, nil)
+	if err != nil {
+		return nil, nil, false
+	}
+	rk, err := b.bindExpr(r, rScope, nil)
+	if err != nil {
+		return nil, nil, false
+	}
+	ct, err := types.CommonType(lk.Type(), rk.Type())
+	if err != nil {
+		return nil, nil, false
+	}
+	if lk.Type() != ct {
+		lk = &expr.CastExpr{X: lk, To: ct}
+	}
+	if rk.Type() != ct {
+		rk = &expr.CastExpr{X: rk, To: ct}
+	}
+	return lk, rk, true
+}
+
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if bin, ok := e.(*sql.Binary); ok && bin.Op == "AND" {
+		return append(splitConjuncts(bin.L), splitConjuncts(bin.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+func andAll(es []sql.Expr) sql.Expr {
+	cur := es[0]
+	for _, e := range es[1:] {
+		cur = &sql.Binary{Op: "AND", L: cur, R: e}
+	}
+	return cur
+}
+
+// ---- aggregates ----
+
+var aggFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func collectAggs(e sql.Expr, acc []*sql.FuncCall) []*sql.FuncCall {
+	switch e := e.(type) {
+	case *sql.FuncCall:
+		if aggFuncs[e.Name] {
+			return append(acc, e)
+		}
+		for _, a := range e.Args {
+			acc = collectAggs(a, acc)
+		}
+	case *sql.Unary:
+		acc = collectAggs(e.X, acc)
+	case *sql.Binary:
+		acc = collectAggs(e.L, acc)
+		acc = collectAggs(e.R, acc)
+	case *sql.IsNull:
+		acc = collectAggs(e.X, acc)
+	case *sql.Between:
+		acc = collectAggs(e.X, acc)
+		acc = collectAggs(e.Lo, acc)
+		acc = collectAggs(e.Hi, acc)
+	case *sql.InList:
+		acc = collectAggs(e.X, acc)
+		for _, x := range e.List {
+			acc = collectAggs(x, acc)
+		}
+	case *sql.Like:
+		acc = collectAggs(e.X, acc)
+		acc = collectAggs(e.Pattern, acc)
+	case *sql.Case:
+		if e.Operand != nil {
+			acc = collectAggs(e.Operand, acc)
+		}
+		for _, w := range e.Whens {
+			acc = collectAggs(w.Cond, acc)
+			acc = collectAggs(w.Result, acc)
+		}
+		if e.Else != nil {
+			acc = collectAggs(e.Else, acc)
+		}
+	case *sql.Cast:
+		acc = collectAggs(e.X, acc)
+	}
+	return acc
+}
+
+func (b *Binder) bindAgg(call *sql.FuncCall, sc *scope) (AggSpec, error) {
+	spec := AggSpec{Func: call.Name, Distinct: call.Distinct, Name: astKey(call)}
+	if call.Star {
+		if call.Name != "count" {
+			return spec, fmt.Errorf("%s(*) is not defined", call.Name)
+		}
+		spec.Type = types.BigInt
+		return spec, nil
+	}
+	if len(call.Args) != 1 {
+		return spec, fmt.Errorf("%s takes exactly one argument", call.Name)
+	}
+	arg, err := b.bindExpr(call.Args[0], sc, nil)
+	if err != nil {
+		return spec, err
+	}
+	// Nested aggregates are invalid.
+	if len(collectAggs(call.Args[0], nil)) > 0 {
+		return spec, fmt.Errorf("aggregate calls cannot be nested")
+	}
+	spec.Arg = arg
+	switch call.Name {
+	case "count":
+		spec.Type = types.BigInt
+	case "sum":
+		switch arg.Type() {
+		case types.Integer, types.BigInt, types.Boolean:
+			spec.Type = types.BigInt
+		case types.Double:
+			spec.Type = types.Double
+		default:
+			return spec, fmt.Errorf("sum(%s) is not defined", arg.Type())
+		}
+	case "avg":
+		if !arg.Type().IsNumeric() {
+			return spec, fmt.Errorf("avg(%s) is not defined", arg.Type())
+		}
+		spec.Type = types.Double
+	case "min", "max":
+		spec.Type = arg.Type()
+	}
+	return spec, nil
+}
+
+// ---- expression binding ----
+
+func (b *Binder) bindExpr(e sql.Expr, sc *scope, subst map[string]expr.Expr) (expr.Expr, error) {
+	if subst != nil {
+		if mapped, ok := subst[astKey(e)]; ok {
+			return mapped, nil
+		}
+		if fc, ok := e.(*sql.FuncCall); ok && aggFuncs[fc.Name] {
+			return nil, fmt.Errorf("aggregate %s not found in aggregation (internal)", fc.Name)
+		}
+	}
+	switch e := e.(type) {
+	case *sql.Literal:
+		return &expr.Const{Val: e.Val}, nil
+	case *sql.Param:
+		if e.Index >= len(b.Params) {
+			return nil, fmt.Errorf("parameter %d not provided (%d given)", e.Index+1, len(b.Params))
+		}
+		return &expr.Const{Val: b.Params[e.Index]}, nil
+	case *sql.ColumnRef:
+		idx, typ, err := sc.lookup(e.Table, e.Name)
+		if err != nil {
+			if subst != nil {
+				return nil, fmt.Errorf("%v (columns used outside aggregates must appear in GROUP BY)", err)
+			}
+			return nil, err
+		}
+		name := e.Name
+		if e.Table != "" {
+			name = e.Table + "." + e.Name
+		}
+		return &expr.ColRef{Idx: idx, Typ: typ, Name: name}, nil
+	case *sql.Unary:
+		x, err := b.bindExpr(e.X, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		if e.Op == "NOT" {
+			x, err = b.asBoolean(x, "NOT")
+			if err != nil {
+				return nil, err
+			}
+			return &expr.Not{X: x}, nil
+		}
+		if !x.Type().IsNumeric() {
+			return nil, fmt.Errorf("cannot negate %s", x.Type())
+		}
+		return &expr.Neg{X: x}, nil
+	case *sql.Binary:
+		return b.bindBinary(e, sc, subst)
+	case *sql.IsNull:
+		x, err := b.bindExpr(e.X, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{X: x, Not: e.Not}, nil
+	case *sql.Between:
+		lo := &sql.Binary{Op: ">=", L: e.X, R: e.Lo}
+		hi := &sql.Binary{Op: "<=", L: e.X, R: e.Hi}
+		both := &sql.Binary{Op: "AND", L: lo, R: hi}
+		if e.Not {
+			return b.bindExpr(&sql.Unary{Op: "NOT", X: both}, sc, subst)
+		}
+		return b.bindExpr(both, sc, subst)
+	case *sql.InList:
+		return b.bindIn(e, sc, subst)
+	case *sql.Like:
+		x, err := b.bindExpr(e.X, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := b.bindExpr(e.Pattern, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		if x.Type() != types.Varchar || pat.Type() != types.Varchar {
+			return nil, fmt.Errorf("LIKE requires VARCHAR operands")
+		}
+		return &expr.LikeExpr{X: x, Pattern: pat, Not: e.Not}, nil
+	case *sql.Case:
+		return b.bindCase(e, sc, subst)
+	case *sql.Cast:
+		x, err := b.bindExpr(e.X, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.CastExpr{X: x, To: e.To}, nil
+	case *sql.FuncCall:
+		if aggFuncs[e.Name] {
+			return nil, fmt.Errorf("aggregate function %s is not allowed here", e.Name)
+		}
+		args := make([]expr.Expr, len(e.Args))
+		argTypes := make([]types.Type, len(e.Args))
+		for i, a := range e.Args {
+			bound, err := b.bindExpr(a, sc, subst)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+			argTypes[i] = bound.Type()
+		}
+		typ, err := expr.FuncResultType(e.Name, argTypes)
+		if err != nil {
+			return nil, err
+		}
+		// Homogenize variadic comparisons.
+		switch e.Name {
+		case "coalesce", "greatest", "least":
+			for i := range args {
+				if args[i].Type() != typ {
+					args[i] = &expr.CastExpr{X: args[i], To: typ}
+				}
+			}
+		case "concat":
+			for i := range args {
+				if args[i].Type() != types.Varchar {
+					args[i] = &expr.CastExpr{X: args[i], To: types.Varchar}
+				}
+			}
+		}
+		return &expr.ScalarFunc{Name: e.Name, Args: args, Typ: typ}, nil
+	default:
+		return nil, fmt.Errorf("unsupported expression")
+	}
+}
+
+func (b *Binder) bindBinary(e *sql.Binary, sc *scope, subst map[string]expr.Expr) (expr.Expr, error) {
+	l, err := b.bindExpr(e.L, sc, subst)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.bindExpr(e.R, sc, subst)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "AND", "OR":
+		l, err = b.asBoolean(l, e.Op)
+		if err != nil {
+			return nil, err
+		}
+		r, err = b.asBoolean(r, e.Op)
+		if err != nil {
+			return nil, err
+		}
+		op := expr.OpAnd
+		if e.Op == "OR" {
+			op = expr.OpOr
+		}
+		return &expr.Logic{Op: op, L: l, R: r}, nil
+	case "||":
+		if l.Type() != types.Varchar {
+			l = &expr.CastExpr{X: l, To: types.Varchar}
+		}
+		if r.Type() != types.Varchar {
+			r = &expr.CastExpr{X: r, To: types.Varchar}
+		}
+		return &expr.ScalarFunc{Name: "concat", Args: []expr.Expr{l, r}, Typ: types.Varchar}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		ct, err := types.CommonType(l.Type(), r.Type())
+		if err != nil {
+			return nil, err
+		}
+		if l.Type() != ct {
+			l = &expr.CastExpr{X: l, To: ct}
+		}
+		if r.Type() != ct {
+			r = &expr.CastExpr{X: r, To: ct}
+		}
+		var op expr.CmpOp
+		switch e.Op {
+		case "=":
+			op = expr.CmpEq
+		case "<>":
+			op = expr.CmpNe
+		case "<":
+			op = expr.CmpLt
+		case "<=":
+			op = expr.CmpLe
+		case ">":
+			op = expr.CmpGt
+		default:
+			op = expr.CmpGe
+		}
+		return &expr.Compare{Op: op, L: l, R: r}, nil
+	case "+", "-", "*", "/", "%":
+		ct, err := types.CommonType(l.Type(), r.Type())
+		if err != nil {
+			return nil, err
+		}
+		if !ct.IsNumeric() && ct != types.Timestamp {
+			return nil, fmt.Errorf("operator %s is not defined for %s", e.Op, ct)
+		}
+		if e.Op == "/" {
+			ct = types.Double
+		}
+		if ct == types.Boolean {
+			ct = types.Integer
+		}
+		if l.Type() != ct {
+			l = &expr.CastExpr{X: l, To: ct}
+		}
+		if r.Type() != ct {
+			r = &expr.CastExpr{X: r, To: ct}
+		}
+		var op expr.ArithOp
+		switch e.Op {
+		case "+":
+			op = expr.OpAdd
+		case "-":
+			op = expr.OpSub
+		case "*":
+			op = expr.OpMul
+		case "/":
+			op = expr.OpDiv
+		default:
+			op = expr.OpMod
+		}
+		return &expr.Arith{Op: op, L: l, R: r, Typ: ct}, nil
+	default:
+		return nil, fmt.Errorf("unsupported operator %q", e.Op)
+	}
+}
+
+func (b *Binder) bindIn(e *sql.InList, sc *scope, subst map[string]expr.Expr) (expr.Expr, error) {
+	x, err := b.bindExpr(e.X, sc, subst)
+	if err != nil {
+		return nil, err
+	}
+	// Constant list → hash-set lookup.
+	allConst := true
+	vals := make([]types.Value, 0, len(e.List))
+	for _, item := range e.List {
+		bound, err := b.bindExpr(item, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		v, cerr := EvalConst(bound)
+		if cerr != nil {
+			allConst = false
+			break
+		}
+		cv, cerr := v.Cast(x.Type())
+		if cerr != nil {
+			return nil, cerr
+		}
+		vals = append(vals, cv)
+	}
+	if allConst {
+		return expr.NewInConst(x, vals, e.Not), nil
+	}
+	// Fall back to OR-chain of equalities.
+	var cur sql.Expr
+	for _, item := range e.List {
+		eq := sql.Expr(&sql.Binary{Op: "=", L: e.X, R: item})
+		if cur == nil {
+			cur = eq
+		} else {
+			cur = &sql.Binary{Op: "OR", L: cur, R: eq}
+		}
+	}
+	if e.Not {
+		cur = &sql.Unary{Op: "NOT", X: cur}
+	}
+	return b.bindExpr(cur, sc, subst)
+}
+
+func (b *Binder) bindCase(e *sql.Case, sc *scope, subst map[string]expr.Expr) (expr.Expr, error) {
+	// Desugar operand form: CASE x WHEN v ... → CASE WHEN x = v ...
+	whens := e.Whens
+	if e.Operand != nil {
+		whens = make([]sql.When, len(e.Whens))
+		for i, w := range e.Whens {
+			whens[i] = sql.When{
+				Cond:   &sql.Binary{Op: "=", L: e.Operand, R: w.Cond},
+				Result: w.Result,
+			}
+		}
+	}
+	out := &expr.CaseExpr{}
+	resultType := types.Null
+	var conds, results []expr.Expr
+	for _, w := range whens {
+		cond, err := b.bindExpr(w.Cond, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		cond, err = b.asBoolean(cond, "CASE WHEN")
+		if err != nil {
+			return nil, err
+		}
+		res, err := b.bindExpr(w.Result, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := types.CommonType(resultType, res.Type())
+		if err != nil {
+			return nil, err
+		}
+		resultType = ct
+		conds = append(conds, cond)
+		results = append(results, res)
+	}
+	var elseE expr.Expr
+	if e.Else != nil {
+		bound, err := b.bindExpr(e.Else, sc, subst)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := types.CommonType(resultType, bound.Type())
+		if err != nil {
+			return nil, err
+		}
+		resultType = ct
+		elseE = bound
+	}
+	if resultType == types.Null {
+		resultType = types.Varchar
+	}
+	out.Typ = resultType
+	for i := range conds {
+		if results[i].Type() != resultType {
+			results[i] = &expr.CastExpr{X: results[i], To: resultType}
+		}
+		out.Whens = append(out.Whens, expr.CaseWhen{Cond: conds[i], Result: results[i]})
+	}
+	if elseE != nil {
+		if elseE.Type() != resultType {
+			elseE = &expr.CastExpr{X: elseE, To: resultType}
+		}
+		out.Else = elseE
+	}
+	return out, nil
+}
+
+// EvalConst evaluates a bound expression that references no columns,
+// returning its value.
+func EvalConst(e expr.Expr) (types.Value, error) {
+	one := &vector.Chunk{}
+	one.SetLen(1)
+	v, err := e.Eval(one)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return v.Get(0), nil
+}
+
+// exprName derives a display name for an unaliased select expression.
+func exprName(e sql.Expr) string {
+	if cr, ok := e.(*sql.ColumnRef); ok {
+		return cr.Name
+	}
+	return astKey(e)
+}
+
+// astKey renders an AST expression canonically, used for GROUP BY /
+// aggregate matching and display names.
+func astKey(e sql.Expr) string {
+	switch e := e.(type) {
+	case *sql.Literal:
+		if e.Val.Type == types.Varchar {
+			return "'" + e.Val.Str + "'"
+		}
+		return e.Val.String()
+	case *sql.Param:
+		return fmt.Sprintf("?%d", e.Index+1)
+	case *sql.ColumnRef:
+		if e.Table != "" {
+			return strings.ToLower(e.Table) + "." + strings.ToLower(e.Name)
+		}
+		return strings.ToLower(e.Name)
+	case *sql.Unary:
+		return e.Op + " " + astKey(e.X)
+	case *sql.Binary:
+		return "(" + astKey(e.L) + " " + e.Op + " " + astKey(e.R) + ")"
+	case *sql.IsNull:
+		if e.Not {
+			return astKey(e.X) + " IS NOT NULL"
+		}
+		return astKey(e.X) + " IS NULL"
+	case *sql.Between:
+		n := ""
+		if e.Not {
+			n = "NOT "
+		}
+		return astKey(e.X) + " " + n + "BETWEEN " + astKey(e.Lo) + " AND " + astKey(e.Hi)
+	case *sql.InList:
+		parts := make([]string, len(e.List))
+		for i, x := range e.List {
+			parts[i] = astKey(x)
+		}
+		n := ""
+		if e.Not {
+			n = "NOT "
+		}
+		return astKey(e.X) + " " + n + "IN (" + strings.Join(parts, ", ") + ")"
+	case *sql.Like:
+		n := ""
+		if e.Not {
+			n = "NOT "
+		}
+		return astKey(e.X) + " " + n + "LIKE " + astKey(e.Pattern)
+	case *sql.Case:
+		var sb strings.Builder
+		sb.WriteString("CASE")
+		if e.Operand != nil {
+			sb.WriteString(" " + astKey(e.Operand))
+		}
+		for _, w := range e.Whens {
+			sb.WriteString(" WHEN " + astKey(w.Cond) + " THEN " + astKey(w.Result))
+		}
+		if e.Else != nil {
+			sb.WriteString(" ELSE " + astKey(e.Else))
+		}
+		sb.WriteString(" END")
+		return sb.String()
+	case *sql.Cast:
+		return "CAST(" + astKey(e.X) + " AS " + e.To.String() + ")"
+	case *sql.FuncCall:
+		if e.Star {
+			return e.Name + "(*)"
+		}
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = astKey(a)
+		}
+		d := ""
+		if e.Distinct {
+			d = "DISTINCT "
+		}
+		return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+	default:
+		return "?expr?"
+	}
+}

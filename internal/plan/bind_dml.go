@@ -1,0 +1,229 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// BindInsert plans INSERT .. VALUES / INSERT .. SELECT. The produced
+// child emits rows aligned to the full table schema: listed columns in
+// table order with casts, unlisted columns as NULLs.
+func (b *Binder) BindInsert(stmt *sql.InsertStmt) (Node, error) {
+	tbl, err := b.Cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the target column list.
+	targets := make([]int, 0, len(tbl.Columns))
+	if len(stmt.Columns) == 0 {
+		for i := range tbl.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		seen := make(map[int]bool)
+		for _, name := range stmt.Columns {
+			idx := tbl.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("column %q does not exist in table %q", name, tbl.Name)
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("column %q listed twice", name)
+			}
+			seen[idx] = true
+			targets = append(targets, idx)
+		}
+	}
+	// position of each table column in the source row (-1 = NULL default)
+	srcPos := make([]int, len(tbl.Columns))
+	for i := range srcPos {
+		srcPos[i] = -1
+	}
+	for j, t := range targets {
+		srcPos[t] = j
+	}
+
+	if stmt.Select == nil {
+		// VALUES: evaluate constant rows at bind time.
+		values := &ValuesNode{}
+		for i, col := range tbl.Columns {
+			_ = i
+			values.Cols = append(values.Cols, ColInfo{Name: col.Name, Type: col.Type})
+		}
+		for rowIdx, row := range stmt.Rows {
+			if len(row) != len(targets) {
+				return nil, fmt.Errorf("row %d has %d values, expected %d", rowIdx+1, len(row), len(targets))
+			}
+			out := make([]types.Value, len(tbl.Columns))
+			for i, col := range tbl.Columns {
+				if srcPos[i] < 0 {
+					out[i] = types.NewNull(col.Type)
+					continue
+				}
+				bound, err := b.bindExpr(row[srcPos[i]], &scope{}, nil)
+				if err != nil {
+					return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
+				}
+				v, err := EvalConst(bound)
+				if err != nil {
+					return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
+				}
+				cv, err := v.Cast(col.Type)
+				if err != nil {
+					return nil, fmt.Errorf("row %d, column %q: %w", rowIdx+1, col.Name, err)
+				}
+				out[i] = cv
+			}
+			values.Rows = append(values.Rows, out)
+		}
+		return &InsertNode{Table: tbl, Child: values}, nil
+	}
+
+	child, err := b.BindSelect(stmt.Select)
+	if err != nil {
+		return nil, err
+	}
+	srcSchema := child.Schema()
+	if len(srcSchema) != len(targets) {
+		return nil, fmt.Errorf("INSERT SELECT produces %d columns, expected %d", len(srcSchema), len(targets))
+	}
+	proj := &ProjectNode{Child: child}
+	for i, col := range tbl.Columns {
+		var e expr.Expr
+		if srcPos[i] < 0 {
+			e = &expr.Const{Val: types.NewNull(col.Type)}
+		} else {
+			j := srcPos[i]
+			e = castTo(&expr.ColRef{Idx: j, Typ: srcSchema[j].Type, Name: srcSchema[j].Name}, col.Type)
+		}
+		proj.Exprs = append(proj.Exprs, e)
+		proj.Names = append(proj.Names, col.Name)
+	}
+	return &InsertNode{Table: tbl, Child: proj}, nil
+}
+
+// BindUpdate plans a bulk UPDATE. The child scan emits only the columns
+// the SET expressions and WHERE clause use, plus a row id — so an update
+// of one column never reads the others (paper §2).
+func (b *Binder) BindUpdate(stmt *sql.UpdateStmt) (Node, error) {
+	tbl, err := b.Cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	fullScope := tableScope(tbl, stmt.Table)
+
+	node := &UpdateNode{Table: tbl}
+	seen := make(map[int]bool)
+	boundSet := make([]expr.Expr, 0, len(stmt.Set))
+	for _, sc := range stmt.Set {
+		idx := tbl.ColumnIndex(sc.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("column %q does not exist in table %q", sc.Column, tbl.Name)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("column %q assigned twice", sc.Column)
+		}
+		seen[idx] = true
+		bound, err := b.bindExpr(sc.Value, fullScope, nil)
+		if err != nil {
+			return nil, err
+		}
+		bound = castTo(bound, tbl.Columns[idx].Type)
+		node.SetCols = append(node.SetCols, idx)
+		boundSet = append(boundSet, bound)
+	}
+	var where expr.Expr
+	if stmt.Where != nil {
+		where, err = b.bindExpr(stmt.Where, fullScope, nil)
+		if err != nil {
+			return nil, err
+		}
+		where, err = b.asBoolean(where, "WHERE")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Prune the scan to the columns actually read.
+	used := make([]bool, len(tbl.Columns))
+	for _, e := range boundSet {
+		usedCols(e, used)
+	}
+	if where != nil {
+		usedCols(where, used)
+	}
+	scanCols, oldToNew := usedList(used)
+	scan := &ScanNode{Table: tbl, TableAlias: stmt.Table, Columns: scanCols, WithRowID: true}
+	for i := range boundSet {
+		node.SetExprs = append(node.SetExprs, remapExpr(boundSet[i], oldToNew))
+	}
+	var child Node = scan
+	if where != nil {
+		scan.Filter = remapExpr(where, oldToNew)
+	}
+	node.Child = child
+	return node, nil
+}
+
+// BindDelete plans a bulk DELETE; the scan reads only the WHERE columns
+// plus a row id.
+func (b *Binder) BindDelete(stmt *sql.DeleteStmt) (Node, error) {
+	tbl, err := b.Cat.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	fullScope := tableScope(tbl, stmt.Table)
+	var where expr.Expr
+	if stmt.Where != nil {
+		where, err = b.bindExpr(stmt.Where, fullScope, nil)
+		if err != nil {
+			return nil, err
+		}
+		where, err = b.asBoolean(where, "WHERE")
+		if err != nil {
+			return nil, err
+		}
+	}
+	used := make([]bool, len(tbl.Columns))
+	if where != nil {
+		usedCols(where, used)
+	}
+	scanCols, oldToNew := usedList(used)
+	scan := &ScanNode{Table: tbl, TableAlias: stmt.Table, Columns: scanCols, WithRowID: true}
+	if where != nil {
+		scan.Filter = remapExpr(where, oldToNew)
+	}
+	return &DeleteNode{Table: tbl, Child: scan}, nil
+}
+
+// tableScope builds a name-resolution scope over all columns of a table.
+func tableScope(tbl *catalog.Table, alias string) *scope {
+	s := &scope{cols: make([]scopeCol, len(tbl.Columns))}
+	for i, c := range tbl.Columns {
+		s.cols[i] = scopeCol{Table: alias, Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+func usedList(used []bool) (cols []int, oldToNew []int) {
+	oldToNew = make([]int, len(used)+1) // +1 for rowid position
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	idxs := make([]int, 0, len(used))
+	for i, u := range used {
+		if u {
+			idxs = append(idxs, i)
+		}
+	}
+	sort.Ints(idxs)
+	for newIdx, old := range idxs {
+		oldToNew[old] = newIdx
+	}
+	oldToNew[len(used)] = len(idxs) // rowid stays last
+	return idxs, oldToNew
+}

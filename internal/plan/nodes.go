@@ -1,0 +1,378 @@
+// Package plan contains QuackDB's binder, logical query plan and
+// rule-based optimizer. The binder resolves names and types against the
+// catalog and produces vectorized expression trees; the optimizer pushes
+// filters into scans, prunes unused columns (so scans touch — and load —
+// only the columns a query needs, per paper §2), folds constants and
+// extracts equi-join keys.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// ColInfo describes one output column of a plan node.
+type ColInfo struct {
+	Table string // table alias ("" for computed columns)
+	Name  string
+	Type  types.Type
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema returns the node's output columns.
+	Schema() []ColInfo
+	// Explain renders one line for EXPLAIN.
+	Explain() string
+	// Children returns the input nodes.
+	Children() []Node
+}
+
+// ScanNode reads a base table. Columns selects and orders the table
+// columns to emit; Filter (if set) is evaluated over the emitted columns
+// inside the scan; WithRowID appends a BIGINT row-id column.
+type ScanNode struct {
+	Table      *catalog.Table
+	TableAlias string
+	Columns    []int
+	Filter     expr.Expr
+	WithRowID  bool
+}
+
+// Schema implements Node.
+func (n *ScanNode) Schema() []ColInfo {
+	out := make([]ColInfo, 0, len(n.Columns)+1)
+	for _, c := range n.Columns {
+		col := n.Table.Columns[c]
+		out = append(out, ColInfo{Table: n.TableAlias, Name: col.Name, Type: col.Type})
+	}
+	if n.WithRowID {
+		out = append(out, ColInfo{Table: n.TableAlias, Name: "rowid", Type: types.BigInt})
+	}
+	return out
+}
+
+// Explain implements Node.
+func (n *ScanNode) Explain() string {
+	s := fmt.Sprintf("SCAN %s", n.Table.Name)
+	if len(n.Columns) < len(n.Table.Columns) {
+		names := make([]string, len(n.Columns))
+		for i, c := range n.Columns {
+			names[i] = n.Table.Columns[c].Name
+		}
+		s += "(" + strings.Join(names, ", ") + ")"
+	}
+	if n.Filter != nil {
+		s += " FILTER " + n.Filter.String()
+	}
+	return s
+}
+
+// Children implements Node.
+func (n *ScanNode) Children() []Node { return nil }
+
+// FilterNode keeps rows where Cond is TRUE.
+type FilterNode struct {
+	Child Node
+	Cond  expr.Expr
+}
+
+// Schema implements Node.
+func (n *FilterNode) Schema() []ColInfo { return n.Child.Schema() }
+
+// Explain implements Node.
+func (n *FilterNode) Explain() string { return "FILTER " + n.Cond.String() }
+
+// Children implements Node.
+func (n *FilterNode) Children() []Node { return []Node{n.Child} }
+
+// ProjectNode computes expressions over its child.
+type ProjectNode struct {
+	Child Node
+	Exprs []expr.Expr
+	Names []string
+}
+
+// Schema implements Node.
+func (n *ProjectNode) Schema() []ColInfo {
+	out := make([]ColInfo, len(n.Exprs))
+	for i, e := range n.Exprs {
+		out[i] = ColInfo{Name: n.Names[i], Type: e.Type()}
+	}
+	return out
+}
+
+// Explain implements Node.
+func (n *ProjectNode) Explain() string {
+	parts := make([]string, len(n.Exprs))
+	for i, e := range n.Exprs {
+		parts[i] = e.String()
+	}
+	return "PROJECT " + strings.Join(parts, ", ")
+}
+
+// Children implements Node.
+func (n *ProjectNode) Children() []Node { return []Node{n.Child} }
+
+// JoinNode joins Left and Right. Equi-key expressions are evaluated over
+// the respective child schemas; Extra (if set) is evaluated over the
+// concatenated schema after key matching. A join without keys is a
+// nested-loop (cross + filter) join.
+type JoinNode struct {
+	Left, Right Node
+	Type        JoinKind
+	LeftKeys    []expr.Expr
+	RightKeys   []expr.Expr
+	Extra       expr.Expr
+}
+
+// JoinKind is the logical join flavor.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"INNER", "LEFT", "CROSS"}[k]
+}
+
+// Schema implements Node.
+func (n *JoinNode) Schema() []ColInfo {
+	l := n.Left.Schema()
+	r := n.Right.Schema()
+	out := make([]ColInfo, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+// Explain implements Node.
+func (n *JoinNode) Explain() string {
+	s := n.Type.String() + " JOIN"
+	if len(n.LeftKeys) > 0 {
+		pairs := make([]string, len(n.LeftKeys))
+		for i := range n.LeftKeys {
+			pairs[i] = n.LeftKeys[i].String() + " = " + n.RightKeys[i].String()
+		}
+		s += " ON " + strings.Join(pairs, " AND ")
+	}
+	if n.Extra != nil {
+		s += " AND " + n.Extra.String()
+	}
+	return s
+}
+
+// Children implements Node.
+func (n *JoinNode) Children() []Node { return []Node{n.Left, n.Right} }
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     string // count, sum, avg, min, max; count with Arg==nil is count(*)
+	Arg      expr.Expr
+	Distinct bool
+	Type     types.Type
+	Name     string
+}
+
+// AggNode groups by GroupBy and computes Aggs. Output schema: group
+// columns first, then aggregates.
+type AggNode struct {
+	Child   Node
+	GroupBy []expr.Expr
+	Names   []string // names of group columns
+	Aggs    []AggSpec
+}
+
+// Schema implements Node.
+func (n *AggNode) Schema() []ColInfo {
+	out := make([]ColInfo, 0, len(n.GroupBy)+len(n.Aggs))
+	for i, g := range n.GroupBy {
+		out = append(out, ColInfo{Name: n.Names[i], Type: g.Type()})
+	}
+	for _, a := range n.Aggs {
+		out = append(out, ColInfo{Name: a.Name, Type: a.Type})
+	}
+	return out
+}
+
+// Explain implements Node.
+func (n *AggNode) Explain() string {
+	var parts []string
+	for _, g := range n.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, a := range n.Aggs {
+		parts = append(parts, a.Name)
+	}
+	return "AGGREGATE " + strings.Join(parts, ", ")
+}
+
+// Children implements Node.
+func (n *AggNode) Children() []Node { return []Node{n.Child} }
+
+// SortKey is one ORDER BY key over the child's output schema.
+type SortKey struct {
+	Expr       expr.Expr
+	Desc       bool
+	NullsFirst bool
+}
+
+// SortNode orders its input.
+type SortNode struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (n *SortNode) Schema() []ColInfo { return n.Child.Schema() }
+
+// Explain implements Node.
+func (n *SortNode) Explain() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		parts[i] = k.Expr.String() + " " + dir
+	}
+	return "SORT " + strings.Join(parts, ", ")
+}
+
+// Children implements Node.
+func (n *SortNode) Children() []Node { return []Node{n.Child} }
+
+// LimitNode truncates its input. Negative Limit means "no limit".
+type LimitNode struct {
+	Child  Node
+	Limit  int64
+	Offset int64
+}
+
+// Schema implements Node.
+func (n *LimitNode) Schema() []ColInfo { return n.Child.Schema() }
+
+// Explain implements Node.
+func (n *LimitNode) Explain() string {
+	if n.Offset > 0 {
+		return fmt.Sprintf("LIMIT %d OFFSET %d", n.Limit, n.Offset)
+	}
+	return fmt.Sprintf("LIMIT %d", n.Limit)
+}
+
+// Children implements Node.
+func (n *LimitNode) Children() []Node { return []Node{n.Child} }
+
+// UnionAllNode concatenates same-schema children.
+type UnionAllNode struct {
+	Inputs []Node
+}
+
+// Schema implements Node.
+func (n *UnionAllNode) Schema() []ColInfo { return n.Inputs[0].Schema() }
+
+// Explain implements Node.
+func (n *UnionAllNode) Explain() string { return "UNION ALL" }
+
+// Children implements Node.
+func (n *UnionAllNode) Children() []Node { return n.Inputs }
+
+// ValuesNode produces literal rows.
+type ValuesNode struct {
+	Cols []ColInfo
+	Rows [][]types.Value
+}
+
+// Schema implements Node.
+func (n *ValuesNode) Schema() []ColInfo { return n.Cols }
+
+// Explain implements Node.
+func (n *ValuesNode) Explain() string { return fmt.Sprintf("VALUES (%d rows)", len(n.Rows)) }
+
+// Children implements Node.
+func (n *ValuesNode) Children() []Node { return nil }
+
+// InsertNode appends its child's rows into Table. The child schema is
+// already aligned (casts and NULL defaults inserted by the binder).
+type InsertNode struct {
+	Table *catalog.Table
+	Child Node
+}
+
+// Schema implements Node.
+func (n *InsertNode) Schema() []ColInfo {
+	return []ColInfo{{Name: "count", Type: types.BigInt}}
+}
+
+// Explain implements Node.
+func (n *InsertNode) Explain() string { return "INSERT INTO " + n.Table.Name }
+
+// Children implements Node.
+func (n *InsertNode) Children() []Node { return []Node{n.Child} }
+
+// UpdateNode updates SetCols of Table. Child is a scan (with rowid last)
+// that already applied the WHERE filter; SetExprs are evaluated over the
+// child's output.
+type UpdateNode struct {
+	Table    *catalog.Table
+	Child    Node
+	SetCols  []int
+	SetExprs []expr.Expr
+}
+
+// Schema implements Node.
+func (n *UpdateNode) Schema() []ColInfo {
+	return []ColInfo{{Name: "count", Type: types.BigInt}}
+}
+
+// Explain implements Node.
+func (n *UpdateNode) Explain() string {
+	parts := make([]string, len(n.SetCols))
+	for i, c := range n.SetCols {
+		parts[i] = n.Table.Columns[c].Name + " = " + n.SetExprs[i].String()
+	}
+	return "UPDATE " + n.Table.Name + " SET " + strings.Join(parts, ", ")
+}
+
+// Children implements Node.
+func (n *UpdateNode) Children() []Node { return []Node{n.Child} }
+
+// DeleteNode deletes the rows produced by its child scan (rowid last).
+type DeleteNode struct {
+	Table *catalog.Table
+	Child Node
+}
+
+// Schema implements Node.
+func (n *DeleteNode) Schema() []ColInfo {
+	return []ColInfo{{Name: "count", Type: types.BigInt}}
+}
+
+// Explain implements Node.
+func (n *DeleteNode) Explain() string { return "DELETE FROM " + n.Table.Name }
+
+// Children implements Node.
+func (n *DeleteNode) Children() []Node { return []Node{n.Child} }
+
+// ExplainTree renders a plan as an indented tree.
+func ExplainTree(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Explain())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}

@@ -1,0 +1,394 @@
+package plan
+
+import (
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Optimize applies the rule-based rewrites: constant folding, filter
+// pushdown into scans and through joins, and column pruning so scans
+// only materialize (and lazily load) the columns the query touches.
+func Optimize(n Node) Node {
+	n = foldNode(n)
+	n = pushFilters(n)
+	n = pruneTop(n)
+	return n
+}
+
+// ---- constant folding ----
+
+func foldNode(n Node) Node {
+	switch n := n.(type) {
+	case *ScanNode:
+		if n.Filter != nil {
+			n.Filter = foldExpr(n.Filter)
+		}
+	case *FilterNode:
+		n.Child = foldNode(n.Child)
+		n.Cond = foldExpr(n.Cond)
+	case *ProjectNode:
+		n.Child = foldNode(n.Child)
+		for i := range n.Exprs {
+			n.Exprs[i] = foldExpr(n.Exprs[i])
+		}
+	case *JoinNode:
+		n.Left = foldNode(n.Left)
+		n.Right = foldNode(n.Right)
+		for i := range n.LeftKeys {
+			n.LeftKeys[i] = foldExpr(n.LeftKeys[i])
+			n.RightKeys[i] = foldExpr(n.RightKeys[i])
+		}
+		if n.Extra != nil {
+			n.Extra = foldExpr(n.Extra)
+		}
+	case *AggNode:
+		n.Child = foldNode(n.Child)
+		for i := range n.GroupBy {
+			n.GroupBy[i] = foldExpr(n.GroupBy[i])
+		}
+		for i := range n.Aggs {
+			if n.Aggs[i].Arg != nil {
+				n.Aggs[i].Arg = foldExpr(n.Aggs[i].Arg)
+			}
+		}
+	case *SortNode:
+		n.Child = foldNode(n.Child)
+		for i := range n.Keys {
+			n.Keys[i].Expr = foldExpr(n.Keys[i].Expr)
+		}
+	case *LimitNode:
+		n.Child = foldNode(n.Child)
+	case *UnionAllNode:
+		for i := range n.Inputs {
+			n.Inputs[i] = foldNode(n.Inputs[i])
+		}
+	case *InsertNode:
+		n.Child = foldNode(n.Child)
+	case *UpdateNode:
+		n.Child = foldNode(n.Child)
+		for i := range n.SetExprs {
+			n.SetExprs[i] = foldExpr(n.SetExprs[i])
+		}
+	case *DeleteNode:
+		n.Child = foldNode(n.Child)
+	}
+	return n
+}
+
+// ---- filter pushdown ----
+
+func pushFilters(n Node) Node {
+	switch n := n.(type) {
+	case *FilterNode:
+		n.Child = pushFilters(n.Child)
+		switch child := n.Child.(type) {
+		case *ScanNode:
+			child.Filter = andExprs(child.Filter, n.Cond)
+			return child
+		case *FilterNode:
+			child.Cond = andExprs(child.Cond, n.Cond)
+			return pushFilters(child)
+		case *JoinNode:
+			return pushFilterThroughJoin(n, child)
+		}
+		return n
+	case *ScanNode:
+		return n
+	case *ProjectNode:
+		n.Child = pushFilters(n.Child)
+	case *JoinNode:
+		n.Left = pushFilters(n.Left)
+		n.Right = pushFilters(n.Right)
+	case *AggNode:
+		n.Child = pushFilters(n.Child)
+	case *SortNode:
+		n.Child = pushFilters(n.Child)
+	case *LimitNode:
+		n.Child = pushFilters(n.Child)
+	case *UnionAllNode:
+		for i := range n.Inputs {
+			n.Inputs[i] = pushFilters(n.Inputs[i])
+		}
+	case *InsertNode:
+		n.Child = pushFilters(n.Child)
+	case *UpdateNode:
+		n.Child = pushFilters(n.Child)
+	case *DeleteNode:
+		n.Child = pushFilters(n.Child)
+	}
+	return n
+}
+
+func andExprs(a, b expr.Expr) expr.Expr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return &expr.Logic{Op: expr.OpAnd, L: a, R: b}
+}
+
+// splitBoundConjuncts splits a bound predicate on AND.
+func splitBoundConjuncts(e expr.Expr) []expr.Expr {
+	if l, ok := e.(*expr.Logic); ok && l.Op == expr.OpAnd {
+		return append(splitBoundConjuncts(l.L), splitBoundConjuncts(l.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+func pushFilterThroughJoin(f *FilterNode, j *JoinNode) Node {
+	nl := len(j.Left.Schema())
+	total := nl + len(j.Right.Schema())
+	var keep []expr.Expr
+	for _, conj := range splitBoundConjuncts(f.Cond) {
+		mark := make([]bool, total)
+		usedCols(conj, mark)
+		leftOnly, rightOnly := true, true
+		for i, m := range mark {
+			if !m {
+				continue
+			}
+			if i < nl {
+				rightOnly = false
+			} else {
+				leftOnly = false
+			}
+		}
+		switch {
+		case leftOnly:
+			j.Left = pushFilters(&FilterNode{Child: j.Left, Cond: conj})
+		case rightOnly && j.Type == JoinInner:
+			// Remap to the right child's schema.
+			m := make([]int, total)
+			for i := range m {
+				m[i] = i - nl
+			}
+			j.Right = pushFilters(&FilterNode{Child: j.Right, Cond: remapExpr(conj, m)})
+		default:
+			keep = append(keep, conj)
+		}
+	}
+	j.Left = pushFilters(j.Left)
+	j.Right = pushFilters(j.Right)
+	if len(keep) == 0 {
+		return j
+	}
+	cond := keep[0]
+	for _, c := range keep[1:] {
+		cond = andExprs(cond, c)
+	}
+	return &FilterNode{Child: j, Cond: cond}
+}
+
+// ---- column pruning ----
+
+// pruneTop prunes with every output column required.
+func pruneTop(n Node) Node {
+	switch n := n.(type) {
+	case *InsertNode:
+		n.Child, _ = prune(n.Child, allRequired(n.Child))
+		return n
+	case *UpdateNode:
+		n.Child, _ = prune(n.Child, allRequired(n.Child))
+		return n
+	case *DeleteNode:
+		n.Child, _ = prune(n.Child, allRequired(n.Child))
+		return n
+	default:
+		out, _ := prune(n, allRequired(n))
+		return out
+	}
+}
+
+func allRequired(n Node) []bool {
+	req := make([]bool, len(n.Schema()))
+	for i := range req {
+		req[i] = true
+	}
+	return req
+}
+
+// prune rewrites the subtree to emit only required columns, returning
+// the new node and the old→new output position map (-1 = dropped).
+func prune(n Node, required []bool) (Node, []int) {
+	switch n := n.(type) {
+	case *ScanNode:
+		nOut := len(n.Columns)
+		req := append([]bool(nil), required...)
+		for len(req) < nOut+btoi(n.WithRowID) {
+			req = append(req, false)
+		}
+		if n.Filter != nil {
+			usedCols(n.Filter, req)
+		}
+		if n.WithRowID {
+			req[nOut] = true
+		}
+		oldToNew := make([]int, nOut+btoi(n.WithRowID))
+		var newCols []int
+		for i := 0; i < nOut; i++ {
+			if req[i] {
+				oldToNew[i] = len(newCols)
+				newCols = append(newCols, n.Columns[i])
+			} else {
+				oldToNew[i] = -1
+			}
+		}
+		if n.WithRowID {
+			oldToNew[nOut] = len(newCols)
+		}
+		n.Columns = newCols
+		if n.Filter != nil {
+			n.Filter = remapExpr(n.Filter, oldToNew)
+		}
+		return n, oldToNew
+	case *FilterNode:
+		req := append([]bool(nil), required...)
+		for len(req) < len(n.Child.Schema()) {
+			req = append(req, false)
+		}
+		usedCols(n.Cond, req)
+		child, m := prune(n.Child, req)
+		n.Child = child
+		n.Cond = remapExpr(n.Cond, m)
+		return n, m
+	case *ProjectNode:
+		childReq := make([]bool, len(n.Child.Schema()))
+		for _, e := range n.Exprs {
+			usedCols(e, childReq)
+		}
+		child, m := prune(n.Child, childReq)
+		n.Child = child
+		for i := range n.Exprs {
+			n.Exprs[i] = remapExpr(n.Exprs[i], m)
+		}
+		return n, identity(len(n.Exprs))
+	case *JoinNode:
+		nl := len(n.Left.Schema())
+		nr := len(n.Right.Schema())
+		lReq := make([]bool, nl)
+		rReq := make([]bool, nr)
+		for i := 0; i < nl+nr; i++ {
+			if i < len(required) && required[i] {
+				if i < nl {
+					lReq[i] = true
+				} else {
+					rReq[i-nl] = true
+				}
+			}
+		}
+		for _, k := range n.LeftKeys {
+			usedCols(k, lReq)
+		}
+		for _, k := range n.RightKeys {
+			usedCols(k, rReq)
+		}
+		if n.Extra != nil {
+			comb := make([]bool, nl+nr)
+			usedCols(n.Extra, comb)
+			for i, m := range comb {
+				if m {
+					if i < nl {
+						lReq[i] = true
+					} else {
+						rReq[i-nl] = true
+					}
+				}
+			}
+		}
+		left, lm := prune(n.Left, lReq)
+		right, rm := prune(n.Right, rReq)
+		n.Left, n.Right = left, right
+		for i := range n.LeftKeys {
+			n.LeftKeys[i] = remapExpr(n.LeftKeys[i], lm)
+			n.RightKeys[i] = remapExpr(n.RightKeys[i], rm)
+		}
+		nlNew := len(left.Schema())
+		comb := make([]int, nl+nr)
+		for i := 0; i < nl; i++ {
+			comb[i] = lm[i]
+		}
+		for i := 0; i < nr; i++ {
+			if rm[i] < 0 {
+				comb[nl+i] = -1
+			} else {
+				comb[nl+i] = nlNew + rm[i]
+			}
+		}
+		if n.Extra != nil {
+			n.Extra = remapExpr(n.Extra, comb)
+		}
+		return n, comb
+	case *AggNode:
+		childReq := make([]bool, len(n.Child.Schema()))
+		for _, g := range n.GroupBy {
+			usedCols(g, childReq)
+		}
+		for _, a := range n.Aggs {
+			if a.Arg != nil {
+				usedCols(a.Arg, childReq)
+			}
+		}
+		child, m := prune(n.Child, childReq)
+		n.Child = child
+		for i := range n.GroupBy {
+			n.GroupBy[i] = remapExpr(n.GroupBy[i], m)
+		}
+		for i := range n.Aggs {
+			if n.Aggs[i].Arg != nil {
+				n.Aggs[i].Arg = remapExpr(n.Aggs[i].Arg, m)
+			}
+		}
+		return n, identity(len(n.GroupBy) + len(n.Aggs))
+	case *SortNode:
+		req := append([]bool(nil), required...)
+		for len(req) < len(n.Child.Schema()) {
+			req = append(req, false)
+		}
+		for _, k := range n.Keys {
+			usedCols(k.Expr, req)
+		}
+		child, m := prune(n.Child, req)
+		n.Child = child
+		for i := range n.Keys {
+			n.Keys[i].Expr = remapExpr(n.Keys[i].Expr, m)
+		}
+		return n, m
+	case *LimitNode:
+		child, m := prune(n.Child, required)
+		n.Child = child
+		return n, m
+	case *UnionAllNode:
+		// Keep all columns: arms must stay schema-aligned.
+		for i := range n.Inputs {
+			n.Inputs[i], _ = prune(n.Inputs[i], allRequired(n.Inputs[i]))
+		}
+		return n, identity(len(n.Schema()))
+	default:
+		return n, identity(len(n.Schema()))
+	}
+}
+
+func identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// castTo wraps e in a cast when its type differs from want.
+func castTo(e expr.Expr, want types.Type) expr.Expr {
+	if e.Type() == want {
+		return e
+	}
+	return &expr.CastExpr{X: e, To: want}
+}

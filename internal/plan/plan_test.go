@@ -1,0 +1,238 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/table"
+	"repro/internal/types"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	mk := func(name string, cols ...catalog.Column) {
+		entry := &catalog.Table{Name: name, Columns: cols}
+		entry.Data = table.New(entry.Types(), nil)
+		if err := cat.CreateTable(entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("t",
+		catalog.Column{Name: "a", Type: types.BigInt},
+		catalog.Column{Name: "b", Type: types.Double},
+		catalog.Column{Name: "c", Type: types.Varchar},
+		catalog.Column{Name: "d", Type: types.BigInt},
+	)
+	mk("s",
+		catalog.Column{Name: "a", Type: types.BigInt},
+		catalog.Column{Name: "x", Type: types.Varchar},
+	)
+	return cat
+}
+
+func bindSQL(t *testing.T, cat *catalog.Catalog, src string) Node {
+	t.Helper()
+	stmt, err := sql.ParseOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Binder{Cat: cat}
+	var node Node
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		node, err = b.BindSelect(st)
+	case *sql.UpdateStmt:
+		node, err = b.BindUpdate(st)
+	case *sql.DeleteStmt:
+		node, err = b.BindDelete(st)
+	case *sql.InsertStmt:
+		node, err = b.BindInsert(st)
+	default:
+		t.Fatalf("unsupported %T", stmt)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func TestFilterPushedIntoScan(t *testing.T) {
+	cat := testCatalog(t)
+	node := Optimize(bindSQL(t, cat, "SELECT a FROM t WHERE a > 5 AND b < 2.0"))
+	text := ExplainTree(node)
+	if !strings.Contains(text, "SCAN t") || !strings.Contains(text, "FILTER") {
+		t.Fatalf("plan:\n%s", text)
+	}
+	// The filter must live inside the scan line, not as a separate node.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "FILTER") {
+			t.Fatalf("standalone filter survived pushdown:\n%s", text)
+		}
+	}
+}
+
+func TestColumnPruning(t *testing.T) {
+	cat := testCatalog(t)
+	node := Optimize(bindSQL(t, cat, "SELECT a FROM t WHERE b > 0.0"))
+	scan := findScan(node)
+	if scan == nil {
+		t.Fatal("no scan in plan")
+	}
+	if len(scan.Columns) != 2 { // a and b; c, d pruned
+		t.Fatalf("scan columns: %v", scan.Columns)
+	}
+}
+
+func findScan(n Node) *ScanNode {
+	if s, ok := n.(*ScanNode); ok {
+		return s
+	}
+	for _, c := range n.Children() {
+		if s := findScan(c); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestJoinKeyExtraction(t *testing.T) {
+	cat := testCatalog(t)
+	node := bindSQL(t, cat, "SELECT t.a FROM t JOIN s ON t.a = s.a AND t.b > 1.0")
+	join := findJoin(node)
+	if join == nil {
+		t.Fatal("no join")
+	}
+	if len(join.LeftKeys) != 1 || len(join.RightKeys) != 1 {
+		t.Fatalf("keys: %d/%d", len(join.LeftKeys), len(join.RightKeys))
+	}
+	if join.Extra == nil {
+		t.Fatal("non-equi conjunct should stay as Extra")
+	}
+}
+
+func findJoin(n Node) *JoinNode {
+	if j, ok := n.(*JoinNode); ok {
+		return j
+	}
+	for _, c := range n.Children() {
+		if j := findJoin(c); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+func TestFilterPushThroughJoin(t *testing.T) {
+	cat := testCatalog(t)
+	node := Optimize(bindSQL(t, cat,
+		"SELECT t.a FROM t JOIN s ON t.a = s.a WHERE t.b > 1.0 AND s.x = 'k'"))
+	join := findJoin(node)
+	if join == nil {
+		t.Fatal("no join")
+	}
+	// Both single-side conjuncts must be inside the respective scans.
+	lscan := findScan(join.Left)
+	rscan := findScan(join.Right)
+	if lscan == nil || lscan.Filter == nil {
+		t.Fatal("left filter not pushed")
+	}
+	if rscan == nil || rscan.Filter == nil {
+		t.Fatal("right filter not pushed")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	cat := testCatalog(t)
+	node := Optimize(bindSQL(t, cat, "SELECT a + (1 + 2) FROM t"))
+	proj, ok := node.(*ProjectNode)
+	if !ok {
+		t.Fatalf("top is %T", node)
+	}
+	text := proj.Exprs[0].String()
+	if !strings.Contains(text, "3") || strings.Contains(text, "1 + 2") {
+		t.Fatalf("not folded: %s", text)
+	}
+}
+
+func TestUpdatePlanScansOnlyNeededColumns(t *testing.T) {
+	cat := testCatalog(t)
+	node := bindSQL(t, cat, "UPDATE t SET d = NULL WHERE d = -999")
+	up, ok := node.(*UpdateNode)
+	if !ok {
+		t.Fatalf("%T", node)
+	}
+	scan := findScan(up.Child)
+	if len(scan.Columns) != 1 || scan.Columns[0] != 3 {
+		t.Fatalf("update scan columns: %v (want only d)", scan.Columns)
+	}
+	if !scan.WithRowID {
+		t.Fatal("update scan needs row ids")
+	}
+}
+
+func TestAggregateBindingErrors(t *testing.T) {
+	cat := testCatalog(t)
+	b := &Binder{Cat: cat}
+	bad := []string{
+		"SELECT a, count(*) FROM t",          // a not grouped
+		"SELECT sum(sum(a)) FROM t",          // nested aggregate
+		"SELECT a FROM t WHERE count(*) > 1", // aggregate in WHERE
+		"SELECT ghost FROM t",                // unknown column
+		"SELECT t.ghost FROM t",              // unknown qualified column
+		"SELECT a FROM missing",              // unknown table
+		"SELECT s.a + c FROM t",              // unknown alias s (bound as table s? -> error: missing FROM)
+	}
+	for _, src := range bad {
+		stmt, err := sql.ParseOne(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := b.BindSelect(stmt.(*sql.SelectStmt)); err == nil {
+			t.Errorf("%q bound without error", src)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := testCatalog(t)
+	stmt, _ := sql.ParseOne("SELECT a FROM t JOIN s ON t.a = s.a")
+	if _, err := (&Binder{Cat: cat}).BindSelect(stmt.(*sql.SelectStmt)); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous column: %v", err)
+	}
+}
+
+func TestGroupBySubstitution(t *testing.T) {
+	cat := testCatalog(t)
+	node := bindSQL(t, cat, "SELECT a + 1, count(*), sum(d) + 1 FROM t GROUP BY a + 1")
+	// Find the aggregate under the projection.
+	var agg *AggNode
+	var walk func(Node)
+	walk = func(n Node) {
+		if a, ok := n.(*AggNode); ok {
+			agg = a
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(node)
+	if agg == nil || len(agg.GroupBy) != 1 || len(agg.Aggs) != 2 {
+		t.Fatalf("agg shape: %+v", agg)
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	v, err := EvalConst(&expr.Arith{
+		Op: expr.OpMul, Typ: types.BigInt,
+		L: &expr.Const{Val: types.NewBigInt(6)},
+		R: &expr.Const{Val: types.NewBigInt(7)},
+	})
+	if err != nil || v.I64 != 42 {
+		t.Fatalf("%v %v", v, err)
+	}
+}

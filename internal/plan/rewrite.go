@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+)
+
+// rewriteExpr rebuilds an expression bottom-up, applying f to every node
+// after its children have been rewritten.
+func rewriteExpr(e expr.Expr, f func(expr.Expr) expr.Expr) expr.Expr {
+	switch e := e.(type) {
+	case *expr.ColRef, *expr.Const:
+		return f(e)
+	case *expr.CastExpr:
+		return f(&expr.CastExpr{X: rewriteExpr(e.X, f), To: e.To})
+	case *expr.Compare:
+		return f(&expr.Compare{Op: e.Op, L: rewriteExpr(e.L, f), R: rewriteExpr(e.R, f)})
+	case *expr.Arith:
+		return f(&expr.Arith{Op: e.Op, L: rewriteExpr(e.L, f), R: rewriteExpr(e.R, f), Typ: e.Typ})
+	case *expr.Neg:
+		return f(&expr.Neg{X: rewriteExpr(e.X, f)})
+	case *expr.Logic:
+		return f(&expr.Logic{Op: e.Op, L: rewriteExpr(e.L, f), R: rewriteExpr(e.R, f)})
+	case *expr.Not:
+		return f(&expr.Not{X: rewriteExpr(e.X, f)})
+	case *expr.IsNull:
+		return f(&expr.IsNull{X: rewriteExpr(e.X, f), Not: e.Not})
+	case *expr.LikeExpr:
+		return f(&expr.LikeExpr{X: rewriteExpr(e.X, f), Pattern: rewriteExpr(e.Pattern, f), Not: e.Not})
+	case *expr.CaseExpr:
+		out := &expr.CaseExpr{Typ: e.Typ}
+		for _, w := range e.Whens {
+			out.Whens = append(out.Whens, expr.CaseWhen{
+				Cond:   rewriteExpr(w.Cond, f),
+				Result: rewriteExpr(w.Result, f),
+			})
+		}
+		if e.Else != nil {
+			out.Else = rewriteExpr(e.Else, f)
+		}
+		return f(out)
+	case *expr.InConst:
+		clone := *e
+		clone.X = rewriteExpr(e.X, f)
+		return f(&clone)
+	case *expr.ScalarFunc:
+		out := &expr.ScalarFunc{Name: e.Name, Typ: e.Typ}
+		for _, a := range e.Args {
+			out.Args = append(out.Args, rewriteExpr(a, f))
+		}
+		return f(out)
+	default:
+		return f(e)
+	}
+}
+
+// usedCols marks every column index the expression references.
+func usedCols(e expr.Expr, mark []bool) {
+	rewriteExpr(e, func(x expr.Expr) expr.Expr {
+		if cr, ok := x.(*expr.ColRef); ok {
+			if cr.Idx < len(mark) {
+				mark[cr.Idx] = true
+			}
+		}
+		return x
+	})
+}
+
+// remapExpr rewrites column references through oldToNew. It panics on a
+// reference to a pruned column, which would be a planner bug.
+func remapExpr(e expr.Expr, oldToNew []int) expr.Expr {
+	return rewriteExpr(e, func(x expr.Expr) expr.Expr {
+		if cr, ok := x.(*expr.ColRef); ok {
+			if cr.Idx >= len(oldToNew) || oldToNew[cr.Idx] < 0 {
+				panic(fmt.Sprintf("plan: column #%d pruned while still referenced", cr.Idx))
+			}
+			return &expr.ColRef{Idx: oldToNew[cr.Idx], Typ: cr.Typ, Name: cr.Name}
+		}
+		return x
+	})
+}
+
+// isConstExpr reports whether the expression references no columns.
+func isConstExpr(e expr.Expr) bool {
+	constant := true
+	rewriteExpr(e, func(x expr.Expr) expr.Expr {
+		if _, ok := x.(*expr.ColRef); ok {
+			constant = false
+		}
+		return x
+	})
+	return constant
+}
+
+// foldExpr replaces constant subtrees with literal constants. Subtrees
+// whose evaluation fails (e.g. division by zero) are left intact so the
+// error surfaces at execution time with proper context.
+func foldExpr(e expr.Expr) expr.Expr {
+	return rewriteExpr(e, func(x expr.Expr) expr.Expr {
+		switch x.(type) {
+		case *expr.Const, *expr.ColRef:
+			return x
+		}
+		if !isConstExpr(x) {
+			return x
+		}
+		v, err := EvalConst(x)
+		if err != nil {
+			return x
+		}
+		if v.Type != x.Type() && !v.Null {
+			cv, cerr := v.Cast(x.Type())
+			if cerr != nil {
+				return x
+			}
+			v = cv
+		}
+		if v.Null {
+			v.Type = x.Type()
+		}
+		return &expr.Const{Val: v}
+	})
+}

@@ -1,0 +1,279 @@
+package sql
+
+import (
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed scalar expression.
+type Expr interface{ expr() }
+
+// ---- statements ----
+
+// SelectStmt is a SELECT query (optionally UNION ALL-chained).
+type SelectStmt struct {
+	Distinct bool
+	Exprs    []SelectExpr
+	From     TableRef // nil: SELECT <exprs> without FROM
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr
+	Offset   Expr
+	UnionAll *SelectStmt // next arm of a UNION ALL chain
+}
+
+// SelectExpr is one projection item: an expression with optional alias,
+// or a star (optionally qualified: t.*).
+type SelectExpr struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	TableStar string // "t" for t.*
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr      Expr
+	Desc      bool
+	NullsLast bool // default: NULLS LAST for ASC, NULLS FIRST for DESC unless set
+	NullsSet  bool
+}
+
+// JoinType distinguishes join flavors.
+type JoinType int
+
+// Join flavors.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinCross
+)
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a named table or view.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a parenthesized SELECT in FROM.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinRef joins two table refs.
+type JoinRef struct {
+	Left  TableRef
+	Right TableRef
+	Type  JoinType
+	On    Expr // nil for CROSS
+}
+
+func (*BaseTable) tableRef()   {}
+func (*SubqueryRef) tableRef() {}
+func (*JoinRef) tableRef()     {}
+
+// ColDef is one column in CREATE TABLE.
+type ColDef struct {
+	Name    string
+	Type    types.Type
+	NotNull bool
+}
+
+// CreateTableStmt creates a table from a column list or a query.
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColDef
+	AsSelect    *SelectStmt
+}
+
+// CreateViewStmt creates a view; SQL keeps the original SELECT text.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+	SQL    string
+}
+
+// DropStmt drops a table or view.
+type DropStmt struct {
+	View     bool
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt inserts literal rows or a query result.
+type InsertStmt struct {
+	Table   string
+	Columns []string // optional explicit column list
+	Rows    [][]Expr // VALUES rows, or
+	Select  *SelectStmt
+}
+
+// SetClause is one column assignment in UPDATE.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is a (typically bulk) UPDATE.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// DeleteStmt is a (typically bulk) DELETE.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// BeginStmt starts an explicit transaction.
+type BeginStmt struct{}
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+// RollbackStmt rolls back the current transaction.
+type RollbackStmt struct{}
+
+// CheckpointStmt forces a checkpoint.
+type CheckpointStmt struct{}
+
+// CopyStmt bulk-imports or exports CSV.
+type CopyStmt struct {
+	Table     string
+	From      bool // true: COPY t FROM path; false: COPY t TO path
+	Path      string
+	Header    bool
+	Delimiter rune
+}
+
+// ExplainStmt wraps a statement for plan display.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+// PragmaStmt reads or sets an engine setting
+// (e.g. PRAGMA memory_limit='1GB', PRAGMA threads=4).
+type PragmaStmt struct {
+	Name  string
+	Value Expr // nil: read
+}
+
+func (*SelectStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateViewStmt) stmt()  {}
+func (*DropStmt) stmt()        {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*CheckpointStmt) stmt()  {}
+func (*CopyStmt) stmt()        {}
+func (*ExplainStmt) stmt()     {}
+func (*PragmaStmt) stmt()      {}
+
+// ---- expressions ----
+
+// Literal is a constant.
+type Literal struct {
+	Val types.Value
+}
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Op string // "-", "NOT"
+	X  Expr
+}
+
+// Binary covers arithmetic, comparison, logic and string concat.
+type Binary struct {
+	Op   string // + - * / % = <> < <= > >= AND OR ||
+	L, R Expr
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// Like is x [NOT] LIKE pattern.
+type Like struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// When is one CASE arm.
+type When struct {
+	Cond, Result Expr
+}
+
+// Case is CASE [operand] WHEN .. THEN .. [ELSE ..] END.
+type Case struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr
+}
+
+// Cast is CAST(x AS type).
+type Cast struct {
+	X  Expr
+	To types.Type
+}
+
+// FuncCall is a scalar or aggregate function call.
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Star     bool // count(*)
+	Distinct bool // count(DISTINCT x)
+}
+
+// Param is a positional ? parameter.
+type Param struct {
+	Index int // 0-based position
+}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*Unary) expr()     {}
+func (*Binary) expr()    {}
+func (*IsNull) expr()    {}
+func (*Between) expr()   {}
+func (*InList) expr()    {}
+func (*Like) expr()      {}
+func (*Case) expr()      {}
+func (*Cast) expr()      {}
+func (*FuncCall) expr()  {}
+func (*Param) expr()     {}

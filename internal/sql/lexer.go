@@ -1,0 +1,192 @@
+// Package sql is QuackDB's SQL front end: a hand-written lexer and
+// recursive-descent parser producing the AST the binder consumes. The
+// dialect covers the embedded-analytics workload of the paper: OLAP
+// SELECTs (joins, grouping, ordering), bulk ETL statements (INSERT ..
+// SELECT, bulk UPDATE/DELETE, COPY from/to CSV), DDL, transactions and
+// PRAGMAs.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp    // operators: + - * / % = <> != < <= > >= || . , ( ) ;
+	TokParam // ? positional parameter
+)
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{}
+
+func init() {
+	for _, k := range []string{
+		"SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+		"ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "JOIN", "INNER",
+		"LEFT", "RIGHT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT",
+		"NULL", "IS", "IN", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN",
+		"ELSE", "END", "CAST", "CREATE", "TABLE", "VIEW", "IF", "EXISTS",
+		"DROP", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+		"BEGIN", "TRANSACTION", "COMMIT", "ROLLBACK", "CHECKPOINT",
+		"COPY", "TO", "WITH", "HEADER", "DELIMITER", "EXPLAIN", "PRAGMA",
+		"TRUE", "FALSE", "UNION", "ALL", "NULLS", "FIRST", "LAST",
+	} {
+		keywords[k] = true
+	}
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+	case c == '"': // quoted identifier
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '"' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+					sb.WriteByte('"')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("unterminated quoted identifier at offset %d", start)
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+			} else if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+			} else if (ch == 'e' || ch == 'E') && !seenExp && l.pos > start {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+			} else {
+				break
+			}
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{}, fmt.Errorf("unterminated string literal at offset %d", start)
+	case c == '?':
+		l.pos++
+		return Token{Kind: TokParam, Text: "?", Pos: start}, nil
+	default:
+		// multi-char operators first
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<>", "!=", "<=", ">=", "||":
+			l.pos += 2
+			return Token{Kind: TokOp, Text: two, Pos: start}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '=', '<', '>', '(', ')', ',', '.', ';':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("unexpected character %q at offset %d", c, start)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,1238 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Parser builds statements from SQL text.
+type Parser struct {
+	src       string
+	toks      []Token
+	pos       int
+	numParams int
+}
+
+// Parse tokenizes and parses src into a list of statements.
+func Parse(src string) ([]Statement, error) {
+	lex := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lex.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	p := &Parser{src: src, toks: toks}
+	var stmts []Statement
+	for !p.atEOF() {
+		if p.acceptOp(";") {
+			continue
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && !p.atEOF() {
+			return nil, p.errorf("expected ';' or end of input")
+		}
+	}
+	return stmts, nil
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Statement, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// NumParams returns the number of ? parameters seen (after Parse).
+func NumParams(stmts []Statement) int {
+	n := 0
+	var walkExpr func(e Expr)
+	var walkSel func(s *SelectStmt)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *Param:
+			if e.Index+1 > n {
+				n = e.Index + 1
+			}
+		case *Unary:
+			walkExpr(e.X)
+		case *Binary:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *IsNull:
+			walkExpr(e.X)
+		case *Between:
+			walkExpr(e.X)
+			walkExpr(e.Lo)
+			walkExpr(e.Hi)
+		case *InList:
+			walkExpr(e.X)
+			for _, x := range e.List {
+				walkExpr(x)
+			}
+		case *Like:
+			walkExpr(e.X)
+			walkExpr(e.Pattern)
+		case *Case:
+			if e.Operand != nil {
+				walkExpr(e.Operand)
+			}
+			for _, w := range e.Whens {
+				walkExpr(w.Cond)
+				walkExpr(w.Result)
+			}
+			if e.Else != nil {
+				walkExpr(e.Else)
+			}
+		case *Cast:
+			walkExpr(e.X)
+		case *FuncCall:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkRef func(r TableRef)
+	walkRef = func(r TableRef) {
+		switch r := r.(type) {
+		case *SubqueryRef:
+			walkSel(r.Select)
+		case *JoinRef:
+			walkRef(r.Left)
+			walkRef(r.Right)
+			if r.On != nil {
+				walkExpr(r.On)
+			}
+		}
+	}
+	walkSel = func(s *SelectStmt) {
+		for s != nil {
+			for _, se := range s.Exprs {
+				if se.Expr != nil {
+					walkExpr(se.Expr)
+				}
+			}
+			if s.From != nil {
+				walkRef(s.From)
+			}
+			for _, e := range []Expr{s.Where, s.Having, s.Limit, s.Offset} {
+				if e != nil {
+					walkExpr(e)
+				}
+			}
+			for _, g := range s.GroupBy {
+				walkExpr(g)
+			}
+			for _, o := range s.OrderBy {
+				walkExpr(o.Expr)
+			}
+			s = s.UnionAll
+		}
+	}
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *SelectStmt:
+			walkSel(st)
+		case *InsertStmt:
+			for _, row := range st.Rows {
+				for _, e := range row {
+					walkExpr(e)
+				}
+			}
+			if st.Select != nil {
+				walkSel(st.Select)
+			}
+		case *UpdateStmt:
+			for _, sc := range st.Set {
+				walkExpr(sc.Value)
+			}
+			if st.Where != nil {
+				walkExpr(st.Where)
+			}
+		case *DeleteStmt:
+			if st.Where != nil {
+				walkExpr(st.Where)
+			}
+		}
+	}
+	return n
+}
+
+// ---- token helpers ----
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool { return p.cur().Kind == TokEOF }
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	near := t.Text
+	if t.Kind == TokEOF {
+		near = "end of input"
+	}
+	return fmt.Errorf("parse error near %q (offset %d): %s", near, t.Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.cur(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *Parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) acceptOp(op string) bool {
+	if t := p.cur(); t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *Parser) peekOp(op string) bool {
+	t := p.cur()
+	return t.Kind == TokOp && t.Text == op
+}
+
+// expectIdent also accepts non-reserved use of keywords as identifiers
+// where unambiguous (common for column names like "value").
+func (p *Parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier")
+}
+
+// ---- statements ----
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, p.errorf("expected a statement keyword")
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "BEGIN":
+		p.advance()
+		p.acceptKeyword("TRANSACTION")
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.advance()
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.advance()
+		return &RollbackStmt{}, nil
+	case "CHECKPOINT":
+		p.advance()
+		return &CheckpointStmt{}, nil
+	case "COPY":
+		return p.parseCopy()
+	case "EXPLAIN":
+		p.advance()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
+	case "PRAGMA":
+		return p.parsePragma()
+	default:
+		return nil, p.errorf("unsupported statement %s", t.Text)
+	}
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		s.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		se, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Exprs = append(s.Exprs, se)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		from, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = from
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKeyword("UNION") {
+		if err := p.expectKeyword("ALL"); err != nil {
+			return nil, p.errorf("only UNION ALL is supported")
+		}
+		next, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		s.UnionAll = next
+		return s, nil
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			item := OrderItem{}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			if p.acceptKeyword("NULLS") {
+				if p.acceptKeyword("LAST") {
+					item.NullsLast = true
+				} else if err := p.expectKeyword("FIRST"); err != nil {
+					return nil, err
+				}
+				item.NullsSet = true
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = e
+		if p.acceptKeyword("OFFSET") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Offset = e
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSelectExpr() (SelectExpr, error) {
+	if p.acceptOp("*") {
+		return SelectExpr{Star: true}, nil
+	}
+	// t.* form
+	if p.cur().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+		table := p.advance().Text
+		p.advance() // .
+		p.advance() // *
+		return SelectExpr{Star: true, TableStar: table}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	se := SelectExpr{Expr: e}
+	if p.acceptKeyword("AS") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		se.Alias = name
+	} else if p.cur().Kind == TokIdent {
+		se.Alias = p.advance().Text
+	}
+	return se, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTableAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.acceptKeyword("JOIN"):
+			jt = JoinInner
+		case p.peekKeyword("INNER"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinInner
+		case p.peekKeyword("LEFT"):
+			p.advance()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		case p.peekKeyword("CROSS"):
+			p.advance()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jt = JoinCross
+		case p.acceptOp(","):
+			jt = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTableAtom()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinRef{Left: left, Right: right, Type: jt}
+		if jt != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = cond
+		}
+		left = j
+	}
+}
+
+func (p *Parser) parseTableAtom() (TableRef, error) {
+	if p.acceptOp("(") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ref := &SubqueryRef{Select: sel}
+		if p.acceptKeyword("AS") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias = name
+		} else if p.cur().Kind == TokIdent {
+			ref.Alias = p.advance().Text
+		}
+		if ref.Alias == "" {
+			return nil, p.errorf("subquery in FROM requires an alias")
+		}
+		return ref, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &BaseTable{Name: name}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("VIEW") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		start := p.cur().Pos
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		end := p.cur().Pos
+		if p.atEOF() {
+			end = len(p.src)
+		}
+		return &CreateViewStmt{Name: name, Select: sel, SQL: strings.TrimSpace(p.src[start:end])}, nil
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if p.acceptKeyword("AS") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.AsSelect = sel
+		return st, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		colName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := types.ParseType(typeName)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		def := ColDef{Name: colName, Type: typ}
+		if p.acceptKeyword("NOT") {
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			def.NotNull = true
+		} else {
+			p.acceptKeyword("NULL")
+		}
+		st.Cols = append(st.Cols, def)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// typeName consumes a type identifier (IDENT or an unreserved keyword).
+func (p *Parser) typeName() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected a type name")
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	st := &DropStmt{}
+	if p.acceptKeyword("VIEW") {
+		st.View = true
+	} else if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("VALUES") {
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.peekKeyword("SELECT") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.Select = sel
+		return st, nil
+	}
+	return nil, p.errorf("expected VALUES or SELECT")
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Column: col, Value: val})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *Parser) parseCopy() (Statement, error) {
+	if err := p.expectKeyword("COPY"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &CopyStmt{Table: name, Delimiter: ','}
+	switch {
+	case p.acceptKeyword("FROM"):
+		st.From = true
+	case p.acceptKeyword("TO"):
+		st.From = false
+	default:
+		return nil, p.errorf("expected FROM or TO")
+	}
+	if p.cur().Kind != TokString {
+		return nil, p.errorf("expected a quoted file path")
+	}
+	st.Path = p.advance().Text
+	if p.acceptKeyword("WITH") || p.peekKeyword("HEADER") || p.peekKeyword("DELIMITER") {
+		p.acceptOp("(")
+		for {
+			switch {
+			case p.acceptKeyword("HEADER"):
+				st.Header = true
+			case p.acceptKeyword("DELIMITER"):
+				if p.cur().Kind != TokString || len(p.cur().Text) != 1 {
+					return nil, p.errorf("DELIMITER requires a single-character string")
+				}
+				st.Delimiter = rune(p.advance().Text[0])
+			default:
+				p.acceptOp(")")
+				return st, nil
+			}
+			if !p.acceptOp(",") && !p.peekKeyword("HEADER") && !p.peekKeyword("DELIMITER") {
+				p.acceptOp(")")
+				return st, nil
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parsePragma() (Statement, error) {
+	if err := p.expectKeyword("PRAGMA"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &PragmaStmt{Name: strings.ToLower(name)}
+	if p.acceptOp("=") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = e
+	} else if p.acceptOp("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = e
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekOp("=") || p.peekOp("<>") || p.peekOp("!=") ||
+			p.peekOp("<") || p.peekOp("<=") || p.peekOp(">") || p.peekOp(">="):
+			op := p.advance().Text
+			if op == "!=" {
+				op = "<>"
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		case p.peekKeyword("IS"):
+			p.advance()
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNull{X: l, Not: not}
+		case p.peekKeyword("BETWEEN") || (p.peekKeyword("NOT") && p.peekNext("BETWEEN")):
+			not := p.acceptKeyword("NOT")
+			p.advance() // BETWEEN
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Between{X: l, Lo: lo, Hi: hi, Not: not}
+		case p.peekKeyword("IN") || (p.peekKeyword("NOT") && p.peekNext("IN")):
+			not := p.acceptKeyword("NOT")
+			p.advance() // IN
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var list []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			l = &InList{X: l, List: list, Not: not}
+		case p.peekKeyword("LIKE") || (p.peekKeyword("NOT") && p.peekNext("LIKE")):
+			not := p.acceptKeyword("NOT")
+			p.advance() // LIKE
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Like{X: l, Pattern: pat, Not: not}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// peekNext reports whether the token after the current one is keyword kw.
+func (p *Parser) peekNext(kw string) bool {
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+1]
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekOp("+"):
+			op = "+"
+		case p.peekOp("-"):
+			op = "-"
+		case p.peekOp("||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.peekOp("*"):
+			op = "*"
+		case p.peekOp("/"):
+			op = "/"
+		case p.peekOp("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Literal); ok && !lit.Val.Null {
+			switch lit.Val.Type {
+			case types.Integer, types.BigInt:
+				v := lit.Val
+				v.I64 = -v.I64
+				return &Literal{Val: v}, nil
+			case types.Double:
+				v := lit.Val
+				v.F64 = -v.F64
+				return &Literal{Val: v}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	p.acceptOp("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Val: types.NewDouble(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Val: types.NewDouble(f)}, nil
+		}
+		if i >= -(1<<31) && i < 1<<31 {
+			return &Literal{Val: types.NewInt(int32(i))}, nil
+		}
+		return &Literal{Val: types.NewBigInt(i)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{Val: types.NewVarchar(t.Text)}, nil
+	case TokParam:
+		p.advance()
+		e := &Param{Index: p.numParams}
+		p.numParams++
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: types.NewNull(types.Null)}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: types.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: types.NewBool(false)}, nil
+		case "CAST":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			typeName, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := types.ParseType(typeName)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &Cast{X: x, To: typ}, nil
+		case "CASE":
+			return p.parseCase()
+		default:
+			return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+		}
+	case TokIdent:
+		name := p.advance().Text
+		// function call?
+		if p.peekOp("(") {
+			return p.parseFuncCall(name)
+		}
+		// qualified column t.c?
+		if p.acceptOp(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	case TokOp:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected an expression")
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: strings.ToLower(name)}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &Case{}
+	if !p.peekKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,383 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func parseSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("%q parsed as %T", src, stmt)
+	}
+	return sel
+}
+
+func TestSelectBasics(t *testing.T) {
+	sel := parseSelect(t, "SELECT a, b AS bee, t.c FROM t WHERE a > 1 GROUP BY a HAVING count(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5")
+	if len(sel.Exprs) != 3 || sel.Exprs[1].Alias != "bee" {
+		t.Fatalf("select list: %+v", sel.Exprs)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("clauses missing")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatal("order by missing")
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Fatal("limit/offset missing")
+	}
+	qualified := sel.Exprs[2].Expr.(*ColumnRef)
+	if qualified.Table != "t" || qualified.Name != "c" {
+		t.Fatalf("qualified ref: %+v", qualified)
+	}
+}
+
+func TestStars(t *testing.T) {
+	sel := parseSelect(t, "SELECT *, t.* FROM t")
+	if !sel.Exprs[0].Star || sel.Exprs[0].TableStar != "" {
+		t.Fatal("bare star")
+	}
+	if !sel.Exprs[1].Star || sel.Exprs[1].TableStar != "t" {
+		t.Fatal("table star")
+	}
+}
+
+func TestJoins(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y CROSS JOIN d")
+	j1, ok := sel.From.(*JoinRef)
+	if !ok || j1.Type != JoinCross {
+		t.Fatalf("outermost join: %+v", sel.From)
+	}
+	j2 := j1.Left.(*JoinRef)
+	if j2.Type != JoinLeft || j2.On == nil {
+		t.Fatalf("left join: %+v", j2)
+	}
+	j3 := j2.Left.(*JoinRef)
+	if j3.Type != JoinInner {
+		t.Fatalf("inner join: %+v", j3)
+	}
+}
+
+func TestCommaJoin(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1 FROM a, b WHERE a.x = b.x")
+	if j, ok := sel.From.(*JoinRef); !ok || j.Type != JoinCross {
+		t.Fatalf("comma join: %+v", sel.From)
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	sel := parseSelect(t, "SELECT s.v FROM (SELECT v FROM t) AS s")
+	sub, ok := sel.From.(*SubqueryRef)
+	if !ok || sub.Alias != "s" {
+		t.Fatalf("subquery: %+v", sel.From)
+	}
+	if _, err := ParseOne("SELECT 1 FROM (SELECT 1)"); err == nil {
+		t.Fatal("unaliased subquery accepted")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1 + 2 * 3")
+	bin := sel.Exprs[0].Expr.(*Binary)
+	if bin.Op != "+" {
+		t.Fatalf("top op %s", bin.Op)
+	}
+	if inner := bin.R.(*Binary); inner.Op != "*" {
+		t.Fatalf("* should bind tighter: %+v", bin)
+	}
+
+	sel = parseSelect(t, "SELECT a OR b AND NOT c")
+	or := sel.Exprs[0].Expr.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("OR should be outermost")
+	}
+	and := or.R.(*Binary)
+	if and.Op != "AND" {
+		t.Fatal("AND should bind tighter than OR")
+	}
+	if _, ok := and.R.(*Unary); !ok {
+		t.Fatal("NOT should bind tighter than AND")
+	}
+}
+
+func TestSpecialOperators(t *testing.T) {
+	sel := parseSelect(t, "SELECT a IS NULL, b IS NOT NULL, c BETWEEN 1 AND 2, d NOT IN (1,2,3), e LIKE 'x%', f NOT LIKE 'y'")
+	if n := sel.Exprs[0].Expr.(*IsNull); n.Not {
+		t.Fatal("IS NULL")
+	}
+	if n := sel.Exprs[1].Expr.(*IsNull); !n.Not {
+		t.Fatal("IS NOT NULL")
+	}
+	if b := sel.Exprs[2].Expr.(*Between); b.Not {
+		t.Fatal("BETWEEN")
+	}
+	if in := sel.Exprs[3].Expr.(*InList); !in.Not || len(in.List) != 3 {
+		t.Fatal("NOT IN")
+	}
+	if l := sel.Exprs[4].Expr.(*Like); l.Not {
+		t.Fatal("LIKE")
+	}
+	if l := sel.Exprs[5].Expr.(*Like); !l.Not {
+		t.Fatal("NOT LIKE")
+	}
+}
+
+func TestCaseForms(t *testing.T) {
+	sel := parseSelect(t, "SELECT CASE WHEN a THEN 1 ELSE 2 END, CASE x WHEN 1 THEN 'a' END")
+	searched := sel.Exprs[0].Expr.(*Case)
+	if searched.Operand != nil || searched.Else == nil {
+		t.Fatal("searched case")
+	}
+	operand := sel.Exprs[1].Expr.(*Case)
+	if operand.Operand == nil || operand.Else != nil {
+		t.Fatal("operand case")
+	}
+}
+
+func TestCastAndFunctions(t *testing.T) {
+	sel := parseSelect(t, "SELECT CAST(a AS DOUBLE), count(*), count(DISTINCT b), sum(c + 1)")
+	if c := sel.Exprs[0].Expr.(*Cast); c.To != types.Double {
+		t.Fatal("cast type")
+	}
+	star := sel.Exprs[1].Expr.(*FuncCall)
+	if !star.Star || star.Name != "count" {
+		t.Fatal("count(*)")
+	}
+	if d := sel.Exprs[2].Expr.(*FuncCall); !d.Distinct {
+		t.Fatal("count distinct")
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1, 2.5, 1e3, 'it''s', NULL, TRUE, FALSE, -7, 9999999999")
+	vals := []types.Value{
+		types.NewInt(1), types.NewDouble(2.5), types.NewDouble(1000),
+		types.NewVarchar("it's"), types.NewNull(types.Null),
+		types.NewBool(true), types.NewBool(false), types.NewInt(-7),
+		types.NewBigInt(9999999999),
+	}
+	for i, want := range vals {
+		lit, ok := sel.Exprs[i].Expr.(*Literal)
+		if !ok {
+			t.Fatalf("expr %d is %T", i, sel.Exprs[i].Expr)
+		}
+		if !types.Equal(lit.Val, want) {
+			t.Fatalf("literal %d: got %v want %v", i, lit.Val, want)
+		}
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt, err := ParseOne("CREATE TABLE IF NOT EXISTS t (id BIGINT NOT NULL, name VARCHAR, score DOUBLE NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Name != "t" || len(ct.Cols) != 3 {
+		t.Fatalf("%+v", ct)
+	}
+	if !ct.Cols[0].NotNull || ct.Cols[1].NotNull {
+		t.Fatal("NOT NULL flags")
+	}
+	if ct.Cols[2].Type != types.Double {
+		t.Fatal("type")
+	}
+}
+
+func TestCreateTableAs(t *testing.T) {
+	stmt, _ := ParseOne("CREATE TABLE t2 AS SELECT a FROM t")
+	ct := stmt.(*CreateTableStmt)
+	if ct.AsSelect == nil {
+		t.Fatal("CTAS select missing")
+	}
+}
+
+func TestCreateViewCapturesSQL(t *testing.T) {
+	stmt, _ := ParseOne("CREATE VIEW v AS SELECT a, b FROM t WHERE a > 0")
+	cv := stmt.(*CreateViewStmt)
+	if !strings.HasPrefix(cv.SQL, "SELECT a, b") {
+		t.Fatalf("captured SQL: %q", cv.SQL)
+	}
+}
+
+func TestInsertForms(t *testing.T) {
+	stmt, _ := ParseOne("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	ins := stmt.(*InsertStmt)
+	if len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	stmt, _ = ParseOne("INSERT INTO t SELECT * FROM s")
+	if ins := stmt.(*InsertStmt); ins.Select == nil {
+		t.Fatal("insert-select")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	stmt, _ := ParseOne("UPDATE t SET d = NULL, e = e + 1 WHERE d = -999")
+	up := stmt.(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	stmt, _ = ParseOne("DELETE FROM t WHERE x < 0")
+	if del := stmt.(*DeleteStmt); del.Where == nil {
+		t.Fatal("delete where")
+	}
+}
+
+func TestTransactionStatements(t *testing.T) {
+	for src, want := range map[string]any{
+		"BEGIN":             &BeginStmt{},
+		"BEGIN TRANSACTION": &BeginStmt{},
+		"COMMIT":            &CommitStmt{},
+		"ROLLBACK":          &RollbackStmt{},
+		"CHECKPOINT":        &CheckpointStmt{},
+	} {
+		stmt, err := ParseOne(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if gotT, wantT := strings.TrimPrefix(typeName(stmt), "*"), strings.TrimPrefix(typeName(want), "*"); gotT != wantT {
+			t.Fatalf("%q parsed as %s, want %s", src, gotT, wantT)
+		}
+	}
+}
+
+func typeName(v any) string {
+	return strings.TrimPrefix(strings.TrimPrefix(fmtSprintfT(v), "*sql."), "sql.")
+}
+
+func fmtSprintfT(v any) string {
+	switch v.(type) {
+	case *BeginStmt:
+		return "*sql.BeginStmt"
+	case *CommitStmt:
+		return "*sql.CommitStmt"
+	case *RollbackStmt:
+		return "*sql.RollbackStmt"
+	case *CheckpointStmt:
+		return "*sql.CheckpointStmt"
+	default:
+		return "?"
+	}
+}
+
+func TestCopy(t *testing.T) {
+	stmt, err := ParseOne("COPY t FROM '/tmp/in.csv' WITH (HEADER, DELIMITER ';')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stmt.(*CopyStmt)
+	if !cp.From || !cp.Header || cp.Delimiter != ';' || cp.Path != "/tmp/in.csv" {
+		t.Fatalf("%+v", cp)
+	}
+	stmt, _ = ParseOne("COPY t TO '/tmp/out.csv'")
+	if cp := stmt.(*CopyStmt); cp.From {
+		t.Fatal("copy to direction")
+	}
+}
+
+func TestPragma(t *testing.T) {
+	stmt, _ := ParseOne("PRAGMA memory_limit='512MB'")
+	pr := stmt.(*PragmaStmt)
+	if pr.Name != "memory_limit" || pr.Value == nil {
+		t.Fatalf("%+v", pr)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	stmt, _ := ParseOne("EXPLAIN SELECT 1")
+	ex := stmt.(*ExplainStmt)
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Fatal("explain wraps select")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	sel := parseSelect(t, "SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3")
+	n := 0
+	for s := sel; s != nil; s = s.UnionAll {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("%d union arms", n)
+	}
+	if _, err := ParseOne("SELECT 1 UNION SELECT 2"); err == nil {
+		t.Fatal("bare UNION should be rejected")
+	}
+}
+
+func TestMultiStatement(t *testing.T) {
+	stmts, err := Parse("SELECT 1; SELECT 2;; SELECT 3")
+	if err != nil || len(stmts) != 3 {
+		t.Fatalf("%d stmts, %v", len(stmts), err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT /* block */ 1 -- trailing\n FROM t")
+	if sel.From == nil {
+		t.Fatal("comment parsing broke FROM")
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	sel := parseSelect(t, `SELECT "weird name", "do""ble" FROM "my table"`)
+	if cr := sel.Exprs[0].Expr.(*ColumnRef); cr.Name != "weird name" {
+		t.Fatalf("quoted ident: %q", cr.Name)
+	}
+	if cr := sel.Exprs[1].Expr.(*ColumnRef); cr.Name != `do"ble` {
+		t.Fatalf("escaped quote: %q", cr.Name)
+	}
+}
+
+func TestParams(t *testing.T) {
+	stmts, err := Parse("SELECT ? + ?, ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := NumParams(stmts); n != 3 {
+		t.Fatalf("NumParams = %d", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT 1 FROM",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a)",
+		"CREATE TABLE t (a NOTATYPE)",
+		"INSERT INTO t",
+		"UPDATE t",
+		"DELETE t",
+		"SELECT 'unterminated",
+		"SELECT \"unterminated",
+		"SELECT 1 FROM t JOIN s", // missing ON
+		"FROBNICATE",
+		"SELECT 1 extra stuff (",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+}
+
+func TestNumbersEdgeCases(t *testing.T) {
+	sel := parseSelect(t, "SELECT .5, 1.5e-3, 2E2")
+	if lit := sel.Exprs[0].Expr.(*Literal); lit.Val.F64 != 0.5 {
+		t.Fatalf(".5 parsed as %v", lit.Val)
+	}
+	if lit := sel.Exprs[1].Expr.(*Literal); lit.Val.F64 != 0.0015 {
+		t.Fatalf("1.5e-3 parsed as %v", lit.Val)
+	}
+}

@@ -1,0 +1,294 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func openTemp(t *testing.T) (*Manager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.qdb")
+	m, created, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("expected fresh database")
+	}
+	return m, path
+}
+
+func TestWriteReadBlock(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	id := m.Allocate()
+	payload := []byte("hello block storage")
+	if err := m.WriteBlock(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBlock(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBlockSizeLimit(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	id := m.Allocate()
+	if err := m.WriteBlock(id, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := m.WriteBlock(id, make([]byte, MaxPayload)); err != nil {
+		t.Fatalf("max payload rejected: %v", err)
+	}
+}
+
+func TestHeaderBlocksProtected(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	if err := m.WriteBlock(0, []byte("x")); err == nil {
+		t.Fatal("write to header slot allowed")
+	}
+	if _, err := m.ReadBlock(1); err == nil {
+		t.Fatal("read of header slot allowed")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	m, path := openTemp(t)
+	id := m.Allocate()
+	payload := make([]byte, 5000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := m.WriteBlock(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Flip one bit in the block's payload on disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(id)*BlockSize + blockHdrBytes + 100
+	raw[off] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := m2.ReadBlock(id); err == nil {
+		t.Fatal("silent corruption went undetected")
+	}
+
+	// With verification off, the corrupted payload is returned as-is.
+	m2.SetChecksums(false)
+	got, err := m2.ReadBlock(id)
+	if err != nil {
+		t.Fatalf("read without verification: %v", err)
+	}
+	if bytes.Equal(got, payload) {
+		t.Fatal("payload should differ after corruption")
+	}
+}
+
+func TestCorruptionViaInjector(t *testing.T) {
+	m, path := openTemp(t)
+	id := m.Allocate()
+	if err := m.WriteBlock(id, bytes.Repeat([]byte("data"), 1000)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	raw, _ := os.ReadFile(path)
+	inj := faults.NewInjector(99)
+	region := raw[int64(id)*BlockSize+blockHdrBytes : int64(id)*BlockSize+blockHdrBytes+4000]
+	inj.FlipBitsBytes(region, 3)
+	os.WriteFile(path, raw, 0o644)
+
+	m2, _, _ := Open(path, Options{})
+	defer m2.Close()
+	if _, err := m2.ReadBlock(id); err == nil {
+		t.Fatal("injected bit flips undetected")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	a := m.Allocate()
+	b := m.Allocate()
+	if a == b {
+		t.Fatal("duplicate allocation")
+	}
+	m.Free(a)
+	if got := m.Allocate(); got != a {
+		t.Fatalf("free block not reused: got %d want %d", got, a)
+	}
+}
+
+func TestCheckpointPersistsRootAndFreeList(t *testing.T) {
+	m, path := openTemp(t)
+	id := m.Allocate()
+	if err := m.WriteBlock(id, []byte("root data")); err != nil {
+		t.Fatal(err)
+	}
+	spare := m.Allocate()
+	if err := m.WriteBlock(spare, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(id, []BlockID{spare}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, created, err := Open(path, Options{})
+	if err != nil || created {
+		t.Fatalf("reopen: %v created=%v", err, created)
+	}
+	defer m2.Close()
+	if m2.Root() != id {
+		t.Fatalf("root = %d, want %d", m2.Root(), id)
+	}
+	if m2.FreeCount() != 1 {
+		t.Fatalf("free count = %d, want 1", m2.FreeCount())
+	}
+	got, err := m2.ReadBlock(id)
+	if err != nil || string(got) != "root data" {
+		t.Fatalf("root block: %q %v", got, err)
+	}
+}
+
+func TestTornHeaderRecovery(t *testing.T) {
+	m, path := openTemp(t)
+	id := m.Allocate()
+	m.WriteBlock(id, []byte("v1"))
+	if err := m.Checkpoint(id, nil); err != nil {
+		t.Fatal(err)
+	}
+	version1Root := m.Root()
+	id2 := m.Allocate()
+	m.WriteBlock(id2, []byte("v2"))
+	if err := m.Checkpoint(id2, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Corrupt the most recent header slot: open must fall back to the
+	// older valid one.
+	raw, _ := os.ReadFile(path)
+	// Two checkpoints + initial header = version 3; slot = 3 % 2 = 1.
+	slotOff := int64(1) * BlockSize
+	for i := int64(0); i < 64; i++ {
+		raw[slotOff+i] ^= 0xFF
+	}
+	os.WriteFile(path, raw, 0o644)
+
+	m2, created, err := Open(path, Options{})
+	if err != nil || created {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	if m2.Root() != version1Root {
+		t.Fatalf("root = %d, want fallback to %d", m2.Root(), version1Root)
+	}
+}
+
+func TestBothHeadersDamaged(t *testing.T) {
+	m, path := openTemp(t)
+	m.Close()
+	raw, _ := os.ReadFile(path)
+	for i := 0; i < 2*BlockSize && i < len(raw); i += 97 {
+		raw[i] ^= 0xA5
+	}
+	os.WriteFile(path, raw, 0o644)
+	if _, _, err := Open(path, Options{}); err == nil {
+		t.Fatal("opened database with both headers destroyed")
+	}
+}
+
+func TestChainWriterRoundTrip(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	payload := make([]byte, 3*MaxPayload+12345) // spans 4 blocks
+	rand.New(rand.NewSource(5)).Read(payload)
+	w := NewChainWriter(m)
+	if _, err := w.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	head, blocks, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("chain uses %d blocks, want 4", len(blocks))
+	}
+	got, gotBlocks, err := ReadChain(m, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("chain payload corrupted")
+	}
+	if len(gotBlocks) != len(blocks) {
+		t.Fatalf("read %d blocks, wrote %d", len(gotBlocks), len(blocks))
+	}
+}
+
+func TestEmptyChain(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	w := NewChainWriter(m)
+	head, blocks, err := w.Finish()
+	if err != nil || head != InvalidBlock || blocks != nil {
+		t.Fatalf("empty chain: head=%d blocks=%v err=%v", head, blocks, err)
+	}
+	payload, ids, err := ReadChain(m, InvalidBlock)
+	if err != nil || payload != nil || ids != nil {
+		t.Fatalf("reading empty chain: %v", err)
+	}
+}
+
+func TestInMemoryMode(t *testing.T) {
+	m, created, err := Open(":memory:", Options{})
+	if err != nil || !created {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if !m.InMemory() {
+		t.Fatal("not in memory")
+	}
+	id := m.Allocate()
+	if err := m.WriteBlock(id, []byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBlock(id)
+	if err != nil || string(got) != "volatile" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m, _ := openTemp(t)
+	defer m.Close()
+	id := m.Allocate()
+	m.WriteBlock(id, []byte("x"))
+	m.ReadBlock(id)
+	m.ReadBlock(id)
+	r, w := m.Stats()
+	if r != 2 || w != 1 {
+		t.Fatalf("stats: read=%d written=%d", r, w)
+	}
+}

@@ -1,0 +1,166 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// ScanOptions configures a table scan.
+type ScanOptions struct {
+	// Columns lists the columns to materialize, in output order.
+	// nil means all columns. Scanning a subset never touches (or loads)
+	// the other columns — the paper's partitioned-column requirement.
+	Columns []int
+	// WithRowIDs appends a BIGINT row-id column after the projected
+	// columns; UPDATE and DELETE plans use it to address rows.
+	WithRowIDs bool
+}
+
+// Scanner iterates a snapshot of the table, one chunk per segment.
+// It reconstructs the transaction's snapshot from insert/delete stamps
+// and the update undo chains, so concurrent writers never block it.
+type Scanner struct {
+	t       *DataTable
+	tx      *txn.Transaction
+	cols    []int
+	rowIDs  bool
+	segIdx  int
+	release func()
+	pos     []int32
+	sel     []int
+	closed  bool
+}
+
+// NewScanner pins the projected columns and returns a scanner. Callers
+// must Close it to release the pins.
+func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner, error) {
+	cols := opts.Columns
+	if cols == nil {
+		cols = make([]int, len(t.typs))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.typs) {
+			return nil, fmt.Errorf("table: scan of column %d of %d-column table", c, len(t.typs))
+		}
+	}
+	release, err := t.PinColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{
+		t:       t,
+		tx:      tx,
+		cols:    cols,
+		rowIDs:  opts.WithRowIDs,
+		release: release,
+		pos:     make([]int32, SegRows),
+		sel:     make([]int, 0, SegRows),
+	}, nil
+}
+
+// OutputTypes returns the scanner's chunk schema.
+func (s *Scanner) OutputTypes() []types.Type {
+	out := make([]types.Type, 0, len(s.cols)+1)
+	for _, c := range s.cols {
+		out = append(out, s.t.typs[c])
+	}
+	if s.rowIDs {
+		out = append(out, types.BigInt)
+	}
+	return out
+}
+
+// Next returns the next non-empty chunk, or nil when the scan is done.
+func (s *Scanner) Next() (*vector.Chunk, error) {
+	if s.closed {
+		return nil, nil
+	}
+	for {
+		s.t.mu.RLock()
+		if s.segIdx >= len(s.t.segs) {
+			s.t.mu.RUnlock()
+			return nil, nil
+		}
+		seg := s.t.segs[s.segIdx]
+		base := int64(s.segIdx) * SegRows
+		s.segIdx++
+		s.t.mu.RUnlock()
+
+		chunk := s.scanSegment(seg, base)
+		if chunk != nil {
+			return chunk, nil
+		}
+	}
+}
+
+func (s *Scanner) scanSegment(seg *segment, base int64) *vector.Chunk {
+	seg.mu.RLock()
+	defer seg.mu.RUnlock()
+
+	n := seg.n
+	s.sel = s.sel[:0]
+	for r := 0; r < n; r++ {
+		if !s.tx.Sees(seg.loadInsert(r)) {
+			continue
+		}
+		if d := seg.loadDelete(r); d != 0 && s.tx.Sees(d) {
+			continue
+		}
+		s.sel = append(s.sel, r)
+	}
+	if len(s.sel) == 0 {
+		return nil
+	}
+
+	chunk := vector.NewChunk(s.OutputTypes())
+	for oi, c := range s.cols {
+		seg.cols[c].CompactInto(chunk.Cols[oi], s.sel)
+	}
+	chunk.SetLen(len(s.sel))
+
+	// Apply undo records of changes this snapshot must not see.
+	posBuilt := false
+	for oi, c := range s.cols {
+		for node := seg.updates[c]; node != nil; node = node.next {
+			if s.tx.Sees(node.stamp.Load()) {
+				continue
+			}
+			if !posBuilt {
+				for i := range s.pos {
+					s.pos[i] = -1
+				}
+				for outIdx, r := range s.sel {
+					s.pos[r] = int32(outIdx)
+				}
+				posBuilt = true
+			}
+			for j, r := range node.rows {
+				if p := s.pos[r]; p >= 0 {
+					chunk.Cols[oi].Set(int(p), node.old.Get(j))
+				}
+			}
+		}
+	}
+
+	if s.rowIDs {
+		ridCol := chunk.Cols[len(s.cols)]
+		for outIdx, r := range s.sel {
+			ridCol.I64[outIdx] = base + int64(r)
+		}
+	}
+	return chunk
+}
+
+// Close releases the scanner's column pins.
+func (s *Scanner) Close() {
+	if !s.closed {
+		s.closed = true
+		s.release()
+	}
+}

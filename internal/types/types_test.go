@@ -1,0 +1,180 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTypeAliases(t *testing.T) {
+	cases := map[string]Type{
+		"BOOLEAN": Boolean, "bool": Boolean,
+		"integer": Integer, "INT": Integer, "int4": Integer,
+		"BIGINT": BigInt, "int8": BigInt, "long": BigInt,
+		"double": Double, "REAL": Double, "float8": Double,
+		"varchar": Varchar, "TEXT": Varchar, "string": Varchar,
+		"timestamp": Timestamp, "DATETIME": Timestamp,
+	}
+	for name, want := range cases {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestCommonTypePromotion(t *testing.T) {
+	cases := []struct{ a, b, want Type }{
+		{Integer, BigInt, BigInt},
+		{Integer, Double, Double},
+		{Boolean, Integer, Integer},
+		{BigInt, Double, Double},
+		{Null, Varchar, Varchar},
+		{Varchar, Null, Varchar},
+		{Timestamp, BigInt, Timestamp},
+		{Varchar, Varchar, Varchar},
+	}
+	for _, c := range cases {
+		got, err := CommonType(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("CommonType(%v, %v) = %v, %v", c.a, c.b, got, err)
+		}
+	}
+	if _, err := CommonType(Varchar, Double); err == nil {
+		t.Error("VARCHAR+DOUBLE combined")
+	}
+}
+
+func TestCastMatrix(t *testing.T) {
+	cases := []struct {
+		in   Value
+		to   Type
+		want string
+	}{
+		{NewInt(7), BigInt, "7"},
+		{NewInt(7), Double, "7"},
+		{NewInt(0), Boolean, "false"},
+		{NewBigInt(42), Varchar, "42"},
+		{NewDouble(2.9), Integer, "2"},
+		{NewVarchar("19"), Integer, "19"},
+		{NewVarchar(" 2.5 "), Double, "2.5"},
+		{NewVarchar("true"), Boolean, "true"},
+		{NewBool(true), Integer, "1"},
+		{NewBigInt(1700000000000000), Timestamp, "2023-11-14 22:13:20.000000"},
+	}
+	for _, c := range cases {
+		got, err := c.in.Cast(c.to)
+		if err != nil {
+			t.Errorf("cast %v to %v: %v", c.in, c.to, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("cast %v to %v = %q, want %q", c.in, c.to, got.String(), c.want)
+		}
+	}
+}
+
+func TestCastErrors(t *testing.T) {
+	bad := []struct {
+		in Value
+		to Type
+	}{
+		{NewVarchar("duck"), BigInt},
+		{NewVarchar("1.5.2"), Double},
+		{NewBigInt(1 << 40), Integer},
+		{NewDouble(1e300), BigInt},
+		{NewVarchar("maybe"), Boolean},
+	}
+	for _, c := range bad {
+		if _, err := c.in.Cast(c.to); err == nil {
+			t.Errorf("cast %v to %v accepted", c.in, c.to)
+		}
+	}
+}
+
+func TestNullCasts(t *testing.T) {
+	v, err := NewNull(BigInt).Cast(Varchar)
+	if err != nil || !v.Null || v.Type != Varchar {
+		t.Fatalf("%v %v", v, err)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Compare(NewInt(1), NewInt(2)) >= 0 {
+		t.Error("1 < 2")
+	}
+	if Compare(NewVarchar("a"), NewVarchar("b")) >= 0 {
+		t.Error("a < b")
+	}
+	if Compare(NewDouble(1.5), NewInt(1)) <= 0 {
+		t.Error("1.5 > 1")
+	}
+	if Compare(NewBigInt(5), NewBigInt(5)) != 0 {
+		t.Error("5 == 5")
+	}
+}
+
+func TestCompareIntFloatConsistency(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		ci := Compare(NewInt(a), NewInt(b))
+		cf := Compare(NewDouble(float64(a)), NewDouble(float64(b)))
+		return (ci < 0) == (cf < 0) && (ci == 0) == (cf == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if !Equal(NewNull(BigInt), NewNull(BigInt)) {
+		t.Error("NULLs of same type should be Equal")
+	}
+	if Equal(NewNull(BigInt), NewNull(Double)) {
+		t.Error("NULLs of different type")
+	}
+	if Equal(NewInt(1), NewBigInt(1)) {
+		t.Error("different types should not be Equal")
+	}
+	if !Equal(NewVarchar("x"), NewVarchar("x")) {
+		t.Error("equal strings")
+	}
+}
+
+func TestParseTimestampFormats(t *testing.T) {
+	good := []string{
+		"2023-11-14 22:13:20",
+		"2023-11-14 22:13:20.123456",
+		"2023-11-14",
+	}
+	for _, s := range good {
+		if _, err := ParseTimestamp(s); err != nil {
+			t.Errorf("%q rejected: %v", s, err)
+		}
+	}
+	if _, err := ParseTimestamp("birthday"); err == nil {
+		t.Error("junk timestamp accepted")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"NULL": NewNull(BigInt),
+		"true": NewBool(true),
+		"-7":   NewInt(-7),
+		"1.25": NewDouble(1.25),
+		"hi":   NewVarchar("hi"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v renders %q, want %q", v.Type, got, want)
+		}
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if Boolean.Width() != 1 || Integer.Width() != 4 || BigInt.Width() != 8 || Varchar.Width() != -1 {
+		t.Fatal("widths")
+	}
+}

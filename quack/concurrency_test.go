@@ -1,0 +1,197 @@
+package quack_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDashboardScenario reproduces the paper's §2 dashboard workload:
+// writer goroutines run bulk ETL updates while reader goroutines run the
+// OLAP aggregations that drive visualizations. MVCC must give every
+// reader a consistent snapshot without blocking on the writers.
+func TestDashboardScenario(t *testing.T) {
+	db := openMem(t)
+	mustExec(t, db, "CREATE TABLE metrics (id BIGINT, v BIGINT)")
+	const rows = 10_000
+	app, err := db.Appender("metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		app.AppendRow(int64(i), int64(1))
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every committed state has sum(v) == rows * k for some integer k,
+	// because each writer transaction increments every row by 1.
+	var writers, readers sync.WaitGroup
+	var inconsistent atomic.Int64
+	var conflicts atomic.Int64
+	stop := make(chan struct{})
+
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := db.Exec("UPDATE metrics SET v = v + 1")
+				if err != nil {
+					if isConflict(err) {
+						conflicts.Add(1)
+						continue
+					}
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 30; i++ {
+				rowsRes, err := db.Query("SELECT sum(v), count(*) FROM metrics")
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				rowsRes.Next()
+				var sum, count int64
+				if err := rowsRes.Scan(&sum, &count); err != nil {
+					t.Errorf("scan: %v", err)
+					return
+				}
+				if count != rows || sum%rows != 0 {
+					inconsistent.Add(1)
+					t.Errorf("torn snapshot: sum=%d count=%d", sum, count)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+	if inconsistent.Load() > 0 {
+		t.Fatalf("%d inconsistent snapshots", inconsistent.Load())
+	}
+}
+
+func isConflict(err error) bool {
+	return err != nil && (errors.Is(err, errConflictProbe) || containsConflict(err.Error()))
+}
+
+var errConflictProbe = errors.New("never")
+
+func containsConflict(s string) bool {
+	return len(s) > 0 && (stringContains(s, "conflict"))
+}
+
+func stringContains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWriteWriteConflict verifies first-updater-wins serializability.
+func TestWriteWriteConflict(t *testing.T) {
+	db := openMem(t)
+	mustExec(t, db, "CREATE TABLE t (v BIGINT)")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+
+	tx1, _ := db.Begin()
+	tx2, _ := db.Begin()
+	if _, err := tx1.Exec("UPDATE t SET v = 10"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tx2.Exec("UPDATE t SET v = 20")
+	if err == nil || !containsConflict(err.Error()) {
+		t.Fatalf("expected write-write conflict, got %v", err)
+	}
+	tx2.Rollback()
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryAll(t, db, "SELECT v FROM t"); got[0][0] != "10" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestSnapshotStability: a long-running reader transaction keeps seeing
+// its snapshot while writers commit around it.
+func TestSnapshotStability(t *testing.T) {
+	db := openMem(t)
+	mustExec(t, db, "CREATE TABLE t (v BIGINT)")
+	mustExec(t, db, "INSERT INTO t VALUES (100)")
+
+	reader, _ := db.Begin()
+	readSum := func() string {
+		rows, err := reader.Query("SELECT sum(v) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows.Next()
+		return rows.Value(0).String()
+	}
+	before := readSum()
+
+	mustExec(t, db, "UPDATE t SET v = 999")
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+
+	if after := readSum(); after != before {
+		t.Fatalf("snapshot moved: %s -> %s", before, after)
+	}
+	reader.Rollback()
+	if got := queryAll(t, db, "SELECT sum(v) FROM t"); got[0][0] != "1000" {
+		t.Fatalf("latest state: %v", got)
+	}
+}
+
+// TestConcurrentAppenders: bulk appends from several goroutines all
+// arrive exactly once.
+func TestConcurrentAppenders(t *testing.T) {
+	db := openMem(t)
+	mustExec(t, db, "CREATE TABLE t (v BIGINT)")
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			app, err := db.Appender("t")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if err := app.AppendRow(int64(1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := app.Close(); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := queryAll(t, db, "SELECT count(*), sum(v) FROM t")
+	want := fmt.Sprint([][]string{{fmt.Sprint(4 * perWorker), fmt.Sprint(4 * perWorker)}})
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}

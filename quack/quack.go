@@ -1,0 +1,387 @@
+// Package quack is QuackDB's public embedded API: an in-process
+// analytical database in the spirit of the system described in
+// "Data Management for Data Science — Towards Embedded Analytics"
+// (Raasveldt & Mühleisen, CIDR 2020).
+//
+// The database runs inside the application's process and address space,
+// so query results are handed to the application as chunks of column
+// slices — the engine's own internal representation — without
+// serialization or per-value call overhead (§5 of the paper):
+//
+//	db, _ := quack.Open("data.qdb")
+//	defer db.Close()
+//	rows, _ := db.Query("SELECT region, sum(revenue) FROM sales GROUP BY region")
+//	for {
+//	    chunk := rows.NextChunk()
+//	    if chunk == nil {
+//	        break
+//	    }
+//	    sums := chunk.Cols[1].F64 // direct slice access, zero copies
+//	    ...
+//	}
+//
+// A conventional value-at-a-time API (Next/Scan) is also provided — it
+// is deliberately the unflattering baseline the paper compares against.
+// Bulk loading goes through the Appender, which fills chunks in place
+// and hands them to the storage layer.
+package quack
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Type aliases re-export the engine's native data representation so
+// applications can consume chunks directly.
+type (
+	// Chunk is a horizontal slice of a result set: column vectors of
+	// equal length.
+	Chunk = vector.Chunk
+	// Vector is a typed column slice with a validity mask.
+	Vector = vector.Vector
+	// Type is a SQL logical type.
+	Type = types.Type
+	// Value is a boxed SQL value (value-at-a-time API only).
+	Value = types.Value
+)
+
+// Re-exported logical types.
+const (
+	Boolean   = types.Boolean
+	Integer   = types.Integer
+	BigInt    = types.BigInt
+	Double    = types.Double
+	Varchar   = types.Varchar
+	Timestamp = types.Timestamp
+)
+
+// Option configures Open.
+type Option func(*core.Config)
+
+// WithMemoryLimit caps the engine's buffer pool, in bytes. An embedded
+// database shares the machine with its host application and must not
+// assume it owns all resources (§4).
+func WithMemoryLimit(bytes int64) Option {
+	return func(c *core.Config) { c.MemoryLimit = bytes }
+}
+
+// WithTotalRAM tells the adaptive policy how much RAM the application
+// and database share.
+func WithTotalRAM(bytes int64) Option {
+	return func(c *core.Config) { c.TotalRAM = bytes }
+}
+
+// WithoutChecksumVerification disables block checksum verification on
+// read. Only the resilience ablation (experiment E8) should use this.
+func WithoutChecksumVerification() Option {
+	return func(c *core.Config) { c.DisableChecksums = true }
+}
+
+// WithMemTest enables moving-inversions memory testing of buffer
+// allocations (§3's defense against silent RAM corruption).
+func WithMemTest() Option {
+	return func(c *core.Config) { c.MemTest = true }
+}
+
+// WithTmpDir sets the spill directory for out-of-core operators.
+func WithTmpDir(dir string) Option {
+	return func(c *core.Config) { c.TmpDir = dir }
+}
+
+// DB is an embedded database handle, safe for concurrent use.
+type DB struct {
+	core *core.Database
+}
+
+// Open opens or creates the database file at path. Empty path or
+// ":memory:" opens a volatile in-memory database.
+func Open(path string, opts ...Option) (*DB, error) {
+	cfg := core.Config{Path: path}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{core: db}, nil
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error { return db.core.Close() }
+
+// Exec runs a statement and returns the number of affected rows.
+func (db *DB) Exec(sql string, args ...any) (int64, error) {
+	sess := db.core.NewSession()
+	params, err := toValues(args)
+	if err != nil {
+		return 0, err
+	}
+	results, err := sess.Execute(sql, params...)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, r := range results {
+		n += r.RowsAffected
+	}
+	return n, nil
+}
+
+// Query runs a SELECT and returns its result set.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	sess := db.core.NewSession()
+	return query(sess, sql, args)
+}
+
+// Checkpoint forces all committed data into the database file and
+// truncates the WAL. Fails with an error if transactions are in flight.
+func (db *DB) Checkpoint() error { return db.core.Checkpoint() }
+
+// SetAppUsage informs the adaptive policy of the host application's
+// current resource usage (§4 cooperation).
+func (db *DB) SetAppUsage(ramBytes int64, cpuFraction float64) {
+	db.core.Monitor().SetAppUsage(adaptive.Usage{AppRAM: ramBytes, AppCPU: cpuFraction})
+}
+
+// MemoryUsed returns the engine's currently reserved bytes.
+func (db *DB) MemoryUsed() int64 { return db.core.Pool().Used() }
+
+// Internal returns the underlying engine facade. It is exported for the
+// benchmark harness and examples that exercise engine internals; regular
+// applications should not need it.
+func (db *DB) Internal() *core.Database { return db.core }
+
+func query(sess *core.Session, sql string, args []any) (*Rows, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.ExecuteOne(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if !res.HasRows {
+		return &Rows{res: &core.Result{}}, nil
+	}
+	return &Rows{res: res}, nil
+}
+
+// Rows is a materialized result set offering two consumption styles:
+// the bulk chunk interface (NextChunk) that hands over the engine's
+// column slices directly, and the conventional value-at-a-time
+// interface (Next/Scan) kept as the transfer-efficiency baseline.
+type Rows struct {
+	res      *core.Result
+	chunkIdx int
+	rowIdx   int
+	cur      *Chunk
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.res.Columns }
+
+// Types returns the result column types.
+func (r *Rows) Types() []Type { return r.res.Types }
+
+// NumRows returns the total number of rows.
+func (r *Rows) NumRows() int64 { return r.res.NumRows() }
+
+// NextChunk returns the next chunk of the result, or nil when the
+// result is exhausted. The chunk is the engine's internal
+// representation, handed over without copying; treat it as read-only.
+func (r *Rows) NextChunk() *Chunk {
+	if r.chunkIdx >= len(r.res.Chunks) {
+		return nil
+	}
+	c := r.res.Chunks[r.chunkIdx]
+	r.chunkIdx++
+	return c
+}
+
+// Chunks returns all result chunks.
+func (r *Rows) Chunks() []*Chunk { return r.res.Chunks }
+
+// Next advances the value-at-a-time cursor.
+func (r *Rows) Next() bool {
+	if r.cur != nil && r.rowIdx+1 < r.cur.Len() {
+		r.rowIdx++
+		return true
+	}
+	r.cur = r.NextChunk()
+	r.rowIdx = 0
+	for r.cur != nil && r.cur.Len() == 0 {
+		r.cur = r.NextChunk()
+	}
+	return r.cur != nil
+}
+
+// Scan copies the current row into dest pointers (*int64, *int32,
+// *float64, *string, *bool, *time.Time, *Value, or *any).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("quack: Scan called without Next")
+	}
+	if len(dest) != r.cur.NumCols() {
+		return fmt.Errorf("quack: Scan got %d destinations for %d columns", len(dest), r.cur.NumCols())
+	}
+	for i, d := range dest {
+		if err := assign(d, r.cur.Cols[i], r.rowIdx); err != nil {
+			return fmt.Errorf("quack: column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Value returns column i of the current row as a boxed Value.
+func (r *Rows) Value(i int) Value {
+	return r.cur.Cols[i].Get(r.rowIdx)
+}
+
+// Close releases the result (no-op for materialized results; kept for
+// API familiarity).
+func (r *Rows) Close() {}
+
+func assign(dest any, col *Vector, row int) error {
+	null := col.IsNull(row)
+	switch d := dest.(type) {
+	case *int64:
+		if null {
+			*d = 0
+			return nil
+		}
+		switch col.Type {
+		case types.Integer:
+			*d = int64(col.I32[row])
+		case types.BigInt, types.Timestamp:
+			*d = col.I64[row]
+		case types.Double:
+			*d = int64(col.F64[row])
+		case types.Boolean:
+			if col.Bools[row] {
+				*d = 1
+			}
+		default:
+			return fmt.Errorf("cannot scan %s into *int64", col.Type)
+		}
+	case *int32:
+		if null {
+			*d = 0
+			return nil
+		}
+		if col.Type != types.Integer {
+			return fmt.Errorf("cannot scan %s into *int32", col.Type)
+		}
+		*d = col.I32[row]
+	case *float64:
+		if null {
+			*d = 0
+			return nil
+		}
+		switch col.Type {
+		case types.Double:
+			*d = col.F64[row]
+		case types.Integer:
+			*d = float64(col.I32[row])
+		case types.BigInt:
+			*d = float64(col.I64[row])
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", col.Type)
+		}
+	case *string:
+		if null {
+			*d = ""
+			return nil
+		}
+		*d = col.Get(row).String()
+	case *bool:
+		if null {
+			*d = false
+			return nil
+		}
+		if col.Type != types.Boolean {
+			return fmt.Errorf("cannot scan %s into *bool", col.Type)
+		}
+		*d = col.Bools[row]
+	case *time.Time:
+		if null {
+			*d = time.Time{}
+			return nil
+		}
+		if col.Type != types.Timestamp {
+			return fmt.Errorf("cannot scan %s into *time.Time", col.Type)
+		}
+		*d = time.UnixMicro(col.I64[row]).UTC()
+	case *Value:
+		*d = col.Get(row)
+	case *any:
+		if null {
+			*d = nil
+			return nil
+		}
+		v := col.Get(row)
+		switch v.Type {
+		case types.Boolean:
+			*d = v.Bool
+		case types.Integer:
+			*d = int32(v.I64)
+		case types.BigInt:
+			*d = v.I64
+		case types.Double:
+			*d = v.F64
+		case types.Varchar:
+			*d = v.Str
+		case types.Timestamp:
+			*d = time.UnixMicro(v.I64).UTC()
+		}
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+func toValues(args []any) ([]types.Value, error) {
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("quack: argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toValue(a any) (types.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return types.NewNull(types.Null), nil
+	case bool:
+		return types.NewBool(v), nil
+	case int:
+		return types.NewBigInt(int64(v)), nil
+	case int32:
+		return types.NewInt(v), nil
+	case int64:
+		return types.NewBigInt(v), nil
+	case float64:
+		return types.NewDouble(v), nil
+	case string:
+		return types.NewVarchar(v), nil
+	case time.Time:
+		return types.NewTimestamp(v.UnixMicro()), nil
+	case types.Value:
+		return v, nil
+	default:
+		return types.Value{}, fmt.Errorf("unsupported parameter type %T", a)
+	}
+}
+
+// compile-time check that the core session's strategy type matches.
+var _ = exec.JoinAuto
