@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
@@ -297,6 +298,44 @@ func BenchmarkConcurrentOLAPETL(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.Queries)*2, "queries/s")
 		b.ReportMetric(float64(res.Updates)*2, "updates/s")
+	}
+}
+
+// Parallel benchmarks (E10): the morsel-driven engine at fixed worker
+// counts. sub-benchmark names carry the thread count so the BENCH
+// trajectory records the scaling curve.
+func BenchmarkParallelScan(b *testing.B) {
+	benchParallel(b, "SELECT id, qty, price FROM t WHERE qty > 98 AND price < 10.0")
+}
+
+func BenchmarkParallelAgg(b *testing.B) {
+	benchParallel(b, "SELECT region, count(*), sum(qty), avg(price), min(price), max(price) FROM t GROUP BY region")
+}
+
+func benchParallel(b *testing.B, query string) {
+	db, err := quack.Open(":memory:")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := bench.GenSalesTable(db, "t", 1_000_000, 0.0, 11); err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			if _, err := db.Exec(fmt.Sprintf("PRAGMA threads=%d", threads)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Query(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.NextChunk() != nil {
+				}
+			}
+		})
 	}
 }
 

@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|all
+//	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|scaling|all
 //	quack-bench -exp all -scale 0.1   # quicker, smaller datasets
+//	quack-bench -exp scaling -threads 16   # sweep 1,2,4,8,16 workers
 package main
 
 import (
@@ -19,17 +20,31 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, scaling, all)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	threads := flag.Int("threads", 8, "maximum worker count for the scaling sweep (powers of two up to this)")
 	flag.Parse()
 
-	if err := run(*exp, bench.Scale(*scale)); err != nil {
+	if err := run(*exp, bench.Scale(*scale), *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "quack-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale bench.Scale) error {
+// threadSweep lists the worker counts to sweep: 1, 2, 4, ... up to and
+// including maxThreads.
+func threadSweep(maxThreads int) []int {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	var out []int
+	for n := 1; n < maxThreads; n *= 2 {
+		out = append(out, n)
+	}
+	return append(out, maxThreads)
+}
+
+func run(exp string, scale bench.Scale, threads int) error {
 	w := os.Stdout
 	sep := func() {
 		fmt.Fprintln(w, "\n"+string(make([]byte, 0))+"----------------------------------------------------------------")
@@ -115,6 +130,14 @@ func run(exp string, scale bench.Scale) error {
 				rows = 50_000
 			}
 			_, err := bench.Dashboard(w, rows, 3*time.Second)
+			return err
+		}},
+		{"scaling", func() error {
+			rows := int(2_000_000 * float64(scale))
+			if rows < 100_000 {
+				rows = 100_000
+			}
+			_, err := bench.Scaling(w, rows, threadSweep(threads))
 			return err
 		}},
 	}

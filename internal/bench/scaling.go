@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/quack"
+)
+
+// ScalingPoint is one row of the E10 morsel-parallelism sweep.
+type ScalingPoint struct {
+	Threads     int
+	ScanDur     time.Duration
+	AggDur      time.Duration
+	ScanSpeedup float64 // vs the 1-thread baseline
+	AggSpeedup  float64
+}
+
+// scalingScanQuery is scan-and-filter bound with a tiny result: it
+// measures the parallel pipeline itself, not result materialization.
+const scalingScanQuery = "SELECT id, qty, price FROM t WHERE qty > 98 AND price < 10.0"
+
+// scalingAggQuery is the paper-style grouped aggregation the morsel
+// design targets: worker-local hash tables merged at the breaker.
+const scalingAggQuery = "SELECT region, count(*), sum(qty), avg(price), min(price), max(price) FROM t GROUP BY region"
+
+// Scaling (E10) measures the morsel-driven engine's speedup over the
+// single-threaded baseline on one dataset: a filtered scan pipeline and
+// a grouped aggregation, each at every requested worker count. Results
+// are checked to be row-for-row identical across thread counts — the
+// engine's determinism guarantee — before any timing is reported.
+func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) {
+	if len(threadCounts) == 0 {
+		threadCounts = []int{1, 2, 4, 8}
+	}
+	db, err := quack.Open(":memory:", quack.WithThreads(1))
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := GenSalesTable(db, "t", rows, 0.0, 11); err != nil {
+		return nil, err
+	}
+
+	render := func(q string) (string, error) {
+		res, err := db.Query(q)
+		if err != nil {
+			return "", err
+		}
+		out := ""
+		for {
+			c := res.NextChunk()
+			if c == nil {
+				return out, nil
+			}
+			for r := 0; r < c.Len(); r++ {
+				out += fmt.Sprint(c.Row(r)) + "\n"
+			}
+		}
+	}
+	// Best-of-3 timing; the first run warms the morsel scan path.
+	timeQuery := func(q string) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			res, err := db.Query(q)
+			if err != nil {
+				return 0, err
+			}
+			for res.NextChunk() != nil {
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+
+	setThreads := func(n int) error {
+		_, err := db.Exec(fmt.Sprintf("PRAGMA threads=%d", n))
+		return err
+	}
+
+	var wantScan, wantAgg string
+	var out []ScalingPoint
+	for _, threads := range threadCounts {
+		if err := setThreads(threads); err != nil {
+			return nil, err
+		}
+		gotScan, err := render(scalingScanQuery)
+		if err != nil {
+			return nil, err
+		}
+		gotAgg, err := render(scalingAggQuery)
+		if err != nil {
+			return nil, err
+		}
+		if threads == threadCounts[0] {
+			wantScan, wantAgg = gotScan, gotAgg
+		} else if gotScan != wantScan || gotAgg != wantAgg {
+			return nil, fmt.Errorf("results diverge at %d threads", threads)
+		}
+		scanDur, err := timeQuery(scalingScanQuery)
+		if err != nil {
+			return nil, err
+		}
+		aggDur, err := timeQuery(scalingAggQuery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur})
+	}
+	base := out[0]
+	for i := range out {
+		out[i].ScanSpeedup = float64(base.ScanDur) / float64(out[i].ScanDur)
+		out[i].AggSpeedup = float64(base.AggDur) / float64(out[i].AggDur)
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "E10 morsel-driven parallelism (%d rows; results verified identical across thread counts)\n", rows)
+		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup")
+		for _, p := range out {
+			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %.2fx\n",
+				p.Threads, p.ScanDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.ScanSpeedup),
+				p.AggDur.Round(time.Microsecond), p.AggSpeedup)
+		}
+	}
+	return out, nil
+}

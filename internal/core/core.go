@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +43,10 @@ type Config struct {
 	// VacuumEvery runs undo-chain garbage collection after this many
 	// commits (0 = default 256).
 	VacuumEvery int64
+	// Threads is the default worker-pool size for parallel query
+	// pipelines; <=0 uses runtime.GOMAXPROCS(0). 1 disables intra-query
+	// parallelism. Sessions and PRAGMA threads can override it.
+	Threads int
 }
 
 // Database is one embedded database instance. It is safe for concurrent
@@ -60,6 +65,7 @@ type Database struct {
 	ddlMu       sync.Mutex // serializes DDL and checkpoints
 	pendingFree []storage.BlockID
 	commitCount atomic.Int64
+	threads     atomic.Int64 // default parallelism for new queries
 	closed      atomic.Bool
 }
 
@@ -70,6 +76,9 @@ func Open(cfg Config) (*Database, error) {
 	}
 	if cfg.TotalRAM <= 0 {
 		cfg.TotalRAM = 8 << 30
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = runtime.GOMAXPROCS(0)
 	}
 	tester := memtest.NewTester(nil)
 	pool := buffer.NewPool(cfg.MemoryLimit, tester)
@@ -87,6 +96,7 @@ func Open(cfg Config) (*Database, error) {
 		monitor: adaptive.NewMonitor(),
 	}
 	db.policy = adaptive.NewPolicy(db.monitor, cfg.TotalRAM)
+	db.threads.Store(int64(cfg.Threads))
 
 	if !store.InMemory() {
 		log, err := wal.Open(cfg.Path + ".wal")
@@ -144,6 +154,18 @@ func (db *Database) Policy() *adaptive.Policy { return db.policy }
 
 // Store exposes the block manager (experiments and tools).
 func (db *Database) Store() *storage.Manager { return db.store }
+
+// Threads returns the default parallelism for new queries.
+func (db *Database) Threads() int { return int(db.threads.Load()) }
+
+// SetThreads changes the default parallelism for new queries; n <= 0
+// resets to runtime.GOMAXPROCS(0).
+func (db *Database) SetThreads(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	db.threads.Store(int64(n))
+}
 
 // WALSize returns the current WAL size in bytes (0 for in-memory).
 func (db *Database) WALSize() int64 { return db.wal.Size() }

@@ -46,6 +46,17 @@ type Session struct {
 	current *txn.Transaction
 	// JoinStrategy overrides the adaptive join choice for experiments.
 	JoinStrategy exec.JoinStrategy
+	// Threads overrides the database's default query parallelism for
+	// this session; <=0 means "use the database default".
+	Threads int
+}
+
+// threads resolves the parallelism for this session's next query.
+func (s *Session) threads() int {
+	if s.Threads > 0 {
+		return s.Threads
+	}
+	return s.db.Threads()
 }
 
 // NewSession opens a session.
@@ -201,16 +212,18 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 		Logger:       s.db.logger,
 		TmpDir:       s.db.TmpDir(),
 		JoinStrategy: s.JoinStrategy,
+		Threads:      s.threads(),
 	}
 }
 
 func (s *Session) runPlan(node plan.Node, tx *txn.Transaction) (*Result, error) {
 	node = plan.Optimize(node)
-	op, err := exec.Build(node)
+	ctx := s.execContext(tx)
+	op, err := exec.BuildParallel(node, ctx.Threads)
 	if err != nil {
 		return nil, err
 	}
-	chunks, err := exec.Collect(s.execContext(tx), op)
+	chunks, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -261,11 +274,15 @@ func (s *Session) ExecuteRowEngine(sqlText string, params ...types.Value) ([][]t
 
 func (s *Session) runDML(node plan.Node, tx *txn.Transaction) (*Result, error) {
 	node = plan.Optimize(node)
+	// DML trees are built single-threaded (see exec.build); the context
+	// must agree so no operator takes a parallel path inside them.
 	op, err := exec.Build(node)
 	if err != nil {
 		return nil, err
 	}
-	chunks, err := exec.Collect(s.execContext(tx), op)
+	ctx := s.execContext(tx)
+	ctx.Threads = 1
+	chunks, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -498,6 +515,12 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 			return nil, err
 		}
 		s.db.pool.SetLimit(bytes)
+		return &Result{}, nil
+	case "threads":
+		if !hasVal {
+			return readback(strconv.FormatInt(int64(s.db.Threads()), 10)), nil
+		}
+		s.db.SetThreads(int(intVal))
 		return &Result{}, nil
 	case "memtest":
 		if !hasVal {

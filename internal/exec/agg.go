@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -12,16 +13,74 @@ import (
 type aggState struct {
 	groupKey []types.Value // materialized group column values
 	accs     []accumulator
+	// firstPos is the packed (morsel, row) position where the group was
+	// first seen; the parallel aggregate orders its merged output by it
+	// to reproduce the single-threaded first-seen emission order.
+	firstPos int64
 }
 
 // accumulator is one aggregate's running state.
+//
+// DOUBLE sums are morsel-wise two-level reductions: rows of one chunk
+// accumulate into curF, which folds into sumF at chunk boundaries (or
+// is retained per morsel by the parallel aggregate and folded in morsel
+// order at the merge). Both engines therefore evaluate the exact same
+// floating-point reduction tree, so results are bit-identical at every
+// thread count despite FP addition being non-associative.
 type accumulator struct {
-	count    int64
-	sumI     int64
-	sumF     float64
-	best     types.Value // min/max
-	bestSet  bool
-	distinct map[string]struct{} // non-nil for DISTINCT aggregates
+	count     int64
+	sumI      int64
+	sumF      float64
+	curF      float64     // in-progress per-chunk DOUBLE subtotal
+	curMorsel int64       // 1 + seq of curF's chunk; 0 = no pending subtotal
+	subF      []fsub      // retained per-morsel subtotals (parallel build only)
+	best      types.Value // min/max
+	bestSet   bool
+	distinct  map[string]struct{} // non-nil for DISTINCT aggregates
+}
+
+// fsub is one morsel's DOUBLE subtotal.
+type fsub struct {
+	seq int64
+	sum float64
+}
+
+// addF accumulates a DOUBLE value seen in chunk seq.
+func (a *accumulator) addF(v float64, seq int64, retain bool) {
+	if a.curMorsel != seq+1 {
+		a.flushF(retain)
+		a.curMorsel = seq + 1
+	}
+	a.curF += v
+}
+
+// flushF finishes the pending per-chunk subtotal: folding it into sumF
+// (sequential, arrival order == morsel order) or retaining it for the
+// ordered merge (parallel workers).
+func (a *accumulator) flushF(retain bool) {
+	if a.curMorsel == 0 {
+		return
+	}
+	if retain {
+		a.subF = append(a.subF, fsub{seq: a.curMorsel - 1, sum: a.curF})
+	} else {
+		a.sumF += a.curF
+	}
+	a.curF = 0
+	a.curMorsel = 0
+}
+
+// foldSubF folds the retained per-morsel subtotals into sumF in morsel
+// order, reproducing the sequential engine's reduction exactly.
+func (a *accumulator) foldSubF() {
+	if len(a.subF) == 0 {
+		return
+	}
+	sort.Slice(a.subF, func(i, j int) bool { return a.subF[i].seq < a.subF[j].seq })
+	for _, s := range a.subF {
+		a.sumF += s.sum
+	}
+	a.subF = nil
 }
 
 // aggOp is the blocking hash aggregation operator. On the first Next it
@@ -87,6 +146,7 @@ func (a *aggOp) build(ctx *Context) error {
 	na := len(a.node.Aggs)
 	rowEstimate := keyBytesEstimate(groupTypes(a.node)) + int64(na)*48 + 64
 	var keyBuf []byte
+	var chunkSeq int64
 	for {
 		chunk, err := a.child.Next(ctx)
 		if err != nil {
@@ -149,7 +209,14 @@ func (a *aggOp) build(ctx *Context) error {
 			states[r] = st
 		}
 		for j, spec := range a.node.Aggs {
-			updateAggChunk(spec, j, states, argVecs[j])
+			updateAggChunk(spec, j, states, argVecs[j], chunkSeq, false)
+		}
+		chunkSeq++
+	}
+	// Fold the pending per-chunk DOUBLE subtotals.
+	for _, st := range a.groups {
+		for j := range st.accs {
+			st.accs[j].flushF(false)
 		}
 	}
 	// A global aggregation (no GROUP BY) over zero rows still yields
@@ -176,8 +243,11 @@ func groupTypes(n *plan.AggNode) []types.Type {
 }
 
 // updateAggChunk accumulates one aggregate over a whole chunk with the
-// type/function dispatch hoisted out of the row loop.
-func updateAggChunk(spec plan.AggSpec, j int, states []*aggState, arg *vector.Vector) {
+// type/function dispatch hoisted out of the row loop. seq identifies
+// the chunk (its morsel sequence number for parallel pipelines, any
+// monotone counter otherwise); retain marks parallel workers, whose
+// DOUBLE subtotals are kept per morsel for the ordered merge.
+func updateAggChunk(spec plan.AggSpec, j int, states []*aggState, arg *vector.Vector, seq int64, retain bool) {
 	if spec.Arg == nil { // count(*)
 		for _, st := range states {
 			st.accs[j].count++
@@ -227,7 +297,7 @@ func updateAggChunk(spec plan.AggSpec, j int, states []*aggState, arg *vector.Ve
 				if allValid || arg.Valid.IsValid(r) {
 					acc := &st.accs[j]
 					acc.count++
-					acc.sumF += arg.F64[r]
+					acc.addF(arg.F64[r], seq, retain)
 				}
 			}
 		case types.Boolean:

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// parAggOp is the parallel hash aggregation pipeline breaker: each
+// worker of the child pipeline accumulates into its own thread-local
+// hash table (no sharing, no locks on the hot path), and the partials
+// are merged once when the pipeline drains. Every group records the
+// packed (morsel, row) position of its first appearance; merging keeps
+// the minimum, and emission sorts by it — reproducing exactly the
+// first-seen group order of the single-threaded aggregate. DISTINCT
+// aggregates are not parallelized (their per-group sets cannot be
+// merged without double counting); the planner routes them to the
+// sequential aggregate instead.
+type parAggOp struct {
+	scan *parScanOp
+	node *plan.AggNode
+
+	groups   map[string]*aggState
+	order    []string
+	emitPos  int
+	built    bool
+	reserved int64
+}
+
+func newParAggOp(spec *pipelineSpec, n *plan.AggNode) *parAggOp {
+	return &parAggOp{scan: newParScanOp(spec), node: n}
+}
+
+// aggWorker is one worker's thread-local accumulation state.
+type aggWorker struct {
+	groups   map[string]*aggState
+	keyBuf   []byte
+	stBuf    []*aggState
+	reserved int64
+}
+
+func (a *parAggOp) Open(ctx *Context) error {
+	a.groups = make(map[string]*aggState)
+	a.order = nil
+	a.emitPos = 0
+	a.built = false
+	a.reserved = 0
+	return nil
+}
+
+func (a *parAggOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if !a.built {
+		if err := a.build(ctx); err != nil {
+			return nil, err
+		}
+		a.built = true
+	}
+	if a.emitPos >= len(a.order) {
+		return nil, nil
+	}
+	out := vector.NewChunk(schemaTypes(a.node.Schema()))
+	ng := len(a.node.GroupBy)
+	for a.emitPos < len(a.order) && out.Len() < vector.ChunkCapacity {
+		st := a.groups[a.order[a.emitPos]]
+		a.emitPos++
+		row := out.Len()
+		out.SetLen(row + 1)
+		for i, gv := range st.groupKey {
+			out.Cols[i].Set(row, gv)
+		}
+		for j, spec := range a.node.Aggs {
+			out.Cols[ng+j].Set(row, finishAgg(spec, &st.accs[j]))
+		}
+	}
+	return out, nil
+}
+
+func (a *parAggOp) build(ctx *Context) error {
+	ng := len(a.node.GroupBy)
+	na := len(a.node.Aggs)
+	rowEstimate := keyBytesEstimate(groupTypes(a.node)) + int64(na)*48 + 64
+
+	// Thread-local hash tables genuinely hold up to workers×groups
+	// states, so under an enforced memory budget a query that fits at
+	// threads=1 could fail at N. Keep the budgeted envelope identical
+	// to the sequential engine by running one worker; graceful
+	// degradation (spilling partials) is a ROADMAP item.
+	if ctx.Pool != nil && ctx.Pool.Limit() > 0 {
+		a.scan.limitWorkers = 1
+	}
+
+	// mkSink runs on the coordinating goroutine, and the partials are
+	// only read back after consume has joined every worker, so the
+	// workers slice needs no locking.
+	var workers []*aggWorker
+	_, err := a.scan.consume(ctx, func(w int) func(int, *vector.Chunk) error {
+		aw := &aggWorker{groups: make(map[string]*aggState)}
+		workers = append(workers, aw)
+		return func(seq int, chunk *vector.Chunk) error {
+			return a.accumulate(ctx, aw, seq, chunk, rowEstimate)
+		}
+	})
+	for _, aw := range workers {
+		a.reserved += aw.reserved
+	}
+	if err != nil {
+		return err
+	}
+
+	// Merge the thread-local partials, keeping the earliest first-seen
+	// position per group. Pending DOUBLE subtotals are first flushed to
+	// the workers' per-morsel lists, then folded in morsel order below —
+	// the same reduction tree the sequential aggregate evaluates.
+	for _, aw := range workers {
+		for _, st := range aw.groups {
+			for j := range st.accs {
+				st.accs[j].flushF(true)
+			}
+		}
+	}
+	for _, aw := range workers {
+		for key, st := range aw.groups {
+			dst, ok := a.groups[key]
+			if !ok {
+				a.groups[key] = st
+				continue
+			}
+			if st.firstPos < dst.firstPos {
+				dst.firstPos = st.firstPos
+			}
+			for j := range a.node.Aggs {
+				mergeAccumulator(a.node.Aggs[j], &dst.accs[j], &st.accs[j])
+			}
+		}
+	}
+	for _, st := range a.groups {
+		for j := range st.accs {
+			st.accs[j].foldSubF()
+		}
+	}
+	a.order = make([]string, 0, len(a.groups))
+	for key := range a.groups {
+		a.order = append(a.order, key)
+	}
+	sort.Slice(a.order, func(i, j int) bool {
+		return a.groups[a.order[i]].firstPos < a.groups[a.order[j]].firstPos
+	})
+
+	// A global aggregation (no GROUP BY) over zero rows still yields
+	// one row: count = 0, other aggregates NULL.
+	if ng == 0 && len(a.order) == 0 {
+		a.groups[""] = &aggState{accs: make([]accumulator, na)}
+		a.order = append(a.order, "")
+	}
+	return nil
+}
+
+// accumulate folds one morsel's chunk into the worker's partial state.
+// It mirrors the sequential aggregate's build loop.
+func (a *parAggOp) accumulate(ctx *Context, aw *aggWorker, seq int, chunk *vector.Chunk, rowEstimate int64) error {
+	ng := len(a.node.GroupBy)
+	na := len(a.node.Aggs)
+	n := chunk.Len()
+	groupVecs := make([]*vector.Vector, ng)
+	for i, g := range a.node.GroupBy {
+		v, err := g.Eval(chunk)
+		if err != nil {
+			return err
+		}
+		groupVecs[i] = v
+	}
+	argVecs := make([]*vector.Vector, na)
+	for j, spec := range a.node.Aggs {
+		if spec.Arg != nil {
+			v, err := spec.Arg.Eval(chunk)
+			if err != nil {
+				return err
+			}
+			argVecs[j] = v
+		}
+	}
+	if cap(aw.stBuf) < n {
+		aw.stBuf = make([]*aggState, n)
+	}
+	states := aw.stBuf[:n]
+	for r := 0; r < n; r++ {
+		aw.keyBuf = encodeKeyRow(aw.keyBuf[:0], groupVecs, r)
+		st, ok := aw.groups[string(aw.keyBuf)]
+		if !ok {
+			key := string(aw.keyBuf)
+			if ctx.Pool != nil {
+				if err := ctx.Pool.Reserve(rowEstimate); err != nil {
+					return fmt.Errorf("aggregation exceeded memory budget: %w", err)
+				}
+				aw.reserved += rowEstimate
+			}
+			st = &aggState{
+				groupKey: make([]types.Value, ng),
+				accs:     make([]accumulator, na),
+				firstPos: packAggPos(seq, r),
+			}
+			for i := range groupVecs {
+				st.groupKey[i] = groupVecs[i].Get(r)
+			}
+			aw.groups[key] = st
+		}
+		states[r] = st
+	}
+	for j, spec := range a.node.Aggs {
+		updateAggChunk(spec, j, states, argVecs[j], int64(seq), true)
+	}
+	return nil
+}
+
+// packAggPos packs a (morsel, row) pair into one ordered int64. Rows
+// per morsel are bounded by the segment size (<= 1<<16).
+func packAggPos(seq, row int) int64 { return int64(seq)<<16 | int64(row) }
+
+// mergeAccumulator folds src into dst. DISTINCT accumulators never
+// reach here (the planner keeps them sequential). DOUBLE subtotals are
+// concatenated, not summed — foldSubF orders them by morsel afterwards.
+func mergeAccumulator(spec plan.AggSpec, dst, src *accumulator) {
+	dst.count += src.count
+	dst.sumI += src.sumI
+	dst.subF = append(dst.subF, src.subF...)
+	if src.bestSet {
+		if !dst.bestSet {
+			dst.best = src.best
+			dst.bestSet = true
+		} else {
+			c := types.Compare(src.best, dst.best)
+			if (spec.Func == "max" && c > 0) || (spec.Func == "min" && c < 0) {
+				dst.best = src.best
+			}
+		}
+	}
+}
+
+func (a *parAggOp) Close(ctx *Context) {
+	if ctx.Pool != nil && a.reserved > 0 {
+		ctx.Pool.Release(a.reserved)
+		a.reserved = 0
+	}
+	a.groups = nil
+	a.order = nil
+	a.scan.Close(ctx)
+}

@@ -6,6 +6,23 @@
 // root: it polls the engine for chunks, which are handed over without
 // copying (§5).
 //
+// # Morsel-driven parallelism
+//
+// An embedded engine must use all of the host's hardware (§6), so plans
+// are decomposed into pipelines: maximal scan→filter→project chains
+// terminated by pipeline breakers (hash aggregate and hash join builds,
+// sorts, the result sink). A parallelizable pipeline runs on a worker
+// pool; workers draw table segments ("morsels") from a shared atomic
+// counter, keeping every core busy without up-front range partitioning.
+// Operator state is thread-local — each worker owns partial aggregate
+// hash tables and partitioned join-build tables — and is merged once at
+// the pipeline breaker. Streaming pipelines reassemble their output in
+// morsel order, and breaker merges order groups by first appearance and
+// join matches by build position, so a parallel plan returns chunks in
+// exactly the order the single-threaded engine would (Context.Threads
+// = 1 is the always-available correctness baseline). Plan shapes outside
+// the pipeline whitelist simply fall back to the sequential operators.
+//
 // The package also houses the join-strategy decision the paper's
 // cooperation section describes (§4): an equi-join prefers an in-memory
 // hash join, but when the build side does not fit the buffer pool's
@@ -55,6 +72,10 @@ type Context struct {
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
 	// from the pool limit.
 	SortBudget int64
+	// Threads sizes the worker pools of parallel pipelines; <=1 runs
+	// every operator single-threaded. It must match the value the plan
+	// was built with (BuildParallel).
+	Threads int
 }
 
 func (c *Context) sortBudget() int64 {
@@ -79,29 +100,54 @@ type Operator interface {
 	Close(ctx *Context)
 }
 
-// Build translates a logical plan into a physical operator tree.
-func Build(node plan.Node) (Operator, error) {
+// Build translates a logical plan into a single-threaded physical
+// operator tree.
+func Build(node plan.Node) (Operator, error) { return build(node, 1) }
+
+// BuildParallel translates a logical plan into a physical operator tree
+// whose parallelizable pipelines run on worker pools of the given size.
+// The returned tree must be executed with a Context whose Threads field
+// carries the same value. threads <= 1 is identical to Build.
+func BuildParallel(node plan.Node, threads int) (Operator, error) {
+	return build(node, threads)
+}
+
+func build(node plan.Node, threads int) (Operator, error) {
+	if threads > 1 {
+		// A maximal scan→filter→project chain becomes one morsel-driven
+		// parallel pipeline streaming into whatever sits above it.
+		if spec := compilePipeline(node); spec != nil {
+			return newParScanOp(spec), nil
+		}
+		// A hash aggregate directly over such a chain breaks the
+		// pipeline with worker-local partial aggregation instead.
+		if n, ok := node.(*plan.AggNode); ok && !aggHasDistinct(n) {
+			if spec := compilePipeline(n.Child); spec != nil {
+				return newParAggOp(spec, n), nil
+			}
+		}
+	}
 	switch n := node.(type) {
 	case *plan.ScanNode:
 		return newScanOp(n), nil
 	case *plan.FilterNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return &filterOp{child: child, cond: n.Cond}, nil
 	case *plan.ProjectNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{child: child, exprs: n.Exprs, types: schemaTypes(n.Schema())}, nil
 	case *plan.JoinNode:
-		left, err := Build(n.Left)
+		left, err := build(n.Left, threads)
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(n.Right)
+		right, err := build(n.Right, threads)
 		if err != nil {
 			return nil, err
 		}
@@ -113,19 +159,19 @@ func Build(node plan.Node) (Operator, error) {
 		}
 		return newEquiJoin(left, right, n), nil
 	case *plan.AggNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return newAggOp(child, n), nil
 	case *plan.SortNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return newSortOp(child, n), nil
 	case *plan.LimitNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +179,7 @@ func Build(node plan.Node) (Operator, error) {
 	case *plan.UnionAllNode:
 		ops := make([]Operator, len(n.Inputs))
 		for i, in := range n.Inputs {
-			op, err := Build(in)
+			op, err := build(in, threads)
 			if err != nil {
 				return nil, err
 			}
@@ -143,6 +189,9 @@ func Build(node plan.Node) (Operator, error) {
 	case *plan.ValuesNode:
 		return &valuesOp{node: n}, nil
 	case *plan.InsertNode:
+		// DML stays single-threaded: an INSERT ... SELECT reading its
+		// own target interleaves appends with the scan, which the
+		// sequential scanner handles by construction.
 		child, err := Build(n.Child)
 		if err != nil {
 			return nil, err
@@ -163,6 +212,15 @@ func Build(node plan.Node) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("exec: no operator for %T", node)
 	}
+}
+
+func aggHasDistinct(n *plan.AggNode) bool {
+	for _, a := range n.Aggs {
+		if a.Distinct {
+			return true
+		}
+	}
+	return false
 }
 
 // Run drains an operator tree, invoking sink for every chunk. It opens

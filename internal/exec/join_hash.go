@@ -3,6 +3,9 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/expr"
@@ -47,10 +50,13 @@ func (j *equiJoinOp) Open(ctx *Context) error {
 		j.impl = newHashJoin(j.left, j.right, j.node, nil, false)
 		return j.impl.Open(ctx)
 	default:
+		// Register the hash join as the implementation before opening:
+		// if Open fails for a reason other than memory pressure, Close
+		// must still reach it to release its pool reservations.
 		hj := newHashJoin(j.left, j.right, j.node, nil, true)
+		j.impl = hj
 		err := hj.Open(ctx)
 		if err == nil {
-			j.impl = hj
 			return nil
 		}
 		if !errors.Is(err, buffer.ErrOutOfMemory) {
@@ -60,7 +66,7 @@ func (j *equiJoinOp) Open(ctx *Context) error {
 		// already pulled from the right child to a merge join, which
 		// sorts with spill-to-disk instead of holding a hash table. The
 		// right child stays open; the merge join continues its stream.
-		prefetched := hj.takeBuild()
+		prefetched := hj.takeBuild(ctx)
 		mj := newMergeJoin(j.left, j.right, j.node, prefetched)
 		mj.rightOpen = true
 		j.impl = mj
@@ -93,10 +99,20 @@ type hashJoinOp struct {
 
 	buildChunks []*vector.Chunk
 	ht          map[string][]buildRef
-	reserved    int64
+	// parts is the partitioned hash table a parallel build produces
+	// instead of ht: partition p holds the keys with hashKey(key)%P==p.
+	parts    []map[string][]buildRef
+	reserved int64
+	// reservedPar accumulates the parallel build workers' reservations.
+	reservedPar atomic.Int64
 	rightTypes  []types.Type
 	outTypes    []types.Type
 	nl          int // left column count
+
+	// probePar is set when the probe side is a parallel pipeline: the
+	// probe stage runs inside its workers and Next pulls the merged,
+	// morsel-ordered join output straight from it.
+	probePar *parScanOp
 
 	queue    []*vector.Chunk
 	done     bool
@@ -112,8 +128,18 @@ func newHashJoin(left, right Operator, n *plan.JoinNode, prefetched []*vector.Ch
 }
 
 // takeBuild hands the materialized build chunks to a fallback strategy
-// and releases the hash table's reservations.
-func (h *hashJoinOp) takeBuild() []*vector.Chunk {
+// and releases the hash table's pool reservations (the fallback does
+// its own accounting).
+func (h *hashJoinOp) takeBuild(ctx *Context) []*vector.Chunk {
+	if ctx.Pool != nil {
+		if h.reserved > 0 {
+			ctx.Pool.Release(h.reserved)
+			h.reserved = 0
+		}
+		if r := h.reservedPar.Swap(0); r > 0 {
+			ctx.Pool.Release(r)
+		}
+	}
 	out := h.buildChunks
 	h.buildChunks = nil
 	h.ht = nil
@@ -124,12 +150,43 @@ func (h *hashJoinOp) Open(ctx *Context) error {
 	h.nl = len(h.node.Left.Schema())
 	h.outTypes = schemaTypes(h.node.Schema())
 	h.rightTypes = schemaTypes(h.node.Right.Schema())
+
+	// Build phase. A parallel pipeline on the build side gets the
+	// thread-local partitioned build — except when the memory budget is
+	// enforced (Auto mode with a limit), where the sequential build's
+	// deterministic chunk accounting keeps the merge-join fallback
+	// exact. The build-side parScanOp still scans in parallel either
+	// way; only the hash-table insertion differs.
+	enforced := h.enforce && ctx.Pool != nil && ctx.Pool.Limit() > 0
+	if pr, ok := h.right.(*parScanOp); ok && ctx.Threads > 1 && !enforced && len(h.buildChunks) == 0 {
+		if err := h.parallelBuild(ctx, pr); err != nil {
+			return err
+		}
+	} else if err := h.sequentialBuild(ctx); err != nil {
+		return err
+	}
+
+	// Probe phase: a parallel pipeline on the probe side gets the probe
+	// stage attached to its workers; the hash table is read-only now.
+	// Attach only after the probe source opened successfully — an Open
+	// failure falls back to the merge join, which must get the pipeline
+	// without the stage.
+	if err := h.left.Open(ctx); err != nil {
+		return err
+	}
+	h.leftOpen = true
+	if pl, ok := h.left.(*parScanOp); ok && ctx.Threads > 1 {
+		pl.attachStages(func() stage { return &probeStage{h: h} })
+		h.probePar = pl
+	}
+	return nil
+}
+
+func (h *hashJoinOp) sequentialBuild(ctx *Context) error {
 	h.ht = make(map[string][]buildRef)
 	if err := h.right.Open(ctx); err != nil {
 		return err
 	}
-
-	// Build phase: drain the right child into the hash table.
 	refOverhead := int64(24)
 	insert := func(ci int, chunk *vector.Chunk) error {
 		keys := make([]*vector.Vector, len(h.node.RightKeys))
@@ -187,11 +244,140 @@ func (h *hashJoinOp) Open(ctx *Context) error {
 			return err
 		}
 	}
-	if err := h.left.Open(ctx); err != nil {
+	return nil
+}
+
+// parallelBuild drains the build-side pipeline with thread-local
+// partitioned hash tables: each worker routes its rows by key hash into
+// P per-worker partitions, and P merge tasks then combine the workers'
+// slices of one partition each. Bucket ref lists are sorted into global
+// build order afterwards, so probe output is byte-identical to the
+// sequential build's.
+func (h *hashJoinOp) parallelBuild(ctx *Context, pr *parScanOp) error {
+	// Open the source first so the partition count is bounded by the
+	// actual worker count (morsel-capped), not the raw Threads setting.
+	if pr.src == nil {
+		if err := pr.openSource(ctx); err != nil {
+			return err
+		}
+	}
+	nparts := pr.workerCount(ctx)
+	refOverhead := int64(24)
+
+	type buildWorker struct {
+		chunks []*vector.Chunk
+		seqs   []int
+		parts  []map[string][]buildRef // refs use worker-local chunk indexes
+		keyBuf []byte
+	}
+	var workers []*buildWorker
+	_, err := pr.consume(ctx, func(w int) func(int, *vector.Chunk) error {
+		bw := &buildWorker{parts: make([]map[string][]buildRef, nparts)}
+		for p := range bw.parts {
+			bw.parts[p] = make(map[string][]buildRef)
+		}
+		workers = append(workers, bw)
+		return func(seq int, chunk *vector.Chunk) error {
+			if ctx.Pool != nil {
+				need := chunkHeapBytes(chunk) + int64(chunk.Len())*refOverhead
+				// Unenforced build: account what fits, keep going.
+				if err := ctx.Pool.Reserve(need); err == nil {
+					h.reservedPar.Add(need)
+				}
+			}
+			local := len(bw.chunks)
+			bw.chunks = append(bw.chunks, chunk)
+			bw.seqs = append(bw.seqs, seq)
+			keys := make([]*vector.Vector, len(h.node.RightKeys))
+			for i, k := range h.node.RightKeys {
+				v, err := k.Eval(chunk)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			}
+			for r := 0; r < chunk.Len(); r++ {
+				if anyNull(keys, r) {
+					continue // NULL keys never match
+				}
+				bw.keyBuf = encodeKeyRow(bw.keyBuf[:0], keys, r)
+				m := bw.parts[hashKey(bw.keyBuf)%uint64(nparts)]
+				m[string(bw.keyBuf)] = append(m[string(bw.keyBuf)], makeRef(local, r))
+			}
+			return nil
+		}
+	})
+	if err != nil {
 		return err
 	}
-	h.leftOpen = true
+
+	// Renumber the workers' chunks into global build order (by morsel
+	// sequence) — the order the sequential build would have seen.
+	type chunkPos struct{ w, local, seq int }
+	var all []chunkPos
+	for w, bw := range workers {
+		for local, seq := range bw.seqs {
+			all = append(all, chunkPos{w: w, local: local, seq: seq})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	globalIdx := make([][]int, len(workers))
+	for w, bw := range workers {
+		globalIdx[w] = make([]int, len(bw.chunks))
+	}
+	h.buildChunks = make([]*vector.Chunk, len(all))
+	for g, cp := range all {
+		h.buildChunks[g] = workers[cp.w].chunks[cp.local]
+		globalIdx[cp.w][cp.local] = g
+	}
+
+	// Merge: one task per partition, partitions in parallel.
+	h.parts = make([]map[string][]buildRef, nparts)
+	var wg sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			merged := make(map[string][]buildRef)
+			for w, bw := range workers {
+				gi := globalIdx[w]
+				for key, refs := range bw.parts[p] {
+					dst := merged[key]
+					for _, ref := range refs {
+						dst = append(dst, makeRef(gi[ref.chunk()], ref.row()))
+					}
+					merged[key] = dst
+				}
+			}
+			// Packed refs order exactly as (global chunk, row).
+			for _, refs := range merged {
+				sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+			}
+			h.parts[p] = merged
+		}(p)
+	}
+	wg.Wait()
 	return nil
+}
+
+// lookup returns the build rows matching an encoded key, in global
+// build order, regardless of which build produced the table.
+func (h *hashJoinOp) lookup(key []byte) []buildRef {
+	if h.parts != nil {
+		return h.parts[hashKey(key)%uint64(len(h.parts))][string(key)]
+	}
+	return h.ht[string(key)]
+}
+
+// hashKey is FNV-1a; it only routes keys to partitions (the partition
+// maps still compare full keys).
+func hashKey(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 func anyNull(vecs []*vector.Vector, r int) bool {
@@ -204,6 +390,11 @@ func anyNull(vecs []*vector.Vector, r int) bool {
 }
 
 func (h *hashJoinOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if h.probePar != nil {
+		// The probe runs inside the left pipeline's workers; its merged
+		// output is already in morsel order.
+		return h.probePar.Next(ctx)
+	}
 	for len(h.queue) == 0 {
 		if h.done {
 			return nil, nil
@@ -216,7 +407,11 @@ func (h *hashJoinOp) Next(ctx *Context) (*vector.Chunk, error) {
 			h.done = true
 			return nil, nil
 		}
-		if err := h.processProbe(probe); err != nil {
+		h.keyBuf, err = h.probeChunk(probe, h.keyBuf, func(c *vector.Chunk) error {
+			h.queue = append(h.queue, c)
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -225,12 +420,30 @@ func (h *hashJoinOp) Next(ctx *Context) (*vector.Chunk, error) {
 	return out, nil
 }
 
-func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
+// probeStage probes the shared (read-only) hash table from inside a
+// parallel pipeline worker. Each worker owns its stage instance, so the
+// key buffer never contends.
+type probeStage struct {
+	h      *hashJoinOp
+	keyBuf []byte
+}
+
+func (ps *probeStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
+	var err error
+	ps.keyBuf, err = ps.h.probeChunk(c, ps.keyBuf, emit)
+	return err
+}
+
+// probeChunk joins one probe chunk against the build table, emitting
+// matched (and, for LEFT joins, padded unmatched) chunks. It only reads
+// shared state, so any number of workers may run it concurrently with
+// their own key buffers.
+func (h *hashJoinOp) probeChunk(probe *vector.Chunk, keyBuf []byte, emit func(*vector.Chunk) error) ([]byte, error) {
 	keys := make([]*vector.Vector, len(h.node.LeftKeys))
 	for i, k := range h.node.LeftKeys {
 		v, err := k.Eval(probe)
 		if err != nil {
-			return err
+			return keyBuf, err
 		}
 		keys[i] = v
 	}
@@ -265,7 +478,9 @@ func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
 			matched[pr] = true
 		}
 		if keep.Len() > 0 {
-			h.queue = append(h.queue, keep)
+			if err := emit(keep); err != nil {
+				return err
+			}
 		}
 		cand = vector.NewChunk(h.outTypes)
 		candProbe = nil
@@ -276,8 +491,8 @@ func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
 		if anyNull(keys, r) {
 			continue
 		}
-		h.keyBuf = encodeKeyRow(h.keyBuf[:0], keys, r)
-		for _, ref := range h.ht[string(h.keyBuf)] {
+		keyBuf = encodeKeyRow(keyBuf[:0], keys, r)
+		for _, ref := range h.lookup(keyBuf) {
 			bc := h.buildChunks[ref.chunk()]
 			br := ref.row()
 			row := cand.Len()
@@ -299,13 +514,13 @@ func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
 			candProbe = append(candProbe, r)
 			if cand.Len() == vector.ChunkCapacity {
 				if err := flush(); err != nil {
-					return err
+					return keyBuf, err
 				}
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return err
+		return keyBuf, err
 	}
 
 	if h.node.Type == plan.JoinLeft {
@@ -327,15 +542,19 @@ func (h *hashJoinOp) processProbe(probe *vector.Chunk) error {
 				outer.Cols[h.nl+c].SetNull(row)
 			}
 			if outer.Len() == vector.ChunkCapacity {
-				h.queue = append(h.queue, outer)
+				if err := emit(outer); err != nil {
+					return keyBuf, err
+				}
 				outer = vector.NewChunk(h.outTypes)
 			}
 		}
 		if outer.Len() > 0 {
-			h.queue = append(h.queue, outer)
+			if err := emit(outer); err != nil {
+				return keyBuf, err
+			}
 		}
 	}
-	return nil
+	return keyBuf, nil
 }
 
 func (h *hashJoinOp) Close(ctx *Context) {
@@ -343,7 +562,13 @@ func (h *hashJoinOp) Close(ctx *Context) {
 		ctx.Pool.Release(h.reserved)
 		h.reserved = 0
 	}
+	if ctx.Pool != nil {
+		if r := h.reservedPar.Swap(0); r > 0 {
+			ctx.Pool.Release(r)
+		}
+	}
 	h.ht = nil
+	h.parts = nil
 	h.buildChunks = nil
 	if h.leftOpen {
 		h.left.Close(ctx)

@@ -1,0 +1,276 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/table"
+	"repro/internal/vector"
+)
+
+// parResult is one processed morsel: its dense sequence number and the
+// chunks its pipeline emitted (empty when every row was filtered out).
+type parResult struct {
+	seq    int
+	chunks []*vector.Chunk
+	err    error
+}
+
+// parScanOp executes a morsel-driven pipeline with a worker pool. Each
+// worker draws segments from a shared MorselSource, runs its own stage
+// instances over them, and posts the results; the operator's Next
+// reassembles the chunks in morsel order, so consumers observe exactly
+// the chunk stream the sequential scan→filter→project chain would
+// produce — parallelism never changes row order.
+//
+// The operator has a second execution mode for pipeline breakers:
+// consume() pushes every worker's chunks straight into a worker-local
+// sink (a partial aggregate or a join build partition) without the
+// ordering barrier.
+type parScanOp struct {
+	spec  *pipelineSpec
+	extra []stageFactory // stages attached by a parent (join probe)
+
+	src        *table.MorselSource
+	results    chan parResult
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+
+	// window bounds how far workers may run ahead of the merge point:
+	// a worker takes a ticket before claiming a morsel and the merger
+	// returns it when that morsel is emitted, so the reorder buffer
+	// holds at most cap(window) morsels even under scheduling skew.
+	window chan struct{}
+
+	pending map[int][]*vector.Chunk
+	queue   []*vector.Chunk
+	nextSeq int
+	nmorsel int
+	failed  error
+	started bool
+
+	// limitWorkers caps the pool below ctx.Threads when set (>0). The
+	// parallel aggregate uses it to keep the memory envelope of an
+	// enforced budget equal to the sequential engine's.
+	limitWorkers int
+}
+
+func newParScanOp(spec *pipelineSpec) *parScanOp { return &parScanOp{spec: spec} }
+
+// attachStages appends per-worker stages to the pipeline (the hash join
+// attaches its probe stage). Must be called before the first Next or
+// consume — workers snapshot their stages when they start.
+func (p *parScanOp) attachStages(f ...stageFactory) { p.extra = append(p.extra, f...) }
+
+// workerCount sizes the pool: no more workers than morsels, at least 1.
+func (p *parScanOp) workerCount(ctx *Context) int {
+	w := ctx.Threads
+	if p.limitWorkers > 0 && w > p.limitWorkers {
+		w = p.limitWorkers
+	}
+	if w > p.nmorsel {
+		w = p.nmorsel
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (p *parScanOp) openSource(ctx *Context) error {
+	src, err := p.spec.scan.Table.Data.NewMorselSource(ctx.Txn, table.ScanOptions{
+		Columns:    p.spec.scan.Columns,
+		WithRowIDs: p.spec.scan.WithRowID,
+	})
+	if err != nil {
+		return err
+	}
+	p.src = src
+	p.nmorsel = src.NumMorsels()
+	return nil
+}
+
+func (p *parScanOp) workerStages() []stage {
+	stages := p.spec.newStages()
+	for _, f := range p.extra {
+		stages = append(stages, f())
+	}
+	return stages
+}
+
+// Open acquires the morsel source (pinning the scanned columns, which
+// can fail under a memory budget). Workers spawn lazily on the first
+// Next, so parents may still attach stages after a successful Open.
+func (p *parScanOp) Open(ctx *Context) error {
+	if p.src != nil {
+		return nil // reopened by a join fallback; keep the source
+	}
+	return p.openSource(ctx)
+}
+
+// start spawns the worker pool feeding the ordered merge.
+func (p *parScanOp) start(ctx *Context) {
+	p.started = true
+	workers := p.workerCount(ctx)
+	win := workers * 4
+	p.results = make(chan parResult, win)
+	p.window = make(chan struct{}, win)
+	p.cancel = make(chan struct{})
+	p.pending = make(map[int][]*vector.Chunk, win)
+	p.nextSeq = 0
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker(ctx)
+	}
+}
+
+func (p *parScanOp) worker(ctx *Context) {
+	defer p.wg.Done()
+	ms := p.src.Worker()
+	stages := p.workerStages()
+	for {
+		select {
+		case p.window <- struct{}{}:
+		case <-p.cancel:
+			return
+		}
+		seq, chunk, err := ms.Next()
+		if seq < 0 && err == nil {
+			<-p.window // no morsel claimed; return the ticket
+			return
+		}
+		var out []*vector.Chunk
+		if err == nil && chunk != nil {
+			err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
+				if c.Len() > 0 {
+					out = append(out, c)
+				}
+				return nil
+			})
+		}
+		select {
+		case p.results <- parResult{seq: seq, chunks: out, err: err}:
+		case <-p.cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Next implements Operator: it emits the workers' chunks in morsel
+// order. Out-of-order results are parked in a bounded reorder buffer
+// (workers block on the results channel, so at most workers+capacity
+// morsels are ever buffered).
+func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if p.failed != nil {
+		return nil, p.failed
+	}
+	if !p.started {
+		p.start(ctx)
+	}
+	for {
+		if len(p.queue) > 0 {
+			out := p.queue[0]
+			p.queue = p.queue[1:]
+			return out, nil
+		}
+		if p.nextSeq >= p.nmorsel {
+			return nil, nil
+		}
+		if chunks, ok := p.pending[p.nextSeq]; ok {
+			delete(p.pending, p.nextSeq)
+			p.nextSeq++
+			<-p.window // emitted: let a worker claim another morsel
+			p.queue = chunks
+			continue
+		}
+		res := <-p.results
+		if res.err != nil {
+			p.failed = res.err
+			return nil, res.err
+		}
+		p.pending[res.seq] = res.chunks
+	}
+}
+
+// cancelWorkers asks outstanding workers to stop at their next step.
+func (p *parScanOp) cancelWorkers() {
+	p.cancelOnce.Do(func() {
+		if p.cancel != nil {
+			close(p.cancel)
+		}
+	})
+}
+
+// Close cancels outstanding workers and releases the morsel source.
+func (p *parScanOp) Close(ctx *Context) {
+	p.closeOnce.Do(func() {
+		p.cancelWorkers()
+		p.wg.Wait()
+		if p.src != nil {
+			p.src.Close()
+		}
+		p.pending = nil
+		p.queue = nil
+	})
+}
+
+// consume runs the pipeline in sink mode for pipeline breakers: worker
+// w pushes each (seq, chunk) it produces into the sink mkSink(w)
+// returned for it, with no ordering barrier. It returns the number of
+// workers spawned (= number of sinks created). consume replaces
+// Open/Next; Close must still be called to release the source.
+func (p *parScanOp) consume(ctx *Context, mkSink func(w int) func(seq int, c *vector.Chunk) error) (int, error) {
+	if p.src == nil {
+		if err := p.openSource(ctx); err != nil {
+			return 0, err
+		}
+	}
+	p.started = true
+	workers := p.workerCount(ctx)
+	p.cancel = make(chan struct{})
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		sink := mkSink(i)
+		go func() {
+			defer p.wg.Done()
+			ms := p.src.Worker()
+			stages := p.workerStages()
+			for {
+				select {
+				case <-p.cancel:
+					return
+				default:
+				}
+				seq, chunk, err := ms.Next()
+				if seq < 0 && err == nil {
+					return
+				}
+				if err == nil && chunk != nil {
+					err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
+						if c.Len() == 0 {
+							return nil
+						}
+						return sink(seq, c)
+					})
+				}
+				if err != nil {
+					errCh <- err
+					p.cancelWorkers()
+					return
+				}
+			}
+		}()
+	}
+	p.wg.Wait()
+	select {
+	case err := <-errCh:
+		return workers, err
+	default:
+		return workers, nil
+	}
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// A stage is one per-worker transform of a morsel-driven pipeline:
+// it receives one chunk and emits zero or more chunks downstream.
+// Stage instances are worker-local (they may carry scratch buffers);
+// the expressions they evaluate are shared and immutable.
+type stage interface {
+	run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error
+}
+
+// stageFactory builds a fresh stage instance for one worker.
+type stageFactory func() stage
+
+// pipelineSpec describes a parallelizable streaming pipeline: a base
+// table scan whose segments are the morsels, followed by per-worker
+// stages (filter, project, join probe). A pipeline never reorders or
+// buffers rows, so running its stages over morsels in segment order
+// reproduces exactly the chunk stream of the sequential operator chain.
+type pipelineSpec struct {
+	scan   *plan.ScanNode
+	stages []stageFactory
+}
+
+// newStages instantiates the pipeline's stages for one worker.
+func (p *pipelineSpec) newStages() []stage {
+	out := make([]stage, len(p.stages))
+	for i, f := range p.stages {
+		out[i] = f()
+	}
+	return out
+}
+
+// compilePipeline decomposes a plan subtree into a morsel-driven
+// pipeline, or returns nil when the subtree contains a pipeline breaker
+// (aggregate, join, sort, limit, ...) or a non-table source. Filters
+// pushed into the scan become the pipeline's first stage.
+func compilePipeline(node plan.Node) *pipelineSpec {
+	switch n := node.(type) {
+	case *plan.ScanNode:
+		spec := &pipelineSpec{scan: n}
+		if f := n.Filter; f != nil {
+			spec.stages = append(spec.stages, func() stage { return &filterStage{cond: f} })
+		}
+		return spec
+	case *plan.FilterNode:
+		spec := compilePipeline(n.Child)
+		if spec == nil {
+			return nil
+		}
+		cond := n.Cond
+		spec.stages = append(spec.stages, func() stage { return &filterStage{cond: cond} })
+		return spec
+	case *plan.ProjectNode:
+		spec := compilePipeline(n.Child)
+		if spec == nil {
+			return nil
+		}
+		exprs := n.Exprs
+		spec.stages = append(spec.stages, func() stage { return &projectStage{exprs: exprs} })
+		return spec
+	default:
+		return nil
+	}
+}
+
+// runStages threads a chunk through the stages, fanning emitted chunks
+// into sink.
+func runStages(ctx *Context, stages []stage, c *vector.Chunk, sink func(*vector.Chunk) error) error {
+	if len(stages) == 0 {
+		return sink(c)
+	}
+	rest := stages[1:]
+	return stages[0].run(ctx, c, func(out *vector.Chunk) error {
+		return runStages(ctx, rest, out, sink)
+	})
+}
+
+// filterStage keeps rows where cond is TRUE; morsels with no surviving
+// rows are dropped.
+type filterStage struct {
+	cond   expr.Expr
+	selBuf []int
+}
+
+func (f *filterStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
+	mask, err := f.cond.Eval(c)
+	if err != nil {
+		return err
+	}
+	f.selBuf = expr.SelectTrue(mask, f.selBuf)
+	if len(f.selBuf) == 0 {
+		return nil
+	}
+	if len(f.selBuf) == c.Len() {
+		return emit(c)
+	}
+	out := vector.NewChunk(c.Types())
+	c.CompactInto(out, f.selBuf)
+	return emit(out)
+}
+
+// projectStage computes expressions over the chunk.
+type projectStage struct {
+	exprs []expr.Expr
+}
+
+func (p *projectStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
+	out := &vector.Chunk{Cols: make([]*vector.Vector, len(p.exprs))}
+	for i, e := range p.exprs {
+		v, err := e.Eval(c)
+		if err != nil {
+			return err
+		}
+		out.Cols[i] = v
+	}
+	out.SetLen(c.Len())
+	return emit(out)
+}

@@ -1,0 +1,102 @@
+package table
+
+import (
+	"sync/atomic"
+
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// MorselSource hands out table segments ("morsels") to the workers of a
+// parallel scan. The segment list is snapshotted at creation, so every
+// worker sees the same, fixed set of morsels regardless of concurrent
+// appends; MVCC visibility is still reconstructed per row, so the scan
+// observes exactly the rows its transaction's snapshot allows. Workers
+// draw the next unclaimed segment from a shared atomic counter — the
+// morsel-driven scheduling that keeps all cores busy without any
+// up-front range partitioning.
+//
+// The source pins the projected columns once for all workers; Close
+// releases the pins. A MorselSource is safe for concurrent use; the
+// MorselScanner values it hands out are not (one per worker).
+type MorselSource struct {
+	t       *DataTable
+	tx      *txn.Transaction
+	cols    []int
+	rowIDs  bool
+	segs    []*segment
+	release func()
+	next    atomic.Int64
+	closed  atomic.Bool
+}
+
+// NewMorselSource pins the projected columns and snapshots the segment
+// list for a parallel scan. Callers must Close it to release the pins.
+func (t *DataTable) NewMorselSource(tx *txn.Transaction, opts ScanOptions) (*MorselSource, error) {
+	cols, err := t.resolveColumns(opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	release, err := t.PinColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	segs := t.segs
+	t.mu.RUnlock()
+	return &MorselSource{
+		t:       t,
+		tx:      tx,
+		cols:    cols,
+		rowIDs:  opts.WithRowIDs,
+		segs:    segs,
+		release: release,
+	}, nil
+}
+
+// OutputTypes returns the chunk schema every worker produces.
+func (m *MorselSource) OutputTypes() []types.Type {
+	r := segReader{t: m.t, cols: m.cols, rowIDs: m.rowIDs}
+	return r.outputTypes()
+}
+
+// NumMorsels returns the total number of morsels the source will hand
+// out. Sequence numbers are dense in [0, NumMorsels).
+func (m *MorselSource) NumMorsels() int { return len(m.segs) }
+
+// Worker returns a new scanner drawing morsels from the shared counter.
+// Each worker goroutine must use its own.
+func (m *MorselSource) Worker() *MorselScanner {
+	return &MorselScanner{
+		segReader: newSegReader(m.t, m.tx, m.cols, m.rowIDs),
+		src:       m,
+	}
+}
+
+// Close releases the column pins. Idempotent.
+func (m *MorselSource) Close() {
+	if !m.closed.Swap(true) {
+		m.release()
+	}
+}
+
+// MorselScanner is one worker's view of a MorselSource.
+type MorselScanner struct {
+	segReader
+	src *MorselSource
+}
+
+// Next claims the next unclaimed morsel and materializes it. It returns
+// the morsel's sequence number and its snapshot-visible rows; the chunk
+// is nil when the morsel holds no visible rows (the sequence number is
+// still consumed, so callers can account for every morsel). seq is -1
+// when the source is exhausted.
+func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
+	idx := w.src.next.Add(1) - 1
+	if idx >= int64(len(w.src.segs)) {
+		return -1, nil, nil
+	}
+	seg := w.src.segs[idx]
+	return int(idx), w.scanSegment(seg, idx*SegRows), nil
+}

@@ -19,53 +19,33 @@ type ScanOptions struct {
 	WithRowIDs bool
 }
 
-// Scanner iterates a snapshot of the table, one chunk per segment.
-// It reconstructs the transaction's snapshot from insert/delete stamps
-// and the update undo chains, so concurrent writers never block it.
-type Scanner struct {
-	t       *DataTable
-	tx      *txn.Transaction
-	cols    []int
-	rowIDs  bool
-	segIdx  int
-	release func()
-	pos     []int32
-	sel     []int
-	closed  bool
+// segReader holds the per-reader state needed to materialize one
+// segment's snapshot: the projected columns, the transaction whose
+// snapshot is reconstructed, and scratch buffers. It is shared by the
+// sequential Scanner and the morsel workers of a parallel scan; each
+// reader owns its own scratch, so readers never contend.
+type segReader struct {
+	t      *DataTable
+	tx     *txn.Transaction
+	cols   []int
+	rowIDs bool
+	pos    []int32
+	sel    []int
 }
 
-// NewScanner pins the projected columns and returns a scanner. Callers
-// must Close it to release the pins.
-func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner, error) {
-	cols := opts.Columns
-	if cols == nil {
-		cols = make([]int, len(t.typs))
-		for i := range cols {
-			cols[i] = i
-		}
+func newSegReader(t *DataTable, tx *txn.Transaction, cols []int, rowIDs bool) segReader {
+	return segReader{
+		t:      t,
+		tx:     tx,
+		cols:   cols,
+		rowIDs: rowIDs,
+		pos:    make([]int32, SegRows),
+		sel:    make([]int, 0, SegRows),
 	}
-	for _, c := range cols {
-		if c < 0 || c >= len(t.typs) {
-			return nil, fmt.Errorf("table: scan of column %d of %d-column table", c, len(t.typs))
-		}
-	}
-	release, err := t.PinColumns(cols)
-	if err != nil {
-		return nil, err
-	}
-	return &Scanner{
-		t:       t,
-		tx:      tx,
-		cols:    cols,
-		rowIDs:  opts.WithRowIDs,
-		release: release,
-		pos:     make([]int32, SegRows),
-		sel:     make([]int, 0, SegRows),
-	}, nil
 }
 
-// OutputTypes returns the scanner's chunk schema.
-func (s *Scanner) OutputTypes() []types.Type {
+// outputTypes returns the reader's chunk schema.
+func (s *segReader) outputTypes() []types.Type {
 	out := make([]types.Type, 0, len(s.cols)+1)
 	for _, c := range s.cols {
 		out = append(out, s.t.typs[c])
@@ -76,30 +56,9 @@ func (s *Scanner) OutputTypes() []types.Type {
 	return out
 }
 
-// Next returns the next non-empty chunk, or nil when the scan is done.
-func (s *Scanner) Next() (*vector.Chunk, error) {
-	if s.closed {
-		return nil, nil
-	}
-	for {
-		s.t.mu.RLock()
-		if s.segIdx >= len(s.t.segs) {
-			s.t.mu.RUnlock()
-			return nil, nil
-		}
-		seg := s.t.segs[s.segIdx]
-		base := int64(s.segIdx) * SegRows
-		s.segIdx++
-		s.t.mu.RUnlock()
-
-		chunk := s.scanSegment(seg, base)
-		if chunk != nil {
-			return chunk, nil
-		}
-	}
-}
-
-func (s *Scanner) scanSegment(seg *segment, base int64) *vector.Chunk {
+// scanSegment materializes the snapshot-visible rows of one segment as
+// a chunk, or nil when no row is visible.
+func (s *segReader) scanSegment(seg *segment, base int64) *vector.Chunk {
 	seg.mu.RLock()
 	defer seg.mu.RUnlock()
 
@@ -118,7 +77,7 @@ func (s *Scanner) scanSegment(seg *segment, base int64) *vector.Chunk {
 		return nil
 	}
 
-	chunk := vector.NewChunk(s.OutputTypes())
+	chunk := vector.NewChunk(s.outputTypes())
 	for oi, c := range s.cols {
 		seg.cols[c].CompactInto(chunk.Cols[oi], s.sel)
 	}
@@ -155,6 +114,75 @@ func (s *Scanner) scanSegment(seg *segment, base int64) *vector.Chunk {
 		}
 	}
 	return chunk
+}
+
+// resolveColumns expands a nil column list to all columns and validates.
+func (t *DataTable) resolveColumns(cols []int) ([]int, error) {
+	if cols == nil {
+		cols = make([]int, len(t.typs))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(t.typs) {
+			return nil, fmt.Errorf("table: scan of column %d of %d-column table", c, len(t.typs))
+		}
+	}
+	return cols, nil
+}
+
+// Scanner iterates a snapshot of the table, one chunk per segment.
+// It reconstructs the transaction's snapshot from insert/delete stamps
+// and the update undo chains, so concurrent writers never block it.
+type Scanner struct {
+	segReader
+	segIdx  int
+	release func()
+	closed  bool
+}
+
+// NewScanner pins the projected columns and returns a scanner. Callers
+// must Close it to release the pins.
+func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner, error) {
+	cols, err := t.resolveColumns(opts.Columns)
+	if err != nil {
+		return nil, err
+	}
+	release, err := t.PinColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{
+		segReader: newSegReader(t, tx, cols, opts.WithRowIDs),
+		release:   release,
+	}, nil
+}
+
+// OutputTypes returns the scanner's chunk schema.
+func (s *Scanner) OutputTypes() []types.Type { return s.outputTypes() }
+
+// Next returns the next non-empty chunk, or nil when the scan is done.
+func (s *Scanner) Next() (*vector.Chunk, error) {
+	if s.closed {
+		return nil, nil
+	}
+	for {
+		s.t.mu.RLock()
+		if s.segIdx >= len(s.t.segs) {
+			s.t.mu.RUnlock()
+			return nil, nil
+		}
+		seg := s.t.segs[s.segIdx]
+		base := int64(s.segIdx) * SegRows
+		s.segIdx++
+		s.t.mu.RUnlock()
+
+		chunk := s.scanSegment(seg, base)
+		if chunk != nil {
+			return chunk, nil
+		}
+	}
 }
 
 // Close releases the scanner's column pins.

@@ -1,0 +1,211 @@
+package quack_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/quack"
+)
+
+// differentialDB builds a multi-segment fixture (tens of segments, so
+// parallel scans really fan out) used by every differential test. The
+// data is deterministic, NULL-bearing, and skewed enough to exercise
+// group-by, join and sort edge cases.
+func differentialDB(t *testing.T, threads int) *quack.DB {
+	t.Helper()
+	db, err := quack.Open(":memory:", quack.WithThreads(threads))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	mustExec(t, db, "CREATE TABLE facts (id BIGINT, grp VARCHAR, qty BIGINT, price DOUBLE, flag BOOLEAN)")
+	app, err := db.Appender("facts")
+	if err != nil {
+		t.Fatalf("appender: %v", err)
+	}
+	groups := []string{"north", "south", "east", "west", "emea", "apac"}
+	const rows = 30_000 // ~30 segments
+	for i := 0; i < rows; i++ {
+		var grp any = groups[(i*7)%len(groups)]
+		var qty any = int64((i * 13) % 500)
+		var price any = float64((i*31)%1000) / 4
+		var flag any = i%3 == 0
+		if i%97 == 0 {
+			grp = nil
+		}
+		if i%89 == 0 {
+			qty = nil
+		}
+		if i%83 == 0 {
+			price = nil
+		}
+		if err := app.AppendRow(int64(i), grp, qty, price, flag); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatalf("close appender: %v", err)
+	}
+
+	mustExec(t, db, "CREATE TABLE dims (key BIGINT, label VARCHAR)")
+	dapp, err := db.Appender("dims")
+	if err != nil {
+		t.Fatalf("appender: %v", err)
+	}
+	for i := 0; i < 5_000; i++ {
+		var label any = fmt.Sprintf("label-%d", i%700)
+		if i%101 == 0 {
+			label = nil
+		}
+		if err := dapp.AppendRow(int64(i*3), label); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := dapp.Close(); err != nil {
+		t.Fatalf("close appender: %v", err)
+	}
+	return db
+}
+
+// differentialQueries covers every query shape of sql_test.go: filters,
+// projections, group-by aggregation (global, grouped, HAVING), joins
+// (inner, left, expression keys, non-equi, three-way), sorts, limits
+// and UNION ALL.
+var differentialQueries = []string{
+	// Scans, filters, projections.
+	"SELECT id, qty * 2, price + 1.5 FROM facts WHERE qty > 250",
+	"SELECT id FROM facts WHERE grp IS NULL",
+	"SELECT id, flag FROM facts WHERE flag AND id % 7 = 0",
+	"SELECT id FROM facts WHERE grp LIKE '%ea%' AND price IS NOT NULL",
+	"SELECT CASE WHEN qty > 400 THEN 'hot' WHEN qty > 200 THEN 'warm' ELSE 'cold' END, id FROM facts WHERE id < 5000",
+	// Aggregation: global, grouped, expression groups, HAVING.
+	"SELECT count(*), count(qty), sum(qty), avg(price), min(price), max(qty) FROM facts",
+	"SELECT grp, count(*), sum(qty), avg(price) FROM facts GROUP BY grp",
+	"SELECT id % 10, count(*), max(price) FROM facts GROUP BY 1",
+	"SELECT grp, count(*) FROM facts GROUP BY grp HAVING count(*) > 4000",
+	"SELECT count(*) FROM facts WHERE qty IS NULL",
+	"SELECT grp, count(DISTINCT flag) FROM facts GROUP BY grp",
+	"SELECT sum(DISTINCT qty % 5) FROM facts",
+	// Joins.
+	"SELECT count(*), sum(qty) FROM facts JOIN dims ON id = key",
+	"SELECT grp, count(*) FROM facts JOIN dims ON id = key GROUP BY grp",
+	"SELECT count(*) FROM facts LEFT JOIN dims ON id = key WHERE label IS NULL",
+	"SELECT count(*) FROM facts JOIN dims ON id + 1 = key + 1 AND flag",
+	"SELECT count(*) FROM facts a JOIN facts b ON a.id = b.id + 6000",
+	"SELECT count(*) FROM dims a JOIN dims b ON a.label = b.label",
+	"SELECT count(*) FROM dims a, dims b WHERE a.key < b.key AND a.key > 14500",
+	// Sorts and limits.
+	"SELECT id, qty FROM facts WHERE id % 11 = 0 ORDER BY qty DESC, id",
+	"SELECT price FROM facts ORDER BY price NULLS FIRST LIMIT 40",
+	"SELECT id FROM facts WHERE qty > 490 ORDER BY id LIMIT 25 OFFSET 10",
+	"SELECT id FROM facts WHERE id < 3000 LIMIT 17",
+	// Union.
+	"SELECT id FROM facts WHERE id < 1030 UNION ALL SELECT key FROM dims WHERE key < 90 ORDER BY 1",
+}
+
+// TestParallelMatchesSequential is the differential guarantee of the
+// morsel-driven engine: for every query shape, WithThreads(n) must be
+// row-for-row identical — including row order — to WithThreads(1).
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := differentialDB(t, 1)
+	for _, threads := range []int{2, 4, 8} {
+		par := differentialDB(t, threads)
+		for _, q := range differentialQueries {
+			want := queryAll(t, seq, q)
+			got := queryAll(t, par, q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("threads=%d query %q diverges:\n got (%d rows): %.300v\nwant (%d rows): %.300v",
+					threads, q, len(got), got, len(want), want)
+			}
+		}
+	}
+}
+
+// TestPragmaThreadsSwitchesEngine re-runs the differential suite on ONE
+// database, flipping PRAGMA threads between queries — the two engines
+// must agree on identical storage, and the pragma must be readable.
+func TestPragmaThreadsSwitchesEngine(t *testing.T) {
+	db := differentialDB(t, 4)
+	mustExec(t, db, "PRAGMA threads=7")
+	if got := queryAll(t, db, "PRAGMA threads"); got[0][0] != "7" {
+		t.Fatalf("PRAGMA threads readback = %v", got)
+	}
+	for _, q := range differentialQueries {
+		mustExec(t, db, "PRAGMA threads=1")
+		want := queryAll(t, db, q)
+		mustExec(t, db, "PRAGMA threads=6")
+		got := queryAll(t, db, q)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("query %q diverges across PRAGMA threads:\n got: %.300v\nwant: %.300v", q, got, want)
+		}
+	}
+}
+
+// TestParallelSeesOwnTransactionWrites: a parallel scan must
+// reconstruct the same MVCC snapshot as the sequential one, including
+// the transaction's own uncommitted writes and deletes.
+func TestParallelSeesOwnTransactionWrites(t *testing.T) {
+	db := differentialDB(t, 4)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if _, err := tx.Exec("UPDATE facts SET qty = 999999 WHERE id % 500 = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("DELETE FROM facts WHERE id % 501 = 0"); err != nil {
+		t.Fatal(err)
+	}
+	run := func(threads int) [][]string {
+		tx.SetThreads(threads)
+		rows, err := tx.Query("SELECT grp, count(*), sum(qty) FROM facts GROUP BY grp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]string
+		for rows.Next() {
+			row := make([]string, len(rows.Columns()))
+			for i := range row {
+				row[i] = rows.Value(i).String()
+			}
+			out = append(out, row)
+		}
+		return out
+	}
+	want := run(1)
+	got := run(8)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("snapshot diverges:\n got: %v\nwant: %v", got, want)
+	}
+	// The uncommitted writes must be visible inside the transaction.
+	tx.SetThreads(8)
+	rows, err := tx.Query("SELECT count(*) FROM facts WHERE qty = 999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	if n == 0 {
+		t.Fatal("parallel scan does not see own writes")
+	}
+}
+
+// TestParallelQueryErrorsPropagate: a runtime error inside a worker
+// (modulo by zero mid-pipeline) must surface as a query error at every
+// thread count without hanging or leaking goroutines.
+func TestParallelQueryErrorsPropagate(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		db := differentialDB(t, threads)
+		if _, err := db.Query("SELECT id % (id - id) FROM facts"); err == nil {
+			t.Fatalf("threads=%d: modulo by zero did not error", threads)
+		}
+		// The database must remain usable after the failure.
+		got := queryAll(t, db, "SELECT count(*) FROM facts")
+		if len(got) != 1 {
+			t.Fatalf("threads=%d: post-error query broken: %v", threads, got)
+		}
+	}
+}

@@ -24,6 +24,12 @@
 // is deliberately the unflattering baseline the paper compares against.
 // Bulk loading goes through the Appender, which fills chunks in place
 // and hands them to the storage layer.
+//
+// Queries use all of the host's cores by default: plans are decomposed
+// into morsel-driven parallel pipelines (see internal/exec), with
+// WithThreads(1) as the single-threaded baseline. Parallelism never
+// changes results — chunks arrive in the same deterministic order at
+// every thread count, so the zero-copy chunk API above is unaffected.
 package quack
 
 import (
@@ -92,6 +98,17 @@ func WithMemTest() Option {
 // WithTmpDir sets the spill directory for out-of-core operators.
 func WithTmpDir(dir string) Option {
 	return func(c *core.Config) { c.TmpDir = dir }
+}
+
+// WithThreads sets the worker-pool size for parallel query pipelines.
+// The default is runtime.GOMAXPROCS(0) — an embedded analytical engine
+// should use all of the hardware its host process owns (§6). n = 1
+// disables intra-query parallelism; results are identical (including
+// row order and floating-point sums) at every setting, with one known
+// exception: min/max over DOUBLE columns containing NaN can be
+// order-sensitive (see ROADMAP). PRAGMA threads changes it at runtime.
+func WithThreads(n int) Option {
+	return func(c *core.Config) { c.Threads = n }
 }
 
 // DB is an embedded database handle, safe for concurrent use.

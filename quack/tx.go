@@ -78,6 +78,10 @@ func (t *Tx) Rollback() error {
 // for queries in this transaction (experiments E7).
 func (t *Tx) SetJoinStrategy(s JoinStrategy) { t.sess.JoinStrategy = exec.JoinStrategy(s) }
 
+// SetThreads overrides the database's query parallelism for this
+// transaction's session (<=0 returns to the database default).
+func (t *Tx) SetThreads(n int) { t.sess.Threads = n }
+
 // JoinStrategy selects the physical equi-join implementation.
 type JoinStrategy int
 
