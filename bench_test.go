@@ -312,6 +312,10 @@ func BenchmarkParallelAgg(b *testing.B) {
 	benchParallel(b, "SELECT region, count(*), sum(qty), avg(price), min(price), max(price) FROM t GROUP BY region")
 }
 
+func BenchmarkParallelSort(b *testing.B) {
+	benchParallel(b, "SELECT id, qty, price FROM t ORDER BY qty DESC, price, id")
+}
+
 func benchParallel(b *testing.B, query string) {
 	db, err := quack.Open(":memory:")
 	if err != nil {

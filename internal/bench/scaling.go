@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"repro/quack"
@@ -13,8 +14,10 @@ type ScalingPoint struct {
 	Threads     int
 	ScanDur     time.Duration
 	AggDur      time.Duration
+	SortDur     time.Duration
 	ScanSpeedup float64 // vs the 1-thread baseline
 	AggSpeedup  float64
+	SortSpeedup float64
 }
 
 // scalingScanQuery is scan-and-filter bound with a tiny result: it
@@ -24,6 +27,12 @@ const scalingScanQuery = "SELECT id, qty, price FROM t WHERE qty > 98 AND price 
 // scalingAggQuery is the paper-style grouped aggregation the morsel
 // design targets: worker-local hash tables merged at the breaker.
 const scalingAggQuery = "SELECT region, count(*), sum(qty), avg(price), min(price), max(price) FROM t GROUP BY region"
+
+// scalingSortQuery is the parallel ORDER BY workload: per-worker sorted
+// runs k-way merged at the breaker. The tie-heavy leading key makes the
+// hidden (morsel, row) tiebreak carry the determinism guarantee; the
+// full result is drained so the serial merge phase stays on the clock.
+const scalingSortQuery = "SELECT id, qty, price FROM t ORDER BY qty DESC, price, id"
 
 // Scaling (E10) measures the morsel-driven engine's speedup over the
 // single-threaded baseline on one dataset: a filtered scan pipeline and
@@ -48,14 +57,14 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return "", err
 		}
-		out := ""
+		var out strings.Builder
 		for {
 			c := res.NextChunk()
 			if c == nil {
-				return out, nil
+				return out.String(), nil
 			}
 			for r := 0; r < c.Len(); r++ {
-				out += fmt.Sprint(c.Row(r)) + "\n"
+				fmt.Fprintln(&out, c.Row(r))
 			}
 		}
 	}
@@ -82,7 +91,7 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		return err
 	}
 
-	var wantScan, wantAgg string
+	var wantScan, wantAgg, wantSort string
 	var out []ScalingPoint
 	for _, threads := range threadCounts {
 		if err := setThreads(threads); err != nil {
@@ -96,9 +105,13 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
+		gotSort, err := render(scalingSortQuery)
+		if err != nil {
+			return nil, err
+		}
 		if threads == threadCounts[0] {
-			wantScan, wantAgg = gotScan, gotAgg
-		} else if gotScan != wantScan || gotAgg != wantAgg {
+			wantScan, wantAgg, wantSort = gotScan, gotAgg, gotSort
+		} else if gotScan != wantScan || gotAgg != wantAgg || gotSort != wantSort {
 			return nil, fmt.Errorf("results diverge at %d threads", threads)
 		}
 		scanDur, err := timeQuery(scalingScanQuery)
@@ -109,21 +122,27 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur})
+		sortDur, err := timeQuery(scalingSortQuery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur, SortDur: sortDur})
 	}
 	base := out[0]
 	for i := range out {
 		out[i].ScanSpeedup = float64(base.ScanDur) / float64(out[i].ScanDur)
 		out[i].AggSpeedup = float64(base.AggDur) / float64(out[i].AggDur)
+		out[i].SortSpeedup = float64(base.SortDur) / float64(out[i].SortDur)
 	}
 
 	if w != nil {
 		fmt.Fprintf(w, "E10 morsel-driven parallelism (%d rows; results verified identical across thread counts)\n", rows)
-		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup")
+		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup", "order-by", "speedup")
 		for _, p := range out {
-			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %.2fx\n",
+			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %-9s %-14v %.2fx\n",
 				p.Threads, p.ScanDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.ScanSpeedup),
-				p.AggDur.Round(time.Microsecond), p.AggSpeedup)
+				p.AggDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.AggSpeedup),
+				p.SortDur.Round(time.Microsecond), p.SortSpeedup)
 		}
 	}
 	return out, nil

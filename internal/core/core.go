@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -44,8 +45,9 @@ type Config struct {
 	// commits (0 = default 256).
 	VacuumEvery int64
 	// Threads is the default worker-pool size for parallel query
-	// pipelines; <=0 uses runtime.GOMAXPROCS(0). 1 disables intra-query
-	// parallelism. Sessions and PRAGMA threads can override it.
+	// pipelines; <=0 consults the QUACK_THREADS environment variable and
+	// then runtime.GOMAXPROCS(0). 1 disables intra-query parallelism.
+	// Sessions and PRAGMA threads can override it.
 	Threads int
 }
 
@@ -78,7 +80,7 @@ func Open(cfg Config) (*Database, error) {
 		cfg.TotalRAM = 8 << 30
 	}
 	if cfg.Threads <= 0 {
-		cfg.Threads = runtime.GOMAXPROCS(0)
+		cfg.Threads = defaultThreads()
 	}
 	tester := memtest.NewTester(nil)
 	pool := buffer.NewPool(cfg.MemoryLimit, tester)
@@ -159,12 +161,29 @@ func (db *Database) Store() *storage.Manager { return db.store }
 func (db *Database) Threads() int { return int(db.threads.Load()) }
 
 // SetThreads changes the default parallelism for new queries; n <= 0
-// resets to runtime.GOMAXPROCS(0).
+// resets to the same default Open resolves (QUACK_THREADS, then
+// runtime.GOMAXPROCS(0)).
 func (db *Database) SetThreads(n int) {
 	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+		n = defaultThreads()
 	}
 	db.threads.Store(int64(n))
+}
+
+// defaultThreads resolves the engine-wide default parallelism: the
+// QUACK_THREADS environment variable lets harnesses (CI matrices,
+// benchmarks) pin it without touching call sites; otherwise every core
+// the host process owns.
+func defaultThreads() int {
+	if env := os.Getenv("QUACK_THREADS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			return n
+		}
+		// A set-but-unusable value is a harness misconfiguration; say so
+		// instead of silently testing GOMAXPROCS twice in a CI matrix.
+		fmt.Fprintf(os.Stderr, "quack: ignoring invalid QUACK_THREADS=%q\n", env)
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // WALSize returns the current WAL size in bytes (0 for in-memory).

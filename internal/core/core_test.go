@@ -283,6 +283,37 @@ func TestRowEngineMatchesVectorized(t *testing.T) {
 	}
 }
 
+// TestRowEngineMatchesVectorizedNaN: both engines must apply the same
+// total FP order to NaN-bearing predicates and min/max — the vectorized
+// comparator delegates to types.CompareFloat exactly so the two agree.
+func TestRowEngineMatchesVectorizedNaN(t *testing.T) {
+	db := openCore(t, "")
+	defer db.Close()
+	execSQL(t, db, "CREATE TABLE t (d DOUBLE)")
+	execSQL(t, db, "INSERT INTO t VALUES (5.0), (0.0), (-3.5), (2.0)")
+	execSQL(t, db, "INSERT INTO t SELECT d/0.0 FROM t") // ±Inf and NaN
+	for _, q := range []string{
+		"SELECT count(*) FROM t WHERE d > 5",
+		"SELECT count(*) FROM t WHERE d = d",
+		"SELECT count(*) FROM t WHERE d <= 0.0/0.0",
+		"SELECT min(d), max(d) FROM t",
+	} {
+		vecRows := queryStrings(t, db, q)
+		rowRows, err := db.NewSession().ExecuteRowEngine(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vecRows {
+			for c := range vecRows[i] {
+				if vecRows[i][c] != rowRows[i][c].String() {
+					t.Fatalf("%s: row %d col %d: vectorized %s vs row engine %s",
+						q, i, c, vecRows[i][c], rowRows[i][c].String())
+				}
+			}
+		}
+	}
+}
+
 func TestParamsThroughSession(t *testing.T) {
 	db := openCore(t, "")
 	defer db.Close()
@@ -332,5 +363,34 @@ func TestWALSizeGrowsAndTruncates(t *testing.T) {
 	}
 	if db.WALSize() != 0 {
 		t.Fatal("WAL not truncated by checkpoint")
+	}
+}
+
+// TestThreadsFromEnv: QUACK_THREADS pins the default parallelism when
+// the config leaves it unset (the CI differential matrix relies on it);
+// an explicit config value still wins.
+func TestThreadsFromEnv(t *testing.T) {
+	t.Setenv("QUACK_THREADS", "3")
+	db, err := Open(Config{Path: ":memory:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Threads(); got != 3 {
+		t.Fatalf("Threads() = %d, want 3 from QUACK_THREADS", got)
+	}
+	db.Close()
+
+	db, err = Open(Config{Path: ":memory:", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if got := db.Threads(); got != 2 {
+		t.Fatalf("Threads() = %d, want explicit 2 over env", got)
+	}
+	// Resetting (PRAGMA threads=0) re-resolves the same pinned default.
+	db.SetThreads(0)
+	if got := db.Threads(); got != 3 {
+		t.Fatalf("SetThreads(0) resolved %d, want 3 from QUACK_THREADS", got)
 	}
 }

@@ -1,0 +1,293 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// exchangeOp repartitions a single-threaded chunk stream — typically a
+// pipeline breaker's output (sort, aggregate, union) — across a worker
+// pool running per-worker stages (filter, project), so the plan above a
+// breaker no longer collapses to one thread. A producer goroutine pulls
+// the child (operators are not safe for concurrent Next) and deals
+// chunks round-robin-by-arrival to the workers; each worker runs its own
+// stage instances and posts results.
+//
+// With ordered=true the consumer reassembles results in input-chunk
+// order, so the operator is row-for-row transparent: filter and project
+// stages are row-wise, making the output exactly what the sequential
+// operator chain would produce. ordered=false hands chunks back in
+// completion order for consumers that re-aggregate or re-sort anyway.
+type exchangeOp struct {
+	child   Operator
+	stages  []stageFactory
+	ordered bool
+
+	feed    chan exItem
+	results chan exResult
+	cancel  chan struct{}
+
+	// window bounds how far the producer may run ahead of the merge
+	// point: a ticket is taken before feeding a chunk and returned when
+	// that chunk's results are emitted, so the ordered reorder buffer
+	// holds at most cap(window) entries even when one worker stalls on
+	// an expensive chunk.
+	window chan struct{}
+
+	cancelOnce sync.Once
+	closeOnce  sync.Once
+	inner      sync.WaitGroup // producer + workers
+	all        sync.WaitGroup // inner + the results-closing watcher
+
+	pending map[int][]*vector.Chunk
+	queue   []*vector.Chunk
+	nextSeq int
+	drained bool
+	failed  error
+	started bool
+}
+
+// exItem is one chunk of the child's stream, tagged with its position.
+type exItem struct {
+	seq   int
+	chunk *vector.Chunk
+}
+
+// exResult is one processed chunk: the stages' output for input seq
+// (empty when every row was filtered out), or an error. seq is -1 for a
+// producer (child.Next) error.
+type exResult struct {
+	seq    int
+	chunks []*vector.Chunk
+	err    error
+}
+
+func newExchangeOp(child Operator, stages []stageFactory, ordered bool) *exchangeOp {
+	return &exchangeOp{child: child, stages: stages, ordered: ordered}
+}
+
+func (e *exchangeOp) Open(ctx *Context) error {
+	return e.child.Open(ctx)
+}
+
+// start spawns the producer, the worker pool and the watcher that closes
+// the results channel once all of them are done.
+func (e *exchangeOp) start(ctx *Context) {
+	e.started = true
+	workers := ctx.Threads
+	if workers < 1 {
+		workers = 1
+	}
+	depth := workers * 4
+	e.feed = make(chan exItem, depth)
+	e.results = make(chan exResult, depth)
+	e.window = make(chan struct{}, depth)
+	e.cancel = make(chan struct{})
+	e.pending = make(map[int][]*vector.Chunk, depth)
+	e.nextSeq = 0
+	e.drained = false
+
+	e.inner.Add(1)
+	e.all.Add(1)
+	go e.producer(ctx)
+	for i := 0; i < workers; i++ {
+		e.inner.Add(1)
+		e.all.Add(1)
+		go e.worker(ctx)
+	}
+	e.all.Add(1)
+	go func() {
+		defer e.all.Done()
+		e.inner.Wait()
+		close(e.results)
+	}()
+}
+
+func (e *exchangeOp) producer(ctx *Context) {
+	defer e.inner.Done()
+	defer e.all.Done()
+	seq := 0
+	for {
+		chunk, err := e.child.Next(ctx)
+		if err != nil {
+			select {
+			case e.results <- exResult{seq: -1, err: err}:
+			case <-e.cancel:
+			}
+			return
+		}
+		if chunk == nil {
+			close(e.feed)
+			return
+		}
+		select {
+		case e.window <- struct{}{}:
+		case <-e.cancel:
+			return
+		}
+		select {
+		case e.feed <- exItem{seq: seq, chunk: chunk}:
+		case <-e.cancel:
+			return
+		}
+		seq++
+	}
+}
+
+func (e *exchangeOp) worker(ctx *Context) {
+	defer e.inner.Done()
+	defer e.all.Done()
+	stages := make([]stage, len(e.stages))
+	for i, f := range e.stages {
+		stages[i] = f()
+	}
+	for {
+		var it exItem
+		var ok bool
+		select {
+		case <-e.cancel:
+			return
+		case it, ok = <-e.feed:
+			if !ok {
+				return
+			}
+		}
+		var out []*vector.Chunk
+		err := runStages(ctx, stages, it.chunk, func(c *vector.Chunk) error {
+			if c.Len() > 0 {
+				out = append(out, c)
+			}
+			return nil
+		})
+		select {
+		case e.results <- exResult{seq: it.seq, chunks: out, err: err}:
+		case <-e.cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Next reassembles the workers' output. In ordered mode out-of-order
+// results wait in a reorder buffer bounded by the window tickets: at
+// most cap(window) chunks are in flight between producer and emission.
+func (e *exchangeOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	if !e.started {
+		e.start(ctx)
+	}
+	for {
+		if len(e.queue) > 0 {
+			out := e.queue[0]
+			e.queue = e.queue[1:]
+			return out, nil
+		}
+		if e.ordered {
+			if chunks, ok := e.pending[e.nextSeq]; ok {
+				delete(e.pending, e.nextSeq)
+				e.nextSeq++
+				<-e.window // emitted: let the producer feed another chunk
+				e.queue = chunks
+				continue
+			}
+			if e.drained {
+				if len(e.pending) == 0 {
+					return nil, nil
+				}
+				// Every fed seq posted a result, so a gap can only be a
+				// seq that produced no chunks before an error path; skip.
+				e.nextSeq++
+				continue
+			}
+		} else if e.drained {
+			return nil, nil
+		}
+		res, ok := <-e.results
+		if !ok {
+			e.drained = true
+			continue
+		}
+		if res.err != nil {
+			e.failed = res.err
+			return nil, res.err
+		}
+		if e.ordered {
+			e.pending[res.seq] = res.chunks
+		} else {
+			<-e.window
+			e.queue = res.chunks
+		}
+	}
+}
+
+// cancelWorkers asks the producer and outstanding workers to stop.
+func (e *exchangeOp) cancelWorkers() {
+	e.cancelOnce.Do(func() {
+		if e.cancel != nil {
+			close(e.cancel)
+		}
+	})
+}
+
+// Close cancels the pool, joins every goroutine and closes the child.
+func (e *exchangeOp) Close(ctx *Context) {
+	e.closeOnce.Do(func() {
+		if e.started {
+			e.cancelWorkers()
+			e.all.Wait()
+		}
+		e.pending = nil
+		e.queue = nil
+		e.child.Close(ctx)
+	})
+}
+
+// buildExchange recognizes a Filter/Project chain sitting on top of a
+// pipeline breaker (sort, aggregate, UNION ALL) and compiles it into an
+// exchange: the breaker is built normally (possibly itself parallel) and
+// the chain's stages run on the exchange's worker pool instead of
+// single-threaded operators. The ordered merge keeps output identical to
+// the sequential chain. Returns ok=false when the shape does not match.
+func buildExchange(node plan.Node, threads int) (Operator, bool, error) {
+	var stages []stageFactory
+	cur := node
+peel:
+	for {
+		switch n := cur.(type) {
+		case *plan.FilterNode:
+			cond := n.Cond
+			stages = append(stages, func() stage { return &filterStage{cond: cond} })
+			cur = n.Child
+		case *plan.ProjectNode:
+			exprs := n.Exprs
+			stages = append(stages, func() stage { return &projectStage{exprs: exprs} })
+			cur = n.Child
+		default:
+			break peel
+		}
+	}
+	if len(stages) == 0 {
+		return nil, false, nil
+	}
+	switch cur.(type) {
+	case *plan.SortNode, *plan.AggNode, *plan.UnionAllNode:
+	default:
+		return nil, false, nil
+	}
+	base, err := build(cur, threads)
+	if err != nil {
+		return nil, true, err
+	}
+	// Stages were collected top-down; the exchange applies them in child
+	// → parent order.
+	for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+		stages[i], stages[j] = stages[j], stages[i]
+	}
+	return newExchangeOp(base, stages, true), true, nil
+}

@@ -1,0 +1,202 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// mkHavingPlan builds Project(Filter(Agg(Scan))) — the HAVING shape that
+// strands a filter and a projection above the aggregation breaker.
+func mkHavingPlan(t *testing.T, rows int) (plan.Node, *txn.Manager) {
+	t.Helper()
+	mgr := txn.NewManager(nil)
+	entry := buildFactTable(t, mgr, rows)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	agg := &plan.AggNode{
+		Child:   &plan.ScanNode{Table: entry, Columns: []int{0}},
+		GroupBy: []expr.Expr{&expr.Arith{Op: expr.OpMod, L: col(), R: &expr.Const{Val: types.NewBigInt(53)}, Typ: types.BigInt}},
+		Names:   []string{"g"},
+		Aggs: []plan.AggSpec{
+			{Func: "count", Type: types.BigInt, Name: "n"},
+			{Func: "sum", Arg: col(), Type: types.BigInt, Name: "s"},
+		},
+	}
+	filter := &plan.FilterNode{
+		Child: agg,
+		Cond: &expr.Compare{Op: expr.CmpGt,
+			L: &expr.ColRef{Idx: 1, Typ: types.BigInt},
+			R: &expr.Const{Val: types.NewBigInt(100)}},
+	}
+	proj := &plan.ProjectNode{
+		Child: filter,
+		Exprs: []expr.Expr{
+			&expr.ColRef{Idx: 0, Typ: types.BigInt},
+			&expr.Arith{Op: expr.OpMul, L: &expr.ColRef{Idx: 2, Typ: types.BigInt}, R: &expr.Const{Val: types.NewBigInt(2)}, Typ: types.BigInt},
+		},
+		Names: []string{"g", "s2"},
+	}
+	return proj, mgr
+}
+
+func renderPlan(t *testing.T, node plan.Node, ctx *Context) string {
+	t.Helper()
+	op, err := BuildParallel(node, ctx.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Threads > 1 {
+		if _, ok := op.(*exchangeOp); !ok {
+			t.Fatalf("threads=%d built %T, want *exchangeOp", ctx.Threads, op)
+		}
+	}
+	out := ""
+	for _, c := range collectAll(t, ctx, op) {
+		for r := 0; r < c.Len(); r++ {
+			out += fmt.Sprint(c.Row(r), ";")
+		}
+	}
+	return out
+}
+
+// TestExchangeMatchesSequential: the ordered exchange over a breaker
+// must reproduce the sequential operator chain's stream exactly.
+func TestExchangeMatchesSequential(t *testing.T) {
+	node, mgr := mkHavingPlan(t, 40_000)
+	want := renderPlan(t, node, &Context{Txn: mgr.Begin(), Threads: 1})
+	if want == "" {
+		t.Fatal("fixture produced no rows")
+	}
+	for _, threads := range []int{2, 4, 8} {
+		got := renderPlan(t, node, &Context{Txn: mgr.Begin(), Threads: threads})
+		if got != want {
+			t.Fatalf("threads=%d exchange diverges:\n got: %.300s\nwant: %.300s", threads, got, want)
+		}
+	}
+}
+
+// TestExchangeAboveSortStripsHiddenColumns mirrors the planner shape of
+// ORDER BY over a non-output column: a stripping projection above the
+// sort breaker, which the exchange must run in parallel while keeping
+// the sorted order intact.
+func TestExchangeAboveSort(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	node, _ := mkSortNode(t, 25_000, mgr)
+	strip := &plan.ProjectNode{
+		Child: node,
+		Exprs: []expr.Expr{&expr.Arith{Op: expr.OpAdd,
+			L: &expr.ColRef{Idx: 0, Typ: types.BigInt},
+			R: &expr.Const{Val: types.NewBigInt(1)}, Typ: types.BigInt}},
+		Names: []string{"v1"},
+	}
+	render := func(threads int) string {
+		op, err := BuildParallel(strip, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threads > 1 {
+			ex, ok := op.(*exchangeOp)
+			if !ok {
+				t.Fatalf("threads=%d built %T, want *exchangeOp", threads, op)
+			}
+			if _, ok := ex.child.(*parSortOp); !ok {
+				t.Fatalf("exchange child is %T, want *parSortOp", ex.child)
+			}
+		}
+		out := ""
+		for _, c := range collectAll(t, &Context{Txn: mgr.Begin(), Threads: threads}, op) {
+			out += fmt.Sprint(c.Cols[0].I64[:c.Len()], "|")
+		}
+		return out
+	}
+	want := render(1)
+	for _, threads := range []int{2, 8} {
+		if got := render(threads); got != want {
+			t.Fatalf("threads=%d diverges:\n got: %.200s\nwant: %.200s", threads, got, want)
+		}
+	}
+}
+
+// TestExchangeEarlyClose: a limit above the exchange abandons the
+// stream; Close must join the producer, workers and watcher without
+// deadlocking.
+func TestExchangeEarlyClose(t *testing.T) {
+	node, mgr := mkHavingPlan(t, 60_000)
+	limited := &plan.LimitNode{Child: node, Limit: 2}
+	op, err := BuildParallel(limited, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Txn: mgr.Begin(), Threads: 4}
+	chunks := collectAll(t, ctx, op)
+	if rows := countRows(chunks); rows != 2 {
+		t.Fatalf("limit over exchange: %d rows, want 2", rows)
+	}
+}
+
+// TestExchangeErrorPropagates: a failing stage expression inside an
+// exchange worker must surface as the query error.
+func TestExchangeErrorPropagates(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	entry := buildFactTable(t, mgr, 20_000)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	agg := &plan.AggNode{
+		Child:   &plan.ScanNode{Table: entry, Columns: []int{0}},
+		GroupBy: []expr.Expr{&expr.Arith{Op: expr.OpMod, L: col(), R: &expr.Const{Val: types.NewBigInt(11)}, Typ: types.BigInt}},
+		Names:   []string{"g"},
+		Aggs:    []plan.AggSpec{{Func: "min", Arg: col(), Type: types.BigInt, Name: "lo"}},
+	}
+	proj := &plan.ProjectNode{
+		Child: agg,
+		// lo % (g - g) divides by zero for every group.
+		Exprs: []expr.Expr{&expr.Arith{Op: expr.OpMod,
+			L:   &expr.ColRef{Idx: 1, Typ: types.BigInt},
+			R:   &expr.Arith{Op: expr.OpSub, L: &expr.ColRef{Idx: 0, Typ: types.BigInt}, R: &expr.ColRef{Idx: 0, Typ: types.BigInt}, Typ: types.BigInt},
+			Typ: types.BigInt}},
+		Names: []string{"boom"},
+	}
+	for _, threads := range []int{1, 4} {
+		op, err := BuildParallel(proj, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &Context{Txn: mgr.Begin(), Threads: threads}
+		if _, err := Collect(ctx, op); err == nil {
+			t.Fatalf("threads=%d: stage error did not propagate", threads)
+		}
+	}
+}
+
+// TestExchangeUnordered: completion-order delivery must still hand every
+// chunk through exactly once.
+func TestExchangeUnordered(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	entry := buildFactTable(t, mgr, 30_000)
+	scan := &plan.ScanNode{Table: entry, Columns: []int{0}}
+	base, err := Build(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := newExchangeOp(base, []stageFactory{func() stage {
+		return &projectStage{exprs: []expr.Expr{&expr.ColRef{Idx: 0, Typ: types.BigInt}}}
+	}}, false)
+	ctx := &Context{Txn: mgr.Begin(), Threads: 4}
+	var sum, n int64
+	if err := Run(ctx, ex, func(c *vector.Chunk) error {
+		for r := 0; r < c.Len(); r++ {
+			sum += c.Cols[0].I64[r]
+			n++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 30_000 || sum != 30_000*29_999/2 {
+		t.Fatalf("unordered exchange lost rows: n=%d sum=%d", n, sum)
+	}
+}

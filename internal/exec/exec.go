@@ -126,6 +126,19 @@ func build(node plan.Node, threads int) (Operator, error) {
 				return newParAggOp(spec, n), nil
 			}
 		}
+		// A sort over such a chain builds per-worker sorted runs and
+		// k-way merges them at the breaker.
+		if n, ok := node.(*plan.SortNode); ok {
+			if spec := compilePipeline(n.Child); spec != nil {
+				return newParSortOp(spec, n), nil
+			}
+		}
+		// Filter/project chains stranded above a breaker (HAVING over an
+		// aggregate, the projection stripping hidden sort columns, ...)
+		// run on an exchange instead of single-threaded operators.
+		if op, ok, err := buildExchange(node, threads); ok {
+			return op, err
+		}
 	}
 	switch n := node.(type) {
 	case *plan.ScanNode:
@@ -189,9 +202,9 @@ func build(node plan.Node, threads int) (Operator, error) {
 	case *plan.ValuesNode:
 		return &valuesOp{node: n}, nil
 	case *plan.InsertNode:
-		// DML stays single-threaded: an INSERT ... SELECT reading its
-		// own target interleaves appends with the scan, which the
-		// sequential scanner handles by construction.
+		// DML stays single-threaded (see ROADMAP). The source scan is a
+		// statement snapshot either way, so an INSERT ... SELECT reading
+		// its own target inserts exactly the pre-existing rows.
 		child, err := Build(n.Child)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"repro/internal/expr"
 	"repro/internal/extsort"
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -66,16 +67,10 @@ func (s *sortOp) build(ctx *Context) error {
 		if chunk == nil {
 			break
 		}
-		ext := &vector.Chunk{Cols: make([]*vector.Vector, 0, len(chunk.Cols)+len(s.node.Keys))}
-		ext.Cols = append(ext.Cols, chunk.Cols...)
-		for _, k := range s.node.Keys {
-			v, err := k.Expr.Eval(chunk)
-			if err != nil {
-				return err
-			}
-			ext.Cols = append(ext.Cols, v)
+		ext, err := extendWithKeys(chunk, keyExprsOf(s.node))
+		if err != nil {
+			return err
 		}
-		ext.SetLen(chunk.Len())
 		if err := sorter.Add(ext); err != nil {
 			return err
 		}
@@ -92,6 +87,16 @@ func keyTypesOf(n *plan.SortNode) []types.Type {
 	out := make([]types.Type, len(n.Keys))
 	for i, k := range n.Keys {
 		out[i] = k.Expr.Type()
+	}
+	return out
+}
+
+// keyExprsOf returns the sort keys' expressions, ready for
+// extendWithKeys (shared with the merge join's run builder).
+func keyExprsOf(n *plan.SortNode) []expr.Expr {
+	out := make([]expr.Expr, len(n.Keys))
+	for i, k := range n.Keys {
+		out[i] = k.Expr
 	}
 	return out
 }

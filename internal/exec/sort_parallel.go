@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"repro/internal/extsort"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// parSortOp is the morsel-parallel ORDER BY pipeline breaker: each
+// worker of the child pipeline evaluates the sort keys and feeds its own
+// external sorter (building sorted runs independently, sharing the sort
+// budget and buffer pool), and Finish k-way merges every worker's runs
+// and in-memory buffers through the extsort merge machinery.
+//
+// Determinism: rows carry a hidden tiebreak key — their packed
+// (morsel, row) position — appended after the user's sort keys. The
+// sequential sortOp is a stable sort over the morsel-ordered stream, so
+// key-equal rows emerge in exactly (morsel, row) order there too; with
+// the tiebreak the merged order is a total order independent of which
+// worker sorted which morsel, making output bit-identical at every
+// thread count.
+type parSortOp struct {
+	scan *parScanOp
+	node *plan.SortNode
+
+	iter    *extsort.Iterator
+	np      int // payload column count
+	started bool
+}
+
+func newParSortOp(spec *pipelineSpec, n *plan.SortNode) *parSortOp {
+	return &parSortOp{scan: newParScanOp(spec), node: n}
+}
+
+func (s *parSortOp) Open(ctx *Context) error {
+	s.started = false
+	s.iter = nil
+	return nil
+}
+
+func (s *parSortOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if !s.started {
+		if err := s.build(ctx); err != nil {
+			return nil, err
+		}
+		s.started = true
+	}
+	chunk, err := s.iter.Next()
+	if err != nil || chunk == nil {
+		return nil, err
+	}
+	// Strip the appended key and tiebreak columns.
+	out := &vector.Chunk{Cols: chunk.Cols[:s.np]}
+	out.SetLen(chunk.Len())
+	return out, nil
+}
+
+func (s *parSortOp) build(ctx *Context) error {
+	payload := schemaTypes(s.node.Child.Schema())
+	s.np = len(payload)
+	nk := len(s.node.Keys)
+	extTypes := append(append([]types.Type(nil), payload...), keyTypesOf(s.node)...)
+	extTypes = append(extTypes, types.BigInt) // hidden (morsel, row) tiebreak
+	keys := make([]extsort.Key, nk+1)
+	for i, k := range s.node.Keys {
+		keys[i] = extsort.Key{Col: s.np + i, Desc: k.Desc, NullsFirst: k.NullsFirst}
+	}
+	keys[nk] = extsort.Key{Col: s.np + nk}
+
+	// Open the source first so the worker count (bounded by morsels) is
+	// known and the budget can be split across the actual pool size,
+	// keeping the memory envelope equal to the sequential sorter's.
+	if err := s.scan.Open(ctx); err != nil {
+		return err
+	}
+	workers := s.scan.workerCount(ctx)
+	budget := ctx.sortBudget()
+	if budget > 0 && workers > 1 {
+		budget /= int64(workers)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+
+	// mkSink runs on the coordinating goroutine and the sorters are only
+	// merged after consume has joined every worker, so the slice needs
+	// no locking; the shared buffer pool is internally synchronized.
+	var sorters []*extsort.Sorter
+	_, err := s.scan.consume(ctx, func(w int) func(int, *vector.Chunk) error {
+		sorter := extsort.NewSorter(extTypes, keys, budget, ctx.TmpDir)
+		if ctx.Pool != nil {
+			sorter.SetPool(ctx.Pool)
+		}
+		sorters = append(sorters, sorter)
+		keyExprs := keyExprsOf(s.node)
+		return func(seq int, chunk *vector.Chunk) error {
+			ext, err := extendWithKeys(chunk, keyExprs)
+			if err != nil {
+				return err
+			}
+			tie := vector.NewLen(types.BigInt, chunk.Len())
+			for r := 0; r < chunk.Len(); r++ {
+				tie.I64[r] = packAggPos(seq, r)
+			}
+			ext.Cols = append(ext.Cols, tie)
+			return sorter.Add(ext)
+		}
+	})
+	if err != nil {
+		for _, sorter := range sorters {
+			sorter.Close()
+		}
+		return err
+	}
+	iter, err := extsort.MergeFinish(sorters)
+	if err != nil {
+		for _, sorter := range sorters {
+			sorter.Close()
+		}
+		return err
+	}
+	s.iter = iter
+	return nil
+}
+
+func (s *parSortOp) Close(ctx *Context) {
+	if s.iter != nil {
+		s.iter.Close()
+		s.iter = nil
+	}
+	s.scan.Close(ctx)
+}

@@ -1,0 +1,125 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// mkSortNode builds ORDER BY (v % 97) ASC, v DESC over the fact table:
+// the first key is tie-heavy so the hidden tiebreak column really
+// decides placements.
+func mkSortNode(t *testing.T, n int, mgr *txn.Manager) (*plan.SortNode, *txn.Manager) {
+	t.Helper()
+	entry := buildFactTable(t, mgr, n)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	return &plan.SortNode{
+		Child: &plan.ScanNode{Table: entry, Columns: []int{0}},
+		Keys: []plan.SortKey{
+			{Expr: &expr.Arith{Op: expr.OpMod, L: col(), R: &expr.Const{Val: types.NewBigInt(97)}, Typ: types.BigInt}},
+			{Expr: col(), Desc: true},
+		},
+	}, mgr
+}
+
+func renderSort(t *testing.T, node plan.Node, ctx *Context) string {
+	t.Helper()
+	op, err := BuildParallel(node, ctx.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Threads > 1 {
+		if _, ok := op.(*parSortOp); !ok {
+			t.Fatalf("threads=%d built %T, want *parSortOp", ctx.Threads, op)
+		}
+	}
+	out := ""
+	for _, c := range collectAll(t, ctx, op) {
+		out += fmt.Sprint(c.Cols[0].I64[:c.Len()], "|")
+	}
+	return out
+}
+
+// TestParallelSortMatchesSequential: per-worker runs merged at the
+// breaker must reproduce the sequential stable sort bit-identically,
+// including the order of key-equal rows.
+func TestParallelSortMatchesSequential(t *testing.T) {
+	node, mgr := mkSortNode(t, 30_000, txn.NewManager(nil))
+	want := renderSort(t, node, &Context{Txn: mgr.Begin(), Threads: 1})
+	for _, threads := range []int{2, 3, 8} {
+		got := renderSort(t, node, &Context{Txn: mgr.Begin(), Threads: threads})
+		if got != want {
+			t.Fatalf("threads=%d sort diverges:\n got: %.200s\nwant: %.200s", threads, got, want)
+		}
+	}
+}
+
+// TestParallelSortSpillDifferential: with a tiny sort budget every
+// worker spills multiple runs to disk; the merged disk result must equal
+// the unconstrained in-memory result, and all pool reservations must be
+// returned.
+func TestParallelSortSpillDifferential(t *testing.T) {
+	node, mgr := mkSortNode(t, 40_000, txn.NewManager(nil))
+	want := renderSort(t, node, &Context{Txn: mgr.Begin(), Threads: 1})
+	for _, threads := range []int{1, 4} {
+		pool := buffer.NewPool(0, nil)
+		ctx := &Context{Txn: mgr.Begin(), Threads: threads, Pool: pool,
+			SortBudget: 32 << 10, TmpDir: t.TempDir()}
+		got := renderSort(t, node, ctx)
+		if got != want {
+			t.Fatalf("threads=%d spilling sort diverges:\n got: %.200s\nwant: %.200s", threads, got, want)
+		}
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("threads=%d: %d bytes still reserved after drain", threads, used)
+		}
+	}
+}
+
+// TestParallelSortEarlyClose: a limit above the parallel sort abandons
+// the stream; Close must cancel the pipeline workers and release the
+// sorter's temp state without deadlocking.
+func TestParallelSortEarlyClose(t *testing.T) {
+	node, mgr := mkSortNode(t, 20_000, txn.NewManager(nil))
+	limited := &plan.LimitNode{Child: node, Limit: 3}
+	op, err := BuildParallel(limited, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.NewPool(0, nil)
+	ctx := &Context{Txn: mgr.Begin(), Threads: 4, Pool: pool, SortBudget: 16 << 10, TmpDir: t.TempDir()}
+	chunks := collectAll(t, ctx, op)
+	if rows := countRows(chunks); rows != 3 {
+		t.Fatalf("limit over parallel sort: %d rows, want 3", rows)
+	}
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("pool leak after early close: %d bytes", used)
+	}
+}
+
+// TestParallelSortErrorPropagates: a failing key expression inside a
+// sort worker must surface as the query error at every thread count.
+func TestParallelSortErrorPropagates(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	entry := buildFactTable(t, mgr, 10_000)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	node := &plan.SortNode{
+		Child: &plan.ScanNode{Table: entry, Columns: []int{0}},
+		Keys: []plan.SortKey{{Expr: &expr.Arith{Op: expr.OpMod, L: col(),
+			R: &expr.Arith{Op: expr.OpSub, L: col(), R: col(), Typ: types.BigInt}, Typ: types.BigInt}}},
+	}
+	for _, threads := range []int{1, 4} {
+		op, err := BuildParallel(node, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &Context{Txn: mgr.Begin(), Threads: threads}
+		if _, err := Collect(ctx, op); err == nil {
+			t.Fatalf("threads=%d: modulo by zero in sort key did not error", threads)
+		}
+	}
+}

@@ -293,16 +293,10 @@ func cmpOrderedI64(a, b int64) int {
 	}
 }
 
-func cmpOrderedF64(a, b float64) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
+// cmpOrderedF64 delegates to the engine-wide total FP order (NaN
+// greatest, NaN == NaN) so vectorized predicates agree with the row
+// engine, min/max and ORDER BY on NaN-bearing data.
+func cmpOrderedF64(a, b float64) int { return types.CompareFloat(a, b) }
 
 func cmpBool(a, b bool) int {
 	switch {

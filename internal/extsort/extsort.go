@@ -175,19 +175,63 @@ func (s *Sorter) Finish() (*Iterator, error) {
 		s.reserved = 0 // ownership moves to the iterator
 		return it, nil
 	}
-	if len(s.chunks) > 0 {
-		if err := s.spill(); err != nil {
+	it := &Iterator{colTypes: s.colTypes, keys: s.keys}
+	if err := s.registerInto(it); err != nil {
+		it.Close()
+		return nil, err
+	}
+	return it, nil
+}
+
+// MergeFinish finishes every sorter and returns one iterator k-way
+// merging all of their sorted runs and in-memory buffers. This is the
+// multi-producer path of the parallel sort: each worker registers the
+// runs it built, and the merge treats foreign runs exactly like its
+// own. All sorters must share column types and keys; ownership of their
+// runs and buffered rows (including pool reservations) moves to the
+// iterator even on error.
+func MergeFinish(sorters []*Sorter) (*Iterator, error) {
+	if len(sorters) == 1 {
+		return sorters[0].Finish()
+	}
+	it := &Iterator{}
+	for _, s := range sorters {
+		if it.colTypes == nil {
+			it.colTypes = s.colTypes
+			it.keys = s.keys
+		}
+		if err := s.registerInto(it); err != nil {
+			it.Close()
 			return nil, err
 		}
 	}
-	it := &Iterator{colTypes: s.colTypes, keys: s.keys}
-	for _, f := range s.runs {
+	return it, nil
+}
+
+// registerInto hands the sorter's spilled runs and sorted in-memory
+// buffer to a merging iterator, transferring pool-reservation ownership.
+// The sorter is left empty.
+func (s *Sorter) registerInto(it *Iterator) error {
+	if s.pool != nil {
+		it.pool = s.pool
+		it.reserved += s.reserved
+		s.reserved = 0
+	}
+	runs := s.runs
+	s.runs = nil
+	for i, f := range runs {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return nil, err
+			for _, g := range runs[i:] {
+				g.Close()
+			}
+			return err
 		}
 		c := &runCursor{f: f}
 		if err := c.load(); err != nil {
-			return nil, err
+			for _, g := range runs[i:] {
+				g.Close()
+			}
+			return err
 		}
 		if c.cur != nil {
 			it.cursors = append(it.cursors, c)
@@ -195,7 +239,14 @@ func (s *Sorter) Finish() (*Iterator, error) {
 			f.Close()
 		}
 	}
-	return it, nil
+	if len(s.chunks) > 0 {
+		// The unspilled tail merges directly from memory — no disk
+		// round-trip for the rows that fit the budget.
+		it.cursors = append(it.cursors, &memCursor{chunks: s.chunks, refs: s.sortBuffered()})
+		s.chunks = nil
+		s.bytes = 0
+	}
+	return nil
 }
 
 // Close releases temp files early (Finish's iterator also closes them as
@@ -221,8 +272,9 @@ type Iterator struct {
 	memRefs []rowRef
 	memPos  int
 
-	// merge mode
-	cursors []*runCursor
+	// merge mode: each cursor walks one sorted sequence (a spilled run
+	// file or a producer's sorted in-memory buffer).
+	cursors []cursor
 }
 
 // Next returns the next sorted chunk, or nil at the end.
@@ -244,22 +296,23 @@ func (it *Iterator) Next() (*vector.Chunk, error) {
 	}
 	out := vector.NewChunk(it.colTypes)
 	for out.Len() < vector.ChunkCapacity && len(it.cursors) > 0 {
-		// Linear scan for the minimum cursor; run counts are small
-		// (budget controls fan-in) so a heap is not worth the code.
+		// Linear scan for the minimum cursor; fan-in is small (budget
+		// controls runs per producer, Threads controls producers) so a
+		// heap is not worth the code.
 		best := 0
 		for i := 1; i < len(it.cursors); i++ {
 			a, b := it.cursors[i], it.cursors[best]
-			if CompareRows(a.cur, a.row, b.cur, b.row, it.keys) < 0 {
+			if CompareRows(a.chunk(), a.rowIdx(), b.chunk(), b.rowIdx(), it.keys) < 0 {
 				best = i
 			}
 		}
 		c := it.cursors[best]
-		out.AppendRowFrom(c.cur, c.row)
+		out.AppendRowFrom(c.chunk(), c.rowIdx())
 		if err := c.advance(); err != nil {
 			return nil, err
 		}
-		if c.cur == nil {
-			c.f.Close()
+		if c.chunk() == nil {
+			c.close()
 			it.cursors = append(it.cursors[:best], it.cursors[best+1:]...)
 		}
 	}
@@ -270,9 +323,10 @@ func (it *Iterator) Next() (*vector.Chunk, error) {
 }
 
 // Close releases all remaining run files and buffered-row reservations.
+// Safe to call at any point, including before the stream is drained.
 func (it *Iterator) Close() {
 	for _, c := range it.cursors {
-		c.f.Close()
+		c.close()
 	}
 	it.cursors = nil
 	it.mem = nil
@@ -282,11 +336,42 @@ func (it *Iterator) Close() {
 	}
 }
 
+// cursor walks one sorted sequence of rows. chunk returns nil when the
+// sequence is exhausted.
+type cursor interface {
+	chunk() *vector.Chunk
+	rowIdx() int
+	advance() error
+	close()
+}
+
+// memCursor walks a producer's sorted in-memory buffer.
+type memCursor struct {
+	chunks []*vector.Chunk
+	refs   []rowRef
+	pos    int
+}
+
+func (c *memCursor) chunk() *vector.Chunk {
+	if c.pos >= len(c.refs) {
+		return nil
+	}
+	return c.chunks[c.refs[c.pos].chunk]
+}
+
+func (c *memCursor) rowIdx() int    { return c.refs[c.pos].row }
+func (c *memCursor) advance() error { c.pos++; return nil }
+func (c *memCursor) close()         { c.chunks, c.refs = nil, nil }
+
 type runCursor struct {
 	f   *os.File
 	cur *vector.Chunk
 	row int
 }
+
+func (c *runCursor) chunk() *vector.Chunk { return c.cur }
+func (c *runCursor) rowIdx() int          { return c.row }
+func (c *runCursor) close()               { c.f.Close() }
 
 func (c *runCursor) load() error {
 	var hdr [4]byte
@@ -384,15 +469,10 @@ func compareVals(a *vector.Vector, ra int, b *vector.Vector, rb int) int {
 			return 0
 		}
 	case types.Double:
-		x, y := a.F64[ra], b.F64[rb]
-		switch {
-		case x < y:
-			return -1
-		case x > y:
-			return 1
-		default:
-			return 0
-		}
+		// Total FP order (NaN greatest): native < treats NaN as equal to
+		// everything, which is not an ordering and would leave NaN rows
+		// placed by arrival order — different at every thread count.
+		return types.CompareFloat(a.F64[ra], b.F64[rb])
 	case types.Varchar:
 		return strings.Compare(a.Str[ra], b.Str[rb])
 	default:

@@ -1,6 +1,7 @@
 package extsort
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -168,6 +169,237 @@ func TestPoolAccountingReleases(t *testing.T) {
 	drainSorted(t, it)
 	if used := pool.Used(); used != 0 {
 		t.Fatalf("pool leak: %d bytes still reserved", used)
+	}
+}
+
+// TestSpillDifferentialMatchesInMemory: the multi-run disk merge must be
+// row-for-row identical to the unconstrained in-memory sort, including
+// the placement of duplicate keys (payload column asserts stability).
+func TestSpillDifferentialMatchesInMemory(t *testing.T) {
+	typs := []types.Type{types.BigInt, types.BigInt}
+	keys := []Key{{Col: 0}}
+	gen := func() []*vector.Chunk {
+		g := rand.New(rand.NewSource(11))
+		var chunks []*vector.Chunk
+		for len(chunks) < 40 {
+			c := vector.NewChunk(typs)
+			for c.Len() < vector.ChunkCapacity {
+				// Tiny key domain: duplicates everywhere.
+				c.AppendRow(types.NewBigInt(g.Int63n(50)), types.NewBigInt(int64(len(chunks)*vector.ChunkCapacity+c.Len())))
+			}
+			chunks = append(chunks, c)
+		}
+		return chunks
+	}
+	drain2 := func(it *Iterator) [][2]int64 {
+		defer it.Close()
+		var out [][2]int64
+		for {
+			c, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == nil {
+				return out
+			}
+			for r := 0; r < c.Len(); r++ {
+				out = append(out, [2]int64{c.Cols[0].I64[r], c.Cols[1].I64[r]})
+			}
+		}
+	}
+
+	mem := NewSorter(typs, keys, 0, t.TempDir())
+	for _, c := range gen() {
+		if err := mem.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memIt, err := mem.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drain2(memIt)
+
+	// 8KB budget: dozens of runs, multi-level disk merging.
+	spill := NewSorter(typs, keys, 8<<10, t.TempDir())
+	for _, c := range gen() {
+		if err := spill.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spillIt, err := spill.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spill.SpilledBytes() == 0 {
+		t.Fatal("8KB budget did not spill")
+	}
+	got := drain2(spillIt)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeFinishMultiProducer: N independent sorters (the parallel
+// sort's per-worker runs) merged by MergeFinish must equal one sorter
+// fed everything — mixing spilled and purely in-memory producers.
+func TestMergeFinishMultiProducer(t *testing.T) {
+	typs := []types.Type{types.BigInt}
+	keys := []Key{{Col: 0}}
+	rng := rand.New(rand.NewSource(5))
+	const n = 40_000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+
+	ref := NewSorter(typs, keys, 0, t.TempDir())
+	producers := make([]*Sorter, 4)
+	for i := range producers {
+		budget := int64(0)
+		if i%2 == 0 {
+			budget = 16 << 10 // half the producers spill, half stay in memory
+		}
+		producers[i] = NewSorter(typs, keys, budget, t.TempDir())
+	}
+	for start := 0; start < n; start += vector.ChunkCapacity {
+		end := start + vector.ChunkCapacity
+		if end > n {
+			end = n
+		}
+		c := vector.NewChunk(typs)
+		for _, v := range vals[start:end] {
+			c.AppendRow(types.NewBigInt(v))
+		}
+		if err := ref.Add(c); err != nil {
+			t.Fatal(err)
+		}
+		if err := producers[(start/vector.ChunkCapacity)%len(producers)].Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refIt, err := ref.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainSorted(t, refIt)
+	merged, err := MergeFinish(producers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainSorted(t, merged)
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIteratorCloseReleasesReservations: abandoning the stream early —
+// both in-memory mode and mid-merge — must return every buffered-row
+// reservation to the pool.
+func TestIteratorCloseReleasesReservations(t *testing.T) {
+	fill := func(s *Sorter) {
+		for i := 0; i < 30; i++ {
+			c := vector.NewChunk([]types.Type{types.BigInt})
+			for j := 0; j < vector.ChunkCapacity; j++ {
+				c.AppendRow(types.NewBigInt(int64(i*vector.ChunkCapacity + j)))
+			}
+			if err := s.Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Run("in-memory", func(t *testing.T) {
+		pool := buffer.NewPool(0, nil)
+		s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 0, t.TempDir())
+		s.SetPool(pool)
+		fill(s)
+		it, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.Next(); err != nil { // partially consumed
+			t.Fatal(err)
+		}
+		it.Close()
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("early Close leaked %d bytes", used)
+		}
+		it.Close() // idempotent
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("double Close went negative/positive: %d", used)
+		}
+	})
+	t.Run("merge", func(t *testing.T) {
+		pool := buffer.NewPool(0, nil)
+		s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 64<<10, t.TempDir())
+		s.SetPool(pool)
+		fill(s)
+		it, err := s.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.SpilledBytes() == 0 {
+			t.Fatal("expected spill")
+		}
+		if _, err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("early Close after spill leaked %d bytes", used)
+		}
+	})
+	t.Run("merge-finish", func(t *testing.T) {
+		pool := buffer.NewPool(0, nil)
+		producers := make([]*Sorter, 3)
+		for i := range producers {
+			producers[i] = NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 0, t.TempDir())
+			producers[i].SetPool(pool)
+			fill(producers[i])
+		}
+		it, err := MergeFinish(producers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("merged Close leaked %d bytes", used)
+		}
+	})
+}
+
+// TestNaNSortsGreatest: the total FP order places NaN above +Inf in ASC
+// sorts (and therefore first in DESC), deterministically.
+func TestNaNSortsGreatest(t *testing.T) {
+	c := vector.NewChunk([]types.Type{types.Double})
+	for _, v := range []float64{5, math.NaN(), math.Inf(1), -3, math.Inf(-1), math.NaN()} {
+		c.AppendRow(types.NewDouble(v))
+	}
+	s := NewSorter(c.Types(), []Key{{Col: 0}}, 0, t.TempDir())
+	s.Add(c)
+	it, _ := s.Finish()
+	defer it.Close()
+	out, err := it.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Cols[0].F64[:out.Len()]
+	if !math.IsInf(got[0], -1) || got[1] != -3 || got[2] != 5 || !math.IsInf(got[3], 1) ||
+		!math.IsNaN(got[4]) || !math.IsNaN(got[5]) {
+		t.Fatalf("ASC order with NaN: %v", got)
 	}
 }
 

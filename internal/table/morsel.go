@@ -9,10 +9,11 @@ import (
 )
 
 // MorselSource hands out table segments ("morsels") to the workers of a
-// parallel scan. The segment list is snapshotted at creation, so every
-// worker sees the same, fixed set of morsels regardless of concurrent
-// appends; MVCC visibility is still reconstructed per row, so the scan
-// observes exactly the rows its transaction's snapshot allows. Workers
+// parallel scan. The segment list and per-segment row counts are
+// snapshotted at creation, so every worker sees the same, fixed set of
+// morsels regardless of concurrent (or the transaction's own) appends;
+// MVCC visibility is still reconstructed per row, so the scan observes
+// exactly the rows its transaction's snapshot allows. Workers
 // draw the next unclaimed segment from a shared atomic counter — the
 // morsel-driven scheduling that keeps all cores busy without any
 // up-front range partitioning.
@@ -26,6 +27,7 @@ type MorselSource struct {
 	cols    []int
 	rowIDs  bool
 	segs    []*segment
+	ns      []int // per-segment row counts at snapshot time
 	release func()
 	next    atomic.Int64
 	closed  atomic.Bool
@@ -42,15 +44,14 @@ func (t *DataTable) NewMorselSource(tx *txn.Transaction, opts ScanOptions) (*Mor
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	segs := t.segs
-	t.mu.RUnlock()
+	segs, ns := t.snapshotSegments()
 	return &MorselSource{
 		t:       t,
 		tx:      tx,
 		cols:    cols,
 		rowIDs:  opts.WithRowIDs,
 		segs:    segs,
+		ns:      ns,
 		release: release,
 	}, nil
 }
@@ -98,5 +99,5 @@ func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
 		return -1, nil, nil
 	}
 	seg := w.src.segs[idx]
-	return int(idx), w.scanSegment(seg, idx*SegRows), nil
+	return int(idx), w.scanSegment(seg, idx*SegRows, w.src.ns[idx]), nil
 }

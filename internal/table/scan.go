@@ -57,12 +57,18 @@ func (s *segReader) outputTypes() []types.Type {
 }
 
 // scanSegment materializes the snapshot-visible rows of one segment as
-// a chunk, or nil when no row is visible.
-func (s *segReader) scanSegment(seg *segment, base int64) *vector.Chunk {
+// a chunk, or nil when no row is visible. maxRows caps how deep into the
+// segment the reader looks: scans pass the row count snapshotted at open
+// so rows appended afterwards — even by the scanning transaction itself —
+// stay invisible to this statement.
+func (s *segReader) scanSegment(seg *segment, base int64, maxRows int) *vector.Chunk {
 	seg.mu.RLock()
 	defer seg.mu.RUnlock()
 
 	n := seg.n
+	if n > maxRows {
+		n = maxRows
+	}
 	s.sel = s.sel[:0]
 	for r := 0; r < n; r++ {
 		if !s.tx.Sees(seg.loadInsert(r)) {
@@ -135,8 +141,15 @@ func (t *DataTable) resolveColumns(cols []int) ([]int, error) {
 // Scanner iterates a snapshot of the table, one chunk per segment.
 // It reconstructs the transaction's snapshot from insert/delete stamps
 // and the update undo chains, so concurrent writers never block it.
+// The segment list and per-segment row counts are snapshotted at open
+// (like MorselSource), so the scan is a statement snapshot: rows the
+// scanning transaction itself appends while the scan runs are not
+// discovered — a self-referencing INSERT INTO t SELECT ... FROM t
+// terminates after exactly the pre-existing rows.
 type Scanner struct {
 	segReader
+	segs    []*segment
+	ns      []int
 	segIdx  int
 	release func()
 	closed  bool
@@ -153,8 +166,11 @@ func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner,
 	if err != nil {
 		return nil, err
 	}
+	segs, ns := t.snapshotSegments()
 	return &Scanner{
 		segReader: newSegReader(t, tx, cols, opts.WithRowIDs),
+		segs:      segs,
+		ns:        ns,
 		release:   release,
 	}, nil
 }
@@ -167,22 +183,18 @@ func (s *Scanner) Next() (*vector.Chunk, error) {
 	if s.closed {
 		return nil, nil
 	}
-	for {
-		s.t.mu.RLock()
-		if s.segIdx >= len(s.t.segs) {
-			s.t.mu.RUnlock()
-			return nil, nil
-		}
-		seg := s.t.segs[s.segIdx]
+	for s.segIdx < len(s.segs) {
+		seg := s.segs[s.segIdx]
 		base := int64(s.segIdx) * SegRows
+		maxRows := s.ns[s.segIdx]
 		s.segIdx++
-		s.t.mu.RUnlock()
 
-		chunk := s.scanSegment(seg, base)
+		chunk := s.scanSegment(seg, base, maxRows)
 		if chunk != nil {
 			return chunk, nil
 		}
 	}
+	return nil, nil
 }
 
 // Close releases the scanner's column pins.

@@ -174,6 +174,24 @@ func (t *DataTable) NumRows() int64 {
 	return t.rowCount
 }
 
+// snapshotSegments returns the segment list and per-segment row counts
+// at call time. A scan bounded by them observes no rows appended
+// afterwards — not even by its own transaction — which is what makes a
+// self-referencing INSERT ... SELECT terminate instead of chasing its
+// own appends.
+func (t *DataTable) snapshotSegments() ([]*segment, []int) {
+	t.mu.RLock()
+	segs := t.segs
+	t.mu.RUnlock()
+	ns := make([]int, len(segs))
+	for i, s := range segs {
+		s.mu.RLock()
+		ns[i] = s.n
+		s.mu.RUnlock()
+	}
+	return segs, ns
+}
+
 // CountVisible counts the rows visible to tx (a full visibility scan).
 func (t *DataTable) CountVisible(tx *txn.Transaction) int64 {
 	t.mu.RLock()

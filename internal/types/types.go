@@ -326,26 +326,48 @@ func ParseTimestamp(s string) (int64, error) {
 // Compare orders two non-NULL values of the same logical family. It
 // returns -1, 0 or +1. Numeric types compare by promoted value; it panics
 // on incomparable types (the binder guarantees comparability).
+// Floating-point comparison is a total order: NaN compares equal to
+// itself and greater than every other value (including +Inf), so sorts
+// and min/max merges are deterministic regardless of evaluation order.
 func Compare(a, b Value) int {
 	if a.Type == Varchar || b.Type == Varchar {
 		return strings.Compare(a.Str, b.Str)
 	}
 	if a.Type == Double || b.Type == Double {
-		af, bf := a.AsFloat(), b.AsFloat()
-		switch {
-		case af < bf:
-			return -1
-		case af > bf:
-			return 1
-		default:
-			return 0
-		}
+		return CompareFloat(a.AsFloat(), b.AsFloat())
 	}
 	ai, bi := a.AsInt(), b.AsInt()
 	switch {
 	case ai < bi:
 		return -1
 	case ai > bi:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareFloat orders two float64s under the engine's total FP order:
+// -Inf < finite < +Inf < NaN, and NaN == NaN. Native < and > are false
+// for any comparison involving NaN, which would make NaN "equal" to
+// everything — not a valid ordering — and leave sort output dependent on
+// arrival order.
+func CompareFloat(a, b float64) int {
+	anan, bnan := math.IsNaN(a), math.IsNaN(b)
+	if anan || bnan {
+		switch {
+		case anan && bnan:
+			return 0
+		case anan:
+			return 1
+		default:
+			return -1
+		}
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
 		return 1
 	default:
 		return 0

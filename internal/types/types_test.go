@@ -1,6 +1,7 @@
 package types
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -113,6 +114,34 @@ func TestCompareOrdering(t *testing.T) {
 	}
 	if Compare(NewBigInt(5), NewBigInt(5)) != 0 {
 		t.Error("5 == 5")
+	}
+}
+
+// TestCompareTotalFPOrder: Compare over DOUBLE is a total order with
+// NaN greatest — -Inf < finite < +Inf < NaN and NaN == NaN — so min/max
+// merges and sort merges are order-insensitive even with NaN present.
+func TestCompareTotalFPOrder(t *testing.T) {
+	nan := NewDouble(math.NaN())
+	ladder := []Value{NewDouble(math.Inf(-1)), NewDouble(-1e300), NewDouble(0),
+		NewDouble(1e300), NewDouble(math.Inf(1)), nan}
+	for i, lo := range ladder {
+		for j, hi := range ladder {
+			c := Compare(lo, hi)
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", lo, hi, c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", lo, hi, c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", lo, hi, c)
+			}
+		}
+	}
+	if Compare(nan, NewBigInt(5)) <= 0 {
+		t.Error("NaN must compare greater than promoted integers")
+	}
+	if CompareFloat(math.NaN(), math.NaN()) != 0 {
+		t.Error("CompareFloat(NaN, NaN) != 0")
 	}
 }
 

@@ -12,8 +12,16 @@ import (
 // data is deterministic, NULL-bearing, and skewed enough to exercise
 // group-by, join and sort edge cases.
 func differentialDB(t *testing.T, threads int) *quack.DB {
+	return differentialDBWith(t, quack.WithThreads(threads))
+}
+
+// differentialDBWith is differentialDB with arbitrary open options — no
+// options means the engine-wide default thread count applies
+// (QUACK_THREADS, then GOMAXPROCS), which is what the CI differential
+// matrix varies.
+func differentialDBWith(t *testing.T, opts ...quack.Option) *quack.DB {
 	t.Helper()
-	db, err := quack.Open(":memory:", quack.WithThreads(threads))
+	db, err := quack.Open(":memory:", opts...)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -118,6 +126,25 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Errorf("threads=%d query %q diverges:\n got (%d rows): %.300v\nwant (%d rows): %.300v",
 					threads, q, len(got), got, len(want), want)
 			}
+		}
+	}
+}
+
+// TestDifferentialDefaultThreads runs every differential query on a
+// database opened WITHOUT an explicit thread count, so the engine-wide
+// default applies — QUACK_THREADS in the CI matrix, GOMAXPROCS
+// otherwise — and compares against the single-threaded baseline. This
+// is the test that makes the matrix legs genuinely different
+// configurations.
+func TestDifferentialDefaultThreads(t *testing.T) {
+	seq := differentialDB(t, 1)
+	def := differentialDBWith(t)
+	for _, q := range differentialQueries {
+		want := queryAll(t, seq, q)
+		got := queryAll(t, def, q)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("default-thread query %q diverges:\n got (%d rows): %.300v\nwant (%d rows): %.300v",
+				q, len(got), got, len(want), want)
 		}
 	}
 }

@@ -101,12 +101,13 @@ func WithTmpDir(dir string) Option {
 }
 
 // WithThreads sets the worker-pool size for parallel query pipelines.
-// The default is runtime.GOMAXPROCS(0) — an embedded analytical engine
-// should use all of the hardware its host process owns (§6). n = 1
-// disables intra-query parallelism; results are identical (including
-// row order and floating-point sums) at every setting, with one known
-// exception: min/max over DOUBLE columns containing NaN can be
-// order-sensitive (see ROADMAP). PRAGMA threads changes it at runtime.
+// The default comes from the QUACK_THREADS environment variable if set,
+// else runtime.GOMAXPROCS(0) — an embedded analytical engine should use
+// all of the hardware its host process owns (§6). n = 1 disables
+// intra-query parallelism; results are identical (including row order,
+// floating-point sums, and min/max/ORDER BY over NaN-bearing DOUBLE
+// columns, which follow a total order with NaN greatest) at every
+// setting. PRAGMA threads changes it at runtime.
 func WithThreads(n int) Option {
 	return func(c *core.Config) { c.Threads = n }
 }

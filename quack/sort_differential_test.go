@@ -1,0 +1,166 @@
+package quack_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/quack"
+)
+
+// sortFuzzDB builds a multi-segment table covering every column type,
+// loaded with NULLs, NaNs, ±Inf and heavily duplicated key domains so
+// random multi-key sorts exercise ties, the hidden tiebreak column and
+// the total floating-point order.
+func sortFuzzDB(t *testing.T, threads int) *quack.DB {
+	t.Helper()
+	db, err := quack.Open(":memory:", quack.WithThreads(threads))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	mustExec(t, db, "CREATE TABLE sorty (b BOOLEAN, i INTEGER, l BIGINT, d DOUBLE, s VARCHAR, ts TIMESTAMP)")
+	app, err := db.Appender("sorty")
+	if err != nil {
+		t.Fatalf("appender: %v", err)
+	}
+	epoch := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	const rows = 12_000 // ~12 segments
+	for r := 0; r < rows; r++ {
+		var b any = r%2 == 0
+		var i any = int32((r * 7) % 5) // tiny domain: many ties
+		var l any = int64((r * 13) % 23)
+		var d any = float64((r*31)%11) / 2
+		var s any = fmt.Sprintf("s%d", (r*17)%9)
+		var ts any = epoch.Add(time.Duration((r*41)%13) * time.Hour)
+		switch r % 101 {
+		case 0:
+			b = nil
+		case 1:
+			i = nil
+		case 2:
+			l = nil
+		case 3:
+			d = nil
+		case 4:
+			s = nil
+		case 5:
+			ts = nil
+		}
+		switch r % 97 {
+		case 10:
+			d = math.NaN()
+		case 11:
+			d = math.Inf(1)
+		case 12:
+			d = math.Inf(-1)
+		}
+		if err := app.AppendRow(b, i, l, d, s, ts); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatalf("close appender: %v", err)
+	}
+	return db
+}
+
+// TestDifferentialOrderByFuzz generates random multi-key ORDER BY
+// queries (ASC/DESC, NULLS FIRST/LAST, every column type) and asserts
+// row-for-row identity across thread counts — the parallel sort's
+// determinism guarantee.
+func TestDifferentialOrderByFuzz(t *testing.T) {
+	seq := sortFuzzDB(t, 1)
+	pars := map[int]*quack.DB{2: sortFuzzDB(t, 2), 8: sortFuzzDB(t, 8)}
+	cols := []string{"b", "i", "l", "d", "s", "ts"}
+	rng := rand.New(rand.NewSource(7))
+	for q := 0; q < 40; q++ {
+		nk := 1 + rng.Intn(3)
+		perm := rng.Perm(len(cols))[:nk]
+		keys := make([]string, 0, nk)
+		for _, ci := range perm {
+			k := cols[ci]
+			if rng.Intn(2) == 1 {
+				k += " DESC"
+			}
+			switch rng.Intn(3) {
+			case 0:
+				k += " NULLS FIRST"
+			case 1:
+				k += " NULLS LAST"
+			}
+			keys = append(keys, k)
+		}
+		query := "SELECT b, i, l, d, s, ts FROM sorty ORDER BY " + strings.Join(keys, ", ")
+		want := queryAll(t, seq, query)
+		for threads, par := range pars {
+			got := queryAll(t, par, query)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("threads=%d query %q diverges:\n got (%d rows): %.300v\nwant (%d rows): %.300v",
+					threads, query, len(got), got, len(want), want)
+			}
+		}
+	}
+}
+
+// TestDifferentialNaNMinMax: min/max over NaN-bearing DOUBLE columns
+// were order-sensitive under the parallel merge before types.Compare
+// gained a total FP order (NaN greatest). The merged result must now be
+// identical at every thread count and every merge order: max is NaN for
+// groups containing one, min never is.
+func TestDifferentialNaNMinMax(t *testing.T) {
+	seq := sortFuzzDB(t, 1)
+	queries := []string{
+		"SELECT l, min(d), max(d) FROM sorty GROUP BY l",
+		"SELECT min(d), max(d), count(d) FROM sorty",
+		"SELECT i, max(d) FROM sorty GROUP BY i HAVING count(*) > 10",
+	}
+	for _, threads := range []int{2, 8} {
+		par := sortFuzzDB(t, threads)
+		for _, q := range queries {
+			want := queryAll(t, seq, q)
+			got := queryAll(t, par, q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("threads=%d query %q diverges:\n got: %.300v\nwant: %.300v", threads, q, got, want)
+			}
+		}
+	}
+	// The fixture plants NaNs in d, so the global max must be NaN (it
+	// sorts greatest) while min must stay finite.
+	global := queryAll(t, seq, "SELECT min(d), max(d) FROM sorty")
+	if global[0][1] != "NaN" {
+		t.Errorf("max over NaN-bearing column = %q, want NaN", global[0][1])
+	}
+	if global[0][0] != "-Inf" {
+		t.Errorf("min over NaN-bearing column = %q, want -Inf", global[0][0])
+	}
+}
+
+// TestDifferentialOrderByNaN: ORDER BY over the NaN/±Inf-bearing DOUBLE
+// column must produce one deterministic total order: -Inf first, NaN
+// after +Inf, NULLs per the requested placement — at every thread count.
+func TestDifferentialOrderByNaN(t *testing.T) {
+	seq := sortFuzzDB(t, 1)
+	par := sortFuzzDB(t, 8)
+	for _, q := range []string{
+		"SELECT d, l FROM sorty ORDER BY d, l, b, i, s, ts",
+		"SELECT d FROM sorty ORDER BY d DESC NULLS LAST LIMIT 500",
+	} {
+		want := queryAll(t, seq, q)
+		got := queryAll(t, par, q)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("query %q diverges:\n got: %.300v\nwant: %.300v", q, got, want)
+		}
+	}
+	// ASC places NaN last among non-NULLs (after +Inf).
+	rows := queryAll(t, seq, "SELECT d FROM sorty WHERE d IS NOT NULL ORDER BY d")
+	if last := rows[len(rows)-1][0]; last != "NaN" {
+		t.Fatalf("ASC sort put %q last, want NaN", last)
+	}
+	if first := rows[0][0]; first != "-Inf" {
+		t.Fatalf("ASC sort put %q first, want -Inf", first)
+	}
+}
