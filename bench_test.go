@@ -316,6 +316,12 @@ func BenchmarkParallelSort(b *testing.B) {
 	benchParallel(b, "SELECT id, qty, price FROM t ORDER BY qty DESC, price, id")
 }
 
+// BenchmarkWindow: partitioned window evaluation — per-worker sorted
+// runs, merged partition stream, frames evaluated on the exchange pool.
+func BenchmarkWindow(b *testing.B) {
+	benchParallel(b, "SELECT id, row_number() OVER (PARTITION BY region ORDER BY qty DESC, id), sum(price) OVER (PARTITION BY region ORDER BY qty DESC, id) FROM t")
+}
+
 func benchParallel(b *testing.B, query string) {
 	db, err := quack.Open(":memory:")
 	if err != nil {

@@ -11,13 +11,15 @@ import (
 
 // ScalingPoint is one row of the E10 morsel-parallelism sweep.
 type ScalingPoint struct {
-	Threads     int
-	ScanDur     time.Duration
-	AggDur      time.Duration
-	SortDur     time.Duration
-	ScanSpeedup float64 // vs the 1-thread baseline
-	AggSpeedup  float64
-	SortSpeedup float64
+	Threads       int
+	ScanDur       time.Duration
+	AggDur        time.Duration
+	SortDur       time.Duration
+	WindowDur     time.Duration
+	ScanSpeedup   float64 // vs the 1-thread baseline
+	AggSpeedup    float64
+	SortSpeedup   float64
+	WindowSpeedup float64
 }
 
 // scalingScanQuery is scan-and-filter bound with a tiny result: it
@@ -33,6 +35,11 @@ const scalingAggQuery = "SELECT region, count(*), sum(qty), avg(price), min(pric
 // hidden (morsel, row) tiebreak carry the determinism guarantee; the
 // full result is drained so the serial merge phase stays on the clock.
 const scalingSortQuery = "SELECT id, qty, price FROM t ORDER BY qty DESC, price, id"
+
+// scalingWindowQuery is the partitioned analytics workload: per-worker
+// sorted runs feed the partition cutter and the frames evaluate on the
+// exchange pool — ranking and a running sum per region.
+const scalingWindowQuery = "SELECT id, row_number() OVER (PARTITION BY region ORDER BY qty DESC, id), sum(price) OVER (PARTITION BY region ORDER BY qty DESC, id) FROM t"
 
 // Scaling (E10) measures the morsel-driven engine's speedup over the
 // single-threaded baseline on one dataset: a filtered scan pipeline and
@@ -91,7 +98,7 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		return err
 	}
 
-	var wantScan, wantAgg, wantSort string
+	var wantScan, wantAgg, wantSort, wantWindow string
 	var out []ScalingPoint
 	for _, threads := range threadCounts {
 		if err := setThreads(threads); err != nil {
@@ -109,9 +116,13 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
+		gotWindow, err := render(scalingWindowQuery)
+		if err != nil {
+			return nil, err
+		}
 		if threads == threadCounts[0] {
-			wantScan, wantAgg, wantSort = gotScan, gotAgg, gotSort
-		} else if gotScan != wantScan || gotAgg != wantAgg || gotSort != wantSort {
+			wantScan, wantAgg, wantSort, wantWindow = gotScan, gotAgg, gotSort, gotWindow
+		} else if gotScan != wantScan || gotAgg != wantAgg || gotSort != wantSort || gotWindow != wantWindow {
 			return nil, fmt.Errorf("results diverge at %d threads", threads)
 		}
 		scanDur, err := timeQuery(scalingScanQuery)
@@ -126,23 +137,29 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur, SortDur: sortDur})
+		windowDur, err := timeQuery(scalingWindowQuery)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur, SortDur: sortDur, WindowDur: windowDur})
 	}
 	base := out[0]
 	for i := range out {
 		out[i].ScanSpeedup = float64(base.ScanDur) / float64(out[i].ScanDur)
 		out[i].AggSpeedup = float64(base.AggDur) / float64(out[i].AggDur)
 		out[i].SortSpeedup = float64(base.SortDur) / float64(out[i].SortDur)
+		out[i].WindowSpeedup = float64(base.WindowDur) / float64(out[i].WindowDur)
 	}
 
 	if w != nil {
 		fmt.Fprintf(w, "E10 morsel-driven parallelism (%d rows; results verified identical across thread counts)\n", rows)
-		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup", "order-by", "speedup")
+		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %-9s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup", "order-by", "speedup", "window", "speedup")
 		for _, p := range out {
-			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %-9s %-14v %.2fx\n",
+			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %-9s %-14v %-9s %-14v %.2fx\n",
 				p.Threads, p.ScanDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.ScanSpeedup),
 				p.AggDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.AggSpeedup),
-				p.SortDur.Round(time.Microsecond), p.SortSpeedup)
+				p.SortDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.SortSpeedup),
+				p.WindowDur.Round(time.Microsecond), p.WindowSpeedup)
 		}
 	}
 	return out, nil

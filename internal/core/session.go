@@ -274,14 +274,14 @@ func (s *Session) ExecuteRowEngine(sqlText string, params ...types.Value) ([][]t
 
 func (s *Session) runDML(node plan.Node, tx *txn.Transaction) (*Result, error) {
 	node = plan.Optimize(node)
-	// DML trees are built single-threaded (see exec.build); the context
-	// must agree so no operator takes a parallel path inside them.
-	op, err := exec.Build(node)
+	// DML input scans parallelize like any query (the write itself runs
+	// on the consuming thread); the scan-open segment snapshot keeps
+	// self-referencing statements safe.
+	ctx := s.execContext(tx)
+	op, err := exec.BuildParallel(node, ctx.Threads)
 	if err != nil {
 		return nil, err
 	}
-	ctx := s.execContext(tx)
-	ctx.Threads = 1
 	chunks, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err

@@ -36,7 +36,12 @@ type accumulator struct {
 	subF      []fsub      // retained per-morsel subtotals (parallel build only)
 	best      types.Value // min/max
 	bestSet   bool
-	distinct  map[string]struct{} // non-nil for DISTINCT aggregates
+	// distinct (non-nil for DISTINCT aggregates) holds the encoded set
+	// of values seen; no scalar state accumulates until finish, which
+	// folds the set in sorted-key order. That makes worker partials
+	// mergeable by plain set union, and the fold order — hence the
+	// DOUBLE reduction tree — deterministic at every thread count.
+	distinct map[string]struct{}
 }
 
 // fsub is one morsel's DOUBLE subtotal.
@@ -327,11 +332,8 @@ func updateAgg(spec plan.AggSpec, acc *accumulator, arg *vector.Vector, r int) {
 		return
 	}
 	if acc.distinct != nil {
-		key := string(encodeKeyRow(nil, []*vector.Vector{arg}, r))
-		if _, seen := acc.distinct[key]; seen {
-			return
-		}
-		acc.distinct[key] = struct{}{}
+		acc.distinct[string(encodeKeyRow(nil, []*vector.Vector{arg}, r))] = struct{}{}
+		return
 	}
 	switch spec.Func {
 	case "count":
@@ -365,6 +367,9 @@ func updateAgg(spec plan.AggSpec, acc *accumulator, arg *vector.Vector, r int) {
 }
 
 func finishAgg(spec plan.AggSpec, acc *accumulator) types.Value {
+	if acc.distinct != nil {
+		return finishDistinct(spec, acc)
+	}
 	switch spec.Func {
 	case "count":
 		return types.NewBigInt(acc.count)
@@ -392,6 +397,76 @@ func finishAgg(spec plan.AggSpec, acc *accumulator) types.Value {
 			return types.NewNull(spec.Type)
 		}
 		return acc.best
+	default:
+		return types.NewNull(spec.Type)
+	}
+}
+
+// finishDistinct folds a DISTINCT aggregate's value set. The fold walks
+// the encoded keys in sorted order — any fixed order works for
+// count/min/max, and for DOUBLE sums it pins the reduction tree, so the
+// result is identical no matter which workers collected which values.
+func finishDistinct(spec plan.AggSpec, acc *accumulator) types.Value {
+	if len(acc.distinct) == 0 {
+		if spec.Func == "count" {
+			return types.NewBigInt(0)
+		}
+		return types.NewNull(spec.Type)
+	}
+	if spec.Func == "count" {
+		return types.NewBigInt(int64(len(acc.distinct)))
+	}
+	keys := make([]string, 0, len(acc.distinct))
+	for k := range acc.distinct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	argType := spec.Arg.Type()
+	var (
+		sumI int64
+		sumF float64
+		best types.Value
+	)
+	for i, k := range keys {
+		v := decodeValueKey(k, argType)
+		switch spec.Func {
+		case "sum", "avg":
+			switch argType {
+			case types.Double:
+				sumF += v.F64
+			case types.Boolean:
+				if v.Bool {
+					sumI++
+				}
+			default:
+				sumI += v.I64
+			}
+		case "min", "max":
+			if i == 0 {
+				best = v
+				continue
+			}
+			c := types.Compare(v, best)
+			if (spec.Func == "max" && c > 0) || (spec.Func == "min" && c < 0) {
+				best = v
+			}
+		}
+	}
+	n := int64(len(acc.distinct))
+	switch spec.Func {
+	case "sum":
+		if spec.Type == types.Double {
+			return types.NewDouble(sumF)
+		}
+		return types.NewBigInt(sumI)
+	case "avg":
+		total := sumF
+		if argType != types.Double {
+			total = float64(sumI)
+		}
+		return types.NewDouble(total / float64(n))
+	case "min", "max":
+		return best
 	default:
 		return types.NewNull(spec.Type)
 	}

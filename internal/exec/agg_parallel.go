@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/plan"
+	"repro/internal/table"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -16,9 +17,8 @@ import (
 // packed (morsel, row) position of its first appearance; merging keeps
 // the minimum, and emission sorts by it — reproducing exactly the
 // first-seen group order of the single-threaded aggregate. DISTINCT
-// aggregates are not parallelized (their per-group sets cannot be
-// merged without double counting); the planner routes them to the
-// sequential aggregate instead.
+// aggregates accumulate only their per-group value sets, which merge by
+// set union and fold deterministically at finish.
 type parAggOp struct {
 	scan *parScanOp
 	node *plan.AggNode
@@ -205,6 +205,11 @@ func (a *parAggOp) accumulate(ctx *Context, aw *aggWorker, seq int, chunk *vecto
 			for i := range groupVecs {
 				st.groupKey[i] = groupVecs[i].Get(r)
 			}
+			for j, spec := range a.node.Aggs {
+				if spec.Distinct {
+					st.accs[j].distinct = make(map[string]struct{})
+				}
+			}
 			aw.groups[key] = st
 		}
 		states[r] = st
@@ -215,14 +220,33 @@ func (a *parAggOp) accumulate(ctx *Context, aw *aggWorker, seq int, chunk *vecto
 	return nil
 }
 
-// packAggPos packs a (morsel, row) pair into one ordered int64. Rows
-// per morsel are bounded by the segment size (<= 1<<16).
+// packAggPos packs a (sequence, row) pair into one ordered int64. The
+// 16-bit row field must hold any morsel row index (bounded by
+// table.SegRows) and any per-chunk row index (bounded by
+// vector.ChunkCapacity — the window operator's extend path); the
+// compile-time guards below fail if either bound outgrows it.
 func packAggPos(seq, row int) int64 { return int64(seq)<<16 | int64(row) }
 
-// mergeAccumulator folds src into dst. DISTINCT accumulators never
-// reach here (the planner keeps them sequential). DOUBLE subtotals are
-// concatenated, not summed — foldSubF orders them by morsel afterwards.
+var (
+	_ [1<<16 - table.SegRows]struct{}
+	_ [1<<16 - vector.ChunkCapacity]struct{}
+)
+
+// mergeAccumulator folds src into dst. DISTINCT accumulators hold only
+// their value sets, so merging is a plain set union (finish folds the
+// union in sorted-key order). DOUBLE subtotals are concatenated, not
+// summed — foldSubF orders them by morsel afterwards.
 func mergeAccumulator(spec plan.AggSpec, dst, src *accumulator) {
+	if src.distinct != nil {
+		if dst.distinct == nil {
+			dst.distinct = src.distinct
+		} else {
+			for k := range src.distinct {
+				dst.distinct[k] = struct{}{}
+			}
+		}
+		return
+	}
 	dst.count += src.count
 	dst.sumI += src.sumI
 	dst.subF = append(dst.subF, src.subF...)

@@ -29,21 +29,17 @@ type exchangeOp struct {
 	results chan exResult
 	cancel  chan struct{}
 
-	// window bounds how far the producer may run ahead of the merge
-	// point: a ticket is taken before feeding a chunk and returned when
-	// that chunk's results are emitted, so the ordered reorder buffer
-	// holds at most cap(window) entries even when one worker stalls on
-	// an expensive chunk.
-	window chan struct{}
+	// buf is the shared ordered-merge state machine: a ticket is taken
+	// before feeding a chunk and returned when that chunk's results are
+	// emitted, so the reorder buffer holds at most its window depth in
+	// entries even when one worker stalls on an expensive chunk.
+	buf *reorderBuf
 
 	cancelOnce sync.Once
 	closeOnce  sync.Once
 	inner      sync.WaitGroup // producer + workers
 	all        sync.WaitGroup // inner + the results-closing watcher
 
-	pending map[int][]*vector.Chunk
-	queue   []*vector.Chunk
-	nextSeq int
 	drained bool
 	failed  error
 	started bool
@@ -83,10 +79,8 @@ func (e *exchangeOp) start(ctx *Context) {
 	depth := workers * 4
 	e.feed = make(chan exItem, depth)
 	e.results = make(chan exResult, depth)
-	e.window = make(chan struct{}, depth)
+	e.buf = newReorderBuf(depth)
 	e.cancel = make(chan struct{})
-	e.pending = make(map[int][]*vector.Chunk, depth)
-	e.nextSeq = 0
 	e.drained = false
 
 	e.inner.Add(1)
@@ -122,9 +116,7 @@ func (e *exchangeOp) producer(ctx *Context) {
 			close(e.feed)
 			return
 		}
-		select {
-		case e.window <- struct{}{}:
-		case <-e.cancel:
+		if !e.buf.acquire(e.cancel) {
 			return
 		}
 		select {
@@ -183,26 +175,20 @@ func (e *exchangeOp) Next(ctx *Context) (*vector.Chunk, error) {
 		e.start(ctx)
 	}
 	for {
-		if len(e.queue) > 0 {
-			out := e.queue[0]
-			e.queue = e.queue[1:]
+		if out, ok := e.buf.pop(); ok {
 			return out, nil
 		}
 		if e.ordered {
-			if chunks, ok := e.pending[e.nextSeq]; ok {
-				delete(e.pending, e.nextSeq)
-				e.nextSeq++
-				<-e.window // emitted: let the producer feed another chunk
-				e.queue = chunks
+			if e.buf.advance() { // emitted: lets the producer feed another chunk
 				continue
 			}
 			if e.drained {
-				if len(e.pending) == 0 {
+				if e.buf.parked() == 0 {
 					return nil, nil
 				}
 				// Every fed seq posted a result, so a gap can only be a
 				// seq that produced no chunks before an error path; skip.
-				e.nextSeq++
+				e.buf.skip()
 				continue
 			}
 		} else if e.drained {
@@ -218,10 +204,9 @@ func (e *exchangeOp) Next(ctx *Context) (*vector.Chunk, error) {
 			return nil, res.err
 		}
 		if e.ordered {
-			e.pending[res.seq] = res.chunks
+			e.buf.park(res.seq, res.chunks)
 		} else {
-			<-e.window
-			e.queue = res.chunks
+			e.buf.enqueue(res.chunks)
 		}
 	}
 }
@@ -242,8 +227,9 @@ func (e *exchangeOp) Close(ctx *Context) {
 			e.cancelWorkers()
 			e.all.Wait()
 		}
-		e.pending = nil
-		e.queue = nil
+		if e.buf != nil {
+			e.buf.drop()
+		}
 		e.child.Close(ctx)
 	})
 }
@@ -276,7 +262,7 @@ peel:
 		return nil, false, nil
 	}
 	switch cur.(type) {
-	case *plan.SortNode, *plan.AggNode, *plan.UnionAllNode:
+	case *plan.SortNode, *plan.AggNode, *plan.UnionAllNode, *plan.WindowNode:
 	default:
 		return nil, false, nil
 	}

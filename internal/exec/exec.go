@@ -121,7 +121,9 @@ func build(node plan.Node, threads int) (Operator, error) {
 		}
 		// A hash aggregate directly over such a chain breaks the
 		// pipeline with worker-local partial aggregation instead.
-		if n, ok := node.(*plan.AggNode); ok && !aggHasDistinct(n) {
+		// DISTINCT aggregates participate: their per-worker value sets
+		// merge by set union.
+		if n, ok := node.(*plan.AggNode); ok {
 			if spec := compilePipeline(n.Child); spec != nil {
 				return newParAggOp(spec, n), nil
 			}
@@ -131,6 +133,13 @@ func build(node plan.Node, threads int) (Operator, error) {
 		if n, ok := node.(*plan.SortNode); ok {
 			if spec := compilePipeline(n.Child); spec != nil {
 				return newParSortOp(spec, n), nil
+			}
+		}
+		// A window over such a chain sorts per worker too, and evaluates
+		// its partitions on an exchange pool.
+		if n, ok := node.(*plan.WindowNode); ok {
+			if spec := compilePipeline(n.Child); spec != nil {
+				return newParWindowOp(spec, n), nil
 			}
 		}
 		// Filter/project chains stranded above a breaker (HAVING over an
@@ -183,6 +192,12 @@ func build(node plan.Node, threads int) (Operator, error) {
 			return nil, err
 		}
 		return newSortOp(child, n), nil
+	case *plan.WindowNode:
+		child, err := build(n.Child, threads)
+		if err != nil {
+			return nil, err
+		}
+		return newWindowOp(child, n), nil
 	case *plan.LimitNode:
 		child, err := build(n.Child, threads)
 		if err != nil {
@@ -202,22 +217,27 @@ func build(node plan.Node, threads int) (Operator, error) {
 	case *plan.ValuesNode:
 		return &valuesOp{node: n}, nil
 	case *plan.InsertNode:
-		// DML stays single-threaded (see ROADMAP). The source scan is a
-		// statement snapshot either way, so an INSERT ... SELECT reading
-		// its own target inserts exactly the pre-existing rows.
-		child, err := Build(n.Child)
+		// DML input scans run parallel like any query: the morsel source
+		// snapshots the segment list at open, so an INSERT ... SELECT
+		// reading its own target inserts exactly the pre-existing rows,
+		// and the ordered merge keeps the consumed row order identical to
+		// the sequential plan. The write itself stays on the consumer.
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return &insertOp{child: child, table: n.Table}, nil
 	case *plan.UpdateNode:
-		child, err := Build(n.Child)
+		// UPDATE/DELETE materialize every row id before touching the
+		// table (Halloween protection), so their filter scans can fan
+		// out across workers too.
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
 		return &updateOp{child: child, node: n}, nil
 	case *plan.DeleteNode:
-		child, err := Build(n.Child)
+		child, err := build(n.Child, threads)
 		if err != nil {
 			return nil, err
 		}
@@ -225,15 +245,6 @@ func build(node plan.Node, threads int) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("exec: no operator for %T", node)
 	}
-}
-
-func aggHasDistinct(n *plan.AggNode) bool {
-	for _, a := range n.Aggs {
-		if a.Distinct {
-			return true
-		}
-	}
-	return false
 }
 
 // Run drains an operator tree, invoking sink for every chunk. It opens

@@ -41,6 +41,52 @@ func encodeKeyRow(buf []byte, vecs []*vector.Vector, r int) []byte {
 	return buf
 }
 
+// encodeValueKey appends the canonical encoding of one non-NULL boxed
+// value, matching encodeKeyRow's per-value layout (so the vectorized
+// and row engines build identical DISTINCT sets).
+func encodeValueKey(buf []byte, v types.Value) []byte {
+	buf = append(buf, 1)
+	switch v.Type {
+	case types.Boolean:
+		if v.Bool {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	case types.Integer:
+		return binary.LittleEndian.AppendUint32(buf, uint32(int32(v.I64)))
+	case types.BigInt, types.Timestamp:
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.I64))
+	case types.Double:
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64))
+	case types.Varchar:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str)))
+		return append(buf, v.Str...)
+	}
+	return buf
+}
+
+// decodeValueKey decodes one value previously encoded by encodeValueKey
+// / encodeKeyRow. DISTINCT sets never hold NULLs, so the validity byte
+// is always 1.
+func decodeValueKey(key string, t types.Type) types.Value {
+	b := key[1:] // skip the validity marker
+	switch t {
+	case types.Boolean:
+		return types.NewBool(b[0] != 0)
+	case types.Integer:
+		return types.NewInt(int32(binary.LittleEndian.Uint32([]byte(b))))
+	case types.BigInt:
+		return types.NewBigInt(int64(binary.LittleEndian.Uint64([]byte(b))))
+	case types.Timestamp:
+		return types.NewTimestamp(int64(binary.LittleEndian.Uint64([]byte(b))))
+	case types.Double:
+		return types.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64([]byte(b))))
+	case types.Varchar:
+		return types.NewVarchar(b[4:])
+	}
+	return types.NewNull(t)
+}
+
 // keyBytesEstimate estimates the per-row key size for pool accounting.
 func keyBytesEstimate(ts []types.Type) int64 {
 	var n int64

@@ -37,15 +37,12 @@ type parScanOp struct {
 	closeOnce  sync.Once
 	wg         sync.WaitGroup
 
-	// window bounds how far workers may run ahead of the merge point:
-	// a worker takes a ticket before claiming a morsel and the merger
-	// returns it when that morsel is emitted, so the reorder buffer
-	// holds at most cap(window) morsels even under scheduling skew.
-	window chan struct{}
+	// buf is the shared ordered-merge state machine: workers take a
+	// ticket before claiming a morsel and the merger returns it when
+	// that morsel is emitted, so the reorder buffer holds at most its
+	// window depth in morsels even under scheduling skew.
+	buf *reorderBuf
 
-	pending map[int][]*vector.Chunk
-	queue   []*vector.Chunk
-	nextSeq int
 	nmorsel int
 	failed  error
 	started bool
@@ -115,10 +112,8 @@ func (p *parScanOp) start(ctx *Context) {
 	workers := p.workerCount(ctx)
 	win := workers * 4
 	p.results = make(chan parResult, win)
-	p.window = make(chan struct{}, win)
+	p.buf = newReorderBuf(win)
 	p.cancel = make(chan struct{})
-	p.pending = make(map[int][]*vector.Chunk, win)
-	p.nextSeq = 0
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go p.worker(ctx)
@@ -130,14 +125,12 @@ func (p *parScanOp) worker(ctx *Context) {
 	ms := p.src.Worker()
 	stages := p.workerStages()
 	for {
-		select {
-		case p.window <- struct{}{}:
-		case <-p.cancel:
+		if !p.buf.acquire(p.cancel) {
 			return
 		}
 		seq, chunk, err := ms.Next()
 		if seq < 0 && err == nil {
-			<-p.window // no morsel claimed; return the ticket
+			p.buf.release() // no morsel claimed; return the ticket
 			return
 		}
 		var out []*vector.Chunk
@@ -172,19 +165,13 @@ func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
 		p.start(ctx)
 	}
 	for {
-		if len(p.queue) > 0 {
-			out := p.queue[0]
-			p.queue = p.queue[1:]
+		if out, ok := p.buf.pop(); ok {
 			return out, nil
 		}
-		if p.nextSeq >= p.nmorsel {
+		if p.buf.seq() >= p.nmorsel {
 			return nil, nil
 		}
-		if chunks, ok := p.pending[p.nextSeq]; ok {
-			delete(p.pending, p.nextSeq)
-			p.nextSeq++
-			<-p.window // emitted: let a worker claim another morsel
-			p.queue = chunks
+		if p.buf.advance() { // emitted: lets a worker claim another morsel
 			continue
 		}
 		res := <-p.results
@@ -192,7 +179,7 @@ func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
 			p.failed = res.err
 			return nil, res.err
 		}
-		p.pending[res.seq] = res.chunks
+		p.buf.park(res.seq, res.chunks)
 	}
 }
 
@@ -213,8 +200,9 @@ func (p *parScanOp) Close(ctx *Context) {
 		if p.src != nil {
 			p.src.Close()
 		}
-		p.pending = nil
-		p.queue = nil
+		if p.buf != nil {
+			p.buf.drop()
+		}
 	})
 }
 

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"repro/internal/vector"
+)
+
+// reorderBuf is the ordered-merge state machine shared by the operators
+// that fan work out to a pool and must re-emit the results in a
+// deterministic sequence order: the morsel-ordered parallel scan
+// (parScanOp), the exchange operator and the parallel window operator's
+// partition merge (which runs on the exchange). It bounds how far
+// producers may run ahead of the merge point: a ticket is taken
+// (acquire) before work is submitted and returned when that sequence's
+// results are emitted, so the reorder buffer holds at most cap(window)
+// entries even under scheduling skew.
+//
+// The consumer side is single-threaded: park stashes a completed
+// sequence, advance promotes the next expected sequence's chunks to the
+// emission queue (returning its ticket), and pop drains the queue.
+type reorderBuf struct {
+	window  chan struct{}
+	pending map[int][]*vector.Chunk
+	queue   []*vector.Chunk
+	nextSeq int
+}
+
+func newReorderBuf(depth int) *reorderBuf {
+	return &reorderBuf{
+		window:  make(chan struct{}, depth),
+		pending: make(map[int][]*vector.Chunk, depth),
+	}
+}
+
+// acquire takes a ticket, or reports false if cancel fires first.
+func (b *reorderBuf) acquire(cancel <-chan struct{}) bool {
+	select {
+	case b.window <- struct{}{}:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// release returns a ticket without emitting anything (a producer that
+// acquired one but claimed no work).
+func (b *reorderBuf) release() { <-b.window }
+
+// park stores one sequence's result chunks for ordered emission.
+func (b *reorderBuf) park(seq int, chunks []*vector.Chunk) { b.pending[seq] = chunks }
+
+// parked reports how many sequences await emission.
+func (b *reorderBuf) parked() int { return len(b.pending) }
+
+// seq returns the next sequence number the merge is waiting for.
+func (b *reorderBuf) seq() int { return b.nextSeq }
+
+// skip abandons the next expected sequence (a gap left by a producer
+// error path that never posted it).
+func (b *reorderBuf) skip() { b.nextSeq++ }
+
+// pop returns the next queued chunk, if any.
+func (b *reorderBuf) pop() (*vector.Chunk, bool) {
+	if len(b.queue) == 0 {
+		return nil, false
+	}
+	c := b.queue[0]
+	b.queue = b.queue[1:]
+	return c, true
+}
+
+// enqueue bypasses sequencing and queues chunks for emission directly
+// (completion-order mode), returning the producer's ticket.
+func (b *reorderBuf) enqueue(chunks []*vector.Chunk) {
+	b.release()
+	b.queue = chunks
+}
+
+// advance promotes the next expected sequence's parked chunks to the
+// emission queue and returns its ticket. It reports false when that
+// sequence has not arrived yet.
+func (b *reorderBuf) advance() bool {
+	chunks, ok := b.pending[b.nextSeq]
+	if !ok {
+		return false
+	}
+	delete(b.pending, b.nextSeq)
+	b.nextSeq++
+	b.release()
+	b.queue = chunks
+	return true
+}
+
+// drop frees the buffered chunks (shutdown).
+func (b *reorderBuf) drop() {
+	b.pending = nil
+	b.queue = nil
+}

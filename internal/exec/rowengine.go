@@ -406,11 +406,10 @@ func updateAggRow(spec plan.AggSpec, acc *accumulator, row []types.Value) error 
 		return nil
 	}
 	if acc.distinct != nil {
-		key := v.String()
-		if _, seen := acc.distinct[key]; seen {
-			return nil
-		}
-		acc.distinct[key] = struct{}{}
+		// Same encoded-set representation as the vectorized engine; the
+		// shared finishAgg folds it deterministically.
+		acc.distinct[string(encodeValueKey(nil, v))] = struct{}{}
+		return nil
 	}
 	switch spec.Func {
 	case "count":

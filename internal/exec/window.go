@@ -1,0 +1,678 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/extsort"
+	"repro/internal/plan"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// The window operator evaluates fn(...) OVER (PARTITION BY ... ORDER BY
+// ... [frame]) in three phases sharing one total order:
+//
+//  1. Extend: every input row is widened with its evaluated partition
+//     keys, order keys and a hidden packed (chunk, row) position, then
+//     fed to the external sorter keyed by (partition, order, position).
+//     The hidden position makes the sort a total order, so the sorted
+//     stream — and with it every downstream value — is bit-identical at
+//     every thread count. The parallel build runs this phase on the
+//     morsel pipeline with one sorter per worker (splitting the sort
+//     budget, like the parallel ORDER BY) and k-way merges all runs.
+//  2. Cut: the merged stream is split into partitions wherever the
+//     partition keys change (windowPartitionOp emits one chunk per
+//     partition).
+//  3. Evaluate: windowEvalStage computes every function over one
+//     partition and emits the payload plus the new columns. In the
+//     parallel plan the stage runs on the exchange's worker pool —
+//     partitions are evaluated concurrently and the exchange's
+//     reorder-merge re-emits them in partition order.
+//
+// Output order is (partition keys, order keys, input position): the
+// deterministic order both the sequential and parallel builds produce.
+
+// windowLayout fixes the column layout of the extended sort rows:
+// payload columns first, then partition keys, order keys and the hidden
+// position column.
+type windowLayout struct {
+	np  int // payload (child schema) columns
+	npk int // partition key columns
+	nok int // order key columns
+}
+
+func layoutOf(n *plan.WindowNode) windowLayout {
+	return windowLayout{np: len(n.Child.Schema()), npk: len(n.PartitionBy), nok: len(n.OrderBy)}
+}
+
+// extTypes returns the extended row schema fed to the sorter.
+func (l windowLayout) extTypes(n *plan.WindowNode) []types.Type {
+	out := make([]types.Type, 0, l.np+l.npk+l.nok+1)
+	out = append(out, schemaTypes(n.Child.Schema())...)
+	for _, e := range n.PartitionBy {
+		out = append(out, e.Type())
+	}
+	for _, k := range n.OrderBy {
+		out = append(out, k.Expr.Type())
+	}
+	return append(out, types.BigInt)
+}
+
+// sortKeys orders rows by partition (NULLs grouped first), then the
+// user's order keys, then the hidden input position.
+func (l windowLayout) sortKeys(n *plan.WindowNode) []extsort.Key {
+	keys := make([]extsort.Key, 0, l.npk+l.nok+1)
+	for i := 0; i < l.npk; i++ {
+		keys = append(keys, extsort.Key{Col: l.np + i, NullsFirst: true})
+	}
+	for i, k := range n.OrderBy {
+		keys = append(keys, extsort.Key{Col: l.np + l.npk + i, Desc: k.Desc, NullsFirst: k.NullsFirst})
+	}
+	return append(keys, extsort.Key{Col: l.np + l.npk + l.nok})
+}
+
+// partKeys compares rows on the partition columns only.
+func (l windowLayout) partKeys() []extsort.Key {
+	keys := make([]extsort.Key, l.npk)
+	for i := range keys {
+		keys[i] = extsort.Key{Col: l.np + i, NullsFirst: true}
+	}
+	return keys
+}
+
+// windowPartitionOp produces the partition stream of a WindowNode: the
+// input (a built child operator, or a morsel pipeline whose workers
+// each feed their own sorter) is sorted by (partition, order, position)
+// and emitted as one chunk per partition, in sorted order. Partition
+// chunks keep the extended layout; the eval stage strips it.
+type windowPartitionOp struct {
+	node *plan.WindowNode
+	lay  windowLayout
+
+	child Operator   // sequential source (exactly one of child/scan is set)
+	scan  *parScanOp // parallel pipeline source
+
+	iter  *extsort.Iterator
+	built bool
+
+	cur     *vector.Chunk // sorted chunk being consumed
+	pos     int
+	part    *vector.Chunk // current partition under accumulation
+	prev    *vector.Chunk // chunk/row of the previously appended row
+	prevRow int
+}
+
+func newWindowPartitionOp(n *plan.WindowNode, child Operator, scan *parScanOp) *windowPartitionOp {
+	return &windowPartitionOp{node: n, lay: layoutOf(n), child: child, scan: scan}
+}
+
+func (w *windowPartitionOp) Open(ctx *Context) error {
+	w.built = false
+	w.iter = nil
+	w.cur, w.part, w.prev = nil, nil, nil
+	if w.child != nil {
+		return w.child.Open(ctx)
+	}
+	return w.scan.Open(ctx)
+}
+
+// extend widens a chunk with the evaluated partition keys, order keys
+// and the hidden packed (seq, row) position.
+func (w *windowPartitionOp) extend(chunk *vector.Chunk, seq int) (*vector.Chunk, error) {
+	cols := make([]*vector.Vector, 0, w.lay.np+w.lay.npk+w.lay.nok+1)
+	cols = append(cols, chunk.Cols...)
+	for _, e := range w.node.PartitionBy {
+		v, err := e.Eval(chunk)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, v)
+	}
+	for _, k := range w.node.OrderBy {
+		v, err := k.Expr.Eval(chunk)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, v)
+	}
+	tie := vector.NewLen(types.BigInt, chunk.Len())
+	for r := 0; r < chunk.Len(); r++ {
+		tie.I64[r] = packAggPos(seq, r)
+	}
+	cols = append(cols, tie)
+	ext := &vector.Chunk{Cols: cols}
+	ext.SetLen(chunk.Len())
+	return ext, nil
+}
+
+func (w *windowPartitionOp) build(ctx *Context) error {
+	extTypes := w.lay.extTypes(w.node)
+	keys := w.lay.sortKeys(w.node)
+
+	if w.child != nil {
+		sorter := extsort.NewSorter(extTypes, keys, ctx.sortBudget(), ctx.TmpDir)
+		if ctx.Pool != nil {
+			sorter.SetPool(ctx.Pool)
+		}
+		seq := 0
+		for {
+			chunk, err := w.child.Next(ctx)
+			if err != nil {
+				sorter.Close()
+				return err
+			}
+			if chunk == nil {
+				break
+			}
+			if chunk.Len() == 0 {
+				continue
+			}
+			ext, err := w.extend(chunk, seq)
+			if err != nil {
+				sorter.Close()
+				return err
+			}
+			if err := sorter.Add(ext); err != nil {
+				sorter.Close()
+				return err
+			}
+			seq++
+		}
+		iter, err := sorter.Finish()
+		if err != nil {
+			sorter.Close()
+			return err
+		}
+		w.iter = iter
+		return nil
+	}
+
+	// Parallel build: each pipeline worker extends its morsels and feeds
+	// its own sorter (splitting the budget like the parallel ORDER BY);
+	// the k-way merge of every worker's runs reproduces the total order.
+	workers := w.scan.workerCount(ctx)
+	budget := ctx.sortBudget()
+	if budget > 0 && workers > 1 {
+		budget /= int64(workers)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	var sorters []*extsort.Sorter
+	_, err := w.scan.consume(ctx, func(wk int) func(int, *vector.Chunk) error {
+		sorter := extsort.NewSorter(extTypes, keys, budget, ctx.TmpDir)
+		if ctx.Pool != nil {
+			sorter.SetPool(ctx.Pool)
+		}
+		sorters = append(sorters, sorter)
+		return func(seq int, chunk *vector.Chunk) error {
+			ext, err := w.extend(chunk, seq)
+			if err != nil {
+				return err
+			}
+			return sorter.Add(ext)
+		}
+	})
+	if err != nil {
+		for _, sorter := range sorters {
+			sorter.Close()
+		}
+		return err
+	}
+	iter, err := extsort.MergeFinish(sorters)
+	if err != nil {
+		for _, sorter := range sorters {
+			sorter.Close()
+		}
+		return err
+	}
+	w.iter = iter
+	return nil
+}
+
+// Next emits the next partition as one chunk in the extended layout.
+func (w *windowPartitionOp) Next(ctx *Context) (*vector.Chunk, error) {
+	if !w.built {
+		if err := w.build(ctx); err != nil {
+			return nil, err
+		}
+		w.built = true
+	}
+	partKeys := w.lay.partKeys()
+	for {
+		if w.cur == nil {
+			c, err := w.iter.Next()
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				if w.part != nil && w.part.Len() > 0 {
+					out := w.part
+					w.part = nil
+					return out, nil
+				}
+				return nil, nil
+			}
+			if c.Len() == 0 {
+				continue
+			}
+			w.cur, w.pos = c, 0
+		}
+		n := w.cur.Len()
+		for w.pos < n {
+			if w.part != nil && w.part.Len() > 0 && w.lay.npk > 0 &&
+				extsort.CompareRows(w.prev, w.prevRow, w.cur, w.pos, partKeys) != 0 {
+				out := w.part
+				w.part = nil
+				return out, nil // w.pos stays: the row opens the next partition
+			}
+			// Extend the run of rows sharing this row's partition and
+			// bulk-copy it; sorted input keeps partitions contiguous.
+			end := w.pos + 1
+			if w.lay.npk > 0 {
+				for end < n && extsort.CompareRows(w.cur, end-1, w.cur, end, partKeys) == 0 {
+					end++
+				}
+			} else {
+				end = n
+			}
+			if w.part == nil {
+				w.part = vector.NewChunk(w.cur.Types())
+			}
+			for c, col := range w.part.Cols {
+				col.AppendRange(w.cur.Cols[c], w.pos, end-w.pos)
+			}
+			w.part.SetLen(w.part.Cols[0].Len())
+			w.prev, w.prevRow = w.cur, end-1
+			w.pos = end
+		}
+		w.cur = nil
+	}
+}
+
+func (w *windowPartitionOp) Close(ctx *Context) {
+	if w.iter != nil {
+		w.iter.Close()
+		w.iter = nil
+	}
+	w.part, w.cur, w.prev = nil, nil, nil
+	if w.child != nil {
+		w.child.Close(ctx)
+	} else {
+		w.scan.Close(ctx)
+	}
+}
+
+// windowEvalStage computes every window function over one partition
+// chunk and emits the payload columns plus the function results, sliced
+// back to engine-sized chunks. Instances are stateless apart from the
+// shared immutable node, so the exchange runs them concurrently across
+// partitions.
+type windowEvalStage struct {
+	node     *plan.WindowNode
+	lay      windowLayout
+	outTypes []types.Type
+}
+
+func newWindowEvalStage(n *plan.WindowNode) *windowEvalStage {
+	lay := layoutOf(n)
+	outTypes := append([]types.Type(nil), schemaTypes(n.Child.Schema())...)
+	for _, f := range n.Funcs {
+		outTypes = append(outTypes, f.Type)
+	}
+	return &windowEvalStage{node: n, lay: lay, outTypes: outTypes}
+}
+
+func (w *windowEvalStage) run(ctx *Context, part *vector.Chunk, emit func(*vector.Chunk) error) error {
+	outs, err := evalWindowPartition(w.node, w.lay, part)
+	if err != nil {
+		return err
+	}
+	n := part.Len()
+	for base := 0; base < n; base += vector.ChunkCapacity {
+		m := n - base
+		if m > vector.ChunkCapacity {
+			m = vector.ChunkCapacity
+		}
+		out := vector.NewChunk(w.outTypes)
+		for c := 0; c < w.lay.np; c++ {
+			out.Cols[c].AppendRange(part.Cols[c], base, m)
+		}
+		for j, ov := range outs {
+			out.Cols[w.lay.np+j].AppendRange(ov, base, m)
+		}
+		out.SetLen(m)
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageOp applies per-worker stages inline on a single thread — the
+// sequential counterpart of running them on an exchange pool.
+type stageOp struct {
+	child  Operator
+	stages []stage
+	queue  []*vector.Chunk
+}
+
+func (s *stageOp) Open(ctx *Context) error {
+	s.queue = nil
+	return s.child.Open(ctx)
+}
+
+func (s *stageOp) Next(ctx *Context) (*vector.Chunk, error) {
+	for {
+		if len(s.queue) > 0 {
+			out := s.queue[0]
+			s.queue = s.queue[1:]
+			return out, nil
+		}
+		chunk, err := s.child.Next(ctx)
+		if err != nil || chunk == nil {
+			return nil, err
+		}
+		err = runStages(ctx, s.stages, chunk, func(out *vector.Chunk) error {
+			if out.Len() > 0 {
+				s.queue = append(s.queue, out)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (s *stageOp) Close(ctx *Context) { s.child.Close(ctx) }
+
+// newWindowOp builds the sequential window operator.
+func newWindowOp(child Operator, n *plan.WindowNode) Operator {
+	return &stageOp{
+		child:  newWindowPartitionOp(n, child, nil),
+		stages: []stage{newWindowEvalStage(n)},
+	}
+}
+
+// newParWindowOp builds the parallel window operator over a morsel
+// pipeline: per-worker sorters feed the merged partition stream, and
+// the eval stage runs on the exchange's pool with its ordered merge
+// keeping emission in partition order.
+func newParWindowOp(spec *pipelineSpec, n *plan.WindowNode) Operator {
+	src := newWindowPartitionOp(n, nil, newParScanOp(spec))
+	return newExchangeOp(src, []stageFactory{func() stage { return newWindowEvalStage(n) }}, true)
+}
+
+// ---- per-partition evaluation ----
+
+// evalWindowPartition computes every window function over one partition
+// (rows already in (order keys, input position) order), returning one
+// result vector per function. Both the sequential and parallel
+// operators call this same code over the same partition rows, so their
+// values agree bit-for-bit — including non-associative DOUBLE sums,
+// which are always folded left-to-right in partition order.
+func evalWindowPartition(node *plan.WindowNode, lay windowLayout, part *vector.Chunk) ([]*vector.Vector, error) {
+	n := part.Len()
+	payload := &vector.Chunk{Cols: part.Cols[:lay.np]}
+	payload.SetLen(n)
+
+	peerStart, peerEnd, dense := peerGroups(part, lay, n)
+
+	outs := make([]*vector.Vector, len(node.Funcs))
+	for j, f := range node.Funcs {
+		var arg *vector.Vector
+		if f.Arg != nil {
+			v, err := f.Arg.Eval(payload)
+			if err != nil {
+				return nil, err
+			}
+			arg = v
+		}
+		switch f.Func {
+		case "row_number":
+			out := vector.NewLen(types.BigInt, n)
+			for i := 0; i < n; i++ {
+				out.I64[i] = int64(i) + 1
+			}
+			outs[j] = out
+		case "rank":
+			out := vector.NewLen(types.BigInt, n)
+			for i := 0; i < n; i++ {
+				out.I64[i] = int64(peerStart[i]) + 1
+			}
+			outs[j] = out
+		case "dense_rank":
+			out := vector.NewLen(types.BigInt, n)
+			copy(out.I64, dense)
+			outs[j] = out
+		case "lag", "lead":
+			outs[j] = evalShift(f, arg, n)
+		case "count", "sum", "avg", "min", "max":
+			bounds, growing := frameBoundsFn(node.Frame, n, peerStart, peerEnd, lay.nok > 0)
+			outs[j] = evalFrameAgg(f, arg, n, bounds, growing)
+		default:
+			return nil, fmt.Errorf("exec: unknown window function %q", f.Func)
+		}
+	}
+	return outs, nil
+}
+
+// peerGroups computes, for every row of the partition, the first and
+// last index of its ORDER BY peer group and its dense rank. Without
+// order keys the whole partition is one peer group.
+func peerGroups(part *vector.Chunk, lay windowLayout, n int) (peerStart, peerEnd []int, dense []int64) {
+	peerStart = make([]int, n)
+	peerEnd = make([]int, n)
+	dense = make([]int64, n)
+	if lay.nok == 0 {
+		for i := 0; i < n; i++ {
+			peerEnd[i] = n - 1
+			dense[i] = 1
+		}
+		return
+	}
+	ordKeys := make([]extsort.Key, lay.nok)
+	for i := range ordKeys {
+		ordKeys[i] = extsort.Key{Col: lay.np + lay.npk + i}
+	}
+	groupStart := 0
+	rank := int64(1)
+	for i := 0; i < n; i++ {
+		if i > 0 && extsort.CompareRows(part, i-1, part, i, ordKeys) != 0 {
+			for k := groupStart; k < i; k++ {
+				peerEnd[k] = i - 1
+			}
+			groupStart = i
+			rank++
+		}
+		peerStart[i] = groupStart
+		dense[i] = rank
+	}
+	for k := groupStart; k < n; k++ {
+		peerEnd[k] = n - 1
+	}
+	return
+}
+
+// evalShift computes lag/lead.
+func evalShift(f plan.WindowFunc, arg *vector.Vector, n int) *vector.Vector {
+	out := vector.NewLen(f.Type, n)
+	off := int(f.Offset)
+	if f.Func == "lag" {
+		off = -off
+	}
+	for i := 0; i < n; i++ {
+		j := i + off
+		if j < 0 || j >= n {
+			out.Set(i, f.Default)
+			continue
+		}
+		if arg.IsNull(j) {
+			out.SetNull(i)
+			continue
+		}
+		if arg.Type == f.Type {
+			out.SetFrom(i, arg, j)
+		} else { // NULL-typed argument: every row is NULL, unreachable
+			out.Set(i, arg.Get(j))
+		}
+	}
+	return out
+}
+
+// frameBoundsFn resolves the node's frame into a per-row [lo, hi] row
+// interval (unclamped). growing reports that lo is pinned at 0 and hi
+// never decreases, enabling the incremental accumulation path.
+func frameBoundsFn(frame plan.WindowFrame, n int, peerStart, peerEnd []int, hasOrder bool) (func(i int) (int, int), bool) {
+	if !frame.Set {
+		if !hasOrder {
+			// Whole partition.
+			return func(int) (int, int) { return 0, n - 1 }, true
+		}
+		// SQL default: RANGE UNBOUNDED PRECEDING .. CURRENT ROW — the
+		// running frame including the current row's peers.
+		return func(i int) (int, int) { return 0, peerEnd[i] }, true
+	}
+	resolve := func(b plan.FrameBound, start bool) func(i int) int {
+		switch {
+		case b.Unbounded && b.Preceding:
+			return func(int) int { return 0 }
+		case b.Unbounded:
+			return func(int) int { return n - 1 }
+		case b.Current:
+			if frame.Rows {
+				return func(i int) int { return i }
+			}
+			if start {
+				return func(i int) int { return peerStart[i] }
+			}
+			return func(i int) int { return peerEnd[i] }
+		case b.Preceding:
+			off := int(b.Offset)
+			return func(i int) int { return i - off }
+		default:
+			off := int(b.Offset)
+			return func(i int) int { return i + off }
+		}
+	}
+	lo := resolve(frame.Start, true)
+	hi := resolve(frame.End, false)
+	growing := frame.Start.Unbounded && frame.Start.Preceding
+	return func(i int) (int, int) { return lo(i), hi(i) }, growing
+}
+
+// frameAcc is the running state of one frame aggregate.
+type frameAcc struct {
+	count   int64
+	sumI    int64
+	sumF    float64
+	best    types.Value
+	bestSet bool
+}
+
+func (a *frameAcc) reset() { *a = frameAcc{} }
+
+func (a *frameAcc) add(f *plan.WindowFunc, arg *vector.Vector, r int) {
+	if arg == nil { // count(*)
+		a.count++
+		return
+	}
+	if arg.IsNull(r) {
+		return
+	}
+	a.count++
+	switch f.Func {
+	case "sum", "avg":
+		switch arg.Type {
+		case types.Integer:
+			a.sumI += int64(arg.I32[r])
+		case types.BigInt, types.Timestamp:
+			a.sumI += arg.I64[r]
+		case types.Boolean:
+			if arg.Bools[r] {
+				a.sumI++
+			}
+		case types.Double:
+			a.sumF += arg.F64[r]
+		}
+	case "min", "max":
+		v := arg.Get(r)
+		if !a.bestSet {
+			a.best, a.bestSet = v, true
+			return
+		}
+		c := types.Compare(v, a.best)
+		if (f.Func == "max" && c > 0) || (f.Func == "min" && c < 0) {
+			a.best = v
+		}
+	}
+}
+
+func (a *frameAcc) finish(f *plan.WindowFunc, arg *vector.Vector, out *vector.Vector, i int) {
+	switch f.Func {
+	case "count":
+		out.I64[i] = a.count
+	case "sum":
+		if a.count == 0 {
+			out.SetNull(i)
+		} else if f.Type == types.Double {
+			out.F64[i] = a.sumF
+		} else {
+			out.I64[i] = a.sumI
+		}
+	case "avg":
+		if a.count == 0 {
+			out.SetNull(i)
+		} else if arg != nil && arg.Type == types.Double {
+			out.F64[i] = a.sumF / float64(a.count)
+		} else {
+			out.F64[i] = float64(a.sumI) / float64(a.count)
+		}
+	case "min", "max":
+		if !a.bestSet {
+			out.SetNull(i)
+		} else {
+			out.Set(i, a.best)
+		}
+	}
+}
+
+// evalFrameAgg computes one aggregate over every row's frame. Growing
+// frames accumulate incrementally left-to-right (identical to direct
+// iteration, including the DOUBLE reduction order); general frames are
+// re-scanned per row.
+func evalFrameAgg(f plan.WindowFunc, arg *vector.Vector, n int, bounds func(i int) (int, int), growing bool) *vector.Vector {
+	out := vector.NewLen(f.Type, n)
+	var acc frameAcc
+	if growing {
+		cur := 0
+		for i := 0; i < n; i++ {
+			_, hi := bounds(i)
+			if hi > n-1 {
+				hi = n - 1
+			}
+			for cur <= hi {
+				acc.add(&f, arg, cur)
+				cur++
+			}
+			acc.finish(&f, arg, out, i)
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := bounds(i)
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		acc.reset()
+		for r := lo; r <= hi; r++ {
+			acc.add(&f, arg, r)
+		}
+		acc.finish(&f, arg, out, i)
+	}
+	return out
+}

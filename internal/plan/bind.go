@@ -140,6 +140,18 @@ func (b *Binder) bindSingleSelect(stmt *sql.SelectStmt) (Node, error) {
 		fromScope = &scope{}
 	}
 
+	if err := rejectWindows(stmt.Where, "WHERE"); err != nil {
+		return nil, err
+	}
+	for _, g := range stmt.GroupBy {
+		if err := rejectWindows(g, "GROUP BY"); err != nil {
+			return nil, err
+		}
+	}
+	if err := rejectWindows(stmt.Having, "HAVING"); err != nil {
+		return nil, err
+	}
+
 	if stmt.Where != nil {
 		cond, err := b.bindExpr(stmt.Where, fromScope, nil)
 		if err != nil {
@@ -251,6 +263,28 @@ func (b *Binder) bindSingleSelect(stmt *sql.SelectStmt) (Node, error) {
 			return nil, err
 		}
 		cur = &FilterNode{Child: cur, Cond: cond}
+	}
+
+	// Window functions evaluate over the (possibly grouped and
+	// HAVING-filtered) rows, before the projection, DISTINCT and ORDER
+	// BY. Calls are lifted into WindowNodes appending result columns;
+	// subst rewires the projection (and hidden ORDER BY columns) to them.
+	var winCalls []*sql.FuncCall
+	for _, se := range selExprs {
+		winCalls = collectWindows(se.Expr, winCalls)
+	}
+	for _, item := range stmt.OrderBy {
+		winCalls = collectWindows(item.Expr, winCalls)
+	}
+	if len(winCalls) > 0 {
+		if subst == nil {
+			subst = make(map[string]expr.Expr)
+		}
+		lifted, err := b.bindWindows(cur, winCalls, outScope, subst)
+		if err != nil {
+			return nil, err
+		}
+		cur = lifted
 	}
 
 	// Projection. projScope keeps the source table alias of plain
@@ -583,11 +617,22 @@ var aggFuncs = map[string]bool{
 func collectAggs(e sql.Expr, acc []*sql.FuncCall) []*sql.FuncCall {
 	switch e := e.(type) {
 	case *sql.FuncCall:
-		if aggFuncs[e.Name] {
+		if aggFuncs[e.Name] && e.Over == nil {
 			return append(acc, e)
 		}
 		for _, a := range e.Args {
 			acc = collectAggs(a, acc)
+		}
+		if e.Over != nil {
+			// A window call is not itself an aggregate, but aggregates may
+			// appear in its arguments, partitioning and ordering (they
+			// evaluate first, over the grouped rows).
+			for _, p := range e.Over.PartitionBy {
+				acc = collectAggs(p, acc)
+			}
+			for _, o := range e.Over.OrderBy {
+				acc = collectAggs(o.Expr, acc)
+			}
 		}
 	case *sql.Unary:
 		acc = collectAggs(e.X, acc)
@@ -676,7 +721,7 @@ func (b *Binder) bindExpr(e sql.Expr, sc *scope, subst map[string]expr.Expr) (ex
 		if mapped, ok := subst[astKey(e)]; ok {
 			return mapped, nil
 		}
-		if fc, ok := e.(*sql.FuncCall); ok && aggFuncs[fc.Name] {
+		if fc, ok := e.(*sql.FuncCall); ok && aggFuncs[fc.Name] && fc.Over == nil {
 			return nil, fmt.Errorf("aggregate %s not found in aggregation (internal)", fc.Name)
 		}
 	}
@@ -757,6 +802,12 @@ func (b *Binder) bindExpr(e sql.Expr, sc *scope, subst map[string]expr.Expr) (ex
 		}
 		return &expr.CastExpr{X: x, To: e.To}, nil
 	case *sql.FuncCall:
+		if e.Over != nil {
+			return nil, fmt.Errorf("window functions are only allowed in the SELECT list and ORDER BY")
+		}
+		if windowOnlyFuncs[e.Name] {
+			return nil, fmt.Errorf("%s requires an OVER clause", e.Name)
+		}
 		if aggFuncs[e.Name] {
 			return nil, fmt.Errorf("aggregate function %s is not allowed here", e.Name)
 		}
@@ -1088,18 +1139,24 @@ func astKey(e sql.Expr) string {
 	case *sql.Cast:
 		return "CAST(" + astKey(e.X) + " AS " + e.To.String() + ")"
 	case *sql.FuncCall:
+		var call string
 		if e.Star {
-			return e.Name + "(*)"
+			call = e.Name + "(*)"
+		} else {
+			parts := make([]string, len(e.Args))
+			for i, a := range e.Args {
+				parts[i] = astKey(a)
+			}
+			d := ""
+			if e.Distinct {
+				d = "DISTINCT "
+			}
+			call = e.Name + "(" + d + strings.Join(parts, ", ") + ")"
 		}
-		parts := make([]string, len(e.Args))
-		for i, a := range e.Args {
-			parts[i] = astKey(a)
+		if e.Over != nil {
+			call += " OVER (" + windowSpecKey(e.Over) + ")"
 		}
-		d := ""
-		if e.Distinct {
-			d = "DISTINCT "
-		}
-		return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+		return call
 	default:
 		return "?expr?"
 	}

@@ -64,13 +64,22 @@ func (b *Binder) BindInsert(stmt *sql.InsertStmt) (Node, error) {
 					out[i] = types.NewNull(col.Type)
 					continue
 				}
-				bound, err := b.bindExpr(row[srcPos[i]], &scope{}, nil)
-				if err != nil {
-					return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
-				}
-				v, err := EvalConst(bound)
-				if err != nil {
-					return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
+				var v types.Value
+				// Fast path for the dominant bulk-INSERT shape: a plain
+				// literal needs no expression binding or evaluation.
+				if lit, ok := row[srcPos[i]].(*sql.Literal); ok {
+					v = lit.Val
+				} else if param, ok := row[srcPos[i]].(*sql.Param); ok && param.Index < len(b.Params) {
+					v = b.Params[param.Index]
+				} else {
+					bound, err := b.bindExpr(row[srcPos[i]], &scope{}, nil)
+					if err != nil {
+						return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
+					}
+					v, err = EvalConst(bound)
+					if err != nil {
+						return nil, fmt.Errorf("row %d: %w", rowIdx+1, err)
+					}
 				}
 				cv, err := v.Cast(col.Type)
 				if err != nil {

@@ -1,0 +1,394 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// windowOnlyFuncs may only appear with an OVER clause.
+var windowOnlyFuncs = map[string]bool{
+	"row_number": true, "rank": true, "dense_rank": true,
+	"lag": true, "lead": true,
+}
+
+// windowFuncs is every function usable with OVER.
+var windowFuncs = map[string]bool{
+	"row_number": true, "rank": true, "dense_rank": true,
+	"lag": true, "lead": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// collectWindows gathers every window function call (FuncCall with an
+// OVER clause) in the expression. It does not descend into the calls
+// themselves; nested windows are rejected separately.
+func collectWindows(e sql.Expr, acc []*sql.FuncCall) []*sql.FuncCall {
+	switch e := e.(type) {
+	case *sql.FuncCall:
+		if e.Over != nil {
+			return append(acc, e)
+		}
+		for _, a := range e.Args {
+			acc = collectWindows(a, acc)
+		}
+	case *sql.Unary:
+		acc = collectWindows(e.X, acc)
+	case *sql.Binary:
+		acc = collectWindows(e.L, acc)
+		acc = collectWindows(e.R, acc)
+	case *sql.IsNull:
+		acc = collectWindows(e.X, acc)
+	case *sql.Between:
+		acc = collectWindows(e.X, acc)
+		acc = collectWindows(e.Lo, acc)
+		acc = collectWindows(e.Hi, acc)
+	case *sql.InList:
+		acc = collectWindows(e.X, acc)
+		for _, x := range e.List {
+			acc = collectWindows(x, acc)
+		}
+	case *sql.Like:
+		acc = collectWindows(e.X, acc)
+		acc = collectWindows(e.Pattern, acc)
+	case *sql.Case:
+		if e.Operand != nil {
+			acc = collectWindows(e.Operand, acc)
+		}
+		for _, w := range e.Whens {
+			acc = collectWindows(w.Cond, acc)
+			acc = collectWindows(w.Result, acc)
+		}
+		if e.Else != nil {
+			acc = collectWindows(e.Else, acc)
+		}
+	case *sql.Cast:
+		acc = collectWindows(e.X, acc)
+	}
+	return acc
+}
+
+// rejectWindows errors when the clause contains a window function call.
+func rejectWindows(e sql.Expr, clause string) error {
+	if e == nil {
+		return nil
+	}
+	if calls := collectWindows(e, nil); len(calls) > 0 {
+		return fmt.Errorf("window functions are not allowed in %s", clause)
+	}
+	return nil
+}
+
+// windowSpecKey renders the OVER clause canonically so calls sharing a
+// specification land in the same WindowNode.
+func windowSpecKey(w *sql.WindowDef) string {
+	var sb strings.Builder
+	sb.WriteString("PARTITION(")
+	for i, p := range w.PartitionBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(astKey(p))
+	}
+	sb.WriteString(") ORDER(")
+	for i, o := range w.OrderBy {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(astKey(o.Expr))
+		if o.Desc {
+			sb.WriteString(" DESC")
+		}
+		if o.NullsSet {
+			if o.NullsLast {
+				sb.WriteString(" NULLS LAST")
+			} else {
+				sb.WriteString(" NULLS FIRST")
+			}
+		}
+	}
+	sb.WriteString(")")
+	if f := w.Frame; f != nil {
+		if f.Rows {
+			sb.WriteString(" ROWS ")
+		} else {
+			sb.WriteString(" RANGE ")
+		}
+		sb.WriteString(frameBoundKey(f.Start))
+		sb.WriteString("..")
+		sb.WriteString(frameBoundKey(f.End))
+	}
+	return sb.String()
+}
+
+func frameBoundKey(b sql.FrameBound) string {
+	switch {
+	case b.Unbounded && b.Preceding:
+		return "UNBOUNDED PRECEDING"
+	case b.Unbounded:
+		return "UNBOUNDED FOLLOWING"
+	case b.Current:
+		return "CURRENT ROW"
+	case b.Preceding:
+		return astKey(b.Offset) + " PRECEDING"
+	default:
+		return astKey(b.Offset) + " FOLLOWING"
+	}
+}
+
+// bindWindows lifts the window function calls of the select list and
+// ORDER BY out of their expressions: calls sharing one OVER spec become
+// one WindowNode appending their results as new columns, and subst maps
+// each call's AST rendering to the appended column, so the projection
+// (and hidden ORDER BY columns) bind against plain column references.
+// Stacked WindowNodes handle multiple distinct specs. Returns the new
+// plan root.
+func (b *Binder) bindWindows(cur Node, calls []*sql.FuncCall, sc *scope, subst map[string]expr.Expr) (Node, error) {
+	type specGroup struct {
+		def   *sql.WindowDef
+		calls []*sql.FuncCall
+	}
+	var order []string
+	groups := make(map[string]*specGroup)
+	seen := make(map[string]bool)
+	for _, call := range calls {
+		k := astKey(call)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if !windowFuncs[call.Name] {
+			return nil, fmt.Errorf("%s is not a window function", call.Name)
+		}
+		if call.Distinct {
+			return nil, fmt.Errorf("DISTINCT is not supported in window functions")
+		}
+		// Nested window calls are invalid anywhere inside the spec.
+		var nested []*sql.FuncCall
+		for _, a := range call.Args {
+			nested = collectWindows(a, nested)
+		}
+		for _, p := range call.Over.PartitionBy {
+			nested = collectWindows(p, nested)
+		}
+		for _, o := range call.Over.OrderBy {
+			nested = collectWindows(o.Expr, nested)
+		}
+		if len(nested) > 0 {
+			return nil, fmt.Errorf("window functions cannot be nested")
+		}
+		sk := windowSpecKey(call.Over)
+		g, ok := groups[sk]
+		if !ok {
+			g = &specGroup{def: call.Over}
+			groups[sk] = g
+			order = append(order, sk)
+		}
+		g.calls = append(g.calls, call)
+	}
+	for _, sk := range order {
+		g := groups[sk]
+		wn := &WindowNode{Child: cur}
+		for _, p := range g.def.PartitionBy {
+			bound, err := b.bindExpr(p, sc, subst)
+			if err != nil {
+				return nil, err
+			}
+			wn.PartitionBy = append(wn.PartitionBy, bound)
+		}
+		for _, item := range g.def.OrderBy {
+			bound, err := b.bindExpr(item.Expr, sc, subst)
+			if err != nil {
+				return nil, err
+			}
+			nullsFirst := item.Desc // SQL default: NULLS LAST asc, FIRST desc
+			if item.NullsSet {
+				nullsFirst = !item.NullsLast
+			}
+			wn.OrderBy = append(wn.OrderBy, SortKey{Expr: bound, Desc: item.Desc, NullsFirst: nullsFirst})
+		}
+		frame, err := b.bindFrame(g.def, len(wn.OrderBy) > 0)
+		if err != nil {
+			return nil, err
+		}
+		wn.Frame = frame
+		base := len(cur.Schema())
+		for _, call := range g.calls {
+			spec, err := b.bindWindowFunc(call, sc, subst)
+			if err != nil {
+				return nil, err
+			}
+			wn.Funcs = append(wn.Funcs, spec)
+			idx := base + len(wn.Funcs) - 1
+			subst[astKey(call)] = &expr.ColRef{Idx: idx, Typ: spec.Type, Name: spec.Name}
+		}
+		cur = wn
+	}
+	return cur, nil
+}
+
+// bindFrame resolves the AST frame into row offsets.
+func (b *Binder) bindFrame(def *sql.WindowDef, hasOrder bool) (WindowFrame, error) {
+	if def.Frame == nil {
+		return WindowFrame{}, nil
+	}
+	if !hasOrder {
+		return WindowFrame{}, fmt.Errorf("a window frame requires ORDER BY in the OVER clause")
+	}
+	f := def.Frame
+	out := WindowFrame{Set: true, Rows: f.Rows}
+	var err error
+	if out.Start, err = b.bindFrameBound(f.Start, f.Rows); err != nil {
+		return out, err
+	}
+	if out.End, err = b.bindFrameBound(f.End, f.Rows); err != nil {
+		return out, err
+	}
+	if out.Start.Unbounded && !out.Start.Preceding {
+		return out, fmt.Errorf("window frames cannot start at UNBOUNDED FOLLOWING")
+	}
+	if out.End.Unbounded && out.End.Preceding {
+		return out, fmt.Errorf("window frames cannot end at UNBOUNDED PRECEDING")
+	}
+	// Reject frames that can never contain the current row's side
+	// correctly: start after end.
+	if boundRank(out.Start) > boundRank(out.End) {
+		return out, fmt.Errorf("window frame start cannot come after its end")
+	}
+	return out, nil
+}
+
+// boundRank orders frame bounds coarsely for validity checking.
+func boundRank(b FrameBound) int {
+	switch {
+	case b.Unbounded && b.Preceding:
+		return 0
+	case b.Preceding && b.Offset > 0:
+		return 1
+	case b.Current || b.Offset == 0 && !b.Unbounded:
+		return 2
+	case b.Unbounded:
+		return 4
+	default:
+		return 3
+	}
+}
+
+func (b *Binder) bindFrameBound(bound sql.FrameBound, rows bool) (FrameBound, error) {
+	out := FrameBound{Unbounded: bound.Unbounded, Current: bound.Current, Preceding: bound.Preceding}
+	if bound.Offset == nil {
+		return out, nil
+	}
+	if !rows {
+		return out, fmt.Errorf("RANGE frames support only UNBOUNDED and CURRENT ROW bounds")
+	}
+	v, err := b.constInt(bound.Offset, "window frame bound")
+	if err != nil {
+		return out, err
+	}
+	if v < 0 {
+		return out, fmt.Errorf("window frame offset must not be negative")
+	}
+	out.Offset = v
+	return out, nil
+}
+
+// bindWindowFunc types one window function call.
+func (b *Binder) bindWindowFunc(call *sql.FuncCall, sc *scope, subst map[string]expr.Expr) (WindowFunc, error) {
+	spec := WindowFunc{Func: call.Name, Name: astKey(call)}
+	switch call.Name {
+	case "row_number", "rank", "dense_rank":
+		if len(call.Args) != 0 || call.Star {
+			return spec, fmt.Errorf("%s takes no arguments", call.Name)
+		}
+		spec.Type = types.BigInt
+		return spec, nil
+	case "lag", "lead":
+		if len(call.Args) < 1 || len(call.Args) > 3 {
+			return spec, fmt.Errorf("%s takes 1 to 3 arguments", call.Name)
+		}
+		arg, err := b.bindExpr(call.Args[0], sc, subst)
+		if err != nil {
+			return spec, err
+		}
+		spec.Arg = arg
+		spec.Type = arg.Type()
+		if spec.Type == types.Null {
+			spec.Type = types.Varchar
+		}
+		spec.Offset = 1
+		if len(call.Args) >= 2 {
+			off, err := b.constInt(call.Args[1], call.Name+" offset")
+			if err != nil {
+				return spec, err
+			}
+			if off < 0 {
+				return spec, fmt.Errorf("%s offset must not be negative", call.Name)
+			}
+			spec.Offset = off
+		}
+		spec.Default = types.NewNull(spec.Type)
+		if len(call.Args) == 3 {
+			bound, err := b.bindExpr(call.Args[2], sc, subst)
+			if err != nil {
+				return spec, err
+			}
+			v, err := EvalConst(bound)
+			if err != nil {
+				return spec, fmt.Errorf("%s default must be a constant: %w", call.Name, err)
+			}
+			cv, err := v.Cast(spec.Type)
+			if err != nil {
+				return spec, fmt.Errorf("%s default: %w", call.Name, err)
+			}
+			spec.Default = cv
+		}
+		return spec, nil
+	case "count":
+		spec.Type = types.BigInt
+		if call.Star {
+			return spec, nil
+		}
+		if len(call.Args) != 1 {
+			return spec, fmt.Errorf("count takes exactly one argument")
+		}
+		arg, err := b.bindExpr(call.Args[0], sc, subst)
+		if err != nil {
+			return spec, err
+		}
+		spec.Arg = arg
+		return spec, nil
+	case "sum", "avg", "min", "max":
+		if call.Star || len(call.Args) != 1 {
+			return spec, fmt.Errorf("%s takes exactly one argument", call.Name)
+		}
+		arg, err := b.bindExpr(call.Args[0], sc, subst)
+		if err != nil {
+			return spec, err
+		}
+		spec.Arg = arg
+		switch call.Name {
+		case "sum":
+			switch arg.Type() {
+			case types.Integer, types.BigInt, types.Boolean:
+				spec.Type = types.BigInt
+			case types.Double:
+				spec.Type = types.Double
+			default:
+				return spec, fmt.Errorf("sum(%s) is not defined", arg.Type())
+			}
+		case "avg":
+			if !arg.Type().IsNumeric() {
+				return spec, fmt.Errorf("avg(%s) is not defined", arg.Type())
+			}
+			spec.Type = types.Double
+		default: // min, max
+			spec.Type = arg.Type()
+		}
+		return spec, nil
+	default:
+		return spec, fmt.Errorf("%s is not a window function", call.Name)
+	}
+}

@@ -249,6 +249,88 @@ func (n *SortNode) Explain() string {
 // Children implements Node.
 func (n *SortNode) Children() []Node { return []Node{n.Child} }
 
+// WindowFunc is one window function computation.
+type WindowFunc struct {
+	Func    string      // row_number, rank, dense_rank, lag, lead, count, sum, avg, min, max
+	Arg     expr.Expr   // nil for row_number/rank/dense_rank/count(*)
+	Offset  int64       // lag/lead distance
+	Default types.Value // lag/lead default (typed NULL when unset)
+	Type    types.Type
+	Name    string
+}
+
+// FrameBound is one end of a window frame, resolved to row offsets.
+type FrameBound struct {
+	Unbounded bool
+	Current   bool
+	Offset    int64 // rows before (Preceding) or after the current row
+	Preceding bool
+}
+
+// WindowFrame is the frame shared by every function of a WindowNode.
+// When Set is false the SQL default applies: the whole partition
+// without ORDER BY, RANGE UNBOUNDED PRECEDING..CURRENT ROW with it.
+type WindowFrame struct {
+	Set        bool
+	Rows       bool // ROWS (true) or RANGE (false)
+	Start, End FrameBound
+}
+
+// WindowNode evaluates window functions sharing one OVER specification:
+// rows are ordered by (PartitionBy, OrderBy) within each partition and
+// every function's value is appended as a new column after the child's.
+// Output rows are totally ordered by (partition keys, order keys, input
+// position), which is what both the sequential and the parallel
+// executors produce.
+type WindowNode struct {
+	Child       Node
+	PartitionBy []expr.Expr
+	OrderBy     []SortKey
+	Frame       WindowFrame
+	Funcs       []WindowFunc
+}
+
+// Schema implements Node.
+func (n *WindowNode) Schema() []ColInfo {
+	child := n.Child.Schema()
+	out := make([]ColInfo, 0, len(child)+len(n.Funcs))
+	out = append(out, child...)
+	for _, f := range n.Funcs {
+		out = append(out, ColInfo{Name: f.Name, Type: f.Type})
+	}
+	return out
+}
+
+// Explain implements Node.
+func (n *WindowNode) Explain() string {
+	var parts []string
+	for _, f := range n.Funcs {
+		parts = append(parts, f.Name)
+	}
+	s := "WINDOW " + strings.Join(parts, ", ")
+	if len(n.PartitionBy) > 0 {
+		keys := make([]string, len(n.PartitionBy))
+		for i, e := range n.PartitionBy {
+			keys[i] = e.String()
+		}
+		s += " PARTITION BY " + strings.Join(keys, ", ")
+	}
+	if len(n.OrderBy) > 0 {
+		keys := make([]string, len(n.OrderBy))
+		for i, k := range n.OrderBy {
+			keys[i] = k.Expr.String()
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		s += " ORDER BY " + strings.Join(keys, ", ")
+	}
+	return s
+}
+
+// Children implements Node.
+func (n *WindowNode) Children() []Node { return []Node{n.Child} }
+
 // LimitNode truncates its input. Negative Limit means "no limit".
 type LimitNode struct {
 	Child  Node

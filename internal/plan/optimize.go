@@ -56,6 +56,19 @@ func foldNode(n Node) Node {
 		for i := range n.Keys {
 			n.Keys[i].Expr = foldExpr(n.Keys[i].Expr)
 		}
+	case *WindowNode:
+		n.Child = foldNode(n.Child)
+		for i := range n.PartitionBy {
+			n.PartitionBy[i] = foldExpr(n.PartitionBy[i])
+		}
+		for i := range n.OrderBy {
+			n.OrderBy[i].Expr = foldExpr(n.OrderBy[i].Expr)
+		}
+		for i := range n.Funcs {
+			if n.Funcs[i].Arg != nil {
+				n.Funcs[i].Arg = foldExpr(n.Funcs[i].Arg)
+			}
+		}
 	case *LimitNode:
 		n.Child = foldNode(n.Child)
 	case *UnionAllNode:
@@ -102,6 +115,10 @@ func pushFilters(n Node) Node {
 	case *AggNode:
 		n.Child = pushFilters(n.Child)
 	case *SortNode:
+		n.Child = pushFilters(n.Child)
+	case *WindowNode:
+		// A filter above a window cannot move below it (it would change
+		// the partitions); the node is a pushdown barrier.
 		n.Child = pushFilters(n.Child)
 	case *LimitNode:
 		n.Child = pushFilters(n.Child)
@@ -355,6 +372,47 @@ func prune(n Node, required []bool) (Node, []int) {
 			n.Keys[i].Expr = remapExpr(n.Keys[i].Expr, m)
 		}
 		return n, m
+	case *WindowNode:
+		nchild := len(n.Child.Schema())
+		req := make([]bool, nchild)
+		for i := 0; i < nchild && i < len(required); i++ {
+			req[i] = required[i]
+		}
+		for _, e := range n.PartitionBy {
+			usedCols(e, req)
+		}
+		for _, k := range n.OrderBy {
+			usedCols(k.Expr, req)
+		}
+		for _, f := range n.Funcs {
+			if f.Arg != nil {
+				usedCols(f.Arg, req)
+			}
+		}
+		child, m := prune(n.Child, req)
+		n.Child = child
+		for i := range n.PartitionBy {
+			n.PartitionBy[i] = remapExpr(n.PartitionBy[i], m)
+		}
+		for i := range n.OrderBy {
+			n.OrderBy[i].Expr = remapExpr(n.OrderBy[i].Expr, m)
+		}
+		for i := range n.Funcs {
+			if n.Funcs[i].Arg != nil {
+				n.Funcs[i].Arg = remapExpr(n.Funcs[i].Arg, m)
+			}
+		}
+		// Output map: surviving child columns keep m's positions; the
+		// appended function columns follow the pruned child schema.
+		newChild := len(child.Schema())
+		comb := make([]int, nchild+len(n.Funcs))
+		for i := 0; i < nchild; i++ {
+			comb[i] = m[i]
+		}
+		for j := range n.Funcs {
+			comb[nchild+j] = newChild + j
+		}
+		return n, comb
 	case *LimitNode:
 		child, m := prune(n.Child, required)
 		n.Child = child

@@ -1,0 +1,193 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/table"
+	"repro/internal/types"
+)
+
+func windowCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	tbl := &catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "id", Type: types.BigInt},
+			{Name: "k", Type: types.Varchar},
+			{Name: "ts", Type: types.BigInt},
+			{Name: "v", Type: types.Double},
+		},
+	}
+	tbl.Data = table.New(tbl.Types(), nil)
+	if err := cat.CreateTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func bindWindowSelect(t *testing.T, src string) (Node, error) {
+	t.Helper()
+	stmt, err := sql.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b := &Binder{Cat: windowCatalog(t)}
+	return b.BindSelect(stmt.(*sql.SelectStmt))
+}
+
+func findWindow(n Node) *WindowNode {
+	if w, ok := n.(*WindowNode); ok {
+		return w
+	}
+	for _, c := range n.Children() {
+		if w := findWindow(c); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+func countWindows(n Node) int {
+	count := 0
+	if _, ok := n.(*WindowNode); ok {
+		count++
+	}
+	for _, c := range n.Children() {
+		count += countWindows(c)
+	}
+	return count
+}
+
+func TestBindWindowLifting(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT id, row_number() OVER (PARTITION BY k ORDER BY ts), sum(v) OVER (PARTITION BY k ORDER BY ts) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same OVER spec: both functions share one WindowNode.
+	if got := countWindows(node); got != 1 {
+		t.Fatalf("window nodes = %d, want 1", got)
+	}
+	w := findWindow(node)
+	if len(w.Funcs) != 2 || w.Funcs[0].Func != "row_number" || w.Funcs[1].Func != "sum" {
+		t.Fatalf("funcs = %+v", w.Funcs)
+	}
+	if w.Funcs[1].Type != types.Double {
+		t.Errorf("sum(DOUBLE) type = %v", w.Funcs[1].Type)
+	}
+	if len(w.PartitionBy) != 1 || len(w.OrderBy) != 1 {
+		t.Errorf("partition/order = %d/%d", len(w.PartitionBy), len(w.OrderBy))
+	}
+	// The node appends the function columns after the child schema.
+	child := len(w.Child.Schema())
+	if got := len(w.Schema()); got != child+2 {
+		t.Errorf("schema = %d cols, want child+2 = %d", got, child+2)
+	}
+}
+
+func TestBindWindowDistinctSpecsStack(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT rank() OVER (ORDER BY ts), rank() OVER (PARTITION BY k ORDER BY ts) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countWindows(node); got != 2 {
+		t.Fatalf("window nodes = %d, want 2 (distinct OVER specs)", got)
+	}
+}
+
+func TestBindWindowDedupIdenticalCalls(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT row_number() OVER (ORDER BY ts), row_number() OVER (ORDER BY ts) + 1 FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := findWindow(node)
+	if len(w.Funcs) != 1 {
+		t.Fatalf("identical calls not deduplicated: %d funcs", len(w.Funcs))
+	}
+}
+
+func TestBindWindowWithAggregation(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT k, count(*), rank() OVER (ORDER BY count(*) DESC) FROM t GROUP BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := findWindow(node)
+	if w == nil {
+		t.Fatal("no window node")
+	}
+	if _, ok := w.Child.(*AggNode); !ok {
+		t.Fatalf("window child is %T, want *AggNode", w.Child)
+	}
+}
+
+func TestBindWindowErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"SELECT id FROM t WHERE row_number() OVER (ORDER BY ts) > 1", "not allowed in WHERE"},
+		{"SELECT count(*) FROM t GROUP BY rank() OVER (ORDER BY ts)", "not allowed in GROUP BY"},
+		{"SELECT k, count(*) FROM t GROUP BY k HAVING rank() OVER (ORDER BY k) > 1", "not allowed in HAVING"},
+		{"SELECT row_number() FROM t", "requires an OVER clause"},
+		{"SELECT rank() OVER (ORDER BY rank() OVER (ORDER BY ts)) FROM t", "cannot be nested"},
+		{"SELECT sum(DISTINCT v) OVER (ORDER BY ts) FROM t", "DISTINCT is not supported"},
+		{"SELECT upper(k) OVER (ORDER BY ts) FROM t", "not a window function"},
+		{"SELECT sum(v) OVER (ORDER BY ts ROWS BETWEEN CURRENT ROW AND 1 PRECEDING) FROM t", "cannot come after"},
+		{"SELECT sum(v) OVER (ORDER BY ts RANGE BETWEEN 1 PRECEDING AND CURRENT ROW) FROM t", "RANGE frames"},
+		{"SELECT sum(v) OVER (ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) FROM t", "requires ORDER BY"},
+		{"SELECT lag(v, -1) OVER (ORDER BY ts) FROM t", "must not be negative"},
+		{"SELECT sum(v) OVER (ORDER BY ts ROWS BETWEEN id PRECEDING AND CURRENT ROW) FROM t", "does not exist"},
+	}
+	for _, tc := range cases {
+		_, err := bindWindowSelect(t, tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error = %q, want contains %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestWindowPruneKeepsUsedColumns(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT sum(v) OVER (PARTITION BY k ORDER BY ts) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(node)
+	w := findWindow(opt)
+	if w == nil {
+		t.Fatal("no window node after optimize")
+	}
+	scan, ok := w.Child.(*ScanNode)
+	if !ok {
+		t.Fatalf("window child after optimize is %T", w.Child)
+	}
+	// id is unused and must be pruned; k, ts, v stay.
+	if len(scan.Columns) != 3 {
+		t.Fatalf("scan columns after prune = %v, want 3", scan.Columns)
+	}
+	if got := len(opt.Schema()); got != 1 {
+		t.Fatalf("final schema = %d cols, want 1", got)
+	}
+}
+
+func TestWindowExplain(t *testing.T) {
+	node, err := bindWindowSelect(t,
+		"SELECT row_number() OVER (PARTITION BY k ORDER BY ts) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ExplainTree(Optimize(node))
+	if !strings.Contains(text, "WINDOW") || !strings.Contains(text, "PARTITION BY") {
+		t.Errorf("explain missing window line:\n%s", text)
+	}
+}

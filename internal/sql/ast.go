@@ -252,12 +252,34 @@ type Cast struct {
 	To types.Type
 }
 
-// FuncCall is a scalar or aggregate function call.
+// FuncCall is a scalar, aggregate or window function call.
 type FuncCall struct {
 	Name     string // lower-cased
 	Args     []Expr
-	Star     bool // count(*)
-	Distinct bool // count(DISTINCT x)
+	Star     bool       // count(*)
+	Distinct bool       // count(DISTINCT x)
+	Over     *WindowDef // non-nil: fn(...) OVER (...)
+}
+
+// WindowDef is the OVER (...) clause of a window function call.
+type WindowDef struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Frame       *WindowFrame // nil: default frame
+}
+
+// FrameBound is one end of a window frame.
+type FrameBound struct {
+	Unbounded bool // UNBOUNDED PRECEDING / FOLLOWING
+	Current   bool // CURRENT ROW
+	Offset    Expr // <n> PRECEDING / FOLLOWING
+	Preceding bool // direction of Unbounded / Offset
+}
+
+// WindowFrame is ROWS/RANGE BETWEEN <start> AND <end>.
+type WindowFrame struct {
+	Rows       bool // ROWS (true) or RANGE (false)
+	Start, End FrameBound
 }
 
 // Param is a positional ? parameter.

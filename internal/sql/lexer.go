@@ -1,9 +1,10 @@
 // Package sql is QuackDB's SQL front end: a hand-written lexer and
 // recursive-descent parser producing the AST the binder consumes. The
 // dialect covers the embedded-analytics workload of the paper: OLAP
-// SELECTs (joins, grouping, ordering), bulk ETL statements (INSERT ..
-// SELECT, bulk UPDATE/DELETE, COPY from/to CSV), DDL, transactions and
-// PRAGMAs.
+// SELECTs (joins, grouping, ordering, window functions with
+// fn(...) OVER (PARTITION BY ... ORDER BY ... [ROWS|RANGE frame])),
+// bulk ETL statements (INSERT .. SELECT, bulk UPDATE/DELETE, COPY
+// from/to CSV), DDL, transactions and PRAGMAs.
 package sql
 
 import (

@@ -107,6 +107,22 @@ func NumParams(stmts []Statement) int {
 			for _, a := range e.Args {
 				walkExpr(a)
 			}
+			if e.Over != nil {
+				for _, p := range e.Over.PartitionBy {
+					walkExpr(p)
+				}
+				for _, o := range e.Over.OrderBy {
+					walkExpr(o.Expr)
+				}
+				if f := e.Over.Frame; f != nil {
+					if f.Start.Offset != nil {
+						walkExpr(f.Start.Offset)
+					}
+					if f.End.Offset != nil {
+						walkExpr(f.End.Offset)
+					}
+				}
+			}
 		}
 	}
 	var walkRef func(r TableRef)
@@ -235,6 +251,32 @@ func (p *Parser) expectOp(op string) error {
 func (p *Parser) peekOp(op string) bool {
 	t := p.cur()
 	return t.Kind == TokOp && t.Text == op
+}
+
+// Window-clause words (OVER, PARTITION, ROWS, RANGE, PRECEDING,
+// FOLLOWING, CURRENT, ROW, UNBOUNDED) are contextual, not reserved:
+// they lex as plain identifiers and are matched case-insensitively only
+// in the positions the OVER grammar expects them, so columns and tables
+// may keep those common names.
+
+func (p *Parser) peekContextual(kw string) bool {
+	t := p.cur()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+func (p *Parser) acceptContextual(kw string) bool {
+	if p.peekContextual(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectContextual(kw string) error {
+	if !p.acceptContextual(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
 }
 
 // expectIdent also accepts non-reserved use of keywords as identifiers
@@ -368,31 +410,11 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		for {
-			item := OrderItem{}
-			e, err := p.parseExpr()
-			if err != nil {
-				return nil, err
-			}
-			item.Expr = e
-			if p.acceptKeyword("DESC") {
-				item.Desc = true
-			} else {
-				p.acceptKeyword("ASC")
-			}
-			if p.acceptKeyword("NULLS") {
-				if p.acceptKeyword("LAST") {
-					item.NullsLast = true
-				} else if err := p.expectKeyword("FIRST"); err != nil {
-					return nil, err
-				}
-				item.NullsSet = true
-			}
-			s.OrderBy = append(s.OrderBy, item)
-			if !p.acceptOp(",") {
-				break
-			}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
 		}
+		s.OrderBy = items
 	}
 	if p.acceptKeyword("LIMIT") {
 		e, err := p.parseExpr()
@@ -409,6 +431,37 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 	return s, nil
+}
+
+// parseOrderItems parses a comma-separated ORDER BY key list (shared by
+// SELECT ... ORDER BY and the OVER clause).
+func (p *Parser) parseOrderItems() ([]OrderItem, error) {
+	var items []OrderItem
+	for {
+		item := OrderItem{}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item.Expr = e
+		if p.acceptKeyword("DESC") {
+			item.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		if p.acceptKeyword("NULLS") {
+			if p.acceptKeyword("LAST") {
+				item.NullsLast = true
+			} else if err := p.expectKeyword("FIRST"); err != nil {
+				return nil, err
+			}
+			item.NullsSet = true
+		}
+		items = append(items, item)
+		if !p.acceptOp(",") {
+			return items, nil
+		}
+	}
 }
 
 func (p *Parser) parseSelectExpr() (SelectExpr, error) {
@@ -689,7 +742,7 @@ func (p *Parser) parseInsert() (Statement, error) {
 			}
 			var row []Expr
 			for {
-				e, err := p.parseExpr()
+				e, err := p.parseValuesExpr()
 				if err != nil {
 					return nil, err
 				}
@@ -856,6 +909,33 @@ func (p *Parser) parsePragma() (Statement, error) {
 // ---- expressions (precedence climbing) ----
 
 func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+// parseValuesExpr parses one VALUES item. Bulk INSERTs are almost always
+// plain literals, so an optionally-signed literal followed by a row
+// delimiter is recognized from two tokens of lookahead and parsed via
+// parseUnary directly (which owns sign folding), skipping the full
+// precedence-climbing descent per value; everything else falls back to
+// parseExpr.
+func (p *Parser) parseValuesExpr() (Expr, error) {
+	t := p.cur()
+	la := p.pos + 1
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
+		if la >= len(p.toks) {
+			return p.parseExpr()
+		}
+		t = p.toks[la]
+		la++
+	}
+	literal := t.Kind == TokNumber || t.Kind == TokString || t.Kind == TokParam ||
+		(t.Kind == TokKeyword && (t.Text == "NULL" || t.Text == "TRUE" || t.Text == "FALSE"))
+	if !literal || la >= len(p.toks) {
+		return p.parseExpr()
+	}
+	if next := p.toks[la]; next.Kind != TokOp || (next.Text != "," && next.Text != ")") {
+		return p.parseExpr()
+	}
+	return p.parseUnary()
+}
 
 func (p *Parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
@@ -1166,33 +1246,155 @@ func (p *Parser) parseFuncCall(name string) (Expr, error) {
 		return nil, err
 	}
 	fc := &FuncCall{Name: strings.ToLower(name)}
-	if p.acceptOp("*") {
+	switch {
+	case p.acceptOp("*"):
 		fc.Star = true
 		if err := p.expectOp(")"); err != nil {
 			return nil, err
 		}
-		return fc, nil
+	case p.acceptOp(")"):
+	default:
+		if p.acceptKeyword("DISTINCT") {
+			fc.Distinct = true
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
 	}
-	if p.acceptOp(")") {
-		return fc, nil
-	}
-	if p.acceptKeyword("DISTINCT") {
-		fc.Distinct = true
-	}
-	for {
-		e, err := p.parseExpr()
+	// OVER is contextual: only the shape `OVER (` opens a window
+	// specification, so `SELECT sum(v) over` still aliases the column.
+	if p.peekContextual("OVER") && p.pos+1 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "(" {
+		p.advance() // OVER
+		over, err := p.parseWindowDef()
 		if err != nil {
 			return nil, err
 		}
-		fc.Args = append(fc.Args, e)
-		if !p.acceptOp(",") {
-			break
+		fc.Over = over
+	}
+	return fc, nil
+}
+
+// parseWindowDef parses the parenthesized window specification after
+// OVER: (PARTITION BY ... ORDER BY ... [ROWS|RANGE frame]).
+func (p *Parser) parseWindowDef() (*WindowDef, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	w := &WindowDef{}
+	if p.acceptContextual("PARTITION") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
 		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			w.PartitionBy = append(w.PartitionBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseOrderItems()
+		if err != nil {
+			return nil, err
+		}
+		w.OrderBy = items
+	}
+	if p.peekContextual("ROWS") || p.peekContextual("RANGE") {
+		frame, err := p.parseWindowFrame()
+		if err != nil {
+			return nil, err
+		}
+		w.Frame = frame
 	}
 	if err := p.expectOp(")"); err != nil {
 		return nil, err
 	}
-	return fc, nil
+	return w, nil
+}
+
+// parseWindowFrame parses ROWS|RANGE [BETWEEN] <bound> [AND <bound>].
+// The single-bound form runs from the given start to CURRENT ROW.
+func (p *Parser) parseWindowFrame() (*WindowFrame, error) {
+	f := &WindowFrame{}
+	if p.acceptContextual("ROWS") {
+		f.Rows = true
+	} else if err := p.expectContextual("RANGE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		start, err := p.parseFrameBound()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		end, err := p.parseFrameBound()
+		if err != nil {
+			return nil, err
+		}
+		f.Start, f.End = start, end
+		return f, nil
+	}
+	start, err := p.parseFrameBound()
+	if err != nil {
+		return nil, err
+	}
+	f.Start = start
+	f.End = FrameBound{Current: true}
+	return f, nil
+}
+
+func (p *Parser) parseFrameBound() (FrameBound, error) {
+	switch {
+	case p.acceptContextual("UNBOUNDED"):
+		b := FrameBound{Unbounded: true}
+		switch {
+		case p.acceptContextual("PRECEDING"):
+			b.Preceding = true
+		case p.acceptContextual("FOLLOWING"):
+		default:
+			return b, p.errorf("expected PRECEDING or FOLLOWING")
+		}
+		return b, nil
+	case p.acceptContextual("CURRENT"):
+		if err := p.expectContextual("ROW"); err != nil {
+			return FrameBound{}, err
+		}
+		return FrameBound{Current: true}, nil
+	default:
+		off, err := p.parseExpr()
+		if err != nil {
+			return FrameBound{}, err
+		}
+		b := FrameBound{Offset: off}
+		switch {
+		case p.acceptContextual("PRECEDING"):
+			b.Preceding = true
+		case p.acceptContextual("FOLLOWING"):
+		default:
+			return b, p.errorf("expected PRECEDING or FOLLOWING")
+		}
+		return b, nil
+	}
 }
 
 func (p *Parser) parseCase() (Expr, error) {

@@ -1,0 +1,186 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func TestParseWindowBasic(t *testing.T) {
+	sel := parseSelect(t, "SELECT id, row_number() OVER (PARTITION BY k ORDER BY ts DESC NULLS LAST) FROM t")
+	fc, ok := sel.Exprs[1].Expr.(*FuncCall)
+	if !ok || fc.Over == nil {
+		t.Fatalf("expected window FuncCall, got %#v", sel.Exprs[1].Expr)
+	}
+	if fc.Name != "row_number" {
+		t.Errorf("name = %q", fc.Name)
+	}
+	if len(fc.Over.PartitionBy) != 1 || len(fc.Over.OrderBy) != 1 {
+		t.Fatalf("partition/order = %d/%d", len(fc.Over.PartitionBy), len(fc.Over.OrderBy))
+	}
+	o := fc.Over.OrderBy[0]
+	if !o.Desc || !o.NullsSet || !o.NullsLast {
+		t.Errorf("order item = %+v", o)
+	}
+	if fc.Over.Frame != nil {
+		t.Errorf("unexpected frame")
+	}
+}
+
+func TestParseWindowFrames(t *testing.T) {
+	cases := []struct {
+		src  string
+		want WindowFrame
+	}{
+		{
+			"sum(v) OVER (ORDER BY ts ROWS BETWEEN 3 PRECEDING AND CURRENT ROW)",
+			WindowFrame{Rows: true, Start: FrameBound{Preceding: true}, End: FrameBound{Current: true}},
+		},
+		{
+			"sum(v) OVER (ORDER BY ts ROWS BETWEEN UNBOUNDED PRECEDING AND 2 FOLLOWING)",
+			WindowFrame{Rows: true, Start: FrameBound{Unbounded: true, Preceding: true}, End: FrameBound{}},
+		},
+		{
+			"sum(v) OVER (ORDER BY ts ROWS 5 PRECEDING)",
+			WindowFrame{Rows: true, Start: FrameBound{Preceding: true}, End: FrameBound{Current: true}},
+		},
+		{
+			"sum(v) OVER (ORDER BY ts RANGE BETWEEN UNBOUNDED PRECEDING AND UNBOUNDED FOLLOWING)",
+			WindowFrame{Start: FrameBound{Unbounded: true, Preceding: true}, End: FrameBound{Unbounded: true}},
+		},
+	}
+	for _, tc := range cases {
+		sel := parseSelect(t, "SELECT "+tc.src+" FROM t")
+		fc := sel.Exprs[0].Expr.(*FuncCall)
+		if fc.Over == nil || fc.Over.Frame == nil {
+			t.Fatalf("%s: no frame parsed", tc.src)
+		}
+		f := fc.Over.Frame
+		if f.Rows != tc.want.Rows {
+			t.Errorf("%s: Rows = %v", tc.src, f.Rows)
+		}
+		checkBound := func(got, want FrameBound, which string) {
+			if got.Unbounded != want.Unbounded || got.Current != want.Current || got.Preceding != want.Preceding {
+				t.Errorf("%s: %s bound = %+v, want %+v", tc.src, which, got, want)
+			}
+		}
+		checkBound(f.Start, tc.want.Start, "start")
+		checkBound(f.End, tc.want.End, "end")
+	}
+}
+
+func TestParseWindowInExpression(t *testing.T) {
+	sel := parseSelect(t, "SELECT rank() OVER (ORDER BY v) + 1 AS r, lag(v, 2, 0) OVER (PARTITION BY a, b) FROM t ORDER BY sum(x) OVER (PARTITION BY a)")
+	if _, ok := sel.Exprs[0].Expr.(*Binary); !ok {
+		t.Errorf("window call did not nest in arithmetic: %#v", sel.Exprs[0].Expr)
+	}
+	lag := sel.Exprs[1].Expr.(*FuncCall)
+	if len(lag.Args) != 3 || len(lag.Over.PartitionBy) != 2 {
+		t.Errorf("lag parse: args=%d partitions=%d", len(lag.Args), len(lag.Over.PartitionBy))
+	}
+	ord := sel.OrderBy[0].Expr.(*FuncCall)
+	if ord.Over == nil {
+		t.Errorf("ORDER BY window call lost its OVER clause")
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	for _, src := range []string{
+		"SELECT sum(v) OVER (PARTITION v) FROM t",               // missing BY
+		"SELECT sum(v) OVER (ROWS BETWEEN 1 PRECEDING) FROM t",  // BETWEEN needs AND
+		"SELECT sum(v) OVER (ORDER BY v ROWS UNBOUNDED) FROM t", // direction required
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+// TestWindowWordsStayIdentifiers: the window-clause words are contextual
+// — schemas and queries may keep using them as column or table names,
+// and `OVER` without a following parenthesis is still an alias.
+func TestWindowWordsStayIdentifiers(t *testing.T) {
+	if _, err := ParseOne("CREATE TABLE t (row INTEGER, range INTEGER, current INTEGER, rows INTEGER)"); err != nil {
+		t.Fatalf("window words rejected as column names: %v", err)
+	}
+	if _, err := ParseOne("SELECT row, range + current FROM t WHERE rows > 0 ORDER BY partition"); err != nil {
+		t.Fatalf("window words rejected in expressions: %v", err)
+	}
+	sel := parseSelect(t, "SELECT sum(v) over FROM t")
+	if sel.Exprs[0].Alias != "over" {
+		t.Fatalf("OVER without '(' should alias, got %+v", sel.Exprs[0])
+	}
+	// A column named rows may even be a window order key, with a real
+	// frame following it.
+	sel = parseSelect(t, "SELECT sum(v) OVER (ORDER BY rows ROWS 2 PRECEDING) FROM t")
+	fc := sel.Exprs[0].Expr.(*FuncCall)
+	if fc.Over == nil || fc.Over.Frame == nil || !fc.Over.Frame.Rows {
+		t.Fatalf("contextual frame after `rows` column mis-parsed: %+v", fc.Over)
+	}
+}
+
+// TestParseBigValuesFast is the regression test for the bulk-INSERT
+// parse path: a 10k-row VALUES list must parse in well under a second
+// (the fast literal path skips the precedence-climbing descent per
+// value).
+func TestParseBigValuesFast(t *testing.T) {
+	const rows = 10_000
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t (a, b, c) VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, 'name-%d', -%d.25)", i, i, i)
+	}
+	src := sb.String()
+	start := time.Now()
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ins := stmts[0].(*InsertStmt)
+	if len(ins.Rows) != rows {
+		t.Fatalf("parsed %d rows, want %d", len(ins.Rows), rows)
+	}
+	// Every value must have taken the literal fast path.
+	for c, e := range ins.Rows[rows-1] {
+		lit, ok := e.(*Literal)
+		if !ok {
+			t.Fatalf("row value %d parsed as %T, want *Literal", c, e)
+		}
+		if c == 2 && (lit.Val.Type != types.Double || lit.Val.F64 >= 0) {
+			t.Fatalf("negative double literal mis-parsed: %+v", lit.Val)
+		}
+	}
+	if elapsed > time.Second {
+		t.Fatalf("10k-row INSERT parse took %v, want < 1s", elapsed)
+	}
+	t.Logf("10k-row INSERT parsed in %v", elapsed)
+}
+
+// TestParseValuesFallback: non-literal VALUES items still parse through
+// the full expression grammar.
+func TestParseValuesFallback(t *testing.T) {
+	stmt, err := ParseOne("INSERT INTO t VALUES (1 + 2, upper('x'), -v, CAST(7 AS DOUBLE))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := stmt.(*InsertStmt).Rows[0]
+	if _, ok := row[0].(*Binary); !ok {
+		t.Errorf("1 + 2 parsed as %T", row[0])
+	}
+	if _, ok := row[1].(*FuncCall); !ok {
+		t.Errorf("upper('x') parsed as %T", row[1])
+	}
+	if _, ok := row[2].(*Unary); !ok {
+		t.Errorf("-v parsed as %T", row[2])
+	}
+	if _, ok := row[3].(*Cast); !ok {
+		t.Errorf("CAST parsed as %T", row[3])
+	}
+}

@@ -28,9 +28,12 @@ func MaskWords(n int) int { return (n + 63) / 64 }
 // AllValid reports whether no bit has been cleared (nil mask).
 func (m *Bitmask) AllValid() bool { return m.words == nil }
 
-// IsValid reports whether row i is valid.
+// IsValid reports whether row i is valid. Rows beyond the materialized
+// words were never invalidated (SetInvalid/SetValid grow the mask), so
+// they are valid — vectors longer than the materialized prefix (e.g.
+// window partition buffers) read correctly.
 func (m *Bitmask) IsValid(i int) bool {
-	if m.words == nil {
+	if m.words == nil || i>>6 >= len(m.words) {
 		return true
 	}
 	return m.words[i>>6]&(1<<(uint(i)&63)) != 0

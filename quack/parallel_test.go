@@ -110,6 +110,12 @@ var differentialQueries = []string{
 	"SELECT id FROM facts WHERE id < 3000 LIMIT 17",
 	// Union.
 	"SELECT id FROM facts WHERE id < 1030 UNION ALL SELECT key FROM dims WHERE key < 90 ORDER BY 1",
+	// Window functions (sorted partitions, frames, ranking, lag/lead).
+	"SELECT id, row_number() OVER (PARTITION BY grp ORDER BY qty, id) FROM facts WHERE id < 9000",
+	"SELECT id, sum(price) OVER (PARTITION BY grp ORDER BY id) FROM facts WHERE id % 3 = 0",
+	"SELECT grp, rank() OVER (ORDER BY count(*) DESC, grp) FROM facts GROUP BY grp",
+	"SELECT id, avg(qty) OVER (ORDER BY id ROWS BETWEEN 4 PRECEDING AND CURRENT ROW) FROM facts WHERE id < 5000",
+	"SELECT id, lag(qty, 2) OVER (PARTITION BY flag ORDER BY id) FROM facts WHERE id < 4000 ORDER BY id",
 }
 
 // TestParallelMatchesSequential is the differential guarantee of the
