@@ -8,9 +8,11 @@
 //	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|scaling|all
 //	quack-bench -exp all -scale 0.1   # quicker, smaller datasets
 //	quack-bench -exp scaling -threads 16   # sweep 1,2,4,8,16 workers
+//	quack-bench -exp scaling -json scaling.json   # CI bench artifact
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +25,10 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, scaling, all)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	threads := flag.Int("threads", 8, "maximum worker count for the scaling sweep (powers of two up to this)")
+	jsonPath := flag.String("json", "", "write the scaling sweep's points as JSON to this path (CI bench trajectory)")
 	flag.Parse()
 
-	if err := run(*exp, bench.Scale(*scale), *threads); err != nil {
+	if err := run(*exp, bench.Scale(*scale), *threads, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "quack-bench:", err)
 		os.Exit(1)
 	}
@@ -44,7 +47,7 @@ func threadSweep(maxThreads int) []int {
 	return append(out, maxThreads)
 }
 
-func run(exp string, scale bench.Scale, threads int) error {
+func run(exp string, scale bench.Scale, threads int, jsonPath string) error {
 	w := os.Stdout
 	sep := func() {
 		fmt.Fprintln(w, "\n"+string(make([]byte, 0))+"----------------------------------------------------------------")
@@ -137,8 +140,25 @@ func run(exp string, scale bench.Scale, threads int) error {
 			if rows < 100_000 {
 				rows = 100_000
 			}
-			_, err := bench.Scaling(w, rows, threadSweep(threads))
-			return err
+			points, err := bench.Scaling(w, rows, threadSweep(threads))
+			if err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				data, err := json.MarshalIndent(map[string]any{
+					"experiment": "scaling",
+					"rows":       rows,
+					"points":     points,
+				}, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote %s\n", jsonPath)
+			}
+			return nil
 		}},
 	}
 

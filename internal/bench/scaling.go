@@ -9,17 +9,19 @@ import (
 	"repro/quack"
 )
 
-// ScalingPoint is one row of the E10 morsel-parallelism sweep.
+// ScalingPoint is one row of the E10 morsel-parallelism sweep. The JSON
+// shape is the CI bench-trajectory artifact: durations in nanoseconds,
+// speedups relative to the sweep's 1-thread baseline.
 type ScalingPoint struct {
-	Threads       int
-	ScanDur       time.Duration
-	AggDur        time.Duration
-	SortDur       time.Duration
-	WindowDur     time.Duration
-	ScanSpeedup   float64 // vs the 1-thread baseline
-	AggSpeedup    float64
-	SortSpeedup   float64
-	WindowSpeedup float64
+	Threads       int           `json:"threads"`
+	ScanDur       time.Duration `json:"scan_ns"`
+	AggDur        time.Duration `json:"agg_ns"`
+	SortDur       time.Duration `json:"sort_ns"`
+	WindowDur     time.Duration `json:"window_ns"`
+	ScanSpeedup   float64       `json:"scan_speedup"` // vs the 1-thread baseline
+	AggSpeedup    float64       `json:"agg_speedup"`
+	SortSpeedup   float64       `json:"sort_speedup"`
+	WindowSpeedup float64       `json:"window_speedup"`
 }
 
 // scalingScanQuery is scan-and-filter bound with a tiny result: it

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strconv"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/buffer"
 	"repro/internal/catalog"
+	"repro/internal/exec"
 	"repro/internal/memtest"
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -69,6 +71,29 @@ type Database struct {
 	commitCount atomic.Int64
 	threads     atomic.Int64 // default parallelism for new queries
 	closed      atomic.Bool
+
+	// execStats collects engine-level counters (surfaced via PRAGMA);
+	// warned gates the log to one line per degradation kind (format
+	// string) per database.
+	execStats exec.Stats
+	warnMu    sync.Mutex
+	warned    map[string]bool
+}
+
+// warnf logs an engine degradation notice once per kind per database;
+// repeats only count into execStats so hot loops cannot spam the log.
+func (db *Database) warnf(format string, args ...any) {
+	db.warnMu.Lock()
+	if db.warned[format] {
+		db.warnMu.Unlock()
+		return
+	}
+	if db.warned == nil {
+		db.warned = make(map[string]bool)
+	}
+	db.warned[format] = true
+	db.warnMu.Unlock()
+	log.Printf("quack: "+format, args...)
 }
 
 // Open opens or creates a database.

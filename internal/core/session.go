@@ -213,6 +213,8 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 		TmpDir:       s.db.TmpDir(),
 		JoinStrategy: s.JoinStrategy,
 		Threads:      s.threads(),
+		Stats:        &s.db.execStats,
+		Warnf:        s.db.warnf,
 	}
 }
 
@@ -479,6 +481,14 @@ func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, e
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		out.AppendRow(types.NewVarchar(line))
 	}
+	// Surface the parallel-aggregation budget fallback: with an enforced
+	// memory_limit a morsel-parallel aggregate runs on 1 worker
+	// regardless of PRAGMA threads (thread-local tables would multiply
+	// the budget).
+	if s.threads() > 1 && s.db.pool.Limit() > 0 && exec.AggDegradesUnderBudget(node) {
+		out.AppendRow(types.NewVarchar(
+			"NOTE: parallel aggregation runs on 1 worker under memory_limit (see PRAGMA parallel_agg_fallbacks)"))
+	}
 	return &Result{
 		Columns: []string{"plan"},
 		Types:   []types.Type{types.Varchar},
@@ -541,6 +551,10 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 		return readback(strconv.FormatInt(s.db.WALSize(), 10)), nil
 	case "memory_used":
 		return readback(strconv.FormatInt(s.db.pool.Used(), 10)), nil
+	case "parallel_agg_fallbacks":
+		// How many parallel aggregations degraded to one worker because
+		// an enforced memory_limit would multiply by the worker count.
+		return readback(strconv.FormatInt(s.db.execStats.AggBudgetFallbacks.Load(), 10)), nil
 	default:
 		return nil, fmt.Errorf("unknown PRAGMA %q", st.Name)
 	}

@@ -87,9 +87,19 @@ func (a *parAggOp) build(ctx *Context) error {
 	// states, so under an enforced memory budget a query that fits at
 	// threads=1 could fail at N. Keep the budgeted envelope identical
 	// to the sequential engine by running one worker; graceful
-	// degradation (spilling partials) is a ROADMAP item.
+	// degradation (spilling partials) is a ROADMAP item. The fallback
+	// is surfaced, not silent: it counts into the database stats
+	// (PRAGMA parallel_agg_fallbacks), is noted by EXPLAIN, and warns.
 	if ctx.Pool != nil && ctx.Pool.Limit() > 0 {
 		a.scan.limitWorkers = 1
+		if ctx.Threads > 1 {
+			if ctx.Stats != nil {
+				ctx.Stats.AggBudgetFallbacks.Add(1)
+			}
+			if ctx.Warnf != nil {
+				ctx.Warnf("parallel aggregation fell back to 1 worker under memory_limit (thread-local tables would need workers x groups states); see PRAGMA parallel_agg_fallbacks")
+			}
+		}
 	}
 
 	// mkSink runs on the coordinating goroutine, and the partials are

@@ -43,12 +43,18 @@ type exchangeOp struct {
 	drained bool
 	failed  error
 	started bool
+	workers int
+	probe   stage // one stage instance consulted by the split policy
 }
 
-// exItem is one chunk of the child's stream, tagged with its position.
+// exItem is one work unit of the child's stream, tagged with its
+// position: chunk rows [lo, hi). Oversized breaker chunks (a huge
+// window partition) are fed as several slice items over one shared
+// chunk so they no longer serialize on a single worker.
 type exItem struct {
-	seq   int
-	chunk *vector.Chunk
+	seq    int
+	chunk  *vector.Chunk
+	lo, hi int
 }
 
 // exResult is one processed chunk: the stages' output for input seq
@@ -75,6 +81,10 @@ func (e *exchangeOp) start(ctx *Context) {
 	workers := ctx.Threads
 	if workers < 1 {
 		workers = 1
+	}
+	e.workers = workers
+	if len(e.stages) > 0 {
+		e.probe = e.stages[0]()
 	}
 	depth := workers * 4
 	e.feed = make(chan exItem, depth)
@@ -116,16 +126,54 @@ func (e *exchangeOp) producer(ctx *Context) {
 			close(e.feed)
 			return
 		}
-		if !e.buf.acquire(e.cancel) {
-			return
+		for _, it := range e.splitChunk(chunk, seq) {
+			if !e.buf.acquire(e.cancel) {
+				return
+			}
+			select {
+			case e.feed <- it:
+			case <-e.cancel:
+				return
+			}
+			seq++
 		}
-		select {
-		case e.feed <- exItem{seq: seq, chunk: chunk}:
-		case <-e.cancel:
-			return
+	}
+}
+
+// splitChunk turns one child chunk into work items. Engine-sized chunks
+// pass through whole; an oversized chunk — only pipeline breakers emit
+// them, e.g. the window operator's one-chunk-per-partition stream — is
+// re-split into ChunkCapacity-aligned slices capped at 4 per worker, so
+// a single huge partition spreads across the pool instead of pinning
+// one worker while the rest idle. Slices share the chunk; workers
+// evaluate their own row range (sliceStage) or copy it out. Alignment
+// to ChunkCapacity keeps the re-assembled output's chunk boundaries
+// exactly those of the unsplit evaluation. Splitting is ordered-mode
+// only: slices must reassemble by seq.
+func (e *exchangeOp) splitChunk(chunk *vector.Chunk, seq int) []exItem {
+	n := chunk.Len()
+	if !e.ordered || n <= vector.ChunkCapacity {
+		return []exItem{{seq: seq, chunk: chunk, lo: 0, hi: n}}
+	}
+	if ss, ok := e.probe.(sliceStage); ok && !ss.wantSlices(n) {
+		return []exItem{{seq: seq, chunk: chunk, lo: 0, hi: n}}
+	}
+	units := (n + vector.ChunkCapacity - 1) / vector.ChunkCapacity
+	if max := e.workers * 4; units > max {
+		units = max
+	}
+	size := (n + units - 1) / units
+	size = (size + vector.ChunkCapacity - 1) / vector.ChunkCapacity * vector.ChunkCapacity
+	items := make([]exItem, 0, units)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
 		}
+		items = append(items, exItem{seq: seq, chunk: chunk, lo: lo, hi: hi})
 		seq++
 	}
+	return items
 }
 
 func (e *exchangeOp) worker(ctx *Context) {
@@ -147,7 +195,7 @@ func (e *exchangeOp) worker(ctx *Context) {
 			}
 		}
 		var out []*vector.Chunk
-		err := runStages(ctx, stages, it.chunk, func(c *vector.Chunk) error {
+		err := runItem(ctx, stages, it, func(c *vector.Chunk) error {
 			if c.Len() > 0 {
 				out = append(out, c)
 			}
@@ -162,6 +210,42 @@ func (e *exchangeOp) worker(ctx *Context) {
 			return
 		}
 	}
+}
+
+// sliceStage is a stage that can evaluate a row range of a chunk
+// in-place — the window eval stage computes rows [lo, hi) of a
+// partition without copying it. Stages without it get a copied
+// sub-chunk instead. wantSlices lets the stage veto splitting when
+// range evaluation cannot win: a growing-frame window re-folds its
+// whole prefix per slice (the fold is inherently serial), so slicing
+// those would burn CPU for no wall-clock gain.
+type sliceStage interface {
+	stage
+	wantSlices(n int) bool
+	runSlice(ctx *Context, c *vector.Chunk, lo, hi int, emit func(*vector.Chunk) error) error
+}
+
+// runItem threads one work item through the stages. Whole chunks take
+// the plain path; slices go to the first stage's native range support
+// when it has one, else the rows are copied out first.
+func runItem(ctx *Context, stages []stage, it exItem, sink func(*vector.Chunk) error) error {
+	if it.lo == 0 && it.hi == it.chunk.Len() {
+		return runStages(ctx, stages, it.chunk, sink)
+	}
+	if len(stages) > 0 {
+		if ss, ok := stages[0].(sliceStage); ok {
+			rest := stages[1:]
+			return ss.runSlice(ctx, it.chunk, it.lo, it.hi, func(out *vector.Chunk) error {
+				return runStages(ctx, rest, out, sink)
+			})
+		}
+	}
+	sub := vector.NewChunk(it.chunk.Types())
+	for ci, col := range sub.Cols {
+		col.AppendRange(it.chunk.Cols[ci], it.lo, it.hi-it.lo)
+	}
+	sub.SetLen(it.hi - it.lo)
+	return runStages(ctx, stages, sub, sink)
 }
 
 // Next reassembles the workers' output. In ordered mode out-of-order

@@ -33,6 +33,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/plan"
@@ -61,12 +62,27 @@ type Logger interface {
 	LogDelete(tx *txn.Transaction, table string, rowIDs []int64)
 }
 
+// Stats aggregates engine-level execution counters. One instance lives
+// for the lifetime of a database and is shared by every query context;
+// the core layer surfaces the counters through PRAGMAs.
+type Stats struct {
+	// AggBudgetFallbacks counts parallel aggregations that degraded to
+	// one worker because an enforced memory budget would otherwise be
+	// multiplied by the worker count (see parAggOp.build).
+	AggBudgetFallbacks atomic.Int64
+}
+
 // Context carries per-query execution state.
 type Context struct {
 	Txn    *txn.Transaction
 	Pool   *buffer.Pool
 	Logger Logger
 	TmpDir string
+	// Stats receives engine-level counters when set (database-shared).
+	Stats *Stats
+	// Warnf, when set, receives notices about silent performance
+	// degradations (e.g. the parallel-aggregation budget fallback).
+	Warnf func(format string, args ...any)
 	// JoinStrategy overrides the adaptive join choice (experiments).
 	JoinStrategy JoinStrategy
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
@@ -110,6 +126,24 @@ func Build(node plan.Node) (Operator, error) { return build(node, 1) }
 // carries the same value. threads <= 1 is identical to Build.
 func BuildParallel(node plan.Node, threads int) (Operator, error) {
 	return build(node, threads)
+}
+
+// AggDegradesUnderBudget reports whether the plan contains an
+// aggregation that a threads>1 build would place on the parallel
+// morsel path (parAggOp) — exactly those degrade to one worker when a
+// memory budget is enforced. Aggregates over joins or other breakers
+// build the sequential operator and never trigger the fallback, so
+// EXPLAIN must not flag them.
+func AggDegradesUnderBudget(node plan.Node) bool {
+	if n, ok := node.(*plan.AggNode); ok && compilePipeline(n.Child) != nil {
+		return true
+	}
+	for _, c := range node.Children() {
+		if AggDegradesUnderBudget(c) {
+			return true
+		}
+	}
+	return false
 }
 
 func build(node plan.Node, threads int) (Operator, error) {

@@ -1,6 +1,10 @@
 package exec
 
 import (
+	"errors"
+	"sync"
+
+	"repro/internal/extsort"
 	"repro/internal/vector"
 )
 
@@ -94,4 +98,122 @@ func (b *reorderBuf) advance() bool {
 func (b *reorderBuf) drop() {
 	b.pending = nil
 	b.queue = nil
+}
+
+// ---- partitioned-merge re-emission ----
+
+// errMergeCancelled tells a merge worker its consumer went away.
+var errMergeCancelled = errors.New("exec: merge cancelled")
+
+// mergeStreamDepth bounds how many chunks each range worker may run
+// ahead of the in-order consumer.
+const mergeStreamDepth = 4
+
+type mergeMsg struct {
+	chunk *vector.Chunk
+	err   error
+}
+
+// parMergeStream is the consumer side of the partitioned merge: N
+// workers each loser-tree-merge one disjoint key range (an Iterator
+// from extsort.PartitionMerge, optionally transformed — the window
+// operator cuts partitions on the way out) and the stream re-emits
+// their chunks in range order, which is the exact order the
+// single-threaded merge would produce. Each worker's channel bounds how
+// far it runs ahead, like the reorder buffer's ticket window; unlike
+// the reorder buffer the per-range queues stream, so range i+1 makes
+// progress while range i is still being emitted.
+type parMergeStream struct {
+	outs   []chan mergeMsg
+	cancel chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+	cur    int
+	err    error
+
+	// rows counts rows emitted per range worker. Written worker-locally;
+	// read only after the stream is drained or Closed (wg joined).
+	rows []int64
+}
+
+// mergeDrain pulls one key-range iterator dry, pushing output chunks to
+// emit. Implementations run on the worker goroutine.
+type mergeDrain func(w int, part *extsort.Iterator, emit func(*vector.Chunk) error) error
+
+func newParMergeStream(parts []*extsort.Iterator, drain mergeDrain) *parMergeStream {
+	s := &parMergeStream{
+		outs:   make([]chan mergeMsg, len(parts)),
+		cancel: make(chan struct{}),
+		rows:   make([]int64, len(parts)),
+	}
+	for i := range parts {
+		s.outs[i] = make(chan mergeMsg, mergeStreamDepth)
+		s.wg.Add(1)
+		go func(w int, part *extsort.Iterator) {
+			defer s.wg.Done()
+			defer close(s.outs[w])
+			emit := func(c *vector.Chunk) error {
+				if c == nil || c.Len() == 0 {
+					return nil
+				}
+				select {
+				case s.outs[w] <- mergeMsg{chunk: c}:
+					s.rows[w] += int64(c.Len())
+					return nil
+				case <-s.cancel:
+					return errMergeCancelled
+				}
+			}
+			if err := drain(w, part, emit); err != nil && err != errMergeCancelled {
+				select {
+				case s.outs[w] <- mergeMsg{err: err}:
+				case <-s.cancel:
+				}
+			}
+		}(i, parts[i])
+	}
+	return s
+}
+
+// Next returns the next chunk in global key order, or nil at the end.
+func (s *parMergeStream) Next() (*vector.Chunk, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.cur < len(s.outs) {
+		msg, ok := <-s.outs[s.cur]
+		if !ok {
+			s.cur++
+			continue
+		}
+		if msg.err != nil {
+			s.err = msg.err
+			return nil, msg.err
+		}
+		return msg.chunk, nil
+	}
+	return nil, nil
+}
+
+// Close cancels outstanding workers and joins them. It must be called
+// before the parent iterator (which owns the shared run files) closes.
+func (s *parMergeStream) Close() {
+	s.once.Do(func() { close(s.cancel) })
+	s.wg.Wait()
+}
+
+// drainMergeChunks is the plain mergeDrain: forward sorted chunks as-is.
+func drainMergeChunks(_ int, part *extsort.Iterator, emit func(*vector.Chunk) error) error {
+	for {
+		c, err := part.Next()
+		if err != nil {
+			return err
+		}
+		if c == nil {
+			return nil
+		}
+		if err := emit(c); err != nil {
+			return err
+		}
+	}
 }

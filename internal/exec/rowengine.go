@@ -27,8 +27,9 @@ type RowIterator interface {
 }
 
 // BuildRows translates a logical plan into tuple-at-a-time operators.
-// Only the read-only core (scan, filter, project, aggregate, limit) is
-// supported — enough for the engine-comparison experiments.
+// Only the read-only core (scan, filter, project, aggregate, sort,
+// window, limit) is supported — enough for the engine-comparison
+// experiments.
 func BuildRows(node plan.Node) (RowIterator, error) {
 	switch n := node.(type) {
 	case *plan.ScanNode:
@@ -57,6 +58,12 @@ func BuildRows(node plan.Node) (RowIterator, error) {
 			return nil, err
 		}
 		return &rowSort{child: child, node: n}, nil
+	case *plan.WindowNode:
+		child, err := BuildRows(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &rowWindow{child: child, node: n}, nil
 	case *plan.LimitNode:
 		child, err := BuildRows(n.Child)
 		if err != nil {

@@ -25,6 +25,10 @@ type parSortOp struct {
 	node *plan.SortNode
 
 	iter    *extsort.Iterator
+	merge   *parMergeStream // partitioned merge phase (nil: serial merge)
+	carry   *vector.Chunk   // repack buffer aligning chunk boundaries
+	rem     *vector.Chunk   // unconsumed tail of the last merged chunk
+	remPos  int
 	np      int // payload column count
 	started bool
 }
@@ -36,6 +40,9 @@ func newParSortOp(spec *pipelineSpec, n *plan.SortNode) *parSortOp {
 func (s *parSortOp) Open(ctx *Context) error {
 	s.started = false
 	s.iter = nil
+	s.merge = nil
+	s.carry = nil
+	s.rem, s.remPos = nil, 0
 	return nil
 }
 
@@ -46,7 +53,7 @@ func (s *parSortOp) Next(ctx *Context) (*vector.Chunk, error) {
 		}
 		s.started = true
 	}
-	chunk, err := s.iter.Next()
+	chunk, err := s.nextSorted()
 	if err != nil || chunk == nil {
 		return nil, err
 	}
@@ -54,6 +61,57 @@ func (s *parSortOp) Next(ctx *Context) (*vector.Chunk, error) {
 	out := &vector.Chunk{Cols: chunk.Cols[:s.np]}
 	out.SetLen(chunk.Len())
 	return out, nil
+}
+
+// nextSorted streams the merge phase. The partitioned merge emits a
+// partial chunk at every range boundary, so its output is repacked into
+// full ChunkCapacity chunks — the exact boundaries the serial merge
+// produces, keeping the operator's chunk stream identical at every
+// thread count.
+func (s *parSortOp) nextSorted() (*vector.Chunk, error) {
+	if s.merge == nil {
+		return s.iter.Next()
+	}
+	for {
+		if s.rem != nil {
+			if s.carry == nil && s.remPos == 0 && s.rem.Len() == vector.ChunkCapacity {
+				out := s.rem
+				s.rem = nil
+				return out, nil
+			}
+			if s.carry == nil {
+				s.carry = vector.NewChunk(s.rem.Types())
+			}
+			take := vector.ChunkCapacity - s.carry.Len()
+			if rest := s.rem.Len() - s.remPos; take > rest {
+				take = rest
+			}
+			for ci, col := range s.carry.Cols {
+				col.AppendRange(s.rem.Cols[ci], s.remPos, take)
+			}
+			s.carry.SetLen(s.carry.Cols[0].Len())
+			s.remPos += take
+			if s.remPos == s.rem.Len() {
+				s.rem = nil
+			}
+			if s.carry.Len() == vector.ChunkCapacity {
+				out := s.carry
+				s.carry = nil
+				return out, nil
+			}
+			continue
+		}
+		c, err := s.merge.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil { // tail: the stream's only partial chunk
+			out := s.carry
+			s.carry = nil
+			return out, nil
+		}
+		s.rem, s.remPos = c, 0
+	}
 }
 
 func (s *parSortOp) build(ctx *Context) error {
@@ -121,13 +179,45 @@ func (s *parSortOp) build(ctx *Context) error {
 		return err
 	}
 	s.iter = iter
+
+	// Partitioned merge phase: split the cursors' key domain at sampled
+	// quantiles and let ctx.Threads workers each loser-tree-merge their
+	// own range. The hidden tiebreak makes the keys a total order, so
+	// ranges are exact and the re-emitted concatenation is bit-identical
+	// to the serial merge. PartitionMerge returns nil on skew/tiny
+	// inputs — then the serial loser-tree merge stands.
+	if ctx.Threads > 1 {
+		parts, err := iter.PartitionMerge(ctx.Threads, keys)
+		if err != nil {
+			iter.Close()
+			s.iter = nil
+			return err
+		}
+		if len(parts) > 1 {
+			s.merge = newParMergeStream(parts, drainMergeChunks)
+		}
+	}
 	return nil
 }
 
+// mergeRows reports rows emitted per merge-phase worker (test hook;
+// valid after the stream has drained).
+func (s *parSortOp) mergeRows() []int64 {
+	if s.merge == nil {
+		return nil
+	}
+	return s.merge.rows
+}
+
 func (s *parSortOp) Close(ctx *Context) {
+	if s.merge != nil {
+		s.merge.Close() // join range workers before their files close
+		s.merge = nil
+	}
 	if s.iter != nil {
 		s.iter.Close()
 		s.iter = nil
 	}
+	s.carry, s.rem = nil, nil
 	s.scan.Close(ctx)
 }

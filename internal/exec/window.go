@@ -80,11 +80,83 @@ func (l windowLayout) partKeys() []extsort.Key {
 	return keys
 }
 
+// partitionCutter splits a sorted (partition, order, position) chunk
+// stream into one chunk per partition: runs of rows equal on the
+// partition keys are contiguous in sorted input, so the cutter
+// bulk-copies each run and emits whenever the keys change. It is used
+// by the sequential window operator on the consumer thread and by every
+// partitioned-merge worker on its own key range (range boundaries snap
+// to partition-key boundaries, so no partition straddles two workers).
+type partitionCutter struct {
+	partKeys []extsort.Key
+	npk      int
+
+	part    *vector.Chunk // partition under accumulation
+	prev    *vector.Chunk // chunk/row of the previously appended row
+	prevRow int
+}
+
+func newPartitionCutter(lay windowLayout) *partitionCutter {
+	return &partitionCutter{partKeys: lay.partKeys(), npk: lay.npk}
+}
+
+// feed cuts one sorted chunk, emitting every partition it completes.
+func (pc *partitionCutter) feed(c *vector.Chunk, emit func(*vector.Chunk) error) error {
+	n := c.Len()
+	pos := 0
+	for pos < n {
+		if pc.part != nil && pc.part.Len() > 0 && pc.npk > 0 &&
+			extsort.CompareRows(pc.prev, pc.prevRow, c, pos, pc.partKeys) != 0 {
+			out := pc.part
+			pc.part = nil
+			if err := emit(out); err != nil {
+				return err
+			}
+		}
+		// Extend the run of rows sharing this row's partition and
+		// bulk-copy it.
+		end := pos + 1
+		if pc.npk > 0 {
+			for end < n && extsort.CompareRows(c, end-1, c, end, pc.partKeys) == 0 {
+				end++
+			}
+		} else {
+			end = n
+		}
+		if pc.part == nil {
+			pc.part = vector.NewChunk(c.Types())
+		}
+		for ci, col := range pc.part.Cols {
+			col.AppendRange(c.Cols[ci], pos, end-pos)
+		}
+		pc.part.SetLen(pc.part.Cols[0].Len())
+		pc.prev, pc.prevRow = c, end-1
+		pos = end
+	}
+	return nil
+}
+
+// flush emits the final partition, if any.
+func (pc *partitionCutter) flush(emit func(*vector.Chunk) error) error {
+	if pc.part == nil || pc.part.Len() == 0 {
+		pc.part = nil
+		return nil
+	}
+	out := pc.part
+	pc.part = nil
+	return emit(out)
+}
+
 // windowPartitionOp produces the partition stream of a WindowNode: the
 // input (a built child operator, or a morsel pipeline whose workers
 // each feed their own sorter) is sorted by (partition, order, position)
 // and emitted as one chunk per partition, in sorted order. Partition
 // chunks keep the extended layout; the eval stage strips it.
+//
+// With threads > 1 and a PARTITION BY, the merge phase itself
+// partitions: key ranges snapped to partition-key boundaries are merged
+// AND cut by N workers concurrently, and the stream re-emits whole
+// partitions in order — the cutting no longer runs on the consumer.
 type windowPartitionOp struct {
 	node *plan.WindowNode
 	lay  windowLayout
@@ -93,13 +165,12 @@ type windowPartitionOp struct {
 	scan  *parScanOp // parallel pipeline source
 
 	iter  *extsort.Iterator
+	merge *parMergeStream // partitioned merge+cut (nil: cut on consumer)
 	built bool
 
-	cur     *vector.Chunk // sorted chunk being consumed
-	pos     int
-	part    *vector.Chunk // current partition under accumulation
-	prev    *vector.Chunk // chunk/row of the previously appended row
-	prevRow int
+	cutter  *partitionCutter
+	queue   []*vector.Chunk // completed partitions awaiting emission
+	flushed bool
 }
 
 func newWindowPartitionOp(n *plan.WindowNode, child Operator, scan *parScanOp) *windowPartitionOp {
@@ -109,7 +180,10 @@ func newWindowPartitionOp(n *plan.WindowNode, child Operator, scan *parScanOp) *
 func (w *windowPartitionOp) Open(ctx *Context) error {
 	w.built = false
 	w.iter = nil
-	w.cur, w.part, w.prev = nil, nil, nil
+	w.merge = nil
+	w.cutter = nil
+	w.queue = nil
+	w.flushed = false
 	if w.child != nil {
 		return w.child.Open(ctx)
 	}
@@ -227,6 +301,40 @@ func (w *windowPartitionOp) build(ctx *Context) error {
 		return err
 	}
 	w.iter = iter
+
+	// Partitioned merge: cut the key domain on the partition-key prefix
+	// so every window partition lands wholly inside one range, then let
+	// each range worker merge its cursors AND cut partitions — both the
+	// k-way merge and the partition cutting leave the consumer thread.
+	if ctx.Threads > 1 && w.lay.npk > 0 {
+		parts, err := iter.PartitionMerge(ctx.Threads, w.lay.partKeys())
+		if err != nil {
+			iter.Close()
+			w.iter = nil
+			return err
+		}
+		if len(parts) > 1 {
+			lay := w.lay
+			w.merge = newParMergeStream(parts, func(wk int, part *extsort.Iterator, emit func(*vector.Chunk) error) error {
+				cutter := newPartitionCutter(lay)
+				for {
+					c, err := part.Next()
+					if err != nil {
+						return err
+					}
+					if c == nil {
+						return cutter.flush(emit)
+					}
+					if c.Len() == 0 {
+						continue
+					}
+					if err := cutter.feed(c, emit); err != nil {
+						return err
+					}
+				}
+			})
+		}
+	}
 	return nil
 }
 
@@ -237,65 +345,61 @@ func (w *windowPartitionOp) Next(ctx *Context) (*vector.Chunk, error) {
 			return nil, err
 		}
 		w.built = true
+		w.cutter = newPartitionCutter(w.lay)
 	}
-	partKeys := w.lay.partKeys()
+	if w.merge != nil {
+		// Merge workers already cut; the stream is whole partitions in
+		// partition order.
+		return w.merge.Next()
+	}
+	enq := func(p *vector.Chunk) error {
+		w.queue = append(w.queue, p)
+		return nil
+	}
 	for {
-		if w.cur == nil {
-			c, err := w.iter.Next()
-			if err != nil {
-				return nil, err
-			}
-			if c == nil {
-				if w.part != nil && w.part.Len() > 0 {
-					out := w.part
-					w.part = nil
-					return out, nil
-				}
-				return nil, nil
-			}
-			if c.Len() == 0 {
-				continue
-			}
-			w.cur, w.pos = c, 0
+		if len(w.queue) > 0 {
+			out := w.queue[0]
+			w.queue = w.queue[1:]
+			return out, nil
 		}
-		n := w.cur.Len()
-		for w.pos < n {
-			if w.part != nil && w.part.Len() > 0 && w.lay.npk > 0 &&
-				extsort.CompareRows(w.prev, w.prevRow, w.cur, w.pos, partKeys) != 0 {
-				out := w.part
-				w.part = nil
-				return out, nil // w.pos stays: the row opens the next partition
-			}
-			// Extend the run of rows sharing this row's partition and
-			// bulk-copy it; sorted input keeps partitions contiguous.
-			end := w.pos + 1
-			if w.lay.npk > 0 {
-				for end < n && extsort.CompareRows(w.cur, end-1, w.cur, end, partKeys) == 0 {
-					end++
-				}
-			} else {
-				end = n
-			}
-			if w.part == nil {
-				w.part = vector.NewChunk(w.cur.Types())
-			}
-			for c, col := range w.part.Cols {
-				col.AppendRange(w.cur.Cols[c], w.pos, end-w.pos)
-			}
-			w.part.SetLen(w.part.Cols[0].Len())
-			w.prev, w.prevRow = w.cur, end-1
-			w.pos = end
+		if w.flushed {
+			return nil, nil
 		}
-		w.cur = nil
+		c, err := w.iter.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			w.cutter.flush(enq) //nolint:errcheck // enq cannot fail
+			w.flushed = true
+			continue
+		}
+		if c.Len() == 0 {
+			continue
+		}
+		w.cutter.feed(c, enq) //nolint:errcheck // enq cannot fail
 	}
 }
 
+// mergeRows reports rows emitted per merge-phase worker (test hook;
+// valid after the stream has drained).
+func (w *windowPartitionOp) mergeRows() []int64 {
+	if w.merge == nil {
+		return nil
+	}
+	return w.merge.rows
+}
+
 func (w *windowPartitionOp) Close(ctx *Context) {
+	if w.merge != nil {
+		w.merge.Close() // join range workers before their files close
+		w.merge = nil
+	}
 	if w.iter != nil {
 		w.iter.Close()
 		w.iter = nil
 	}
-	w.part, w.cur, w.prev = nil, nil, nil
+	w.cutter, w.queue = nil, nil
 	if w.child != nil {
 		w.child.Close(ctx)
 	} else {
@@ -324,13 +428,71 @@ func newWindowEvalStage(n *plan.WindowNode) *windowEvalStage {
 }
 
 func (w *windowEvalStage) run(ctx *Context, part *vector.Chunk, emit func(*vector.Chunk) error) error {
-	outs, err := evalWindowPartition(w.node, w.lay, part)
+	return w.runSlice(ctx, part, 0, part.Len(), emit)
+}
+
+// wantSlices reports whether splitting an oversized partition across
+// workers can actually beat one worker. Only general (non-growing)
+// frames qualify: their O(n·width) per-row rescans divide cleanly by
+// row range. Growing frames (the SQL default) fold a serial prefix —
+// every slice would redo the rows before it — and ranking/lag do O(n)
+// total anyway, so for those the whole partition stays one work item.
+// Every slice also redoes the O(n) per-partition setup (peer groups,
+// argument evaluation), so bounded frames must additionally be wide
+// enough to amortize it — narrow frames stay unsplit.
+func (w *windowEvalStage) wantSlices(int) bool {
+	f := w.node.Frame
+	if !f.Set || (f.Start.Unbounded && f.Start.Preceding) {
+		return false
+	}
+	hasAgg := false
+	for _, fn := range w.node.Funcs {
+		switch fn.Func {
+		case "count", "sum", "avg", "min", "max":
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return false
+	}
+	if f.End.Unbounded {
+		return true // width ~ n: rescans dominate any setup
+	}
+	if !f.Rows {
+		return false // RANGE general frames: peer-group width, unknown
+	}
+	// ROWS with bounded offsets: width in rows, signed by direction.
+	back, fwd := int64(0), int64(0)
+	if f.Start.Preceding {
+		back = f.Start.Offset
+	} else if !f.Start.Current {
+		back = -f.Start.Offset
+	}
+	if !f.End.Preceding && !f.End.Current {
+		fwd = f.End.Offset
+	} else if f.End.Preceding {
+		fwd = -f.End.Offset
+	}
+	// The per-slice setup is ~2 full-partition passes and the split cap
+	// is 4 items/worker; width >= 64 amortizes it up to 16 workers.
+	return back+fwd+1 >= 64
+}
+
+// runSlice evaluates rows [lo, hi) of one partition chunk — the
+// exchange splits oversized partitions into such slices so several
+// workers evaluate one huge partition concurrently. Values are
+// bit-identical to whole-partition evaluation: ranking and peer data
+// derive from the full partition, and growing frames re-accumulate
+// their prefix left-to-right from row 0 (same DOUBLE fold order).
+// Slice bounds are ChunkCapacity-aligned, so emission chunk boundaries
+// equal the unsplit operator's.
+func (w *windowEvalStage) runSlice(ctx *Context, part *vector.Chunk, lo, hi int, emit func(*vector.Chunk) error) error {
+	outs, err := evalWindowPartitionSlice(w.node, w.lay, part, lo, hi)
 	if err != nil {
 		return err
 	}
-	n := part.Len()
-	for base := 0; base < n; base += vector.ChunkCapacity {
-		m := n - base
+	for base := lo; base < hi; base += vector.ChunkCapacity {
+		m := hi - base
 		if m > vector.ChunkCapacity {
 			m = vector.ChunkCapacity
 		}
@@ -339,7 +501,7 @@ func (w *windowEvalStage) run(ctx *Context, part *vector.Chunk, emit func(*vecto
 			out.Cols[c].AppendRange(part.Cols[c], base, m)
 		}
 		for j, ov := range outs {
-			out.Cols[w.lay.np+j].AppendRange(ov, base, m)
+			out.Cols[w.lay.np+j].AppendRange(ov, base-lo, m)
 		}
 		out.SetLen(m)
 		if err := emit(out); err != nil {
@@ -406,16 +568,16 @@ func newParWindowOp(spec *pipelineSpec, n *plan.WindowNode) Operator {
 
 // ---- per-partition evaluation ----
 
-// evalWindowPartition computes every window function over one partition
-// (rows already in (order keys, input position) order), returning one
-// result vector per function. Both the sequential and parallel
-// operators call this same code over the same partition rows, so their
-// values agree bit-for-bit — including non-associative DOUBLE sums,
-// which are always folded left-to-right in partition order.
-func evalWindowPartition(node *plan.WindowNode, lay windowLayout, part *vector.Chunk) ([]*vector.Vector, error) {
+// evalWindowPartitionSlice computes every window function for rows
+// [lo, hi) of one partition (rows already in (order keys, input
+// position) order), returning one result vector of length hi-lo per
+// function. Ranking, peer groups and frame bounds always derive from
+// the whole partition, so any slicing of [0, n) yields bit-identical
+// values — including non-associative DOUBLE sums, which are always
+// folded left-to-right from the partition start.
+func evalWindowPartitionSlice(node *plan.WindowNode, lay windowLayout, part *vector.Chunk, lo, hi int) ([]*vector.Vector, error) {
 	n := part.Len()
-	payload := &vector.Chunk{Cols: part.Cols[:lay.np]}
-	payload.SetLen(n)
+	m := hi - lo
 
 	peerStart, peerEnd, dense := peerGroups(part, lay, n)
 
@@ -423,7 +585,11 @@ func evalWindowPartition(node *plan.WindowNode, lay windowLayout, part *vector.C
 	for j, f := range node.Funcs {
 		var arg *vector.Vector
 		if f.Arg != nil {
-			v, err := f.Arg.Eval(payload)
+			// Evaluate against the shared partition chunk directly —
+			// args only reference the payload prefix, and concurrent
+			// slice workers must not mutate the chunk (a projected
+			// sub-chunk's SetLen would materialize shared masks).
+			v, err := f.Arg.Eval(part)
 			if err != nil {
 				return nil, err
 			}
@@ -431,26 +597,26 @@ func evalWindowPartition(node *plan.WindowNode, lay windowLayout, part *vector.C
 		}
 		switch f.Func {
 		case "row_number":
-			out := vector.NewLen(types.BigInt, n)
-			for i := 0; i < n; i++ {
-				out.I64[i] = int64(i) + 1
+			out := vector.NewLen(types.BigInt, m)
+			for i := lo; i < hi; i++ {
+				out.I64[i-lo] = int64(i) + 1
 			}
 			outs[j] = out
 		case "rank":
-			out := vector.NewLen(types.BigInt, n)
-			for i := 0; i < n; i++ {
-				out.I64[i] = int64(peerStart[i]) + 1
+			out := vector.NewLen(types.BigInt, m)
+			for i := lo; i < hi; i++ {
+				out.I64[i-lo] = int64(peerStart[i]) + 1
 			}
 			outs[j] = out
 		case "dense_rank":
-			out := vector.NewLen(types.BigInt, n)
-			copy(out.I64, dense)
+			out := vector.NewLen(types.BigInt, m)
+			copy(out.I64, dense[lo:hi])
 			outs[j] = out
 		case "lag", "lead":
-			outs[j] = evalShift(f, arg, n)
+			outs[j] = evalShift(f, arg, n, lo, hi)
 		case "count", "sum", "avg", "min", "max":
 			bounds, growing := frameBoundsFn(node.Frame, n, peerStart, peerEnd, lay.nok > 0)
-			outs[j] = evalFrameAgg(f, arg, n, bounds, growing)
+			outs[j] = evalFrameAgg(f, arg, n, lo, hi, bounds, growing)
 		default:
 			return nil, fmt.Errorf("exec: unknown window function %q", f.Func)
 		}
@@ -495,27 +661,28 @@ func peerGroups(part *vector.Chunk, lay windowLayout, n int) (peerStart, peerEnd
 	return
 }
 
-// evalShift computes lag/lead.
-func evalShift(f plan.WindowFunc, arg *vector.Vector, n int) *vector.Vector {
-	out := vector.NewLen(f.Type, n)
+// evalShift computes lag/lead for partition rows [lo, hi).
+func evalShift(f plan.WindowFunc, arg *vector.Vector, n, lo, hi int) *vector.Vector {
+	out := vector.NewLen(f.Type, hi-lo)
 	off := int(f.Offset)
 	if f.Func == "lag" {
 		off = -off
 	}
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		j := i + off
+		o := i - lo
 		if j < 0 || j >= n {
-			out.Set(i, f.Default)
+			out.Set(o, f.Default)
 			continue
 		}
 		if arg.IsNull(j) {
-			out.SetNull(i)
+			out.SetNull(o)
 			continue
 		}
 		if arg.Type == f.Type {
-			out.SetFrom(i, arg, j)
+			out.SetFrom(o, arg, j)
 		} else { // NULL-typed argument: every row is NULL, unreachable
-			out.Set(i, arg.Get(j))
+			out.Set(o, arg.Get(j))
 		}
 	}
 	return out
@@ -638,41 +805,45 @@ func (a *frameAcc) finish(f *plan.WindowFunc, arg *vector.Vector, out *vector.Ve
 	}
 }
 
-// evalFrameAgg computes one aggregate over every row's frame. Growing
-// frames accumulate incrementally left-to-right (identical to direct
-// iteration, including the DOUBLE reduction order); general frames are
-// re-scanned per row.
-func evalFrameAgg(f plan.WindowFunc, arg *vector.Vector, n int, bounds func(i int) (int, int), growing bool) *vector.Vector {
-	out := vector.NewLen(f.Type, n)
+// evalFrameAgg computes one aggregate over the frames of partition rows
+// [lo, hi). Growing frames accumulate incrementally left-to-right from
+// the partition start (identical to direct iteration, including the
+// DOUBLE reduction order, whatever the slice bounds); general frames
+// are re-scanned per row, so slices divide their O(n·width) cost
+// cleanly across workers.
+func evalFrameAgg(f plan.WindowFunc, arg *vector.Vector, n, lo, hi int, bounds func(i int) (int, int), growing bool) *vector.Vector {
+	out := vector.NewLen(f.Type, hi-lo)
 	var acc frameAcc
 	if growing {
 		cur := 0
-		for i := 0; i < n; i++ {
-			_, hi := bounds(i)
-			if hi > n-1 {
-				hi = n - 1
+		for i := 0; i < hi; i++ {
+			_, fhi := bounds(i)
+			if fhi > n-1 {
+				fhi = n - 1
 			}
-			for cur <= hi {
+			for cur <= fhi {
 				acc.add(&f, arg, cur)
 				cur++
 			}
-			acc.finish(&f, arg, out, i)
+			if i >= lo {
+				acc.finish(&f, arg, out, i-lo)
+			}
 		}
 		return out
 	}
-	for i := 0; i < n; i++ {
-		lo, hi := bounds(i)
-		if lo < 0 {
-			lo = 0
+	for i := lo; i < hi; i++ {
+		flo, fhi := bounds(i)
+		if flo < 0 {
+			flo = 0
 		}
-		if hi > n-1 {
-			hi = n - 1
+		if fhi > n-1 {
+			fhi = n - 1
 		}
 		acc.reset()
-		for r := lo; r <= hi; r++ {
+		for r := flo; r <= fhi; r++ {
 			acc.add(&f, arg, r)
 		}
-		acc.finish(&f, arg, out, i)
+		acc.finish(&f, arg, out, i-lo)
 	}
 	return out
 }

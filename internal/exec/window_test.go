@@ -9,6 +9,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/txn"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // mkWindowNode builds
@@ -193,5 +194,141 @@ func TestWindowFrameEdgeCases(t *testing.T) {
 		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
 			t.Errorf("case %d: got %v, want %v", ci, got, tc.want)
 		}
+	}
+}
+
+// TestParallelWindowMergePartitioned: with a PARTITION BY, the window's
+// merge AND partition cutting must run on the range workers; asserted
+// via worker row counters (1-CPU hosts can't show wall-clock speedup).
+func TestParallelWindowMergePartitioned(t *testing.T) {
+	const rows = 30_000
+	mgr := txn.NewManager(nil)
+	node := mkWindowNode(t, rows, mgr)
+	op, err := BuildParallel(node, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := op.(*exchangeOp)
+	if !ok {
+		t.Fatalf("built %T, want *exchangeOp", op)
+	}
+	wp, ok := ex.child.(*windowPartitionOp)
+	if !ok {
+		t.Fatalf("exchange child is %T, want *windowPartitionOp", ex.child)
+	}
+	ctx := &Context{Txn: mgr.Begin(), Threads: 8}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		c, err := op.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			break
+		}
+		total += c.Len()
+	}
+	counts := wp.mergeRows()
+	op.Close(ctx)
+	if total != rows {
+		t.Fatalf("drained %d rows, want %d", total, rows)
+	}
+	if counts == nil {
+		t.Fatal("window merge did not partition (PartitionMerge declined)")
+	}
+	nonzero := 0
+	var sum int64
+	for _, n := range counts {
+		if n > 0 {
+			nonzero++
+		}
+		sum += n
+	}
+	if nonzero < 2 {
+		t.Fatalf("window merge+cut ran on %d workers (range rows %v), want >= 2", nonzero, counts)
+	}
+	if sum != rows {
+		t.Fatalf("range workers cut %d rows total, want %d (%v)", sum, rows, counts)
+	}
+}
+
+// TestExchangeSplitsOversizedChunks: a window with one huge partition
+// (empty PARTITION BY) produces a single oversized partition chunk; the
+// exchange must re-split it into ChunkCapacity-aligned slice items and
+// the sliced evaluation must stay bit-identical to sequential.
+func TestExchangeSplitsOversizedChunks(t *testing.T) {
+	const rows = 20_000
+	mgr := txn.NewManager(nil)
+	entry := buildFactTable(t, mgr, rows)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	mod := func(m int64) expr.Expr {
+		return &expr.Arith{Op: expr.OpMod, L: col(), R: &expr.Const{Val: types.NewBigInt(m)}, Typ: types.BigInt}
+	}
+	node := &plan.WindowNode{
+		Child:   &plan.ScanNode{Table: entry, Columns: []int{0}},
+		OrderBy: []plan.SortKey{{Expr: mod(97)}},
+		// General (non-growing) wide frame: slices split its O(n*width)
+		// rescan across workers (width 201 passes the wantSlices gate).
+		Frame: plan.WindowFrame{Set: true, Rows: true,
+			Start: plan.FrameBound{Offset: 100, Preceding: true},
+			End:   plan.FrameBound{Offset: 100}},
+		Funcs: []plan.WindowFunc{
+			{Func: "row_number", Type: types.BigInt, Name: "rn"},
+			{Func: "rank", Type: types.BigInt, Name: "rk"},
+			{Func: "sum", Arg: col(), Type: types.BigInt, Name: "s"},
+			{Func: "min", Arg: col(), Type: types.BigInt, Name: "m"},
+		},
+	}
+	want := renderWindow(t, node, &Context{Txn: mgr.Begin(), Threads: 1})
+	for _, threads := range []int{2, 8} {
+		got := renderWindow(t, node, &Context{Txn: mgr.Begin(), Threads: threads})
+		if got != want {
+			t.Fatalf("threads=%d sliced huge-partition eval diverges:\n got: %.200s\nwant: %.200s", threads, got, want)
+		}
+	}
+}
+
+// TestSplitChunkPolicy pins the re-split shape: ChunkCapacity alignment
+// (so output chunk boundaries match unsplit evaluation), a 4-per-worker
+// item cap, and pass-through for engine-sized chunks.
+func TestSplitChunkPolicy(t *testing.T) {
+	e := &exchangeOp{ordered: true, workers: 2}
+	mk := func(n int) *vector.Chunk {
+		c := vector.NewChunk([]types.Type{types.BigInt})
+		for i := 0; i < n; i++ {
+			c.AppendRow(types.NewBigInt(int64(i)))
+		}
+		return c
+	}
+	if items := e.splitChunk(mk(vector.ChunkCapacity), 7); len(items) != 1 || items[0].seq != 7 {
+		t.Fatalf("engine-sized chunk split: %v", items)
+	}
+	huge := mk(20 * vector.ChunkCapacity)
+	items := e.splitChunk(huge, 0)
+	if len(items) < 2 || len(items) > 8 { // capped at workers*4
+		t.Fatalf("%d items, want 2..8", len(items))
+	}
+	last := 0
+	for i, it := range items {
+		if it.seq != i {
+			t.Fatalf("item %d seq %d", i, it.seq)
+		}
+		if it.lo != last {
+			t.Fatalf("item %d starts at %d, want %d", i, it.lo, last)
+		}
+		if it.lo%vector.ChunkCapacity != 0 {
+			t.Fatalf("item %d not ChunkCapacity-aligned: %d", i, it.lo)
+		}
+		last = it.hi
+	}
+	if last != huge.Len() {
+		t.Fatalf("items cover %d rows, want %d", last, huge.Len())
+	}
+	e.ordered = false
+	if items := e.splitChunk(huge, 0); len(items) != 1 {
+		t.Fatalf("unordered mode split a chunk into %d items", len(items))
 	}
 }

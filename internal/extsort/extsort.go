@@ -37,8 +37,17 @@ type Sorter struct {
 	chunks   []*vector.Chunk
 	bytes    int64
 	reserved int64
-	runs     []*os.File
+	runs     []runFile
 	spilled  int64 // bytes spilled (stats)
+}
+
+// runFile is one spilled sorted run: the (unlinked) temp file plus the
+// file offset of every encoded chunk. The offset index is what lets the
+// partitioned merge binary-search a run for a key-range start without
+// streaming it from the beginning.
+type runFile struct {
+	f    *os.File
+	offs []int64
 }
 
 // NewSorter returns a sorter for chunks with the given column types.
@@ -122,6 +131,8 @@ func (s *Sorter) spill() error {
 	os.Remove(f.Name())
 	out := vector.NewChunk(s.colTypes)
 	var buf []byte
+	var offs []int64
+	var written int64
 	flush := func() error {
 		if out.Len() == 0 {
 			return nil
@@ -136,6 +147,8 @@ func (s *Sorter) spill() error {
 		if _, err := f.Write(buf); err != nil {
 			return err
 		}
+		offs = append(offs, written)
+		written += int64(len(buf) + 4)
 		s.spilled += int64(len(buf) + 4)
 		out.Reset()
 		return nil
@@ -153,7 +166,7 @@ func (s *Sorter) spill() error {
 		f.Close()
 		return fmt.Errorf("extsort: write run: %w", err)
 	}
-	s.runs = append(s.runs, f)
+	s.runs = append(s.runs, runFile{f: f, offs: offs})
 	s.chunks = nil
 	s.bytes = 0
 	s.releaseReserved()
@@ -209,8 +222,9 @@ func MergeFinish(sorters []*Sorter) (*Iterator, error) {
 }
 
 // registerInto hands the sorter's spilled runs and sorted in-memory
-// buffer to a merging iterator, transferring pool-reservation ownership.
-// The sorter is left empty.
+// buffer to a merging iterator, transferring pool-reservation ownership
+// (file ownership always moves to it.files, even on error — the caller
+// closes the iterator). The sorter is left empty.
 func (s *Sorter) registerInto(it *Iterator) error {
 	if s.pool != nil {
 		it.pool = s.pool
@@ -219,24 +233,16 @@ func (s *Sorter) registerInto(it *Iterator) error {
 	}
 	runs := s.runs
 	s.runs = nil
-	for i, f := range runs {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			for _, g := range runs[i:] {
-				g.Close()
-			}
-			return err
-		}
-		c := &runCursor{f: f}
+	for _, r := range runs {
+		it.files = append(it.files, r.f)
+	}
+	for _, r := range runs {
+		c := &runCursor{f: r.f, offs: r.offs}
 		if err := c.load(); err != nil {
-			for _, g := range runs[i:] {
-				g.Close()
-			}
 			return err
 		}
 		if c.cur != nil {
 			it.cursors = append(it.cursors, c)
-		} else {
-			f.Close()
 		}
 	}
 	if len(s.chunks) > 0 {
@@ -252,8 +258,8 @@ func (s *Sorter) registerInto(it *Iterator) error {
 // Close releases temp files early (Finish's iterator also closes them as
 // runs drain).
 func (s *Sorter) Close() {
-	for _, f := range s.runs {
-		f.Close()
+	for _, r := range s.runs {
+		r.f.Close()
 	}
 	s.runs = nil
 	s.chunks = nil
@@ -267,18 +273,45 @@ type Iterator struct {
 	pool     *buffer.Pool
 	reserved int64
 
+	// files are the run files this iterator owns; they stay open until
+	// Close so partitioned-merge cursors can keep pread-ing them.
+	files []*os.File
+
 	// in-memory mode
 	mem     []*vector.Chunk
 	memRefs []rowRef
 	memPos  int
 
 	// merge mode: each cursor walks one sorted sequence (a spilled run
-	// file or a producer's sorted in-memory buffer).
+	// file or a producer's sorted in-memory buffer); the loser tree
+	// replays only the advanced cursor's path per emitted row.
 	cursors []cursor
+	lt      *loserTree
+
+	// shared marks a key-range iterator returned by PartitionMerge: its
+	// cursors read the parent's files and buffers, which the parent
+	// alone closes/releases.
+	shared bool
+	// handedOff marks a parent whose cursors moved to PartitionMerge
+	// ranges; Next on it is a programming error.
+	handedOff bool
+	// err is the sticky stream error: after a cursor failure (which
+	// eagerly closed everything) further Next calls must keep failing,
+	// not read as a clean end of stream.
+	err error
 }
 
-// Next returns the next sorted chunk, or nil at the end.
+// Next returns the next sorted chunk, or nil at the end. Any error
+// closes the iterator's cursors and run files eagerly — callers may
+// still Close (idempotent), but no fd waits on them — and is sticky:
+// subsequent Next calls return it again.
 func (it *Iterator) Next() (*vector.Chunk, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
+	if it.handedOff {
+		return nil, fmt.Errorf("extsort: Next on a partitioned iterator")
+	}
 	if it.cursors == nil {
 		if it.memPos >= len(it.memRefs) {
 			return nil, nil
@@ -294,27 +327,23 @@ func (it *Iterator) Next() (*vector.Chunk, error) {
 	if len(it.cursors) == 0 {
 		return nil, nil
 	}
+	if it.lt == nil {
+		it.lt = newLoserTree(it.cursors, it.keys)
+	}
 	out := vector.NewChunk(it.colTypes)
-	for out.Len() < vector.ChunkCapacity && len(it.cursors) > 0 {
-		// Linear scan for the minimum cursor; fan-in is small (budget
-		// controls runs per producer, Threads controls producers) so a
-		// heap is not worth the code.
-		best := 0
-		for i := 1; i < len(it.cursors); i++ {
-			a, b := it.cursors[i], it.cursors[best]
-			if CompareRows(a.chunk(), a.rowIdx(), b.chunk(), b.rowIdx(), it.keys) < 0 {
-				best = i
-			}
+	for out.Len() < vector.ChunkCapacity {
+		w := it.lt.winner()
+		if w < 0 {
+			break
 		}
-		c := it.cursors[best]
+		c := it.cursors[w]
 		out.AppendRowFrom(c.chunk(), c.rowIdx())
 		if err := c.advance(); err != nil {
+			it.err = err
+			it.Close()
 			return nil, err
 		}
-		if c.chunk() == nil {
-			c.close()
-			it.cursors = append(it.cursors[:best], it.cursors[best+1:]...)
-		}
+		it.lt.fix(w)
 	}
 	if out.Len() == 0 {
 		return nil, nil
@@ -324,12 +353,22 @@ func (it *Iterator) Next() (*vector.Chunk, error) {
 
 // Close releases all remaining run files and buffered-row reservations.
 // Safe to call at any point, including before the stream is drained.
+// Key-range iterators from PartitionMerge only drop their cursors; the
+// parent owns (and closes) the underlying files and reservations.
 func (it *Iterator) Close() {
 	for _, c := range it.cursors {
 		c.close()
 	}
 	it.cursors = nil
+	it.lt = nil
 	it.mem = nil
+	if it.shared {
+		return
+	}
+	for _, f := range it.files {
+		f.Close()
+	}
+	it.files = nil
 	if it.pool != nil && it.reserved > 0 {
 		it.pool.Release(it.reserved)
 		it.reserved = 0
@@ -363,34 +402,50 @@ func (c *memCursor) rowIdx() int    { return c.refs[c.pos].row }
 func (c *memCursor) advance() error { c.pos++; return nil }
 func (c *memCursor) close()         { c.chunks, c.refs = nil, nil }
 
+// runCursor walks a spilled run via positional reads, so any number of
+// cursors (one per key-range partition) can share one run file without
+// contending on a seek offset. The cursor does not own the file; the
+// iterator's files list does.
 type runCursor struct {
-	f   *os.File
-	cur *vector.Chunk
-	row int
+	f    *os.File
+	offs []int64
+	idx  int // next chunk index to load
+	cur  *vector.Chunk
+	row  int
 }
 
 func (c *runCursor) chunk() *vector.Chunk { return c.cur }
 func (c *runCursor) rowIdx() int          { return c.row }
-func (c *runCursor) close()               { c.f.Close() }
+func (c *runCursor) close()               { c.cur = nil }
 
-func (c *runCursor) load() error {
+// readRunChunk decodes the encoded chunk at the given file offset.
+func readRunChunk(f *os.File, off int64) (*vector.Chunk, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.f, hdr[:]); err != nil {
-		if err == io.EOF {
-			c.cur = nil
-			return nil
-		}
-		return fmt.Errorf("extsort: read run: %w", err)
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("extsort: read run: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(c.f, buf); err != nil {
-		return fmt.Errorf("extsort: read run chunk: %w", err)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off+4, int64(n)), buf); err != nil {
+		return nil, fmt.Errorf("extsort: read run chunk: %w", err)
 	}
 	chunk, _, err := vector.DecodeChunk(buf)
 	if err != nil {
+		return nil, err
+	}
+	return chunk, nil
+}
+
+func (c *runCursor) load() error {
+	if c.idx >= len(c.offs) {
+		c.cur = nil
+		return nil
+	}
+	chunk, err := readRunChunk(c.f, c.offs[c.idx])
+	if err != nil {
 		return err
 	}
+	c.idx++
 	c.cur = chunk
 	c.row = 0
 	return nil

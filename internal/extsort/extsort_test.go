@@ -1,12 +1,16 @@
 package extsort
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
 	"testing"
 
 	"repro/internal/buffer"
+	"repro/internal/faults"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
@@ -414,4 +418,279 @@ func TestEmptySorter(t *testing.T) {
 	if err != nil || c != nil {
 		t.Fatalf("empty sorter produced %v, %v", c, err)
 	}
+}
+
+// ---- partitioned merge (loser tree + key-range split) ----
+
+// fanInSorters builds k producers over a duplicate-heavy, NULL- and
+// NaN-bearing two-key dataset with a unique third column, splitting
+// rows round-robin. Tiny budgets mean dozens of spilled runs; odd
+// producers stay fully in memory, so the merge mixes cursor kinds.
+func fanInSorters(t *testing.T, k, rows int, budget int64) []*Sorter {
+	t.Helper()
+	typs := []types.Type{types.BigInt, types.Double, types.BigInt}
+	keys := []Key{{Col: 0}, {Col: 1, Desc: true, NullsFirst: true}, {Col: 2}}
+	producers := make([]*Sorter, k)
+	for i := range producers {
+		b := budget
+		if i%2 == 1 {
+			b = 0 // in-memory producer
+		}
+		producers[i] = NewSorter(typs, keys, b, t.TempDir())
+	}
+	chunks := make([]*vector.Chunk, k)
+	for i := range chunks {
+		chunks[i] = vector.NewChunk(typs)
+	}
+	for r := 0; r < rows; r++ {
+		w := r % k
+		c := chunks[w]
+		kv := types.NewBigInt(int64(r % 7)) // heavy duplicates
+		dv := types.NewDouble(float64((r * 13) % 5))
+		switch r % 31 {
+		case 0:
+			kv = types.NewNull(types.BigInt)
+		case 1:
+			dv = types.NewNull(types.Double)
+		case 2:
+			dv = types.NewDouble(math.NaN())
+		case 3:
+			dv = types.NewDouble(math.Inf(1))
+		}
+		c.AppendRow(kv, dv, types.NewBigInt(int64(r)))
+		if c.Len() == vector.ChunkCapacity {
+			if err := producers[w].Add(c); err != nil {
+				t.Fatal(err)
+			}
+			chunks[w] = vector.NewChunk(typs)
+		}
+	}
+	for w, c := range chunks {
+		if c.Len() > 0 {
+			if err := producers[w].Add(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return producers
+}
+
+func drainRows(t *testing.T, it *Iterator) []string {
+	t.Helper()
+	var out []string
+	for {
+		c, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			return out
+		}
+		for r := 0; r < c.Len(); r++ {
+			out = append(out, fmt.Sprint(c.Row(r)))
+		}
+	}
+}
+
+// TestPartitionMergeMatchesSerial: splitting the merge into N key
+// ranges and concatenating the ranges must reproduce the serial
+// loser-tree merge row-for-row — high fan-in (dozens of runs plus
+// in-memory buffers), duplicate-heavy keys, NULLs, NaN, at widths
+// 1/2/8. Width 1 (PartitionMerge declined) pins the fallback.
+func TestPartitionMergeMatchesSerial(t *testing.T) {
+	const rows = 30_000
+	serial, err := MergeFinish(fanInSorters(t, 12, rows, 4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainRows(t, serial)
+	serial.Close()
+	if len(want) != rows {
+		t.Fatalf("serial merge lost rows: %d", len(want))
+	}
+	for _, width := range []int{1, 2, 8} {
+		it, err := MergeFinish(fanInSorters(t, 12, rows, 4<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := it.PartitionMerge(width, it.keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if parts == nil {
+			if width >= 2 {
+				t.Fatalf("width=%d: PartitionMerge declined", width)
+			}
+			got = drainRows(t, it)
+		} else {
+			if len(parts) < 2 || len(parts) > width {
+				t.Fatalf("width=%d: %d ranges", width, len(parts))
+			}
+			nonEmpty := 0
+			for _, p := range parts {
+				r := drainRows(t, p)
+				if len(r) > 0 {
+					nonEmpty++
+				}
+				got = append(got, r...)
+				p.Close()
+			}
+			if nonEmpty < 2 {
+				t.Fatalf("width=%d: only %d non-empty ranges", width, nonEmpty)
+			}
+		}
+		it.Close()
+		if len(got) != len(want) {
+			t.Fatalf("width=%d: %d rows, want %d", width, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width=%d row %d: %s != %s", width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPartitionMergeWindowPrefixBounds: cutting ranges on a key prefix
+// (the window PARTITION BY columns) must keep all rows equal on the
+// prefix inside one range.
+func TestPartitionMergeWindowPrefixBounds(t *testing.T) {
+	it, err := MergeFinish(fanInSorters(t, 8, 20_000, 8<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	prefix := it.keys[:1] // the 8-value (incl. NULL) leading key
+	parts, err := it.PartitionMerge(8, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts == nil {
+		t.Fatal("PartitionMerge declined on prefix bounds")
+	}
+	seen := map[string]int{} // leading key value -> range index
+	for pi, p := range parts {
+		for {
+			c, err := p.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == nil {
+				break
+			}
+			for r := 0; r < c.Len(); r++ {
+				v := fmt.Sprint(c.Row(r)[0])
+				if prev, ok := seen[v]; ok && prev != pi {
+					t.Fatalf("prefix value %s straddles ranges %d and %d", v, prev, pi)
+				}
+				seen[v] = pi
+			}
+		}
+		p.Close()
+	}
+	if len(seen) != 8 {
+		t.Fatalf("saw %d distinct leading keys, want 8", len(seen))
+	}
+}
+
+// TestPartitionMergeEarlyClose: abandoning range iterators mid-stream
+// and closing the parent must return every pool reservation and leave
+// no open run file.
+func TestPartitionMergeEarlyClose(t *testing.T) {
+	pool := buffer.NewPool(0, nil)
+	producers := fanInSorters(t, 6, 20_000, 16<<10)
+	for _, s := range producers {
+		s.SetPool(pool)
+	}
+	it, err := MergeFinish(producers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := append([]*os.File(nil), it.files...)
+	if len(files) == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	parts, err := it.PartitionMerge(4, it.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts == nil {
+		t.Fatal("PartitionMerge declined")
+	}
+	if _, err := parts[1].Next(); err != nil { // partially consume one range
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		p.Close()
+	}
+	it.Close()
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("early close leaked %d bytes", used)
+	}
+	for _, f := range files {
+		if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+			t.Fatalf("run file still open after Close (close returned %v)", err)
+		}
+	}
+}
+
+// TestMergeNextErrorClosesFiles: a fault injected into a spilled run
+// must surface as a Next error that eagerly closes every run file —
+// previously sibling fds stayed open until the caller's Close.
+func TestMergeNextErrorClosesFiles(t *testing.T) {
+	s := NewSorter([]types.Type{types.BigInt}, []Key{{Col: 0}}, 16<<10, t.TempDir())
+	for i := 0; i < 40; i++ {
+		c := vector.NewChunk([]types.Type{types.BigInt})
+		for j := 0; j < vector.ChunkCapacity; j++ {
+			c.AppendRow(types.NewBigInt(int64(i*vector.ChunkCapacity + j)))
+		}
+		if err := s.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(s.runs) < 2 {
+		t.Fatalf("expected several runs, got %d", len(s.runs))
+	}
+	// Inject a deterministic fault into a later chunk of a random run:
+	// flipped-to-garbage length header, the on-disk equivalent of the
+	// disk-subsystem corruption the faults package models.
+	inj := faults.NewInjector(42)
+	run := s.runs[len(s.runs)/2]
+	if len(run.offs) < 2 {
+		t.Fatalf("run too small to corrupt")
+	}
+	hdr := []byte{0, 0, 0, 0}
+	inj.FlipBitsBytes(hdr, 28) // dense random flips: absurd chunk length
+	hdr[3] |= 0x80             // force the length far past the file size
+	if _, err := run.f.WriteAt(hdr, run.offs[1]); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := append([]*os.File(nil), it.files...)
+	var nerr error
+	for {
+		var c *vector.Chunk
+		c, nerr = it.Next()
+		if nerr != nil || c == nil {
+			break
+		}
+	}
+	if nerr == nil {
+		t.Fatal("corrupted run did not error")
+	}
+	for _, f := range files {
+		if cerr := f.Close(); !errors.Is(cerr, os.ErrClosed) {
+			t.Fatalf("run file left open after Next error (close returned %v)", cerr)
+		}
+	}
+	// The error is sticky: after the eager close, further Next calls
+	// must keep failing rather than report a clean end of stream.
+	if _, again := it.Next(); again == nil {
+		t.Fatal("Next after a stream error reported clean end of stream")
+	}
+	it.Close() // idempotent after the eager error close
 }

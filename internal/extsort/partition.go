@@ -1,0 +1,276 @@
+package extsort
+
+import (
+	"sort"
+
+	"repro/internal/vector"
+)
+
+// Partitioned merge: instead of one consumer thread streaming the k-way
+// merge, the cursors' key domain is split into disjoint ranges at
+// sampled key quantiles and every range becomes its own Iterator —
+// loser-tree merging private cursor clones over the shared runs and
+// buffers — safe to drain from N goroutines concurrently. Concatenating
+// the ranges in order reproduces the exact total order of the single
+// merge, whatever boundaries the sample picked, so output stays
+// bit-identical at every worker count.
+
+// maxSamplesPerCursor bounds the quantile-sampling IO: per run the
+// sampler decodes at most this many evenly spaced chunks (first row
+// each); per in-memory buffer it takes this many evenly spaced rows.
+const maxSamplesPerCursor = 32
+
+// partCursor is a cursor the partitioned merge can sample and clone.
+type partCursor interface {
+	cursor
+	// sampleInto appends up to max evenly spaced rows to the chunk.
+	sampleInto(into *vector.Chunk, max int) error
+	// seekClone returns a fresh cursor positioned at the first row that
+	// compares strictly greater than bound[boundRow] under boundKeys
+	// (at the start when bound is nil). Returns nil when the remaining
+	// range is empty.
+	seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key) (cursor, error)
+}
+
+// PartitionMerge splits this merge into up to n disjoint key-range
+// iterators that together stream the same total order Next would, each
+// independently drainable (typically from its own goroutine). boundKeys
+// is the key prefix ranges are cut on: the full sort keys for a plain
+// merge, or a group prefix (e.g. window PARTITION BY columns) so that
+// rows equal on the prefix — one window partition — never straddle two
+// ranges.
+//
+// It returns nil (and no error) when partitioning is not worthwhile:
+// n < 2, an empty input, or sampled boundaries that collapse onto too
+// few distinct prefix values (heavy skew). The parent iterator must not
+// have been Next'ed; on success it is consumed — only its Close matters
+// afterwards (it owns the files/buffers the ranges read), and it must
+// be closed only after every range iterator is done.
+func (it *Iterator) PartitionMerge(n int, boundKeys []Key) ([]*Iterator, error) {
+	if n < 2 || it.handedOff || it.lt != nil || len(boundKeys) == 0 {
+		return nil, nil // already streaming (or nothing to split)
+	}
+	cursors := it.cursors
+	if cursors == nil {
+		// In-memory mode partitions too: wrap the sorted buffer.
+		if len(it.memRefs) == 0 || it.memPos > 0 {
+			return nil, nil
+		}
+		cursors = []cursor{&memCursor{chunks: it.mem, refs: it.memRefs}}
+	}
+	parts := make([]partCursor, 0, len(cursors))
+	for _, c := range cursors {
+		pc, ok := c.(partCursor)
+		if !ok {
+			return nil, nil
+		}
+		parts = append(parts, pc)
+	}
+
+	// Sample rows, order them by the full sort keys, and take the n-1
+	// quantiles as range boundaries, dropping boundaries that repeat
+	// the previous one's prefix (duplicate-heavy keys shrink the fan).
+	samples := vector.NewChunk(it.colTypes)
+	for _, pc := range parts {
+		if err := pc.sampleInto(samples, maxSamplesPerCursor); err != nil {
+			return nil, err
+		}
+	}
+	ns := samples.Len()
+	if ns < 2 {
+		return nil, nil
+	}
+	order := make([]int, ns)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return CompareRows(samples, order[i], samples, order[j], it.keys) < 0
+	})
+	bounds := vector.NewChunk(it.colTypes)
+	for i := 1; i < n; i++ {
+		cand := order[i*ns/n]
+		if bounds.Len() > 0 && CompareRows(bounds, bounds.Len()-1, samples, cand, boundKeys) == 0 {
+			continue
+		}
+		bounds.AppendRowFrom(samples, cand)
+	}
+	if bounds.Len() == 0 {
+		return nil, nil
+	}
+
+	out := make([]*Iterator, 0, bounds.Len()+1)
+	for i := 0; i <= bounds.Len(); i++ {
+		rangeIt := &Iterator{colTypes: it.colTypes, keys: it.keys, shared: true}
+		for _, pc := range parts {
+			var c cursor
+			var err error
+			if i == 0 {
+				c, err = pc.seekClone(nil, 0, boundKeys)
+			} else {
+				c, err = pc.seekClone(bounds, i-1, boundKeys)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if c == nil {
+				continue
+			}
+			if i < bounds.Len() {
+				rc := &rangeCursor{inner: c, bound: bounds, boundRow: i, keys: boundKeys}
+				rc.check()
+				if rc.done {
+					continue
+				}
+				c = rc
+			}
+			rangeIt.cursors = append(rangeIt.cursors, c)
+		}
+		out = append(out, rangeIt)
+	}
+	it.handedOff = true
+	return out, nil
+}
+
+// rangeCursor caps a cursor at an upper boundary row (inclusive of rows
+// comparing equal on the bound keys): past it the cursor reads as
+// exhausted, leaving the remaining rows to the next range's own clones.
+type rangeCursor struct {
+	inner    cursor
+	bound    *vector.Chunk
+	boundRow int
+	keys     []Key
+	done     bool
+}
+
+func (c *rangeCursor) check() {
+	if !c.done {
+		cur := c.inner.chunk()
+		if cur == nil || CompareRows(cur, c.inner.rowIdx(), c.bound, c.boundRow, c.keys) > 0 {
+			c.done = true
+		}
+	}
+}
+
+func (c *rangeCursor) chunk() *vector.Chunk {
+	if c.done {
+		return nil
+	}
+	return c.inner.chunk()
+}
+
+func (c *rangeCursor) rowIdx() int { return c.inner.rowIdx() }
+
+func (c *rangeCursor) advance() error {
+	if c.done {
+		return nil
+	}
+	if err := c.inner.advance(); err != nil {
+		return err
+	}
+	c.check()
+	return nil
+}
+
+func (c *rangeCursor) close() { c.inner.close() }
+
+// ---- memCursor partitioning ----
+
+func (c *memCursor) sampleInto(into *vector.Chunk, max int) error {
+	n := len(c.refs)
+	stride := (n + max - 1) / max
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < n; i += stride {
+		ref := c.refs[i]
+		into.AppendRowFrom(c.chunks[ref.chunk], ref.row)
+	}
+	return nil
+}
+
+func (c *memCursor) seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key) (cursor, error) {
+	pos := 0
+	if bound != nil {
+		// First row strictly past the boundary prefix; refs are sorted
+		// by the full keys and boundKeys is a prefix of them, so the
+		// predicate is monotone.
+		pos = sort.Search(len(c.refs), func(p int) bool {
+			ref := c.refs[p]
+			return CompareRows(c.chunks[ref.chunk], ref.row, bound, boundRow, boundKeys) > 0
+		})
+	}
+	if pos >= len(c.refs) {
+		return nil, nil
+	}
+	return &memCursor{chunks: c.chunks, refs: c.refs, pos: pos}, nil
+}
+
+// ---- runCursor partitioning ----
+
+func (c *runCursor) sampleInto(into *vector.Chunk, max int) error {
+	n := len(c.offs)
+	stride := (n + max - 1) / max
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < n; i += stride {
+		chunk, err := readRunChunk(c.f, c.offs[i])
+		if err != nil {
+			return err
+		}
+		if chunk.Len() > 0 {
+			into.AppendRowFrom(chunk, 0)
+		}
+	}
+	return nil
+}
+
+func (c *runCursor) seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key) (cursor, error) {
+	clone := &runCursor{f: c.f, offs: c.offs}
+	if bound == nil {
+		if err := clone.load(); err != nil {
+			return nil, err
+		}
+		if clone.cur == nil {
+			return nil, nil
+		}
+		return clone, nil
+	}
+	// Binary search the chunk index: the last chunk whose first row is
+	// not past the boundary may still hold in-range rows; later chunks
+	// start past it. readRunChunk per probe keeps this O(log chunks).
+	var seekErr error
+	start := sort.Search(len(c.offs), func(i int) bool {
+		if seekErr != nil {
+			return false
+		}
+		chunk, err := readRunChunk(c.f, c.offs[i])
+		if err != nil {
+			seekErr = err
+			return false
+		}
+		return CompareRows(chunk, 0, bound, boundRow, boundKeys) > 0
+	})
+	if seekErr != nil {
+		return nil, seekErr
+	}
+	if start > 0 {
+		start--
+	}
+	clone.idx = start
+	if err := clone.load(); err != nil {
+		return nil, err
+	}
+	// Skip the rows at or before the boundary; at most one chunk plus
+	// the already-past-boundary chunks the search ruled out.
+	for clone.cur != nil && CompareRows(clone.cur, clone.row, bound, boundRow, boundKeys) <= 0 {
+		if err := clone.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if clone.cur == nil {
+		return nil, nil
+	}
+	return clone, nil
+}

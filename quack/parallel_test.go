@@ -2,6 +2,7 @@ package quack_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/quack"
@@ -240,5 +241,78 @@ func TestParallelQueryErrorsPropagate(t *testing.T) {
 		if len(got) != 1 {
 			t.Fatalf("threads=%d: post-error query broken: %v", threads, got)
 		}
+	}
+}
+
+// TestAggBudgetFallbackSurfaced pins the parallel-aggregation memory
+// fallback's visibility: under an enforced memory_limit a parallel
+// grouped aggregation silently ran on one worker; now the database
+// counts it (PRAGMA parallel_agg_fallbacks) and EXPLAIN calls it out.
+func TestAggBudgetFallbackSurfaced(t *testing.T) {
+	db, err := quack.Open(":memory:", quack.WithThreads(4), quack.WithMemoryLimit(64<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE t (g BIGINT, v BIGINT)")
+	app, err := db.Appender("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8_000; i++ {
+		if err := app.AppendRow(int64(i%13), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const agg = "SELECT g, count(*), sum(v) FROM t GROUP BY g"
+
+	if got := queryAll(t, db, "PRAGMA parallel_agg_fallbacks"); got[0][0] != "0" {
+		t.Fatalf("fallback counter before any aggregation = %s", got[0][0])
+	}
+	plan := queryAll(t, db, "EXPLAIN "+agg)
+	found := false
+	for _, row := range plan {
+		if strings.Contains(row[0], "parallel aggregation runs on 1 worker under memory_limit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EXPLAIN does not surface the budget fallback:\n%v", plan)
+	}
+	if rows := queryAll(t, db, agg); len(rows) != 13 {
+		t.Fatalf("aggregation returned %d groups, want 13", len(rows))
+	}
+	if got := queryAll(t, db, "PRAGMA parallel_agg_fallbacks"); got[0][0] == "0" {
+		t.Fatal("fallback counter still 0 after a budgeted parallel aggregation")
+	}
+
+	// An aggregate that does NOT take the morsel-parallel path (here:
+	// over a join) never triggers the fallback, so EXPLAIN must not
+	// flag it even under a memory limit.
+	for _, row := range queryAll(t, db, "EXPLAIN SELECT a.g, count(*) FROM t a JOIN t b ON a.g = b.g GROUP BY a.g") {
+		if strings.Contains(row[0], "memory_limit") {
+			t.Fatalf("EXPLAIN flags a sequential-path aggregate: %v", row)
+		}
+	}
+
+	// Without a memory limit the fallback must not trigger or be noted.
+	db2, err := quack.Open(":memory:", quack.WithThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	mustExec(t, db2, "CREATE TABLE t (g BIGINT, v BIGINT)")
+	mustExec(t, db2, "INSERT INTO t VALUES (1, 1), (2, 2)")
+	for _, row := range queryAll(t, db2, "EXPLAIN "+agg) {
+		if strings.Contains(row[0], "memory_limit") {
+			t.Fatalf("unlimited database EXPLAIN mentions the fallback: %v", row)
+		}
+	}
+	queryAll(t, db2, agg)
+	if got := queryAll(t, db2, "PRAGMA parallel_agg_fallbacks"); got[0][0] != "0" {
+		t.Fatalf("unlimited database counted %s fallbacks", got[0][0])
 	}
 }

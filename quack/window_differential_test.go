@@ -669,3 +669,42 @@ func TestWindowDifferentialDefaultThreads(t *testing.T) {
 		t.Errorf("default-thread window query diverges:\n got: %.400v\nwant: %.400v", got, want)
 	}
 }
+
+// TestWindowRowEngineDifferential: the tuple-at-a-time row engine (the
+// E6 ablation baseline) must agree with the vectorized engine on window
+// queries — values AND row order — so the ablation can run the window
+// workloads instead of erroring on WindowNode.
+func TestWindowRowEngineDifferential(t *testing.T) {
+	rows := windowFixtureRows()
+	db := windowDB(t, 1, rows)
+	queries := []string{
+		"SELECT id, row_number() OVER (PARTITION BY p ORDER BY o) FROM w",
+		"SELECT id, rank() OVER (PARTITION BY g ORDER BY o DESC NULLS LAST), dense_rank() OVER (PARTITION BY g ORDER BY o DESC NULLS LAST) FROM w",
+		"SELECT id, sum(d) OVER (PARTITION BY p ORDER BY o, id) FROM w",
+		"SELECT id, avg(v) OVER (PARTITION BY p ORDER BY o, id ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) FROM w",
+		"SELECT id, lag(v, 2, -1) OVER (PARTITION BY p ORDER BY o, id), lead(o) OVER (PARTITION BY p ORDER BY o, id) FROM w",
+		"SELECT id, count(*) OVER (PARTITION BY p), min(o) OVER (PARTITION BY p), max(d) OVER (PARTITION BY p) FROM w",
+		"SELECT id, sum(v) OVER (ORDER BY o, id) FROM w WHERE v IS NOT NULL ORDER BY id LIMIT 800",
+	}
+	sess := db.Internal().NewSession()
+	for _, q := range queries {
+		want := queryAll(t, db, q)
+		got, err := sess.ExecuteRowEngine(q)
+		if err != nil {
+			t.Fatalf("row engine %q: %v", q, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row engine %q: %d rows, want %d", q, len(got), len(want))
+		}
+		for i, row := range got {
+			if len(row) != len(want[i]) {
+				t.Fatalf("row engine %q row %d: %d cols, want %d", q, i, len(row), len(want[i]))
+			}
+			for c, v := range row {
+				if v.String() != want[i][c] {
+					t.Fatalf("row engine %q row %d col %d: got %q, want %q", q, i, c, v.String(), want[i][c])
+				}
+			}
+		}
+	}
+}
