@@ -9,12 +9,14 @@
 //	quack-bench -exp all -scale 0.1   # quicker, smaller datasets
 //	quack-bench -exp scaling -threads 16   # sweep 1,2,4,8,16 workers
 //	quack-bench -exp scaling -json scaling.json   # CI bench artifact
+//	quack-bench -exp scaling -baseline BENCH_BASELINE.json   # CI bench gate
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,9 +28,11 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	threads := flag.Int("threads", 8, "maximum worker count for the scaling sweep (powers of two up to this)")
 	jsonPath := flag.String("json", "", "write the scaling sweep's points as JSON to this path (CI bench trajectory)")
+	baseline := flag.String("baseline", "", "compare the scaling sweep against this committed JSON and fail on regression (CI bench gate)")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed slowdown vs the baseline before the gate fails (0.30 = +30%)")
 	flag.Parse()
 
-	if err := run(*exp, bench.Scale(*scale), *threads, *jsonPath); err != nil {
+	if err := run(*exp, bench.Scale(*scale), *threads, *jsonPath, *baseline, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "quack-bench:", err)
 		os.Exit(1)
 	}
@@ -47,7 +51,7 @@ func threadSweep(maxThreads int) []int {
 	return append(out, maxThreads)
 }
 
-func run(exp string, scale bench.Scale, threads int, jsonPath string) error {
+func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, tolerance float64) error {
 	w := os.Stdout
 	sep := func() {
 		fmt.Fprintln(w, "\n"+string(make([]byte, 0))+"----------------------------------------------------------------")
@@ -144,6 +148,8 @@ func run(exp string, scale bench.Scale, threads int, jsonPath string) error {
 			if err != nil {
 				return err
 			}
+			// Write the trajectory artifact BEFORE gating: a failed gate
+			// is exactly when the fresh numbers are needed for debugging.
 			if jsonPath != "" {
 				data, err := json.MarshalIndent(map[string]any{
 					"experiment": "scaling",
@@ -157,6 +163,11 @@ func run(exp string, scale bench.Scale, threads int, jsonPath string) error {
 					return err
 				}
 				fmt.Fprintf(w, "wrote %s\n", jsonPath)
+			}
+			if baseline != "" {
+				if err := gateScaling(w, baseline, points, tolerance); err != nil {
+					return err
+				}
 			}
 			return nil
 		}},
@@ -178,4 +189,38 @@ func run(exp string, scale bench.Scale, threads int, jsonPath string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// scalingFile is the JSON shape of both the uploaded trajectory
+// artifact and the committed BENCH_BASELINE.json.
+type scalingFile struct {
+	Experiment string               `json:"experiment"`
+	Rows       int                  `json:"rows"`
+	Points     []bench.ScalingPoint `json:"points"`
+}
+
+// gateScaling compares the fresh sweep against the committed baseline
+// and errors on any workload regressing past the tolerance. CI runners
+// are not identical machines, so the tolerance is deliberately coarse —
+// the gate catches the step-function regressions (a workload falling
+// off its fast path), not single-digit noise. Label a PR skip-bench-gate
+// for intentional slowdowns and refresh the baseline in the same change.
+func gateScaling(w io.Writer, path string, fresh []bench.ScalingPoint, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var base scalingFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench gate: parse %s: %w", path, err)
+	}
+	regressions := bench.CompareScaling(base.Points, fresh, tolerance)
+	if len(regressions) == 0 {
+		fmt.Fprintf(w, "bench gate: all workloads within +%.0f%% of %s\n", tolerance*100, path)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(w, "bench gate REGRESSION:", r)
+	}
+	return fmt.Errorf("bench gate: %d workload(s) regressed past +%.0f%% vs %s", len(regressions), tolerance*100, path)
 }

@@ -13,15 +13,29 @@ import (
 // shape is the CI bench-trajectory artifact: durations in nanoseconds,
 // speedups relative to the sweep's 1-thread baseline.
 type ScalingPoint struct {
-	Threads       int           `json:"threads"`
-	ScanDur       time.Duration `json:"scan_ns"`
-	AggDur        time.Duration `json:"agg_ns"`
-	SortDur       time.Duration `json:"sort_ns"`
-	WindowDur     time.Duration `json:"window_ns"`
-	ScanSpeedup   float64       `json:"scan_speedup"` // vs the 1-thread baseline
-	AggSpeedup    float64       `json:"agg_speedup"`
-	SortSpeedup   float64       `json:"sort_speedup"`
-	WindowSpeedup float64       `json:"window_speedup"`
+	Threads          int           `json:"threads"`
+	ScanDur          time.Duration `json:"scan_ns"`
+	AggDur           time.Duration `json:"agg_ns"`
+	SortDur          time.Duration `json:"sort_ns"`
+	WindowDur        time.Duration `json:"window_ns"`
+	AggBudgetDur     time.Duration `json:"agg_budget_ns"` // grouped agg under memory_limit (spilling)
+	ScanSpeedup      float64       `json:"scan_speedup"`  // vs the 1-thread baseline
+	AggSpeedup       float64       `json:"agg_speedup"`
+	SortSpeedup      float64       `json:"sort_speedup"`
+	WindowSpeedup    float64       `json:"window_speedup"`
+	AggBudgetSpeedup float64       `json:"agg_budget_speedup"`
+}
+
+// Durations returns the point's workload durations keyed by the names
+// the bench gate reports.
+func (p ScalingPoint) Durations() map[string]time.Duration {
+	return map[string]time.Duration{
+		"scan":       p.ScanDur,
+		"agg":        p.AggDur,
+		"sort":       p.SortDur,
+		"window":     p.WindowDur,
+		"agg_budget": p.AggBudgetDur,
+	}
 }
 
 // scalingScanQuery is scan-and-filter bound with a tiny result: it
@@ -42,6 +56,14 @@ const scalingSortQuery = "SELECT id, qty, price FROM t ORDER BY qty DESC, price,
 // sorted runs feed the partition cutter and the frames evaluate on the
 // exchange pool — ranking and a running sum per region.
 const scalingWindowQuery = "SELECT id, row_number() OVER (PARTITION BY region ORDER BY qty DESC, id), sum(price) OVER (PARTITION BY region ORDER BY qty DESC, id) FROM t"
+
+// scalingAggBudgetQuery is the budgeted-aggregation workload: a
+// high-cardinality GROUP BY (rows/8 groups, arriving a morsel-block at
+// a time) run under a memory_limit far below its aggregate state, so
+// the partition-wise spilling path — radix spill, state runs, the
+// partition merge finish — is what the sweep times. The sweep verifies
+// its results identical across thread counts like every workload.
+const scalingAggBudgetQuery = "SELECT id - id % 8, count(*), sum(qty), sum(price), min(price) FROM t GROUP BY 1"
 
 // Scaling (E10) measures the morsel-driven engine's speedup over the
 // single-threaded baseline on one dataset: a filtered scan pipeline and
@@ -99,8 +121,19 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		_, err := db.Exec(fmt.Sprintf("PRAGMA threads=%d", n))
 		return err
 	}
+	// The budgeted workload's memory_limit scales with the data so the
+	// reduced CI sweep spills just like the full-size run: ~a quarter of
+	// the aggregate state fits, the rest cycles through state runs.
+	aggBudget := int64(rows) * 8
+	if aggBudget < 1<<20 {
+		aggBudget = 1 << 20
+	}
+	setLimit := func(limit int64) error {
+		_, err := db.Exec(fmt.Sprintf("PRAGMA memory_limit=%d", limit))
+		return err
+	}
 
-	var wantScan, wantAgg, wantSort, wantWindow string
+	var wantScan, wantAgg, wantSort, wantWindow, wantAggBudget string
 	var out []ScalingPoint
 	for _, threads := range threadCounts {
 		if err := setThreads(threads); err != nil {
@@ -122,9 +155,32 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
+		if err := setLimit(aggBudget); err != nil {
+			return nil, err
+		}
+		gotAggBudget, err := render(scalingAggBudgetQuery)
+		if err != nil {
+			return nil, err
+		}
+		aggBudgetDur, err := timeQuery(scalingAggBudgetQuery)
+		if err != nil {
+			return nil, err
+		}
+		if err := setLimit(-1); err != nil {
+			return nil, err
+		}
 		if threads == threadCounts[0] {
-			wantScan, wantAgg, wantSort, wantWindow = gotScan, gotAgg, gotSort, gotWindow
-		} else if gotScan != wantScan || gotAgg != wantAgg || gotSort != wantSort || gotWindow != wantWindow {
+			wantScan, wantAgg, wantSort, wantWindow, wantAggBudget = gotScan, gotAgg, gotSort, gotWindow, gotAggBudget
+			// The budgeted run must also match the unbudgeted aggregation
+			// of the same query — spilling must not change results.
+			unlimited, err := render(scalingAggBudgetQuery)
+			if err != nil {
+				return nil, err
+			}
+			if unlimited != gotAggBudget {
+				return nil, fmt.Errorf("budgeted aggregation diverges from the unbudgeted run")
+			}
+		} else if gotScan != wantScan || gotAgg != wantAgg || gotSort != wantSort || gotWindow != wantWindow || gotAggBudget != wantAggBudget {
 			return nil, fmt.Errorf("results diverge at %d threads", threads)
 		}
 		scanDur, err := timeQuery(scalingScanQuery)
@@ -143,7 +199,10 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ScalingPoint{Threads: threads, ScanDur: scanDur, AggDur: aggDur, SortDur: sortDur, WindowDur: windowDur})
+		out = append(out, ScalingPoint{
+			Threads: threads, ScanDur: scanDur, AggDur: aggDur,
+			SortDur: sortDur, WindowDur: windowDur, AggBudgetDur: aggBudgetDur,
+		})
 	}
 	base := out[0]
 	for i := range out {
@@ -151,18 +210,62 @@ func Scaling(w io.Writer, rows int, threadCounts []int) ([]ScalingPoint, error) 
 		out[i].AggSpeedup = float64(base.AggDur) / float64(out[i].AggDur)
 		out[i].SortSpeedup = float64(base.SortDur) / float64(out[i].SortDur)
 		out[i].WindowSpeedup = float64(base.WindowDur) / float64(out[i].WindowDur)
+		out[i].AggBudgetSpeedup = float64(base.AggBudgetDur) / float64(out[i].AggBudgetDur)
 	}
 
 	if w != nil {
-		fmt.Fprintf(w, "E10 morsel-driven parallelism (%d rows; results verified identical across thread counts)\n", rows)
-		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %-9s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup", "order-by", "speedup", "window", "speedup")
+		fmt.Fprintf(w, "E10 morsel-driven parallelism (%d rows; results verified identical across thread counts; budgeted agg spills under a %d-byte memory_limit)\n", rows, aggBudget)
+		fmt.Fprintf(w, "%-8s %-14s %-9s %-14s %-9s %-14s %-9s %-14s %-9s %-14s %s\n", "threads", "scan+filter", "speedup", "group-by agg", "speedup", "order-by", "speedup", "window", "speedup", "budgeted agg", "speedup")
 		for _, p := range out {
-			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %-9s %-14v %-9s %-14v %.2fx\n",
+			fmt.Fprintf(w, "%-8d %-14v %-9s %-14v %-9s %-14v %-9s %-14v %-9s %-14v %.2fx\n",
 				p.Threads, p.ScanDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.ScanSpeedup),
 				p.AggDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.AggSpeedup),
 				p.SortDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.SortSpeedup),
-				p.WindowDur.Round(time.Microsecond), p.WindowSpeedup)
+				p.WindowDur.Round(time.Microsecond), fmt.Sprintf("%.2fx", p.WindowSpeedup),
+				p.AggBudgetDur.Round(time.Microsecond), p.AggBudgetSpeedup)
 		}
 	}
 	return out, nil
+}
+
+// CompareScaling gates the bench trajectory: it compares each
+// workload's best duration across the sweeps and reports a regression
+// line for every workload whose fresh best is more than tolerance
+// (e.g. 0.30 = +30%) slower than the committed baseline's. Workloads
+// absent from the baseline (newly added) pass.
+func CompareScaling(baseline, fresh []ScalingPoint, tolerance float64) []string {
+	best := func(points []ScalingPoint) map[string]time.Duration {
+		out := map[string]time.Duration{}
+		for _, p := range points {
+			for name, d := range p.Durations() {
+				if d <= 0 {
+					continue
+				}
+				if cur, ok := out[name]; !ok || d < cur {
+					out[name] = d
+				}
+			}
+		}
+		return out
+	}
+	baseBest, freshBest := best(baseline), best(fresh)
+	var regressions []string
+	for _, name := range []string{"scan", "agg", "sort", "window", "agg_budget"} {
+		b, ok := baseBest[name]
+		if !ok {
+			continue
+		}
+		f, ok := freshBest[name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from the fresh sweep (baseline best %v)", name, b))
+			continue
+		}
+		if float64(f) > float64(b)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: best %v vs baseline %v (+%.0f%%, tolerance +%.0f%%)",
+				name, f.Round(time.Microsecond), b.Round(time.Microsecond),
+				(float64(f)/float64(b)-1)*100, tolerance*100))
+		}
+	}
+	return regressions
 }

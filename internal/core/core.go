@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"strconv"
@@ -31,7 +30,11 @@ import (
 type Config struct {
 	// Path of the database file; "" or ":memory:" is volatile.
 	Path string
-	// MemoryLimit caps the buffer pool (bytes); <=0 = unlimited. The
+	// MemoryLimit caps the buffer pool (bytes); <0 = unlimited. 0 (the
+	// zero value) consults the QUACK_MEMORY_LIMIT environment variable —
+	// a byte size like "64MB", plumbed like QUACK_THREADS so harnesses
+	// (the CI differential matrix) can pin a budget without touching
+	// call sites — and is unlimited when that is unset too. The
 	// cooperation requirement (§4): an embedded DBMS must not assume it
 	// owns the machine.
 	MemoryLimit int64
@@ -72,28 +75,8 @@ type Database struct {
 	threads     atomic.Int64 // default parallelism for new queries
 	closed      atomic.Bool
 
-	// execStats collects engine-level counters (surfaced via PRAGMA);
-	// warned gates the log to one line per degradation kind (format
-	// string) per database.
+	// execStats collects engine-level counters (surfaced via PRAGMA).
 	execStats exec.Stats
-	warnMu    sync.Mutex
-	warned    map[string]bool
-}
-
-// warnf logs an engine degradation notice once per kind per database;
-// repeats only count into execStats so hot loops cannot spam the log.
-func (db *Database) warnf(format string, args ...any) {
-	db.warnMu.Lock()
-	if db.warned[format] {
-		db.warnMu.Unlock()
-		return
-	}
-	if db.warned == nil {
-		db.warned = make(map[string]bool)
-	}
-	db.warned[format] = true
-	db.warnMu.Unlock()
-	log.Printf("quack: "+format, args...)
 }
 
 // Open opens or creates a database.
@@ -106,6 +89,9 @@ func Open(cfg Config) (*Database, error) {
 	}
 	if cfg.Threads <= 0 {
 		cfg.Threads = defaultThreads()
+	}
+	if cfg.MemoryLimit == 0 {
+		cfg.MemoryLimit = defaultMemoryLimit()
 	}
 	tester := memtest.NewTester(nil)
 	pool := buffer.NewPool(cfg.MemoryLimit, tester)
@@ -209,6 +195,26 @@ func defaultThreads() int {
 		fmt.Fprintf(os.Stderr, "quack: ignoring invalid QUACK_THREADS=%q\n", env)
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// defaultMemoryLimit resolves the engine-wide default memory budget:
+// the QUACK_MEMORY_LIMIT environment variable (a byte size such as
+// "64MB") when set, unlimited otherwise. Like QUACK_THREADS it exists
+// for harnesses — the CI differential matrix runs a budgeted leg that
+// forces the operator spill paths on every push.
+func defaultMemoryLimit() int64 {
+	env := os.Getenv("QUACK_MEMORY_LIMIT")
+	if env == "" {
+		return 0
+	}
+	bytes, err := parseByteSize(env)
+	if err != nil || bytes <= 0 {
+		// A set-but-unusable value is a harness misconfiguration; say so
+		// instead of silently running an unlimited leg twice.
+		fmt.Fprintf(os.Stderr, "quack: ignoring invalid QUACK_MEMORY_LIMIT=%q\n", env)
+		return 0
+	}
+	return bytes
 }
 
 // WALSize returns the current WAL size in bytes (0 for in-memory).

@@ -214,7 +214,6 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 		JoinStrategy: s.JoinStrategy,
 		Threads:      s.threads(),
 		Stats:        &s.db.execStats,
-		Warnf:        s.db.warnf,
 	}
 }
 
@@ -481,13 +480,12 @@ func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, e
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		out.AppendRow(types.NewVarchar(line))
 	}
-	// Surface the parallel-aggregation budget fallback: with an enforced
-	// memory_limit a morsel-parallel aggregate runs on 1 worker
-	// regardless of PRAGMA threads (thread-local tables would multiply
-	// the budget).
-	if s.threads() > 1 && s.db.pool.Limit() > 0 && exec.AggDegradesUnderBudget(node) {
+	// Surface how aggregation cooperates with an enforced memory_limit:
+	// partitions whose accumulator states outgrow the budget spill to
+	// sorted state runs and merge back at finish — at full parallelism.
+	if s.db.pool.Limit() > 0 && exec.HasAggregate(node) {
 		out.AppendRow(types.NewVarchar(
-			"NOTE: parallel aggregation runs on 1 worker under memory_limit (see PRAGMA parallel_agg_fallbacks)"))
+			"NOTE: aggregation spills partition-wise under memory_limit (see PRAGMA agg_spill_partitions)"))
 	}
 	return &Result{
 		Columns: []string{"plan"},
@@ -551,10 +549,19 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 		return readback(strconv.FormatInt(s.db.WALSize(), 10)), nil
 	case "memory_used":
 		return readback(strconv.FormatInt(s.db.pool.Used(), 10)), nil
+	case "agg_spill_partitions":
+		// Aggregation partition-spill events under memory_limit (each is
+		// one partition's states written to a sorted state run).
+		return readback(strconv.FormatInt(s.db.execStats.AggSpillPartitions.Load(), 10)), nil
+	case "agg_spilled_bytes":
+		// Total bytes written to aggregation state runs.
+		return readback(strconv.FormatInt(s.db.execStats.AggSpilledBytes.Load(), 10)), nil
 	case "parallel_agg_fallbacks":
-		// How many parallel aggregations degraded to one worker because
-		// an enforced memory_limit would multiply by the worker count.
-		return readback(strconv.FormatInt(s.db.execStats.AggBudgetFallbacks.Load(), 10)), nil
+		// Deprecated (kept one release for embedders' dashboards):
+		// budgeted parallel aggregation no longer degrades to one worker
+		// — it spills partition-wise instead (see agg_spill_partitions)
+		// — so the fallback counter is always 0.
+		return readback("0"), nil
 	default:
 		return nil, fmt.Errorf("unknown PRAGMA %q", st.Name)
 	}

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/plan"
@@ -14,9 +13,28 @@ type aggState struct {
 	groupKey []types.Value // materialized group column values
 	accs     []accumulator
 	// firstPos is the packed (morsel, row) position where the group was
-	// first seen; the parallel aggregate orders its merged output by it
-	// to reproduce the single-threaded first-seen emission order.
+	// first seen; emission orders the merged groups by it to reproduce
+	// the single-threaded first-seen order.
 	firstPos int64
+	// touch is seq+1 of the last morsel that updated the group. A state
+	// touched by the in-flight morsel is never spilled: spilling it would
+	// split that morsel's DOUBLE subtotal across two partials and change
+	// the reduction tree (see agg_spill.go).
+	touch int64
+	// accounted is the budget charged beyond the flat per-group estimate
+	// (per-morsel DOUBLE subtotals, DISTINCT sets).
+	accounted int64
+}
+
+// extraBytes estimates the state's accumulator growth beyond the flat
+// per-group estimate.
+func (st *aggState) extraBytes() int64 {
+	var n int64
+	for j := range st.accs {
+		acc := &st.accs[j]
+		n += int64(len(acc.subF))*16 + acc.distBytes
+	}
+	return n
 }
 
 // accumulator is one aggregate's running state.
@@ -41,7 +59,9 @@ type accumulator struct {
 	// folds the set in sorted-key order. That makes worker partials
 	// mergeable by plain set union, and the fold order — hence the
 	// DOUBLE reduction tree — deterministic at every thread count.
-	distinct map[string]struct{}
+	// distBytes tracks the set's estimated footprint for the budget.
+	distinct  map[string]struct{}
+	distBytes int64
 }
 
 // fsub is one morsel's DOUBLE subtotal.
@@ -89,21 +109,20 @@ func (a *accumulator) foldSubF() {
 }
 
 // aggOp is the blocking hash aggregation operator. On the first Next it
-// drains its child, building a hash table keyed by the encoded group
-// columns, then streams the result groups. Accumulation is vectorized:
-// group states are resolved for a whole chunk first, then each aggregate
-// runs a tight typed loop over the chunk (the per-value switch is hoisted
-// out of the row loop).
+// drains its child, accumulating into a partitioned hash table (see
+// agg_spill.go: under an enforced memory budget the table spills
+// partitions to sorted state runs instead of failing), then streams the
+// merged groups in first-seen order. Accumulation is vectorized: group
+// states are resolved for a whole chunk first, then each aggregate runs
+// a tight typed loop over the chunk (the per-value switch is hoisted out
+// of the row loop).
 type aggOp struct {
 	child Operator
 	node  *plan.AggNode
 
-	groups   map[string]*aggState
-	order    []string // emission order (first-seen)
-	stBuf    []*aggState
-	emitPos  int
-	built    bool
-	reserved int64
+	table *aggTable
+	fin   *aggFinish
+	built bool
 }
 
 func newAggOp(child Operator, n *plan.AggNode) *aggOp {
@@ -111,11 +130,9 @@ func newAggOp(child Operator, n *plan.AggNode) *aggOp {
 }
 
 func (a *aggOp) Open(ctx *Context) error {
-	a.groups = make(map[string]*aggState)
-	a.order = nil
-	a.emitPos = 0
+	a.table = nil
+	a.fin = nil
 	a.built = false
-	a.reserved = 0
 	return a.child.Open(ctx)
 }
 
@@ -126,32 +143,12 @@ func (a *aggOp) Next(ctx *Context) (*vector.Chunk, error) {
 		}
 		a.built = true
 	}
-	if a.emitPos >= len(a.order) {
-		return nil, nil
-	}
-	out := vector.NewChunk(schemaTypes(a.node.Schema()))
-	ng := len(a.node.GroupBy)
-	for a.emitPos < len(a.order) && out.Len() < vector.ChunkCapacity {
-		st := a.groups[a.order[a.emitPos]]
-		a.emitPos++
-		row := out.Len()
-		out.SetLen(row + 1)
-		for i, gv := range st.groupKey {
-			out.Cols[i].Set(row, gv)
-		}
-		for j, spec := range a.node.Aggs {
-			out.Cols[ng+j].Set(row, finishAgg(spec, &st.accs[j]))
-		}
-	}
-	return out, nil
+	return a.fin.next()
 }
 
 func (a *aggOp) build(ctx *Context) error {
-	ng := len(a.node.GroupBy)
-	na := len(a.node.Aggs)
-	rowEstimate := keyBytesEstimate(groupTypes(a.node)) + int64(na)*48 + 64
-	var keyBuf []byte
-	var chunkSeq int64
+	a.table = newAggTable(ctx, a.node, false, 1)
+	var chunkSeq int
 	for {
 		chunk, err := a.child.Next(ctx)
 		if err != nil {
@@ -160,82 +157,16 @@ func (a *aggOp) build(ctx *Context) error {
 		if chunk == nil {
 			break
 		}
-		n := chunk.Len()
-		groupVecs := make([]*vector.Vector, ng)
-		for i, g := range a.node.GroupBy {
-			v, err := g.Eval(chunk)
-			if err != nil {
-				return err
-			}
-			groupVecs[i] = v
-		}
-		argVecs := make([]*vector.Vector, na)
-		for j, spec := range a.node.Aggs {
-			if spec.Arg != nil {
-				v, err := spec.Arg.Eval(chunk)
-				if err != nil {
-					return err
-				}
-				argVecs[j] = v
-			}
-		}
-		if cap(a.stBuf) < n {
-			a.stBuf = make([]*aggState, n)
-		}
-		states := a.stBuf[:n]
-		for r := 0; r < n; r++ {
-			keyBuf = encodeKeyRow(keyBuf[:0], groupVecs, r)
-			// map lookup with string(bytes) is allocation-free; the key
-			// is only materialized for new groups.
-			st, ok := a.groups[string(keyBuf)]
-			if !ok {
-				key := string(keyBuf)
-				if ctx.Pool != nil {
-					if err := ctx.Pool.Reserve(rowEstimate); err != nil {
-						return fmt.Errorf("aggregation exceeded memory budget: %w", err)
-					}
-					a.reserved += rowEstimate
-				}
-				st = &aggState{
-					groupKey: make([]types.Value, ng),
-					accs:     make([]accumulator, na),
-				}
-				for i := range groupVecs {
-					st.groupKey[i] = groupVecs[i].Get(r)
-				}
-				for j, spec := range a.node.Aggs {
-					if spec.Distinct {
-						st.accs[j].distinct = make(map[string]struct{})
-					}
-				}
-				a.groups[key] = st
-				a.order = append(a.order, key)
-			}
-			states[r] = st
-		}
-		for j, spec := range a.node.Aggs {
-			updateAggChunk(spec, j, states, argVecs[j], chunkSeq, false)
+		if err := a.table.accumulate(ctx, chunkSeq, chunk); err != nil {
+			return err
 		}
 		chunkSeq++
 	}
-	// Fold the pending per-chunk DOUBLE subtotals.
-	for _, st := range a.groups {
-		for j := range st.accs {
-			st.accs[j].flushF(false)
-		}
+	fin, err := finishAggTables(ctx, a.node, []*aggTable{a.table})
+	if err != nil {
+		return err
 	}
-	// A global aggregation (no GROUP BY) over zero rows still yields
-	// one row: count = 0, other aggregates NULL.
-	if ng == 0 && len(a.order) == 0 {
-		st := &aggState{accs: make([]accumulator, na)}
-		for j, spec := range a.node.Aggs {
-			if spec.Distinct {
-				st.accs[j].distinct = make(map[string]struct{})
-			}
-		}
-		a.groups[""] = st
-		a.order = append(a.order, "")
-	}
+	a.fin = fin
 	return nil
 }
 
@@ -332,7 +263,11 @@ func updateAgg(spec plan.AggSpec, acc *accumulator, arg *vector.Vector, r int) {
 		return
 	}
 	if acc.distinct != nil {
-		acc.distinct[string(encodeKeyRow(nil, []*vector.Vector{arg}, r))] = struct{}{}
+		k := string(encodeKeyRow(nil, []*vector.Vector{arg}, r))
+		if _, ok := acc.distinct[k]; !ok {
+			acc.distinct[k] = struct{}{}
+			acc.distBytes += int64(len(k)) + 16
+		}
 		return
 	}
 	switch spec.Func {
@@ -473,11 +408,13 @@ func finishDistinct(spec plan.AggSpec, acc *accumulator) types.Value {
 }
 
 func (a *aggOp) Close(ctx *Context) {
-	if ctx.Pool != nil && a.reserved > 0 {
-		ctx.Pool.Release(a.reserved)
-		a.reserved = 0
+	if a.fin != nil {
+		a.fin.close()
+		a.fin = nil
 	}
-	a.groups = nil
-	a.order = nil
+	if a.table != nil {
+		a.table.close()
+		a.table = nil
+	}
 	a.child.Close(ctx)
 }

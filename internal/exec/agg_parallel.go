@@ -1,9 +1,6 @@
 package exec
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/plan"
 	"repro/internal/table"
 	"repro/internal/types"
@@ -12,42 +9,36 @@ import (
 
 // parAggOp is the parallel hash aggregation pipeline breaker: each
 // worker of the child pipeline accumulates into its own thread-local
-// hash table (no sharing, no locks on the hot path), and the partials
-// are merged once when the pipeline drains. Every group records the
-// packed (morsel, row) position of its first appearance; merging keeps
-// the minimum, and emission sorts by it — reproducing exactly the
+// partitioned hash table (no sharing, no locks on the hot path), and the
+// partials are merged once when the pipeline drains. Every group records
+// the packed (morsel, row) position of its first appearance; merging
+// keeps the minimum, and emission orders by it — reproducing exactly the
 // first-seen group order of the single-threaded aggregate. DISTINCT
 // aggregates accumulate only their per-group value sets, which merge by
 // set union and fold deterministically at finish.
+//
+// Under an enforced memory budget the workers spill partitions to
+// sorted state runs and the finish phase merges resident partials with
+// the runs partition-by-partition across ctx.Threads workers (see
+// agg_spill.go) — the memory envelope stays bounded at every worker
+// count, so a budget no longer degrades the aggregation to one worker.
 type parAggOp struct {
 	scan *parScanOp
 	node *plan.AggNode
 
-	groups   map[string]*aggState
-	order    []string
-	emitPos  int
-	built    bool
-	reserved int64
+	tables []*aggTable
+	fin    *aggFinish
+	built  bool
 }
 
 func newParAggOp(spec *pipelineSpec, n *plan.AggNode) *parAggOp {
 	return &parAggOp{scan: newParScanOp(spec), node: n}
 }
 
-// aggWorker is one worker's thread-local accumulation state.
-type aggWorker struct {
-	groups   map[string]*aggState
-	keyBuf   []byte
-	stBuf    []*aggState
-	reserved int64
-}
-
 func (a *parAggOp) Open(ctx *Context) error {
-	a.groups = make(map[string]*aggState)
-	a.order = nil
-	a.emitPos = 0
+	a.tables = nil
+	a.fin = nil
 	a.built = false
-	a.reserved = 0
 	return nil
 }
 
@@ -58,176 +49,54 @@ func (a *parAggOp) Next(ctx *Context) (*vector.Chunk, error) {
 		}
 		a.built = true
 	}
-	if a.emitPos >= len(a.order) {
-		return nil, nil
-	}
-	out := vector.NewChunk(schemaTypes(a.node.Schema()))
-	ng := len(a.node.GroupBy)
-	for a.emitPos < len(a.order) && out.Len() < vector.ChunkCapacity {
-		st := a.groups[a.order[a.emitPos]]
-		a.emitPos++
-		row := out.Len()
-		out.SetLen(row + 1)
-		for i, gv := range st.groupKey {
-			out.Cols[i].Set(row, gv)
-		}
-		for j, spec := range a.node.Aggs {
-			out.Cols[ng+j].Set(row, finishAgg(spec, &st.accs[j]))
-		}
-	}
-	return out, nil
+	return a.fin.next()
 }
 
 func (a *parAggOp) build(ctx *Context) error {
-	ng := len(a.node.GroupBy)
-	na := len(a.node.Aggs)
-	rowEstimate := keyBytesEstimate(groupTypes(a.node)) + int64(na)*48 + 64
-
-	// Thread-local hash tables genuinely hold up to workers×groups
-	// states, so under an enforced memory budget a query that fits at
-	// threads=1 could fail at N. Keep the budgeted envelope identical
-	// to the sequential engine by running one worker; graceful
-	// degradation (spilling partials) is a ROADMAP item. The fallback
-	// is surfaced, not silent: it counts into the database stats
-	// (PRAGMA parallel_agg_fallbacks), is noted by EXPLAIN, and warns.
-	if ctx.Pool != nil && ctx.Pool.Limit() > 0 {
-		a.scan.limitWorkers = 1
-		if ctx.Threads > 1 {
-			if ctx.Stats != nil {
-				ctx.Stats.AggBudgetFallbacks.Add(1)
-			}
-			if ctx.Warnf != nil {
-				ctx.Warnf("parallel aggregation fell back to 1 worker under memory_limit (thread-local tables would need workers x groups states); see PRAGMA parallel_agg_fallbacks")
-			}
-		}
+	// Open the source first so the worker count (bounded by morsels) is
+	// known and each table's proactive-shed share of the budget reflects
+	// the actual number of sibling tables.
+	if err := a.scan.Open(ctx); err != nil {
+		return err
 	}
-
+	workers := a.scan.workerCount(ctx)
 	// mkSink runs on the coordinating goroutine, and the partials are
 	// only read back after consume has joined every worker, so the
-	// workers slice needs no locking.
-	var workers []*aggWorker
+	// tables slice needs no locking.
 	_, err := a.scan.consume(ctx, func(w int) func(int, *vector.Chunk) error {
-		aw := &aggWorker{groups: make(map[string]*aggState)}
-		workers = append(workers, aw)
+		t := newAggTable(ctx, a.node, true, workers)
+		a.tables = append(a.tables, t)
 		return func(seq int, chunk *vector.Chunk) error {
-			return a.accumulate(ctx, aw, seq, chunk, rowEstimate)
+			return t.accumulate(ctx, seq, chunk)
 		}
 	})
-	for _, aw := range workers {
-		a.reserved += aw.reserved
-	}
 	if err != nil {
 		return err
 	}
-
-	// Merge the thread-local partials, keeping the earliest first-seen
-	// position per group. Pending DOUBLE subtotals are first flushed to
-	// the workers' per-morsel lists, then folded in morsel order below —
-	// the same reduction tree the sequential aggregate evaluates.
-	for _, aw := range workers {
-		for _, st := range aw.groups {
-			for j := range st.accs {
-				st.accs[j].flushF(true)
-			}
-		}
+	fin, err := finishAggTables(ctx, a.node, a.tables)
+	if err != nil {
+		return err
 	}
-	for _, aw := range workers {
-		for key, st := range aw.groups {
-			dst, ok := a.groups[key]
-			if !ok {
-				a.groups[key] = st
-				continue
-			}
-			if st.firstPos < dst.firstPos {
-				dst.firstPos = st.firstPos
-			}
-			for j := range a.node.Aggs {
-				mergeAccumulator(a.node.Aggs[j], &dst.accs[j], &st.accs[j])
-			}
-		}
-	}
-	for _, st := range a.groups {
-		for j := range st.accs {
-			st.accs[j].foldSubF()
-		}
-	}
-	a.order = make([]string, 0, len(a.groups))
-	for key := range a.groups {
-		a.order = append(a.order, key)
-	}
-	sort.Slice(a.order, func(i, j int) bool {
-		return a.groups[a.order[i]].firstPos < a.groups[a.order[j]].firstPos
-	})
-
-	// A global aggregation (no GROUP BY) over zero rows still yields
-	// one row: count = 0, other aggregates NULL.
-	if ng == 0 && len(a.order) == 0 {
-		a.groups[""] = &aggState{accs: make([]accumulator, na)}
-		a.order = append(a.order, "")
-	}
+	a.fin = fin
 	return nil
 }
 
-// accumulate folds one morsel's chunk into the worker's partial state.
-// It mirrors the sequential aggregate's build loop.
-func (a *parAggOp) accumulate(ctx *Context, aw *aggWorker, seq int, chunk *vector.Chunk, rowEstimate int64) error {
-	ng := len(a.node.GroupBy)
-	na := len(a.node.Aggs)
-	n := chunk.Len()
-	groupVecs := make([]*vector.Vector, ng)
-	for i, g := range a.node.GroupBy {
-		v, err := g.Eval(chunk)
-		if err != nil {
-			return err
-		}
-		groupVecs[i] = v
+// workerRows reports rows accumulated per build worker (test hook).
+func (a *parAggOp) workerRows() []int64 {
+	out := make([]int64, len(a.tables))
+	for i, t := range a.tables {
+		out[i] = t.rows
 	}
-	argVecs := make([]*vector.Vector, na)
-	for j, spec := range a.node.Aggs {
-		if spec.Arg != nil {
-			v, err := spec.Arg.Eval(chunk)
-			if err != nil {
-				return err
-			}
-			argVecs[j] = v
-		}
+	return out
+}
+
+// mergeGroups reports groups merged per finish worker on the spilled
+// path (test hook; nil when the finish ran in memory).
+func (a *parAggOp) mergeGroups() []int64 {
+	if a.fin == nil {
+		return nil
 	}
-	if cap(aw.stBuf) < n {
-		aw.stBuf = make([]*aggState, n)
-	}
-	states := aw.stBuf[:n]
-	for r := 0; r < n; r++ {
-		aw.keyBuf = encodeKeyRow(aw.keyBuf[:0], groupVecs, r)
-		st, ok := aw.groups[string(aw.keyBuf)]
-		if !ok {
-			key := string(aw.keyBuf)
-			if ctx.Pool != nil {
-				if err := ctx.Pool.Reserve(rowEstimate); err != nil {
-					return fmt.Errorf("aggregation exceeded memory budget: %w", err)
-				}
-				aw.reserved += rowEstimate
-			}
-			st = &aggState{
-				groupKey: make([]types.Value, ng),
-				accs:     make([]accumulator, na),
-				firstPos: packAggPos(seq, r),
-			}
-			for i := range groupVecs {
-				st.groupKey[i] = groupVecs[i].Get(r)
-			}
-			for j, spec := range a.node.Aggs {
-				if spec.Distinct {
-					st.accs[j].distinct = make(map[string]struct{})
-				}
-			}
-			aw.groups[key] = st
-		}
-		states[r] = st
-	}
-	for j, spec := range a.node.Aggs {
-		updateAggChunk(spec, j, states, argVecs[j], int64(seq), true)
-	}
-	return nil
+	return a.fin.mergeGroups
 }
 
 // packAggPos packs a (sequence, row) pair into one ordered int64. The
@@ -250,9 +119,13 @@ func mergeAccumulator(spec plan.AggSpec, dst, src *accumulator) {
 	if src.distinct != nil {
 		if dst.distinct == nil {
 			dst.distinct = src.distinct
+			dst.distBytes = src.distBytes
 		} else {
 			for k := range src.distinct {
-				dst.distinct[k] = struct{}{}
+				if _, ok := dst.distinct[k]; !ok {
+					dst.distinct[k] = struct{}{}
+					dst.distBytes += int64(len(k)) + 16
+				}
 			}
 		}
 		return
@@ -274,11 +147,13 @@ func mergeAccumulator(spec plan.AggSpec, dst, src *accumulator) {
 }
 
 func (a *parAggOp) Close(ctx *Context) {
-	if ctx.Pool != nil && a.reserved > 0 {
-		ctx.Pool.Release(a.reserved)
-		a.reserved = 0
+	if a.fin != nil {
+		a.fin.close()
+		a.fin = nil
 	}
-	a.groups = nil
-	a.order = nil
+	for _, t := range a.tables {
+		t.close()
+	}
+	a.tables = nil
 	a.scan.Close(ctx)
 }

@@ -1,0 +1,372 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// mkAggNode builds
+//
+//	SELECT v / div, count(*), sum(v), sum(v * 0.25), min(v), count(DISTINCT v % 17)
+//	FROM t GROUP BY v / div
+//
+// over the single-column fact table: an integer sum, a DOUBLE sum (the
+// reduction-tree-sensitive case) and a DISTINCT set all in one node.
+// Dividing (rather than modding) the sequential v keeps the number of
+// distinct groups per morsel bounded by SegRows/div — states the
+// in-flight morsel touches can never spill, so a tiny budget must still
+// exceed workers x (groups per morsel) x rowEstimate.
+func mkAggNode(t *testing.T, n, div int, mgr *txn.Manager) *plan.AggNode {
+	t.Helper()
+	entry := buildFactTable(t, mgr, n)
+	col := func() expr.Expr { return &expr.ColRef{Idx: 0, Typ: types.BigInt} }
+	mod := func(m int64) expr.Expr {
+		return &expr.Arith{Op: expr.OpMod, L: col(), R: &expr.Const{Val: types.NewBigInt(m)}, Typ: types.BigInt}
+	}
+	dbl := &expr.Arith{
+		Op:  expr.OpMul,
+		L:   &expr.CastExpr{X: col(), To: types.Double},
+		R:   &expr.Const{Val: types.NewDouble(0.25)},
+		Typ: types.Double,
+	}
+	grp := &expr.Arith{Op: expr.OpDiv, L: col(), R: &expr.Const{Val: types.NewBigInt(int64(div))}, Typ: types.BigInt}
+	return &plan.AggNode{
+		Child:   &plan.ScanNode{Table: entry, Columns: []int{0}},
+		GroupBy: []expr.Expr{grp},
+		Names:   []string{"g"},
+		Aggs: []plan.AggSpec{
+			{Func: "count", Type: types.BigInt, Name: "c"},
+			{Func: "sum", Arg: col(), Type: types.BigInt, Name: "s"},
+			{Func: "sum", Arg: dbl, Type: types.Double, Name: "sf"},
+			{Func: "min", Arg: col(), Type: types.BigInt, Name: "m"},
+			{Func: "count", Arg: mod(17), Distinct: true, Type: types.BigInt, Name: "cd"},
+		},
+	}
+}
+
+func renderAgg(t *testing.T, node plan.Node, ctx *Context) string {
+	t.Helper()
+	op, err := BuildParallel(node, ctx.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for _, c := range collectAll(t, ctx, op) {
+		for r := 0; r < c.Len(); r++ {
+			out += fmt.Sprint(c.Row(r), ";")
+		}
+	}
+	return out
+}
+
+// TestAggSpillMatchesUnbudgeted: a budget tight enough to force
+// multi-round spills must not change a single output bit — values, row
+// order and DOUBLE reduction trees — at any thread count.
+func TestAggSpillMatchesUnbudgeted(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	node := mkAggNode(t, 60_000, 8, mgr)
+	want := renderAgg(t, node, &Context{Txn: mgr.Begin(), Threads: 1, TmpDir: t.TempDir()})
+	for _, threads := range []int{1, 2, 8} {
+		pool := buffer.NewPool(1<<20, nil)
+		ctx := &Context{Txn: mgr.Begin(), Threads: threads, Pool: pool, TmpDir: t.TempDir(), Stats: &Stats{}}
+		got := renderAgg(t, node, ctx)
+		if got != want {
+			t.Fatalf("threads=%d budgeted aggregation diverges:\n got: %.300s\nwant: %.300s", threads, got, want)
+		}
+		if threads > 1 && ctx.Stats.AggSpillPartitions.Load() == 0 {
+			t.Fatalf("threads=%d: no partition spills under a 1MB budget over ~7500 groups", threads)
+		}
+		if used := pool.Used(); used != 0 {
+			t.Fatalf("threads=%d: %d bytes still reserved after Close", threads, used)
+		}
+	}
+}
+
+// TestParAggSpillUsesWorkers: under an enforced budget the parallel
+// aggregation must keep fanning out — the old engine degraded to one
+// worker — and must take the spilled partition-merge finish. Asserted
+// via worker row counters, as the merge split was in PR 4 (the dev
+// container is 1-CPU, so wall clock proves nothing).
+func TestParAggSpillUsesWorkers(t *testing.T) {
+	const rows = 60_000
+	mgr := txn.NewManager(nil)
+	node := mkAggNode(t, rows, 8, mgr)
+	op, err := BuildParallel(node, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, ok := op.(*parAggOp)
+	if !ok {
+		t.Fatalf("built %T, want *parAggOp", op)
+	}
+	pool := buffer.NewPool(1<<20, nil)
+	ctx := &Context{Txn: mgr.Begin(), Threads: 8, Pool: pool, TmpDir: t.TempDir(), Stats: &Stats{}}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	groups := 0
+	for {
+		c, err := op.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			break
+		}
+		groups += c.Len()
+	}
+	workerRows := pa.workerRows()
+	mergeGroups := pa.mergeGroups()
+	op.Close(ctx)
+	if groups != 7500 {
+		t.Fatalf("emitted %d groups, want 7500", groups)
+	}
+	busy := 0
+	var total int64
+	for _, n := range workerRows {
+		if n > 0 {
+			busy++
+		}
+		total += n
+	}
+	if busy < 2 {
+		t.Fatalf("budgeted aggregation accumulated on %d workers (%v), want >= 2", busy, workerRows)
+	}
+	if total != rows {
+		t.Fatalf("workers accumulated %d rows total, want %d (%v)", total, rows, workerRows)
+	}
+	if mergeGroups == nil {
+		t.Fatal("finish took the in-memory path; expected the spilled partition merge")
+	}
+	mergeBusy, mergeTotal := 0, int64(0)
+	for _, n := range mergeGroups {
+		if n > 0 {
+			mergeBusy++
+		}
+		mergeTotal += n
+	}
+	if mergeBusy < 2 {
+		t.Fatalf("partition merge ran on %d finish workers (%v), want >= 2", mergeBusy, mergeGroups)
+	}
+	if mergeTotal != 7500 {
+		t.Fatalf("finish workers merged %d groups, want 7500 (%v)", mergeTotal, mergeGroups)
+	}
+	if ctx.Stats.AggSpillPartitions.Load() == 0 {
+		t.Fatal("no spill events recorded")
+	}
+}
+
+// TestAggSpillEarlyCloseNoLeak: closing a budgeted aggregation before
+// draining it must release every pool reservation and every spill-file
+// fd — state runs and the finish phase's output-sorter runs alike
+// (mirroring the PR 4 extsort early-close test).
+func TestAggSpillEarlyCloseNoLeak(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	node := mkAggNode(t, 60_000, 8, mgr)
+	op, err := BuildParallel(node, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := op.(*parAggOp)
+	pool := buffer.NewPool(1<<20, nil)
+	ctx := &Context{Txn: mgr.Begin(), Threads: 4, Pool: pool, TmpDir: t.TempDir(), Stats: &Stats{}}
+	if err := op.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// One Next builds (accumulate + spill + merge) and emits the first
+	// chunk; then abandon the stream.
+	if _, err := op.Next(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var files []*os.File
+	nruns := 0
+	for _, tbl := range pa.tables {
+		for p := range tbl.parts {
+			nruns += len(tbl.parts[p].runs)
+		}
+		if tbl.spillFile != nil {
+			files = append(files, tbl.spillFile.File())
+		}
+	}
+	if nruns == 0 || len(files) == 0 {
+		t.Fatal("no state runs spilled; the fixture no longer exercises the spill path")
+	}
+	op.Close(ctx)
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("early close leaked %d reserved bytes", used)
+	}
+	for _, f := range files {
+		if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+			t.Fatalf("state-run file still open after Close (close returned %v)", err)
+		}
+	}
+}
+
+// TestAggStateCodecRoundtrip: the spilled-state codec must preserve the
+// exact accumulator contents — DOUBLE subtotal leaves bit for bit,
+// DISTINCT sets, min/max values — across a round trip.
+func TestAggStateCodecRoundtrip(t *testing.T) {
+	col := &expr.ColRef{Idx: 0, Typ: types.Double}
+	aggs := []plan.AggSpec{
+		{Func: "count", Type: types.BigInt},
+		{Func: "sum", Arg: col, Type: types.Double},
+		{Func: "min", Arg: col, Type: types.Double},
+		{Func: "sum", Arg: col, Distinct: true, Type: types.Double},
+	}
+	st := &aggState{accs: make([]accumulator, len(aggs)), firstPos: packAggPos(7, 42)}
+	st.accs[0].count = 12345
+	st.accs[1].count = 3
+	st.accs[1].subF = []fsub{{seq: 2, sum: 0.1 + 0.2}, {seq: 9, sum: math.Inf(-1)}, {seq: 11, sum: math.NaN()}}
+	st.accs[2].bestSet = true
+	st.accs[2].best = types.NewDouble(-0.0)
+	st.accs[3].distinct = map[string]struct{}{}
+	for _, v := range []float64{1.5, -2.25, math.NaN()} {
+		k := string(encodeValueKey(nil, types.NewDouble(v)))
+		st.accs[3].distinct[k] = struct{}{}
+		st.accs[3].distBytes += int64(len(k)) + 16
+	}
+
+	payload := encodeAggState(nil, st, aggs)
+	got, err := decodeAggState(payload, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.firstPos != st.firstPos {
+		t.Fatalf("firstPos = %d, want %d", got.firstPos, st.firstPos)
+	}
+	if got.accs[0].count != 12345 {
+		t.Fatalf("count = %d", got.accs[0].count)
+	}
+	if len(got.accs[1].subF) != 3 {
+		t.Fatalf("subF = %v", got.accs[1].subF)
+	}
+	for i, s := range got.accs[1].subF {
+		if s.seq != st.accs[1].subF[i].seq ||
+			math.Float64bits(s.sum) != math.Float64bits(st.accs[1].subF[i].sum) {
+			t.Fatalf("subF[%d] = %+v, want %+v", i, s, st.accs[1].subF[i])
+		}
+	}
+	if !got.accs[2].bestSet || math.Float64bits(got.accs[2].best.F64) != math.Float64bits(-0.0) {
+		t.Fatalf("best = %+v", got.accs[2].best)
+	}
+	if len(got.accs[3].distinct) != 3 || got.accs[3].distBytes != st.accs[3].distBytes {
+		t.Fatalf("distinct = %v (%d bytes)", got.accs[3].distinct, got.accs[3].distBytes)
+	}
+	// Truncated payloads must error, not panic.
+	for cut := 0; cut < len(payload); cut += 3 {
+		if _, err := decodeAggState(payload[:cut], aggs); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
+
+// TestDecodeGroupKeyRoundtrip: decodeGroupKey must invert encodeKeyRow
+// for every group-key type, including NULLs, empty strings and NaN.
+func TestDecodeGroupKeyRoundtrip(t *testing.T) {
+	ts := []types.Type{types.Boolean, types.Integer, types.BigInt, types.Double, types.Varchar, types.Timestamp}
+	rows := [][]types.Value{
+		{types.NewBool(true), types.NewInt(-7), types.NewBigInt(1 << 40), types.NewDouble(math.NaN()), types.NewVarchar("héllo"), types.NewTimestamp(99)},
+		{types.NewNull(types.Boolean), types.NewNull(types.Integer), types.NewNull(types.BigInt), types.NewDouble(-0.0), types.NewVarchar(""), types.NewNull(types.Timestamp)},
+	}
+	for _, row := range rows {
+		vecs := make([]*vector.Vector, len(ts))
+		for i, typ := range ts {
+			vecs[i] = vector.New(typ, 1)
+			vecs[i].SetLen(1)
+			vecs[i].Set(0, row[i])
+		}
+		key := encodeKeyRow(nil, vecs, 0)
+		vals, err := decodeGroupKey(string(key), ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(vals) != fmt.Sprint(row) {
+			t.Fatalf("roundtrip: got %v, want %v", vals, row)
+		}
+		// Truncations must error, not panic.
+		for cut := 0; cut < len(key); cut += 2 {
+			if _, err := decodeGroupKey(string(key[:cut]), ts); err == nil {
+				t.Fatalf("truncated key (%d bytes) decoded cleanly", cut)
+			}
+		}
+	}
+}
+
+// TestAggSpillRunCorruptionPropagates: a corrupted state run must
+// surface as a query error from the finish merge, and Close must still
+// release every file and reservation afterwards.
+func TestAggSpillRunCorruptionPropagates(t *testing.T) {
+	mgr := txn.NewManager(nil)
+	node := mkAggNode(t, 60_000, 8, mgr)
+	pool := buffer.NewPool(1<<20, nil)
+	ctx := &Context{Txn: mgr.Begin(), Threads: 1, Pool: pool, TmpDir: t.TempDir(), Stats: &Stats{}}
+
+	// Drive the table directly so corruption lands between spill and
+	// merge: accumulate everything, corrupt one run, then finish.
+	tbl := newAggTable(ctx, node, false, 1)
+	scan, err := Build(node.Child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	for {
+		c, err := scan.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			break
+		}
+		if err := tbl.accumulate(ctx, seq, c); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	scan.Close(ctx)
+	if tbl.spills == 0 || tbl.spillFile == nil {
+		t.Fatal("no runs spilled")
+	}
+	// Corrupt the first run's first block-length header: an absurd size
+	// the cursor must reject.
+	spillF := tbl.spillFile.File()
+	if _, err := spillF.WriteAt([]byte{0xff, 0xff, 0xff, 0x7f}, 0); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := finishAggTables(ctx, node, []*aggTable{tbl})
+	if err == nil {
+		for {
+			c, nerr := fin.next()
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if c == nil {
+				break
+			}
+		}
+		fin.close()
+	}
+	tbl.close()
+	if err == nil {
+		t.Fatal("corrupted state run did not error")
+	}
+	if used := pool.Used(); used != 0 {
+		t.Fatalf("error path leaked %d reserved bytes", used)
+	}
+	if cerr := spillF.Close(); !errors.Is(cerr, os.ErrClosed) {
+		t.Fatalf("spill file left open after error close (close returned %v)", cerr)
+	}
+}

@@ -66,10 +66,13 @@ type Logger interface {
 // for the lifetime of a database and is shared by every query context;
 // the core layer surfaces the counters through PRAGMAs.
 type Stats struct {
-	// AggBudgetFallbacks counts parallel aggregations that degraded to
-	// one worker because an enforced memory budget would otherwise be
-	// multiplied by the worker count (see parAggOp.build).
-	AggBudgetFallbacks atomic.Int64
+	// AggSpillPartitions counts aggregation partition-spill events: a
+	// hash-aggregation partition whose accumulator states were written
+	// to a sorted state run because the memory budget was exceeded.
+	AggSpillPartitions atomic.Int64
+	// AggSpilledBytes totals the bytes written to aggregation state
+	// runs.
+	AggSpilledBytes atomic.Int64
 }
 
 // Context carries per-query execution state.
@@ -80,9 +83,6 @@ type Context struct {
 	TmpDir string
 	// Stats receives engine-level counters when set (database-shared).
 	Stats *Stats
-	// Warnf, when set, receives notices about silent performance
-	// degradations (e.g. the parallel-aggregation budget fallback).
-	Warnf func(format string, args ...any)
 	// JoinStrategy overrides the adaptive join choice (experiments).
 	JoinStrategy JoinStrategy
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
@@ -128,18 +128,16 @@ func BuildParallel(node plan.Node, threads int) (Operator, error) {
 	return build(node, threads)
 }
 
-// AggDegradesUnderBudget reports whether the plan contains an
-// aggregation that a threads>1 build would place on the parallel
-// morsel path (parAggOp) — exactly those degrade to one worker when a
-// memory budget is enforced. Aggregates over joins or other breakers
-// build the sequential operator and never trigger the fallback, so
-// EXPLAIN must not flag them.
-func AggDegradesUnderBudget(node plan.Node) bool {
-	if n, ok := node.(*plan.AggNode); ok && compilePipeline(n.Child) != nil {
+// HasAggregate reports whether the plan contains a hash aggregation.
+// EXPLAIN uses it to note that an enforced memory_limit makes the
+// operator spill partition-wise state runs instead of degrading (the
+// pre-spill engine pinned budgeted parallel aggregation to one worker).
+func HasAggregate(node plan.Node) bool {
+	if _, ok := node.(*plan.AggNode); ok {
 		return true
 	}
 	for _, c := range node.Children() {
-		if AggDegradesUnderBudget(c) {
+		if HasAggregate(c) {
 			return true
 		}
 	}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"repro/internal/types"
@@ -85,6 +86,66 @@ func decodeValueKey(key string, t types.Type) types.Value {
 		return types.NewVarchar(b[4:])
 	}
 	return types.NewNull(t)
+}
+
+// decodeGroupKey decodes a full group key produced by encodeKeyRow back
+// into boxed values (the spilled-aggregation merge rebuilds group
+// columns for states whose in-memory copy was evicted to disk).
+func decodeGroupKey(key string, ts []types.Type) ([]types.Value, error) {
+	vals := make([]types.Value, len(ts))
+	pos := 0
+	fail := func() ([]types.Value, error) {
+		return nil, fmt.Errorf("agg spill: corrupt group key")
+	}
+	for i, t := range ts {
+		if pos >= len(key) {
+			return fail()
+		}
+		if key[pos] == 0 {
+			vals[i] = types.NewNull(t)
+			pos++
+			continue
+		}
+		pos++
+		var width int
+		switch t {
+		case types.Boolean:
+			width = 1
+		case types.Integer:
+			width = 4
+		case types.Varchar:
+			if pos+4 > len(key) {
+				return fail()
+			}
+			width = 4 + int(binary.LittleEndian.Uint32([]byte(key[pos:pos+4])))
+		default:
+			width = 8
+		}
+		if pos+width > len(key) {
+			return fail()
+		}
+		switch t {
+		case types.Boolean:
+			vals[i] = types.NewBool(key[pos] != 0)
+		case types.Integer:
+			vals[i] = types.NewInt(int32(binary.LittleEndian.Uint32([]byte(key[pos : pos+4]))))
+		case types.BigInt:
+			vals[i] = types.NewBigInt(int64(binary.LittleEndian.Uint64([]byte(key[pos : pos+8]))))
+		case types.Timestamp:
+			vals[i] = types.NewTimestamp(int64(binary.LittleEndian.Uint64([]byte(key[pos : pos+8]))))
+		case types.Double:
+			vals[i] = types.NewDouble(math.Float64frombits(binary.LittleEndian.Uint64([]byte(key[pos : pos+8]))))
+		case types.Varchar:
+			vals[i] = types.NewVarchar(key[pos+4 : pos+width])
+		default:
+			return fail()
+		}
+		pos += width
+	}
+	if pos != len(key) {
+		return fail()
+	}
+	return vals, nil
 }
 
 // keyBytesEstimate estimates the per-row key size for pool accounting.

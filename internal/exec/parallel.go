@@ -46,11 +46,6 @@ type parScanOp struct {
 	nmorsel int
 	failed  error
 	started bool
-
-	// limitWorkers caps the pool below ctx.Threads when set (>0). The
-	// parallel aggregate uses it to keep the memory envelope of an
-	// enforced budget equal to the sequential engine's.
-	limitWorkers int
 }
 
 func newParScanOp(spec *pipelineSpec) *parScanOp { return &parScanOp{spec: spec} }
@@ -63,9 +58,6 @@ func (p *parScanOp) attachStages(f ...stageFactory) { p.extra = append(p.extra, 
 // workerCount sizes the pool: no more workers than morsels, at least 1.
 func (p *parScanOp) workerCount(ctx *Context) int {
 	w := ctx.Threads
-	if p.limitWorkers > 0 && w > p.limitWorkers {
-		w = p.limitWorkers
-	}
 	if w > p.nmorsel {
 		w = p.nmorsel
 	}

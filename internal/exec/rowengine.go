@@ -308,6 +308,14 @@ func (s *rowSort) NextRow(ctx *Context) ([]types.Value, error) {
 
 func (s *rowSort) Close(ctx *Context) { s.child.Close(ctx) }
 
+// rowAgg is the tuple-at-a-time hash aggregate. Documented divergence
+// from the vectorized engine: as the E6 ablation baseline it does not
+// enforce the memory budget and never spills — its whole point is to
+// measure the unoptimized per-row execution model, and threading the
+// partitioned spill machinery (agg_spill.go) through it would time that
+// machinery instead. Budgeted workloads belong to the vectorized engine;
+// the differential tests therefore compare the two only on unbudgeted
+// databases.
 type rowAgg struct {
 	child  RowIterator
 	node   *plan.AggNode

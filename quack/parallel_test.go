@@ -96,6 +96,10 @@ var differentialQueries = []string{
 	"SELECT count(*) FROM facts WHERE qty IS NULL",
 	"SELECT grp, count(DISTINCT flag) FROM facts GROUP BY grp",
 	"SELECT sum(DISTINCT qty % 5) FROM facts",
+	// High-cardinality grouping (3750 groups): under the CI matrix's
+	// QUACK_MEMORY_LIMIT leg this is the query that pushes the
+	// aggregation into its partition-spilling path.
+	"SELECT id - id % 8, count(*), sum(price), min(qty) FROM facts GROUP BY 1",
 	// Joins.
 	"SELECT count(*), sum(qty) FROM facts JOIN dims ON id = key",
 	"SELECT grp, count(*) FROM facts JOIN dims ON id = key GROUP BY grp",
@@ -244,12 +248,19 @@ func TestParallelQueryErrorsPropagate(t *testing.T) {
 	}
 }
 
-// TestAggBudgetFallbackSurfaced pins the parallel-aggregation memory
-// fallback's visibility: under an enforced memory_limit a parallel
-// grouped aggregation silently ran on one worker; now the database
-// counts it (PRAGMA parallel_agg_fallbacks) and EXPLAIN calls it out.
-func TestAggBudgetFallbackSurfaced(t *testing.T) {
-	db, err := quack.Open(":memory:", quack.WithThreads(4), quack.WithMemoryLimit(64<<20))
+// TestAggSpillSurfaced pins the visibility of budgeted aggregation:
+// under an enforced memory_limit a grouped aggregation spills
+// partition-wise state runs — the database counts spill events and
+// bytes (PRAGMA agg_spill_partitions / agg_spilled_bytes), EXPLAIN
+// calls the behaviour out, and the deprecated fallback counter reads 0
+// (the one-worker degraded mode is gone; embedders' dashboards keep
+// parsing an integer for one release).
+func TestAggSpillSurfaced(t *testing.T) {
+	// The budget sits well above the floor (the in-flight morsels'
+	// distinct groups, which can never spill) and well below the total
+	// aggregate state (~7MB for 40k distinct groups), so spilling is
+	// certain without starving the accumulation itself.
+	db, err := quack.Open(":memory:", quack.WithThreads(4), quack.WithMemoryLimit(2<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,8 +270,8 @@ func TestAggBudgetFallbackSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 8_000; i++ {
-		if err := app.AppendRow(int64(i%13), int64(i)); err != nil {
+	for i := 0; i < 40_000; i++ {
+		if err := app.AppendRow(int64(i), int64(i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -269,50 +280,51 @@ func TestAggBudgetFallbackSurfaced(t *testing.T) {
 	}
 	const agg = "SELECT g, count(*), sum(v) FROM t GROUP BY g"
 
-	if got := queryAll(t, db, "PRAGMA parallel_agg_fallbacks"); got[0][0] != "0" {
-		t.Fatalf("fallback counter before any aggregation = %s", got[0][0])
+	if got := queryAll(t, db, "PRAGMA agg_spill_partitions"); got[0][0] != "0" {
+		t.Fatalf("spill counter before any aggregation = %s", got[0][0])
 	}
 	plan := queryAll(t, db, "EXPLAIN "+agg)
 	found := false
 	for _, row := range plan {
-		if strings.Contains(row[0], "parallel aggregation runs on 1 worker under memory_limit") {
+		if strings.Contains(row[0], "aggregation spills partition-wise under memory_limit") {
 			found = true
 		}
 	}
 	if !found {
-		t.Fatalf("EXPLAIN does not surface the budget fallback:\n%v", plan)
+		t.Fatalf("EXPLAIN does not surface the spill behaviour:\n%v", plan)
 	}
-	if rows := queryAll(t, db, agg); len(rows) != 13 {
-		t.Fatalf("aggregation returned %d groups, want 13", len(rows))
+	if rows := queryAll(t, db, agg); len(rows) != 40_000 {
+		t.Fatalf("aggregation returned %d groups, want 40000", len(rows))
 	}
-	if got := queryAll(t, db, "PRAGMA parallel_agg_fallbacks"); got[0][0] == "0" {
-		t.Fatal("fallback counter still 0 after a budgeted parallel aggregation")
+	if got := queryAll(t, db, "PRAGMA agg_spill_partitions"); got[0][0] == "0" {
+		t.Fatal("spill counter still 0 after a budgeted aggregation that must spill")
 	}
-
-	// An aggregate that does NOT take the morsel-parallel path (here:
-	// over a join) never triggers the fallback, so EXPLAIN must not
-	// flag it even under a memory limit.
-	for _, row := range queryAll(t, db, "EXPLAIN SELECT a.g, count(*) FROM t a JOIN t b ON a.g = b.g GROUP BY a.g") {
-		if strings.Contains(row[0], "memory_limit") {
-			t.Fatalf("EXPLAIN flags a sequential-path aggregate: %v", row)
-		}
+	if got := queryAll(t, db, "PRAGMA agg_spilled_bytes"); got[0][0] == "0" {
+		t.Fatal("spilled-bytes counter still 0 after a spilling aggregation")
+	}
+	// The deprecated fallback counter reads 0 forever.
+	if got := queryAll(t, db, "PRAGMA parallel_agg_fallbacks"); got[0][0] != "0" {
+		t.Fatalf("deprecated parallel_agg_fallbacks = %s, want 0", got[0][0])
 	}
 
-	// Without a memory limit the fallback must not trigger or be noted.
+	// Without a memory limit nothing spills and EXPLAIN stays silent.
 	db2, err := quack.Open(":memory:", quack.WithThreads(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db2.Close()
+	// An explicitly unlimited database must ignore any harness-set
+	// QUACK_MEMORY_LIMIT; force that regardless of the test environment.
+	mustExec(t, db2, "PRAGMA memory_limit=-1")
 	mustExec(t, db2, "CREATE TABLE t (g BIGINT, v BIGINT)")
 	mustExec(t, db2, "INSERT INTO t VALUES (1, 1), (2, 2)")
 	for _, row := range queryAll(t, db2, "EXPLAIN "+agg) {
 		if strings.Contains(row[0], "memory_limit") {
-			t.Fatalf("unlimited database EXPLAIN mentions the fallback: %v", row)
+			t.Fatalf("unlimited database EXPLAIN mentions spilling: %v", row)
 		}
 	}
 	queryAll(t, db2, agg)
-	if got := queryAll(t, db2, "PRAGMA parallel_agg_fallbacks"); got[0][0] != "0" {
-		t.Fatalf("unlimited database counted %s fallbacks", got[0][0])
+	if got := queryAll(t, db2, "PRAGMA agg_spill_partitions"); got[0][0] != "0" {
+		t.Fatalf("unlimited database counted %s spills", got[0][0])
 	}
 }
