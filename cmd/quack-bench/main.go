@@ -148,13 +148,18 @@ func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, 
 			if err != nil {
 				return err
 			}
+			selective, err := bench.ZoneMapFilter(w, rows, threads)
+			if err != nil {
+				return err
+			}
 			// Write the trajectory artifact BEFORE gating: a failed gate
 			// is exactly when the fresh numbers are needed for debugging.
 			if jsonPath != "" {
 				data, err := json.MarshalIndent(map[string]any{
-					"experiment": "scaling",
-					"rows":       rows,
-					"points":     points,
+					"experiment":       "scaling",
+					"rows":             rows,
+					"points":           points,
+					"selective_filter": selective,
 				}, "", "  ")
 				if err != nil {
 					return err
@@ -165,7 +170,7 @@ func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, 
 				fmt.Fprintf(w, "wrote %s\n", jsonPath)
 			}
 			if baseline != "" {
-				if err := gateScaling(w, baseline, points, tolerance); err != nil {
+				if err := gateScaling(w, baseline, points, selective, tolerance); err != nil {
 					return err
 				}
 			}
@@ -194,9 +199,10 @@ func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, 
 // scalingFile is the JSON shape of both the uploaded trajectory
 // artifact and the committed BENCH_BASELINE.json.
 type scalingFile struct {
-	Experiment string               `json:"experiment"`
-	Rows       int                  `json:"rows"`
-	Points     []bench.ScalingPoint `json:"points"`
+	Experiment string                   `json:"experiment"`
+	Rows       int                      `json:"rows"`
+	Points     []bench.ScalingPoint     `json:"points"`
+	Selective  []bench.SelectivityPoint `json:"selective_filter"`
 }
 
 // gateScaling compares the fresh sweep against the committed baseline
@@ -205,7 +211,7 @@ type scalingFile struct {
 // the gate catches the step-function regressions (a workload falling
 // off its fast path), not single-digit noise. Label a PR skip-bench-gate
 // for intentional slowdowns and refresh the baseline in the same change.
-func gateScaling(w io.Writer, path string, fresh []bench.ScalingPoint, tolerance float64) error {
+func gateScaling(w io.Writer, path string, fresh []bench.ScalingPoint, freshSel []bench.SelectivityPoint, tolerance float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("bench gate: %w", err)
@@ -215,6 +221,7 @@ func gateScaling(w io.Writer, path string, fresh []bench.ScalingPoint, tolerance
 		return fmt.Errorf("bench gate: parse %s: %w", path, err)
 	}
 	regressions := bench.CompareScaling(base.Points, fresh, tolerance)
+	regressions = append(regressions, bench.CompareSelective(base.Selective, freshSel, tolerance)...)
 	if len(regressions) == 0 {
 		fmt.Fprintf(w, "bench gate: all workloads within +%.0f%% of %s\n", tolerance*100, path)
 		return nil

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/quack"
+)
+
+// SelectivityPoint is one row of the zone-map selective-filter sweep:
+// the same clustered-range query timed with segment skipping on and off
+// at one selectivity. The JSON shape rides in the CI bench artifact and
+// BENCH_BASELINE.json next to the scaling points.
+type SelectivityPoint struct {
+	Label           string        `json:"label"`
+	Selectivity     float64       `json:"selectivity"`
+	ZoneOnDur       time.Duration `json:"zone_on_ns"`
+	ZoneOffDur      time.Duration `json:"zone_off_ns"`
+	Improvement     float64       `json:"improvement"` // zone_off / zone_on
+	SegmentsSkipped int64         `json:"segments_skipped"`
+	SegmentsScanned int64         `json:"segments_scanned"`
+}
+
+// Durations returns the point's gated durations keyed by the names the
+// bench gate reports (only the zone-on path is gated; the zone-off
+// numbers exist to report the improvement, not to be protected).
+func (p SelectivityPoint) Durations() map[string]time.Duration {
+	return map[string]time.Duration{"filter_" + p.Label: p.ZoneOnDur}
+}
+
+// zoneMapSelectivities are the swept filter selectivities: the paper's
+// dashboard-style point lookups (0.1%), a narrow analytical range (1%),
+// and a half-table scan where zone maps can refute almost nothing and
+// must not cost anything.
+var zoneMapSelectivities = []struct {
+	label string
+	frac  float64
+}{
+	{"0.1pct", 0.001},
+	{"1pct", 0.01},
+	{"50pct", 0.5},
+}
+
+// ZoneMapFilter measures zone-map segment skipping on clustered-range
+// predicates over the append-ordered sales table: each selectivity's
+// aggregate query is timed best-of-5 with skipping enabled and disabled,
+// results are verified identical both ways, and the skip counters report
+// how many segments the pushed predicate refuted.
+func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
+	db, err := quack.Open(":memory:", quack.WithThreads(threads))
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := GenSalesTable(db, "t", rows, 0.0, 17); err != nil {
+		return nil, err
+	}
+
+	render := func(q string) (string, error) {
+		res, err := db.Query(q)
+		if err != nil {
+			return "", err
+		}
+		var out strings.Builder
+		for {
+			c := res.NextChunk()
+			if c == nil {
+				return out.String(), nil
+			}
+			for r := 0; r < c.Len(); r++ {
+				fmt.Fprintln(&out, c.Row(r))
+			}
+		}
+	}
+	timeQuery := func(q string) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			res, err := db.Query(q)
+			if err != nil {
+				return 0, err
+			}
+			for res.NextChunk() != nil {
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	counter := func(name string) (int64, error) {
+		s, err := render("PRAGMA " + name)
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseInt(strings.Trim(strings.TrimSpace(s), "[]"), 10, 64)
+	}
+	setZoneMaps := func(on int) error {
+		_, err := db.Exec(fmt.Sprintf("PRAGMA zone_maps=%d", on))
+		return err
+	}
+
+	var out []SelectivityPoint
+	for _, sel := range zoneMapSelectivities {
+		// Center the range so both tails are refutable.
+		n := int64(float64(rows) * sel.frac)
+		if n < 1 {
+			n = 1
+		}
+		lo := (int64(rows) - n) / 2
+		q := fmt.Sprintf("SELECT count(*), sum(qty), sum(price) FROM t WHERE id >= %d AND id < %d", lo, lo+n)
+
+		if err := setZoneMaps(1); err != nil {
+			return nil, err
+		}
+		wantOn, err := render(q)
+		if err != nil {
+			return nil, err
+		}
+		skippedBefore, err := counter("segments_skipped")
+		if err != nil {
+			return nil, err
+		}
+		scannedBefore, err := counter("segments_scanned")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := render(q); err != nil { // one counted pass
+			return nil, err
+		}
+		skipped, err := counter("segments_skipped")
+		if err != nil {
+			return nil, err
+		}
+		scanned, err := counter("segments_scanned")
+		if err != nil {
+			return nil, err
+		}
+		onDur, err := timeQuery(q)
+		if err != nil {
+			return nil, err
+		}
+
+		if err := setZoneMaps(0); err != nil {
+			return nil, err
+		}
+		wantOff, err := render(q)
+		if err != nil {
+			return nil, err
+		}
+		if wantOff != wantOn {
+			return nil, fmt.Errorf("zone-map skipping changes %s results", sel.label)
+		}
+		offDur, err := timeQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		if err := setZoneMaps(1); err != nil {
+			return nil, err
+		}
+
+		out = append(out, SelectivityPoint{
+			Label:           sel.label,
+			Selectivity:     sel.frac,
+			ZoneOnDur:       onDur,
+			ZoneOffDur:      offDur,
+			Improvement:     float64(offDur) / float64(onDur),
+			SegmentsSkipped: skipped - skippedBefore,
+			SegmentsScanned: scanned - scannedBefore,
+		})
+	}
+
+	if w != nil {
+		fmt.Fprintf(w, "zone-map selective filters (%d rows, %d threads; results verified identical with skipping on and off)\n", rows, threads)
+		fmt.Fprintf(w, "%-12s %-14s %-14s %-12s %s\n", "selectivity", "zone maps on", "zone maps off", "improvement", "segments skipped/touched")
+		for _, p := range out {
+			fmt.Fprintf(w, "%-12s %-14v %-14v %-12s %d/%d\n",
+				p.Label, p.ZoneOnDur.Round(time.Microsecond), p.ZoneOffDur.Round(time.Microsecond),
+				fmt.Sprintf("%.2fx", p.Improvement), p.SegmentsSkipped, p.SegmentsSkipped+p.SegmentsScanned)
+		}
+	}
+	return out, nil
+}
+
+// CompareSelective gates the zone-on filter durations like
+// CompareScaling gates the scaling workloads: a regression line for
+// every selectivity whose fresh zone-on duration is more than tolerance
+// slower than the committed baseline's. Labels absent from the baseline
+// (newly added) pass; the zone-off column is informational and ungated.
+func CompareSelective(baseline, fresh []SelectivityPoint, tolerance float64) []string {
+	base := map[string]time.Duration{}
+	for _, p := range baseline {
+		if p.ZoneOnDur > 0 {
+			base[p.Label] = p.ZoneOnDur
+		}
+	}
+	var regressions []string
+	for _, p := range fresh {
+		b, ok := base[p.Label]
+		if !ok {
+			continue
+		}
+		if float64(p.ZoneOnDur) > float64(b)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"filter_%s: %v vs baseline %v (+%.0f%%, tolerance +%.0f%%)",
+				p.Label, p.ZoneOnDur.Round(time.Microsecond), b.Round(time.Microsecond),
+				(float64(p.ZoneOnDur)/float64(b)-1)*100, tolerance*100))
+		}
+	}
+	for label := range base {
+		found := false
+		for _, p := range fresh {
+			if p.Label == label {
+				found = true
+				break
+			}
+		}
+		if !found {
+			regressions = append(regressions, fmt.Sprintf("filter_%s: missing from the fresh sweep", label))
+		}
+	}
+	return regressions
+}

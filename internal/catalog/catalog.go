@@ -34,6 +34,11 @@ type Table struct {
 	DiskRows    int64
 	ColChains   []storage.BlockID   // chain head per column (InvalidBlock = none)
 	ChainBlocks [][]storage.BlockID // every block of each column chain
+	// Stats are the per-segment zone maps of the persisted image,
+	// Stats[c][i] covering segment i of column c. They ride in the catalog
+	// chain so a cold open restores zone maps without touching any column
+	// chain (stats are loaded, never recomputed).
+	Stats [][]table.ColStats
 }
 
 // ColumnIndex returns the position of the named column, or -1.
@@ -224,6 +229,13 @@ func (c *Catalog) Serialize() []byte {
 			}
 			out = binary.LittleEndian.AppendUint64(out, uint64(head))
 		}
+		for i, col := range t.Columns {
+			var stats []table.ColStats
+			if i < len(t.Stats) {
+				stats = t.Stats[i]
+			}
+			out = table.AppendColStats(out, col.Type, stats)
+		}
 	}
 	views := make([]*View, 0, len(c.views))
 	for _, v := range c.views {
@@ -245,6 +257,7 @@ type DeserializedTable struct {
 	Columns   []Column
 	DiskRows  int64
 	ColChains []storage.BlockID
+	Stats     [][]table.ColStats
 }
 
 // Deserialize parses a catalog payload.
@@ -264,6 +277,15 @@ func Deserialize(data []byte) ([]DeserializedTable, []View, error) {
 		t.DiskRows = int64(r.u64())
 		for j := 0; j < len(t.Columns) && r.err == nil; j++ {
 			t.ColChains = append(t.ColChains, storage.BlockID(r.u64()))
+		}
+		for j := 0; j < len(t.Columns) && r.err == nil; j++ {
+			stats, rest, err := table.DecodeColStats(r.data, t.Columns[j].Type)
+			if err != nil {
+				r.err = err
+				break
+			}
+			r.data = rest
+			t.Stats = append(t.Stats, stats)
 		}
 		tables = append(tables, t)
 	}

@@ -38,14 +38,18 @@ func (db *Database) Checkpoint() error {
 			data := entry.Data
 			rewriteAll := data.AppendDirty() || data.DeleteDirty()
 			var serializedRows int64 = -1
+			if len(entry.Stats) != len(entry.Columns) {
+				entry.Stats = make([][]table.ColStats, len(entry.Columns))
+			}
 			for c := range entry.Columns {
 				if !rewriteAll && !data.ColDirty(c) && entry.ColChains[c] != storage.InvalidBlock {
-					continue // unchanged column: keep its chain
+					continue // unchanged column: keep its chain (and its stats)
 				}
-				payload, rows, err := data.SerializeColumn(snap, c)
+				payload, rows, stats, err := data.SerializeColumn(snap, c)
 				if err != nil {
 					return fmt.Errorf("checkpoint %s.%s: %w", entry.Name, entry.Columns[c].Name, err)
 				}
+				entry.Stats[c] = stats
 				if serializedRows >= 0 && rows != serializedRows {
 					return fmt.Errorf("checkpoint %s: column row counts diverge (%d vs %d)", entry.Name, serializedRows, rows)
 				}
@@ -114,6 +118,7 @@ func (db *Database) Checkpoint() error {
 			if entry.Data.LayoutDiverged() {
 				entry.ChainBlocks = make([][]storage.BlockID, len(entry.Columns))
 				entry.Data = table.NewPersisted(entry.Types(), entry.DiskRows, db.columnLoader(entry), db.pool)
+				entry.Data.SetSegmentStats(entry.Stats)
 				continue
 			}
 			entry.Data.SetDiskRows(entry.DiskRows)

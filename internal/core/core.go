@@ -73,6 +73,7 @@ type Database struct {
 	pendingFree []storage.BlockID
 	commitCount atomic.Int64
 	threads     atomic.Int64 // default parallelism for new queries
+	zoneMapsOff atomic.Bool  // disables zone-map segment skipping
 	closed      atomic.Bool
 
 	// execStats collects engine-level counters (surfaced via PRAGMA).
@@ -110,6 +111,7 @@ func Open(cfg Config) (*Database, error) {
 	}
 	db.policy = adaptive.NewPolicy(db.monitor, cfg.TotalRAM)
 	db.threads.Store(int64(cfg.Threads))
+	db.zoneMapsOff.Store(defaultZoneMapsDisabled())
 
 	if !store.InMemory() {
 		log, err := wal.Open(cfg.Path + ".wal")
@@ -197,6 +199,25 @@ func defaultThreads() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ZoneMapsEnabled reports whether scans may skip segments refuted by
+// zone maps. Skipping is exact (the pushed filter is still applied per
+// row), so this only trades planning observability for the differential
+// baseline.
+func (db *Database) ZoneMapsEnabled() bool { return !db.zoneMapsOff.Load() }
+
+// SetZoneMaps toggles zone-map segment skipping (PRAGMA zone_maps).
+func (db *Database) SetZoneMaps(on bool) { db.zoneMapsOff.Store(!on) }
+
+// defaultZoneMapsDisabled resolves the QUACK_DISABLE_ZONEMAPS
+// environment variable. Like QUACK_THREADS and QUACK_MEMORY_LIMIT it
+// exists for harnesses: the CI differential matrix runs a leg with
+// skipping off and asserts byte-identical results against the skipping
+// engine.
+func defaultZoneMapsDisabled() bool {
+	env := os.Getenv("QUACK_DISABLE_ZONEMAPS")
+	return env == "1" || env == "true" || env == "TRUE"
+}
+
 // defaultMemoryLimit resolves the engine-wide default memory budget:
 // the QUACK_MEMORY_LIMIT environment variable (a byte size such as
 // "64MB") when set, unlimited otherwise. Like QUACK_THREADS it exists
@@ -258,9 +279,11 @@ func (db *Database) loadCatalog() error {
 			Columns:   dt.Columns,
 			DiskRows:  dt.DiskRows,
 			ColChains: dt.ColChains,
+			Stats:     dt.Stats,
 		}
 		entry.ChainBlocks = make([][]storage.BlockID, len(dt.Columns))
 		entry.Data = table.NewPersisted(entry.Types(), dt.DiskRows, db.columnLoader(entry), db.pool)
+		entry.Data.SetSegmentStats(dt.Stats)
 		if err := db.cat.CreateTable(entry); err != nil {
 			return err
 		}
@@ -276,19 +299,21 @@ func (db *Database) loadCatalog() error {
 
 // columnLoader returns the lazy loader reading one column's block chain.
 // It closes over the catalog entry so checkpoints that move chains are
-// picked up.
+// picked up. The loader hands back the still-compressed per-segment
+// payloads; segments are decoded only when a scan materializes them, so
+// zone-map-refuted segments are never decompressed.
 func (db *Database) columnLoader(entry *catalog.Table) table.ColumnLoader {
-	return func(col int) ([]*vector.Vector, int64, error) {
+	return func(col int) ([][]byte, int64, error) {
 		head := entry.ColChains[col]
 		if head == storage.InvalidBlock {
-			return []*vector.Vector{}, 0, nil
+			return [][]byte{}, 0, nil
 		}
 		payload, blocks, err := storage.ReadChain(db.store, head)
 		if err != nil {
 			return nil, 0, err
 		}
 		entry.ChainBlocks[col] = blocks
-		return table.DecodeColumnSegments(payload)
+		return table.ParseColumnPayload(payload)
 	}
 }
 

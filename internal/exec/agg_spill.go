@@ -311,6 +311,7 @@ func (t *aggTable) spillPart(p int) error {
 		if err != nil {
 			return err
 		}
+		sf.SetPool(t.pool)
 		t.spillFile = sf
 	}
 	w, err := t.spillFile.NewRun()
@@ -739,14 +740,19 @@ func mergeAggPartition(p int, node *plan.AggNode, tables []*aggTable, outTypes [
 	ng, na := len(node.GroupBy), len(node.Aggs)
 	gts := groupTypes(node)
 	var srcs []*runStateSource
+	defer func() {
+		// Release every cursor's read-back block reservation; drained
+		// cursors already did, so this only matters on error exits.
+		for _, s := range srcs {
+			s.cur.Close()
+		}
+	}()
 	for _, t := range tables {
 		for _, run := range t.parts[p].runs {
 			rs := &runStateSource{cur: run.Cursor(), aggs: node.Aggs}
+			srcs = append(srcs, rs)
 			if err := rs.advance(); err != nil {
 				return err
-			}
-			if !rs.done {
-				srcs = append(srcs, rs)
 			}
 		}
 	}

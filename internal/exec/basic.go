@@ -23,11 +23,24 @@ type scanOp struct {
 
 func newScanOp(n *plan.ScanNode) *scanOp { return &scanOp{node: n} }
 
+// scanOptions assembles the table-layer options for a scan node: the
+// projected columns, the zone-map-eligible conjuncts of the pushed
+// filter (unless the context disables skipping) and the database-shared
+// segment counters.
+func scanOptions(ctx *Context, n *plan.ScanNode) table.ScanOptions {
+	opts := table.ScanOptions{Columns: n.Columns, WithRowIDs: n.WithRowID}
+	if !ctx.DisableZoneMaps {
+		opts.ZoneFilters = plan.ScanZoneFilters(n)
+	}
+	if ctx.Stats != nil {
+		opts.SegsScanned = &ctx.Stats.SegmentsScanned
+		opts.SegsSkipped = &ctx.Stats.SegmentsSkipped
+	}
+	return opts
+}
+
 func (s *scanOp) Open(ctx *Context) error {
-	sc, err := s.node.Table.Data.NewScanner(ctx.Txn, table.ScanOptions{
-		Columns:    s.node.Columns,
-		WithRowIDs: s.node.WithRowID,
-	})
+	sc, err := s.node.Table.Data.NewScanner(ctx.Txn, scanOptions(ctx, s.node))
 	if err != nil {
 		return err
 	}

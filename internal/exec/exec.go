@@ -73,6 +73,11 @@ type Stats struct {
 	// AggSpilledBytes totals the bytes written to aggregation state
 	// runs.
 	AggSpilledBytes atomic.Int64
+	// SegmentsScanned counts table-scan segments that were materialized;
+	// SegmentsSkipped counts segments refuted by zone maps (or their
+	// compressed payloads) without being touched.
+	SegmentsScanned atomic.Int64
+	SegmentsSkipped atomic.Int64
 }
 
 // Context carries per-query execution state.
@@ -85,6 +90,9 @@ type Context struct {
 	Stats *Stats
 	// JoinStrategy overrides the adaptive join choice (experiments).
 	JoinStrategy JoinStrategy
+	// DisableZoneMaps turns off zone-map segment skipping (the
+	// differential baseline: results must be byte-identical either way).
+	DisableZoneMaps bool
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
 	// from the pool limit.
 	SortBudget int64

@@ -68,10 +68,7 @@ func (p *parScanOp) workerCount(ctx *Context) int {
 }
 
 func (p *parScanOp) openSource(ctx *Context) error {
-	src, err := p.spec.scan.Table.Data.NewMorselSource(ctx.Txn, table.ScanOptions{
-		Columns:    p.spec.scan.Columns,
-		WithRowIDs: p.spec.scan.WithRowID,
-	})
+	src, err := p.spec.scan.Table.Data.NewMorselSource(ctx.Txn, scanOptions(ctx, p.spec.scan))
 	if err != nil {
 		return err
 	}

@@ -152,6 +152,10 @@ func newParMergeStream(parts []*extsort.Iterator, drain mergeDrain) *parMergeStr
 		go func(w int, part *extsort.Iterator) {
 			defer s.wg.Done()
 			defer close(s.outs[w])
+			// Drop the range's cursors when done: boundary-capped clones
+			// may still hold a loaded (pool-accounted) chunk. The shared
+			// parent keeps the underlying files open.
+			defer part.Close()
 			emit := func(c *vector.Chunk) error {
 				if c == nil || c.Len() == 0 {
 					return nil

@@ -13,11 +13,17 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/types"
 	"repro/internal/vector"
 )
+
+// runChunkReads counts readRunChunk calls. Tests assert the spill-time
+// boundary samples keep PartitionMerge's quantile sampling and seek
+// probes from re-reading run chunks.
+var runChunkReads atomic.Int64
 
 // Key describes one sort key over the chunk's columns.
 type Key struct {
@@ -44,10 +50,14 @@ type Sorter struct {
 // runFile is one spilled sorted run: the (unlinked) temp file plus the
 // file offset of every encoded chunk. The offset index is what lets the
 // partitioned merge binary-search a run for a key-range start without
-// streaming it from the beginning.
+// streaming it from the beginning. samples is the run's boundary
+// footer — the first row of every chunk, captured while the rows were
+// still in memory at spill time — so quantile sampling for the
+// partitioned merge costs zero read-back IO.
 type runFile struct {
-	f    *os.File
-	offs []int64
+	f       *os.File
+	offs    []int64
+	samples *vector.Chunk
 }
 
 // NewSorter returns a sorter for chunks with the given column types.
@@ -130,6 +140,7 @@ func (s *Sorter) spill() error {
 	// Unlink immediately; the fd keeps it alive (no litter on crash).
 	os.Remove(f.Name())
 	out := vector.NewChunk(s.colTypes)
+	samples := vector.NewChunk(s.colTypes)
 	var buf []byte
 	var offs []int64
 	var written int64
@@ -137,6 +148,9 @@ func (s *Sorter) spill() error {
 		if out.Len() == 0 {
 			return nil
 		}
+		// Boundary footer: remember each chunk's first (lowest) row while
+		// it is still in memory, so partitioning never reads it back.
+		samples.AppendRowFrom(out, 0)
 		buf = buf[:0]
 		buf = vector.EncodeChunk(buf, out)
 		var hdr [4]byte
@@ -166,7 +180,7 @@ func (s *Sorter) spill() error {
 		f.Close()
 		return fmt.Errorf("extsort: write run: %w", err)
 	}
-	s.runs = append(s.runs, runFile{f: f, offs: offs})
+	s.runs = append(s.runs, runFile{f: f, offs: offs, samples: samples})
 	s.chunks = nil
 	s.bytes = 0
 	s.releaseReserved()
@@ -237,8 +251,9 @@ func (s *Sorter) registerInto(it *Iterator) error {
 		it.files = append(it.files, r.f)
 	}
 	for _, r := range runs {
-		c := &runCursor{f: r.f, offs: r.offs}
+		c := &runCursor{f: r.f, offs: r.offs, samples: r.samples, pool: it.pool}
 		if err := c.load(); err != nil {
+			c.close()
 			return err
 		}
 		if c.cur != nil {
@@ -405,21 +420,57 @@ func (c *memCursor) close()         { c.chunks, c.refs = nil, nil }
 // runCursor walks a spilled run via positional reads, so any number of
 // cursors (one per key-range partition) can share one run file without
 // contending on a seek offset. The cursor does not own the file; the
-// iterator's files list does.
+// iterator's files list does. samples (when present) is the run's
+// spill-time boundary footer: row i is the first row of chunk i, which
+// lets sampling and seek probes avoid reading the file entirely.
 type runCursor struct {
-	f    *os.File
-	offs []int64
-	idx  int // next chunk index to load
-	cur  *vector.Chunk
-	row  int
+	f       *os.File
+	offs    []int64
+	samples *vector.Chunk
+	idx     int // next chunk index to load
+	cur     *vector.Chunk
+	row     int
+
+	// pool accounts the one decoded chunk the cursor keeps resident.
+	// Accounting is best-effort: the merge is the path that frees memory
+	// downstream, so a failed Reserve must not abort it — the cursor then
+	// runs with its previous (possibly zero) reservation.
+	pool     *buffer.Pool
+	reserved int64
 }
 
 func (c *runCursor) chunk() *vector.Chunk { return c.cur }
 func (c *runCursor) rowIdx() int          { return c.row }
-func (c *runCursor) close()               { c.cur = nil }
+
+func (c *runCursor) close() {
+	c.cur = nil
+	c.account(nil)
+}
+
+// account resizes the cursor's pool reservation to cover next (nil at
+// exhaustion releases everything held).
+func (c *runCursor) account(next *vector.Chunk) {
+	if c.pool == nil {
+		return
+	}
+	var n int64
+	if next != nil {
+		n = chunkBytes(next)
+	}
+	switch {
+	case n > c.reserved:
+		if c.pool.Reserve(n-c.reserved) == nil {
+			c.reserved = n
+		}
+	case n < c.reserved:
+		c.pool.Release(c.reserved - n)
+		c.reserved = n
+	}
+}
 
 // readRunChunk decodes the encoded chunk at the given file offset.
 func readRunChunk(f *os.File, off int64) (*vector.Chunk, error) {
+	runChunkReads.Add(1)
 	var hdr [4]byte
 	if _, err := f.ReadAt(hdr[:], off); err != nil {
 		return nil, fmt.Errorf("extsort: read run: %w", err)
@@ -439,6 +490,7 @@ func readRunChunk(f *os.File, off int64) (*vector.Chunk, error) {
 func (c *runCursor) load() error {
 	if c.idx >= len(c.offs) {
 		c.cur = nil
+		c.account(nil)
 		return nil
 	}
 	chunk, err := readRunChunk(c.f, c.offs[c.idx])
@@ -448,6 +500,7 @@ func (c *runCursor) load() error {
 	c.idx++
 	c.cur = chunk
 	c.row = 0
+	c.account(chunk)
 	return nil
 }
 

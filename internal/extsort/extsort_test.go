@@ -694,3 +694,68 @@ func TestMergeNextErrorClosesFiles(t *testing.T) {
 	}
 	it.Close() // idempotent after the eager error close
 }
+
+// TestPartitionMergeSamplingDoesNoIO: the boundary footer captured at
+// spill time must answer PartitionMerge's quantile sampling and seek
+// probes from memory. Reading run chunks is allowed only for cursor
+// positioning (one load per surviving clone, plus the bounded skip past
+// the range boundary).
+func TestPartitionMergeSamplingDoesNoIO(t *testing.T) {
+	it, err := MergeFinish(fanInSorters(t, 8, 30_000, 4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var nruns int
+	for _, c := range it.cursors {
+		if rc, ok := c.(*runCursor); ok {
+			nruns++
+			if rc.samples == nil || rc.samples.Len() != len(rc.offs) {
+				t.Fatalf("run cursor missing boundary footer: %d samples for %d chunks",
+					rc.samples.Len(), len(rc.offs))
+			}
+		}
+	}
+	if nruns == 0 {
+		t.Fatal("fixture spilled no runs")
+	}
+
+	// Quantile sampling alone: strictly zero chunk reads.
+	sample := vector.NewChunk(it.colTypes)
+	before := runChunkReads.Load()
+	for _, c := range it.cursors {
+		if err := c.(partCursor).sampleInto(sample, maxSamplesPerCursor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := runChunkReads.Load() - before; got != 0 {
+		t.Fatalf("sampling read %d run chunks; boundary footer not used", got)
+	}
+
+	// Full PartitionMerge: seek probes answer from the footer too, so
+	// reads stay within positioning loads — well under one binary
+	// search's worth of probes, let alone the 32-sample decode per run
+	// the footer replaces.
+	const width = 8
+	before = runChunkReads.Load()
+	parts, err := it.PartitionMerge(width, it.keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts == nil {
+		t.Fatal("PartitionMerge declined")
+	}
+	reads := runChunkReads.Load() - before
+	if limit := int64(nruns * width * 2); reads > limit {
+		t.Fatalf("PartitionMerge read %d run chunks, positioning bound is %d", reads, limit)
+	}
+
+	rows := 0
+	for _, p := range parts {
+		rows += len(drainRows(t, p))
+		p.Close()
+	}
+	if rows != 30_000 {
+		t.Fatalf("partitioned merge lost rows: %d", rows)
+	}
+}

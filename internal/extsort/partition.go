@@ -111,6 +111,10 @@ func (it *Iterator) PartitionMerge(n int, boundKeys []Key) ([]*Iterator, error) 
 				c, err = pc.seekClone(bounds, i-1, boundKeys)
 			}
 			if err != nil {
+				for _, done := range out {
+					done.Close()
+				}
+				rangeIt.Close()
 				return nil, err
 			}
 			if c == nil {
@@ -120,6 +124,9 @@ func (it *Iterator) PartitionMerge(n int, boundKeys []Key) ([]*Iterator, error) 
 				rc := &rangeCursor{inner: c, bound: bounds, boundRow: i, keys: boundKeys}
 				rc.check()
 				if rc.done {
+					// Clone landed past this range's cap; drop it and
+					// release whatever chunk it pinned.
+					rc.close()
 					continue
 				}
 				c = rc
@@ -214,6 +221,14 @@ func (c *runCursor) sampleInto(into *vector.Chunk, max int) error {
 	if stride < 1 {
 		stride = 1
 	}
+	if c.samples != nil && c.samples.Len() == n {
+		// Spill-time boundary footer: row i is chunk i's first row, so
+		// the stride walks memory instead of decoding run chunks.
+		for i := 0; i < n; i += stride {
+			into.AppendRowFrom(c.samples, i)
+		}
+		return nil
+	}
 	for i := 0; i < n; i += stride {
 		chunk, err := readRunChunk(c.f, c.offs[i])
 		if err != nil {
@@ -227,9 +242,10 @@ func (c *runCursor) sampleInto(into *vector.Chunk, max int) error {
 }
 
 func (c *runCursor) seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key) (cursor, error) {
-	clone := &runCursor{f: c.f, offs: c.offs}
+	clone := &runCursor{f: c.f, offs: c.offs, samples: c.samples, pool: c.pool}
 	if bound == nil {
 		if err := clone.load(); err != nil {
+			clone.close()
 			return nil, err
 		}
 		if clone.cur == nil {
@@ -239,11 +255,15 @@ func (c *runCursor) seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key
 	}
 	// Binary search the chunk index: the last chunk whose first row is
 	// not past the boundary may still hold in-range rows; later chunks
-	// start past it. readRunChunk per probe keeps this O(log chunks).
+	// start past it. The boundary footer answers each probe from memory;
+	// without one, readRunChunk per probe keeps this O(log chunks).
 	var seekErr error
 	start := sort.Search(len(c.offs), func(i int) bool {
 		if seekErr != nil {
 			return false
+		}
+		if c.samples != nil && c.samples.Len() == len(c.offs) {
+			return CompareRows(c.samples, i, bound, boundRow, boundKeys) > 0
 		}
 		chunk, err := readRunChunk(c.f, c.offs[i])
 		if err != nil {
@@ -260,12 +280,14 @@ func (c *runCursor) seekClone(bound *vector.Chunk, boundRow int, boundKeys []Key
 	}
 	clone.idx = start
 	if err := clone.load(); err != nil {
+		clone.close()
 		return nil, err
 	}
 	// Skip the rows at or before the boundary; at most one chunk plus
 	// the already-past-boundary chunks the search ruled out.
 	for clone.cur != nil && CompareRows(clone.cur, clone.row, bound, boundRow, boundKeys) <= 0 {
 		if err := clone.advance(); err != nil {
+			clone.close()
 			return nil, err
 		}
 	}

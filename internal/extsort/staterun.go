@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/buffer"
 )
 
 // State runs are the operator-state spilling substrate: sorted runs of
@@ -31,7 +33,14 @@ type StateSpillFile struct {
 	f       *os.File
 	written int64
 	active  bool
+	pool    *buffer.Pool // optional: accounts cursors' read-back blocks
 }
+
+// SetPool enables buffer-pool accounting of the read-back blocks held by
+// cursors over this file's runs. Accounting is best-effort: the merge
+// that drains the runs is itself the memory-reclaiming path, so a failed
+// reservation never aborts it — the cursor just runs unaccounted.
+func (sf *StateSpillFile) SetPool(p *buffer.Pool) { sf.pool = p }
 
 // NewStateSpillFile creates the backing file in tmpDir.
 func NewStateSpillFile(tmpDir string) (*StateSpillFile, error) {
@@ -164,6 +173,22 @@ type StateCursor struct {
 	pos      int
 	key      []byte
 	state    []byte
+	reserved int64 // pool bytes held for the read-back block buffer
+}
+
+// Close drops the cursor's block buffer and releases its reservation.
+// Idempotent; Next also releases it when the run is exhausted, so Close
+// only matters on early-exit and error paths.
+func (c *StateCursor) Close() {
+	c.block = nil
+	c.releaseReserved()
+}
+
+func (c *StateCursor) releaseReserved() {
+	if p := c.run.sf.pool; p != nil && c.reserved > 0 {
+		p.Release(c.reserved)
+		c.reserved = 0
+	}
 }
 
 // Next advances to the next record, reporting false at the end. Key and
@@ -171,6 +196,8 @@ type StateCursor struct {
 func (c *StateCursor) Next() (bool, error) {
 	for c.pos >= len(c.block) {
 		if c.blockIdx >= len(c.run.offs) {
+			c.block = nil
+			c.releaseReserved()
 			return false, nil
 		}
 		if err := c.loadBlock(c.blockIdx); err != nil {
@@ -214,6 +241,15 @@ func (c *StateCursor) loadBlock(idx int) error {
 	}
 	if cap(c.block) < int(n) {
 		c.block = make([]byte, n)
+		// The buffer is reused across blocks and only ever grows; account
+		// its capacity (best-effort — read-back must proceed regardless).
+		if p := c.run.sf.pool; p != nil {
+			if grown := int64(cap(c.block)); grown > c.reserved {
+				if p.Reserve(grown-c.reserved) == nil {
+					c.reserved = grown
+				}
+			}
+		}
 	}
 	c.block = c.block[:n]
 	if _, err := io.ReadFull(io.NewSectionReader(c.run.sf.f, off+4, int64(n)), c.block); err != nil {

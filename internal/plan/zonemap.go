@@ -1,0 +1,157 @@
+package plan
+
+import (
+	"repro/internal/expr"
+	"repro/internal/table"
+	"repro/internal/types"
+)
+
+// Zone-map pushdown: a scan's pushed-down filter is a conjunction, and
+// any conjunct of the shape column-op-constant (or IS [NOT] NULL) can be
+// tested against per-segment statistics before the segment is touched.
+// Extraction is purely an enabling analysis — the full filter is still
+// evaluated per row on the segments that survive, so a conjunct that is
+// extracted conservatively (or not at all) never changes results, only
+// how many segments the scan can prove irrelevant.
+
+// ScanZoneFilters extracts the scan-eligible conjuncts of n's pushed
+// filter as zone-map predicates over table column indexes.
+func ScanZoneFilters(n *ScanNode) []table.ZoneFilter {
+	if n.Filter == nil {
+		return nil
+	}
+	var out []table.ZoneFilter
+	collectZoneFilters(n, n.Filter, &out)
+	return out
+}
+
+func collectZoneFilters(n *ScanNode, e expr.Expr, out *[]table.ZoneFilter) {
+	switch x := e.(type) {
+	case *expr.Logic:
+		// Both sides of an AND are independent conjuncts; OR is not
+		// decomposable this way and is left to row-level evaluation.
+		if x.Op == expr.OpAnd {
+			collectZoneFilters(n, x.L, out)
+			collectZoneFilters(n, x.R, out)
+		}
+	case *expr.IsNull:
+		// The lossless casts unwrapped by scanColumn preserve NULL-ness,
+		// so IS [NOT] NULL over a cast column tests the column itself.
+		if col, ok := scanColumn(n, x.X); ok {
+			op := table.ZoneIsNull
+			if x.Not {
+				op = table.ZoneNotNull
+			}
+			*out = append(*out, table.ZoneFilter{Col: col, Op: op})
+		}
+	case *expr.Compare:
+		if f, ok := zoneCompare(n, x); ok {
+			*out = append(*out, f)
+		}
+	}
+}
+
+// zoneCompare recognizes column-op-constant (either side), flipping the
+// operator when the constant is on the left.
+func zoneCompare(n *ScanNode, c *expr.Compare) (table.ZoneFilter, bool) {
+	if col, ok := scanColumn(n, c.L); ok {
+		if k, okc := c.R.(*expr.Const); okc && zonePushable(n.Table.Columns[col].Type, k.Val) {
+			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, false), Val: k.Val}, true
+		}
+	}
+	if col, ok := scanColumn(n, c.R); ok {
+		if k, okc := c.L.(*expr.Const); okc && zonePushable(n.Table.Columns[col].Type, k.Val) {
+			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, true), Val: k.Val}, true
+		}
+	}
+	return table.ZoneFilter{}, false
+}
+
+// zoneOp maps a comparison operator to its zone-map form, mirrored when
+// the constant was on the left (5 < x  ≡  x > 5).
+func zoneOp(op expr.CmpOp, flip bool) table.ZoneOp {
+	if flip {
+		switch op {
+		case expr.CmpLt:
+			op = expr.CmpGt
+		case expr.CmpLe:
+			op = expr.CmpGe
+		case expr.CmpGt:
+			op = expr.CmpLt
+		case expr.CmpGe:
+			op = expr.CmpLe
+		}
+	}
+	switch op {
+	case expr.CmpEq:
+		return table.ZoneEq
+	case expr.CmpNe:
+		return table.ZoneNe
+	case expr.CmpLt:
+		return table.ZoneLt
+	case expr.CmpLe:
+		return table.ZoneLe
+	case expr.CmpGt:
+		return table.ZoneGt
+	default:
+		return table.ZoneGe
+	}
+}
+
+// scanColumn resolves an expression to the table column it reads, seeing
+// through casts that are lossless and order-preserving (so a bound on
+// the cast value is a bound on the column value). Returns the table
+// column index, not the scan output position; the synthetic rowid column
+// has no table column and is excluded.
+func scanColumn(n *ScanNode, e expr.Expr) (int, bool) {
+	for {
+		cast, ok := e.(*expr.CastExpr)
+		if !ok {
+			break
+		}
+		if !losslessZoneCast(cast.X.Type(), cast.To) {
+			return 0, false
+		}
+		e = cast.X
+	}
+	cr, ok := e.(*expr.ColRef)
+	if !ok || cr.Idx < 0 || cr.Idx >= len(n.Columns) {
+		return 0, false
+	}
+	return n.Columns[cr.Idx], true
+}
+
+// losslessZoneCast reports whether a cast from..to is exact and monotone
+// for every value, which is what makes constant bounds transferable to
+// the underlying column. Integer widens exactly into BIGINT and DOUBLE;
+// BIGINT into DOUBLE does not (53-bit mantissa).
+func losslessZoneCast(from, to types.Type) bool {
+	if from == to {
+		return true
+	}
+	return from == types.Integer && (to == types.BigInt || to == types.Double)
+}
+
+// zonePushable reports whether a constant of v's type can be ordered
+// exactly against stats of a colType column: same string/numeric family,
+// and never a comparison that would round (the only cross-family float
+// pairing allowed is INTEGER, which float64 represents exactly). A NULL
+// constant is always pushable — a comparison with NULL is never TRUE, so
+// refuting every segment is exact.
+func zonePushable(colType types.Type, v types.Value) bool {
+	if v.Null {
+		return true
+	}
+	intFam := func(t types.Type) bool {
+		return t == types.Integer || t == types.BigInt || t == types.Timestamp
+	}
+	switch {
+	case colType == types.Varchar:
+		return v.Type == types.Varchar
+	case colType == types.Double:
+		return v.Type == types.Double || v.Type == types.Integer
+	case intFam(colType):
+		return intFam(v.Type) || (v.Type == types.Double && colType == types.Integer)
+	}
+	return false
+}

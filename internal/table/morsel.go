@@ -26,6 +26,7 @@ type MorselSource struct {
 	tx      *txn.Transaction
 	cols    []int
 	rowIDs  bool
+	opts    ScanOptions
 	segs    []*segment
 	ns      []int // per-segment row counts at snapshot time
 	release func()
@@ -50,6 +51,7 @@ func (t *DataTable) NewMorselSource(tx *txn.Transaction, opts ScanOptions) (*Mor
 		tx:      tx,
 		cols:    cols,
 		rowIDs:  opts.WithRowIDs,
+		opts:    opts,
 		segs:    segs,
 		ns:      ns,
 		release: release,
@@ -90,14 +92,28 @@ type MorselScanner struct {
 
 // Next claims the next unclaimed morsel and materializes it. It returns
 // the morsel's sequence number and its snapshot-visible rows; the chunk
-// is nil when the morsel holds no visible rows (the sequence number is
-// still consumed, so callers can account for every morsel). seq is -1
-// when the source is exhausted.
+// is nil when the morsel holds no visible rows or its zone maps refute
+// the pushed filters (the sequence number is still consumed either way,
+// so callers can account for every morsel — skipping changes which
+// morsels do work, never the merged output). seq is -1 when the source
+// is exhausted.
 func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
 	idx := w.src.next.Add(1) - 1
 	if idx >= int64(len(w.src.segs)) {
 		return -1, nil, nil
 	}
 	seg := w.src.segs[idx]
+	if len(w.src.opts.ZoneFilters) > 0 && segRefuted(w.src.t, seg, w.src.opts.ZoneFilters) {
+		if w.src.opts.SegsSkipped != nil {
+			w.src.opts.SegsSkipped.Add(1)
+		}
+		return int(idx), nil, nil
+	}
+	if err := w.src.t.materializeSegCols(seg, w.src.cols); err != nil {
+		return int(idx), nil, err
+	}
+	if w.src.opts.SegsScanned != nil {
+		w.src.opts.SegsScanned.Add(1)
+	}
 	return int(idx), w.scanSegment(seg, idx*SegRows, w.src.ns[idx]), nil
 }

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -17,6 +18,16 @@ type ScanOptions struct {
 	// WithRowIDs appends a BIGINT row-id column after the projected
 	// columns; UPDATE and DELETE plans use it to address rows.
 	WithRowIDs bool
+	// ZoneFilters are scan-eligible conjuncts of the pushed predicate.
+	// Segments whose zone maps (or compressed payloads) refute one are
+	// skipped without being materialized. Skipping is purely an
+	// optimization — callers must still apply the full predicate per
+	// row, so results are exact whether or not a segment was skipped.
+	ZoneFilters []ZoneFilter
+	// SegsScanned/SegsSkipped, when non-nil, count the segments the scan
+	// materialized vs. refuted (EXPLAIN/PRAGMA observability).
+	SegsScanned *atomic.Int64
+	SegsSkipped *atomic.Int64
 }
 
 // segReader holds the per-reader state needed to materialize one
@@ -151,6 +162,7 @@ type Scanner struct {
 	segs    []*segment
 	ns      []int
 	segIdx  int
+	opts    ScanOptions
 	release func()
 	closed  bool
 }
@@ -171,6 +183,7 @@ func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner,
 		segReader: newSegReader(t, tx, cols, opts.WithRowIDs),
 		segs:      segs,
 		ns:        ns,
+		opts:      opts,
 		release:   release,
 	}, nil
 }
@@ -179,6 +192,8 @@ func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner,
 func (s *Scanner) OutputTypes() []types.Type { return s.outputTypes() }
 
 // Next returns the next non-empty chunk, or nil when the scan is done.
+// Segments refuted by the pushed zone filters are skipped without being
+// materialized.
 func (s *Scanner) Next() (*vector.Chunk, error) {
 	if s.closed {
 		return nil, nil
@@ -189,6 +204,18 @@ func (s *Scanner) Next() (*vector.Chunk, error) {
 		maxRows := s.ns[s.segIdx]
 		s.segIdx++
 
+		if len(s.opts.ZoneFilters) > 0 && segRefuted(s.t, seg, s.opts.ZoneFilters) {
+			if s.opts.SegsSkipped != nil {
+				s.opts.SegsSkipped.Add(1)
+			}
+			continue
+		}
+		if err := s.t.materializeSegCols(seg, s.cols); err != nil {
+			return nil, err
+		}
+		if s.opts.SegsScanned != nil {
+			s.opts.SegsScanned.Add(1)
+		}
 		chunk := s.scanSegment(seg, base, maxRows)
 		if chunk != nil {
 			return chunk, nil

@@ -1,0 +1,380 @@
+package table
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Zone maps: per-segment, per-column statistics maintained at append
+// time and widened (never narrowed) by in-place updates, so they are a
+// conservative superset of every value any snapshot can reconstruct —
+// including undo-chain old values, uncommitted appends and rows whose
+// delete is not yet visible. A scan may therefore skip a segment whose
+// stats refute a pushed predicate without changing the result: the
+// predicate is still re-applied per row on the segments that survive.
+
+// ColStats are the zone-map statistics of one column of one segment.
+type ColStats struct {
+	// Valid is false when the segment's contents are unknown (a cold
+	// segment whose checkpoint predates zone maps); invalid stats never
+	// refute anything.
+	Valid bool
+	// HasMinMax is false while no non-null value was ever observed.
+	HasMinMax bool
+	// Min and Max bound the non-null values under the engine's total
+	// order (types.Compare: NaN greatest, NaN == NaN).
+	Min, Max types.Value
+	// NullCount and NonNullCount are upper bounds that never undercount:
+	// updates only ever increment them, so NullCount == 0 still proves
+	// "no version of any row is NULL" (and symmetrically for NonNull).
+	NullCount    int64
+	NonNullCount int64
+	// DistinctHint is a rough all-distinct flag: true when the non-null
+	// values of an integer-family column form a dense range. Advisory
+	// only — never used for skipping.
+	DistinctHint bool
+}
+
+// widenValue folds one observed value into the stats.
+func (st *ColStats) widenValue(v types.Value) {
+	if !st.Valid {
+		return
+	}
+	if v.Null {
+		st.NullCount++
+		return
+	}
+	st.NonNullCount++
+	if !st.HasMinMax {
+		st.Min, st.Max = v, v
+		st.HasMinMax = true
+	} else {
+		if types.Compare(v, st.Min) < 0 {
+			st.Min = v
+		}
+		if types.Compare(v, st.Max) > 0 {
+			st.Max = v
+		}
+	}
+	st.refreshDistinctHint()
+}
+
+func (st *ColStats) refreshDistinctHint() {
+	switch st.Min.Type {
+	case types.Integer, types.BigInt, types.Timestamp:
+		span := st.Max.I64 - st.Min.I64
+		st.DistinctHint = span >= 0 && span+1 == st.NonNullCount
+	default:
+		st.DistinctHint = false
+	}
+}
+
+// ZoneOp is the operator of a scan-eligible conjunct.
+type ZoneOp uint8
+
+// Zone-map predicate operators.
+const (
+	ZoneEq ZoneOp = iota
+	ZoneNe
+	ZoneLt
+	ZoneLe
+	ZoneGt
+	ZoneGe
+	ZoneIsNull
+	ZoneNotNull
+)
+
+// String renders the operator for EXPLAIN output.
+func (o ZoneOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">=", " IS NULL", " IS NOT NULL"}[o]
+}
+
+// ZoneFilter is one pushed conjunct a scan can test against zone maps:
+// column Op constant (Val is unset for the null tests). Col is a table
+// column index, not an output position.
+type ZoneFilter struct {
+	Col int
+	Op  ZoneOp
+	Val types.Value
+}
+
+// String renders the filter for EXPLAIN output; name is the column name.
+func (f ZoneFilter) String(name string) string {
+	switch f.Op {
+	case ZoneIsNull, ZoneNotNull:
+		return name + f.Op.String()
+	default:
+		return name + f.Op.String() + f.Val.String()
+	}
+}
+
+// zoneComparable reports whether stats of type a can be ordered against
+// a constant of type b by types.Compare.
+func zoneComparable(a, b types.Type) bool {
+	intFam := func(t types.Type) bool {
+		return t == types.Integer || t == types.BigInt || t == types.Timestamp
+	}
+	switch {
+	case a == types.Varchar || b == types.Varchar:
+		return a == types.Varchar && b == types.Varchar
+	case a == types.Double || b == types.Double:
+		return (a == types.Double || intFam(a)) && (b == types.Double || intFam(b))
+	default:
+		return intFam(a) && intFam(b)
+	}
+}
+
+// Refutes reports whether the stats prove no visible row of the segment
+// can satisfy f. Comparisons against NULL never hold, so a null constant
+// refutes every comparison.
+func (st *ColStats) Refutes(f ZoneFilter) bool {
+	if !st.Valid {
+		return false
+	}
+	switch f.Op {
+	case ZoneIsNull:
+		return st.NullCount == 0
+	case ZoneNotNull:
+		return st.NonNullCount == 0
+	}
+	if f.Val.Null {
+		return true
+	}
+	if !st.HasMinMax {
+		// Every row is NULL; no comparison passes.
+		return true
+	}
+	if !zoneComparable(st.Min.Type, f.Val.Type) {
+		return false
+	}
+	switch f.Op {
+	case ZoneEq:
+		return types.Compare(f.Val, st.Min) < 0 || types.Compare(f.Val, st.Max) > 0
+	case ZoneNe:
+		return types.Compare(st.Min, f.Val) == 0 && types.Compare(st.Max, f.Val) == 0
+	case ZoneLt:
+		return types.Compare(st.Min, f.Val) >= 0
+	case ZoneLe:
+		return types.Compare(st.Min, f.Val) > 0
+	case ZoneGt:
+		return types.Compare(st.Max, f.Val) <= 0
+	case ZoneGe:
+		return types.Compare(st.Max, f.Val) < 0
+	}
+	return false
+}
+
+// ---- serialization (catalog checkpoint image) ----
+
+const (
+	statsFlagValid    = 1 << 0
+	statsFlagMinMax   = 1 << 1
+	statsFlagDistinct = 1 << 2
+)
+
+// AppendColStats serializes one column's per-segment stats. typ is the
+// column's logical type (it fixes the Min/Max encoding).
+func AppendColStats(dst []byte, typ types.Type, stats []ColStats) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(stats)))
+	for _, st := range stats {
+		var flags byte
+		if st.Valid {
+			flags |= statsFlagValid
+		}
+		if st.HasMinMax {
+			flags |= statsFlagMinMax
+		}
+		if st.DistinctHint {
+			flags |= statsFlagDistinct
+		}
+		dst = append(dst, flags)
+		if !st.Valid {
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(st.NullCount))
+		dst = binary.AppendUvarint(dst, uint64(st.NonNullCount))
+		if !st.HasMinMax {
+			continue
+		}
+		dst = appendStatValue(dst, typ, st.Min)
+		dst = appendStatValue(dst, typ, st.Max)
+	}
+	return dst
+}
+
+func appendStatValue(dst []byte, typ types.Type, v types.Value) []byte {
+	switch typ {
+	case types.Double:
+		return binary.LittleEndian.AppendUint64(dst, uint64(floatBits(v.F64)))
+	case types.Varchar:
+		dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+		return append(dst, v.Str...)
+	case types.Boolean:
+		if v.Bool {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	default:
+		return binary.AppendVarint(dst, v.I64)
+	}
+}
+
+// DecodeColStats reverses AppendColStats, returning the stats and the
+// remaining buffer.
+func DecodeColStats(src []byte, typ types.Type) ([]ColStats, []byte, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("table: bad stats header")
+	}
+	src = src[k:]
+	out := make([]ColStats, n)
+	for i := range out {
+		if len(src) < 1 {
+			return nil, nil, fmt.Errorf("table: stats truncated")
+		}
+		flags := src[0]
+		src = src[1:]
+		st := &out[i]
+		st.Valid = flags&statsFlagValid != 0
+		st.HasMinMax = flags&statsFlagMinMax != 0
+		st.DistinctHint = flags&statsFlagDistinct != 0
+		if !st.Valid {
+			st.HasMinMax = false
+			continue
+		}
+		var err error
+		if st.NullCount, src, err = decodeStatCount(src); err != nil {
+			return nil, nil, err
+		}
+		if st.NonNullCount, src, err = decodeStatCount(src); err != nil {
+			return nil, nil, err
+		}
+		if !st.HasMinMax {
+			continue
+		}
+		if st.Min, src, err = decodeStatValue(src, typ); err != nil {
+			return nil, nil, err
+		}
+		if st.Max, src, err = decodeStatValue(src, typ); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, src, nil
+}
+
+func decodeStatCount(src []byte) (int64, []byte, error) {
+	v, k := binary.Uvarint(src)
+	if k <= 0 {
+		return 0, nil, fmt.Errorf("table: stats count truncated")
+	}
+	return int64(v), src[k:], nil
+}
+
+func decodeStatValue(src []byte, typ types.Type) (types.Value, []byte, error) {
+	switch typ {
+	case types.Double:
+		if len(src) < 8 {
+			return types.Value{}, nil, fmt.Errorf("table: stats value truncated")
+		}
+		return types.NewDouble(floatFromBits(int64(binary.LittleEndian.Uint64(src)))), src[8:], nil
+	case types.Varchar:
+		l, k := binary.Uvarint(src)
+		if k <= 0 || uint64(len(src)-k) < l {
+			return types.Value{}, nil, fmt.Errorf("table: stats value truncated")
+		}
+		return types.NewVarchar(string(src[k : k+int(l)])), src[k+int(l):], nil
+	case types.Boolean:
+		if len(src) < 1 {
+			return types.Value{}, nil, fmt.Errorf("table: stats value truncated")
+		}
+		return types.NewBool(src[0] != 0), src[1:], nil
+	default:
+		v, k := binary.Varint(src)
+		if k <= 0 {
+			return types.Value{}, nil, fmt.Errorf("table: stats value truncated")
+		}
+		return types.Value{Type: typ, I64: v}, src[k:], nil
+	}
+}
+
+// ---- table-level access ----
+
+// SetSegmentStats installs catalog-loaded stats: stats[c][i] is column
+// c of segment i. Columns or segments beyond the recorded counts keep
+// invalid stats (never skipped). Called once at open, before any scan.
+func (t *DataTable) SetSegmentStats(stats [][]ColStats) {
+	t.mu.RLock()
+	segs := t.segs
+	t.mu.RUnlock()
+	for c := range stats {
+		if c >= len(t.typs) {
+			break
+		}
+		for i, st := range stats[c] {
+			if i >= len(segs) {
+				break
+			}
+			s := segs[i]
+			s.mu.Lock()
+			s.stats[c] = st
+			s.mu.Unlock()
+		}
+	}
+}
+
+// SegmentStats snapshots the current stats of column c, one entry per
+// segment (used by the checkpointer for tables whose layout matches the
+// disk image).
+func (t *DataTable) SegmentStats(c int) []ColStats {
+	t.mu.RLock()
+	segs := t.segs
+	t.mu.RUnlock()
+	out := make([]ColStats, len(segs))
+	for i, s := range segs {
+		s.mu.RLock()
+		out[i] = s.stats[c]
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// ZoneSkipInfo evaluates filters against every segment's zone maps and
+// returns how many of the total segments would be skipped. EXPLAIN uses
+// it; the counts match what an immediately-following scan would do.
+func (t *DataTable) ZoneSkipInfo(filters []ZoneFilter) (skipped, total int) {
+	segs, _ := t.snapshotSegments()
+	for _, s := range segs {
+		if segRefuted(t, s, filters) {
+			skipped++
+		}
+	}
+	return skipped, len(segs)
+}
+
+// segRefuted reports whether any pushed filter is refuted for segment s,
+// first by the zone-map stats, then — for columns still resident in
+// their compressed form — directly on the encoded payload (dictionary
+// membership, FOR/RLE bounds) without decompressing it.
+func segRefuted(t *DataTable, s *segment, filters []ZoneFilter) bool {
+	if len(filters) == 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, f := range filters {
+		if f.Col >= len(s.stats) {
+			continue
+		}
+		if s.stats[f.Col].Refutes(f) {
+			return true
+		}
+		if s.enc != nil && f.Col < len(s.enc) && s.enc[f.Col] != nil {
+			if encRefutes(s.enc[f.Col], t.typs[f.Col], f) {
+				return true
+			}
+		}
+	}
+	return false
+}

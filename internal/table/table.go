@@ -38,8 +38,17 @@ type undoNode struct {
 // segment holds SegRows rows of every column plus their version state.
 type segment struct {
 	mu   sync.RWMutex
-	cols []*vector.Vector // nil when the column is not loaded
-	n    int              // rows in use
+	cols []*vector.Vector // nil when the column is not loaded/materialized
+	// enc[c] is the column's still-compressed checkpoint payload; non-nil
+	// only for cold-loaded segments that no scan has materialized yet.
+	// Encoded payloads are immutable: every write path materializes the
+	// column first. nil for segments that never came from disk.
+	enc [][]byte
+	n   int // rows in use
+
+	// stats[c] are column c's zone-map statistics (widen-only superset
+	// of every version of every row; see stats.go).
+	stats []ColStats
 
 	// insertID==nil means every row is stamped insertAll.
 	insertID  []uint64
@@ -51,11 +60,16 @@ type segment struct {
 }
 
 func newSegment(ncols int) *segment {
-	return &segment{
+	s := &segment{
 		cols:      make([]*vector.Vector, ncols),
+		stats:     make([]ColStats, ncols),
 		updates:   make([]*undoNode, ncols),
 		insertAll: txn.EpochTS,
 	}
+	for c := range s.stats {
+		s.stats[c].Valid = true // fresh empty segment: stats track appends
+	}
+	return s
 }
 
 func (s *segment) loadInsert(r int) uint64 {
@@ -91,10 +105,10 @@ func (s *segment) materializeDeleteIDs() {
 	}
 }
 
-// ColumnLoader reads one column's persistent data, returning one vector
-// per segment (each with up to SegRows values) plus the approximate byte
-// footprint. Fresh tables have no loader.
-type ColumnLoader func(col int) (segs []*vector.Vector, bytes int64, err error)
+// ColumnLoader reads one column's persistent data, returning one
+// still-compressed payload per segment (see encseg.go) plus the encoded
+// byte footprint. Fresh tables have no loader.
+type ColumnLoader func(col int) (encSegs [][]byte, bytes int64, err error)
 
 // colState tracks lazy loading and eviction of one column.
 type colState struct {
@@ -156,6 +170,11 @@ func NewPersisted(typs []types.Type, diskRows int64, loader ColumnLoader, pool *
 	remaining := diskRows
 	for i := range t.segs {
 		s := newSegment(len(typs))
+		s.enc = make([][]byte, len(typs))
+		for c := range s.stats {
+			// Unknown contents until catalog stats arrive (SetSegmentStats).
+			s.stats[c] = ColStats{}
+		}
 		s.n = int(minI64(remaining, SegRows))
 		remaining -= int64(s.n)
 		t.segs[i] = s
@@ -299,8 +318,10 @@ func (t *DataTable) ensureLoaded(c int) error {
 	}
 	t.loadMu.Unlock()
 
-	// Load outside loadMu so pool eviction callbacks can take it.
-	segVecs, bytes, err := t.loader(c)
+	// Load outside loadMu so pool eviction callbacks can take it. The
+	// loader returns the still-compressed per-segment payloads; segments
+	// stay encoded until a scan or write materializes them.
+	encSegs, bytes, err := t.loader(c)
 	if err != nil {
 		return fmt.Errorf("table: load column %d: %w", c, err)
 	}
@@ -321,17 +342,20 @@ func (t *DataTable) ensureLoaded(c int) error {
 	}
 	t.mu.RLock()
 	nDiskSegs := int((t.diskRows + SegRows - 1) / SegRows)
-	if len(segVecs) != nDiskSegs {
+	if len(encSegs) != nDiskSegs {
 		t.mu.RUnlock()
 		if t.pool != nil {
 			t.pool.Release(bytes)
 		}
-		return fmt.Errorf("table: column %d loader returned %d segments, want %d", c, len(segVecs), nDiskSegs)
+		return fmt.Errorf("table: column %d loader returned %d segments, want %d", c, len(encSegs), nDiskSegs)
 	}
-	for i, v := range segVecs {
+	for i, enc := range encSegs {
 		s := t.segs[i]
 		s.mu.Lock()
-		s.cols[c] = v
+		if s.enc == nil {
+			s.enc = make([][]byte, len(t.typs))
+		}
+		s.enc[c] = enc
 		s.mu.Unlock()
 	}
 	t.mu.RUnlock()
@@ -340,6 +364,67 @@ func (t *DataTable) ensureLoaded(c int) error {
 	t.cols[c].pins++
 	if t.pool != nil {
 		t.pool.AddEvictable(&columnHandle{t: t, col: c})
+	}
+	return nil
+}
+
+// materializeSegCols decodes the given columns of one segment if they
+// are still in their compressed checkpoint form, swapping the encoded
+// footprint for the decoded one in the buffer pool. Zone-map-refuted
+// segments never reach this point — that is what lets a selective scan
+// skip a cold segment without touching its bytes. Lock order matches
+// ensureLoaded/Evict: loadMu before the segment lock.
+func (t *DataTable) materializeSegCols(seg *segment, cols []int) error {
+	seg.mu.RLock()
+	need := false
+	if seg.enc != nil {
+		for _, c := range cols {
+			if seg.enc[c] != nil {
+				need = true
+				break
+			}
+		}
+	}
+	seg.mu.RUnlock()
+	if !need {
+		return nil
+	}
+	t.loadMu.Lock()
+	defer t.loadMu.Unlock()
+	for _, c := range cols {
+		seg.mu.RLock()
+		var enc []byte
+		if seg.enc != nil {
+			enc = seg.enc[c]
+		}
+		n := seg.n
+		seg.mu.RUnlock()
+		if enc == nil {
+			continue
+		}
+		v, err := decodeSegColumn(enc, t.typs[c])
+		if err != nil {
+			return fmt.Errorf("table: materialize column %d: %w", c, err)
+		}
+		if v.Len() != n {
+			// Writes always materialize first, so an encoded segment's row
+			// count cannot have drifted from its payload.
+			return fmt.Errorf("table: segment holds %d rows, payload %d", n, v.Len())
+		}
+		delta := vectorBytes(v) - encSegBytes(enc)
+		if t.pool != nil && delta > 0 {
+			if err := t.pool.Reserve(delta); err != nil {
+				return err
+			}
+		}
+		seg.mu.Lock()
+		seg.cols[c] = v
+		seg.enc[c] = nil
+		seg.mu.Unlock()
+		if t.pool != nil && delta < 0 {
+			t.pool.Release(-delta)
+		}
+		t.cols[c].bytes += delta
 	}
 	return nil
 }
@@ -378,6 +463,9 @@ func (h *columnHandle) Evict() (int64, bool) {
 	for _, s := range t.segs {
 		s.mu.Lock()
 		s.cols[h.col] = nil
+		if s.enc != nil {
+			s.enc[h.col] = nil
+		}
 		s.mu.Unlock()
 	}
 	t.mu.RUnlock()
@@ -426,6 +514,9 @@ func (t *DataTable) Append(tx *txn.Transaction, chunk *vector.Chunk) error {
 		return err
 	}
 	defer release()
+	if err := t.materializeTail(cols); err != nil {
+		return err
+	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -446,8 +537,9 @@ func (t *DataTable) Append(tx *txn.Transaction, chunk *vector.Chunk) error {
 		s.mu.Lock()
 		if s.cols[0] == nil && len(t.typs) > 0 {
 			// Recovered segment whose data pages were never needed yet;
-			// appends require residency, which PinColumns guaranteed,
-			// so this cannot happen — guard anyway.
+			// appends require residency, which PinColumns plus
+			// materializeTail guaranteed, so this cannot happen — guard
+			// anyway.
 			s.mu.Unlock()
 			return fmt.Errorf("table: append into unloaded segment")
 		}
@@ -464,12 +556,41 @@ func (t *DataTable) Append(tx *txn.Transaction, chunk *vector.Chunk) error {
 			s.insertID[first+i] = tx.ID()
 		}
 		s.n += k
+		s.widenStats(chunk, row, k)
 		s.mu.Unlock()
 		tx.PushUndo(&appendAction{t: t, seg: s, first: first, count: k})
 		row += k
 		t.rowCount += int64(k)
 	}
 	return nil
+}
+
+// materializeTail decodes the last segment if it is still compressed:
+// appends write into it in place. Called before taking t.mu (lock
+// order: loadMu before t.mu). Full tail segments never receive appends,
+// but decoding one is harmless.
+func (t *DataTable) materializeTail(cols []int) error {
+	t.mu.RLock()
+	var tail *segment
+	if len(t.segs) > 0 {
+		tail = t.segs[len(t.segs)-1]
+	}
+	t.mu.RUnlock()
+	if tail == nil {
+		return nil
+	}
+	return t.materializeSegCols(tail, cols)
+}
+
+// widenStats folds k appended rows (chunk rows [row, row+k)) into the
+// segment's zone maps. Caller holds s.mu.
+func (s *segment) widenStats(chunk *vector.Chunk, row, k int) {
+	for c := range s.stats {
+		st := &s.stats[c]
+		for i := 0; i < k; i++ {
+			st.widenValue(chunk.Cols[c].Get(row + i))
+		}
+	}
 }
 
 // AppendCommitted bulk-appends rows that are immediately visible to
@@ -487,6 +608,9 @@ func (t *DataTable) AppendCommitted(chunk *vector.Chunk, stamp uint64) error {
 		return err
 	}
 	defer release()
+	if err := t.materializeTail(cols); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.appendDirty.Store(true)
@@ -521,6 +645,7 @@ func (t *DataTable) AppendCommitted(chunk *vector.Chunk, stamp uint64) error {
 			}
 		}
 		s.n += k
+		s.widenStats(chunk, row, k)
 		s.mu.Unlock()
 		row += k
 		t.rowCount += int64(k)
@@ -660,6 +785,12 @@ func (t *DataTable) Update(tx *txn.Transaction, col int, rowIDs []int64, vals *v
 		}
 		batchIDs := rowIDs[start:i]
 
+		// In-place writes require the decoded form (and invalidate the
+		// immutability encoded payloads rely on).
+		if err := t.materializeSegCols(s, []int{col}); err != nil {
+			return updated, err
+		}
+
 		s.mu.Lock()
 		// Write-write conflict checks: the rows must not have been
 		// touched by a transaction we cannot see (first-updater-wins).
@@ -699,11 +830,16 @@ func (t *DataTable) Update(tx *txn.Transaction, col int, rowIDs []int64, vals *v
 			old:  vector.New(t.typs[col], len(batchIDs)),
 		}
 		node.stamp.Store(tx.ID())
+		st := &s.stats[col]
 		for j, rid := range batchIDs {
 			r := int(rid % SegRows)
 			node.rows[j] = int32(r)
 			node.old.AppendFrom(data, r)
 			data.SetFrom(r, vals, start+j)
+			// Widen the zone map with the new value; the old value was
+			// already covered, so the stats stay a superset of every
+			// version reachable through the undo chain.
+			st.widenValue(vals.Get(start + j))
 		}
 		node.next = s.updates[col]
 		s.updates[col] = node

@@ -411,12 +411,18 @@ func TestSerializeColumnRoundTrip(t *testing.T) {
 	mgr.Commit(d)
 
 	snap := mgr.Begin()
-	payload, rows, err := dt.SerializeColumn(snap, 0)
+	payload, rows, stats, err := dt.SerializeColumn(snap, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rows != int64(SegRows+500-3) {
 		t.Fatalf("serialized %d rows", rows)
+	}
+	if len(stats) != 2 || !stats[0].Valid || !stats[0].HasMinMax {
+		t.Fatalf("missing serialized stats: %+v", stats)
+	}
+	if stats[0].Min.I64 != 3 || stats[1].Max.I64 != int64(SegRows+500-1) {
+		t.Fatalf("stats bounds wrong: %+v", stats)
 	}
 	segs, bytes, err := DecodeColumnSegments(payload)
 	if err != nil {

@@ -30,6 +30,18 @@
 // WithThreads(1) as the single-threaded baseline. Parallelism never
 // changes results — chunks arrive in the same deterministic order at
 // every thread count, so the zero-copy chunk API above is unaffected.
+//
+// Scans keep per-segment zone maps (min/max, null counts, maintained at
+// append time and persisted through checkpoints) and skip the segments
+// a WHERE conjunct refutes — consulting the compressed encodings
+// directly, so skipped segments are never decompressed. Skipping never
+// changes results; it only avoids touching bytes the filter would
+// discard. EXPLAIN reports the pushed predicates and a
+// "segments skipped: X/Y" note per scan. Knobs: PRAGMA zone_maps=0|1
+// toggles skipping at runtime (the QUACK_DISABLE_ZONEMAPS=1 environment
+// variable sets the default off, mirroring QUACK_THREADS and
+// QUACK_MEMORY_LIMIT), and PRAGMA segments_scanned /
+// segments_skipped read the session's cumulative scan counters.
 package quack
 
 import (
