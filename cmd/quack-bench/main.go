@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|scaling|all
+//	quack-bench -exp table1|figure1|ancode|transfer|bulkupdate|engine|joins|checksum|dashboard|scaling|serve|all
 //	quack-bench -exp all -scale 0.1   # quicker, smaller datasets
 //	quack-bench -exp scaling -threads 16   # sweep 1,2,4,8,16 workers
 //	quack-bench -exp scaling -json scaling.json   # CI bench artifact
 //	quack-bench -exp scaling -baseline BENCH_BASELINE.json   # CI bench gate
+//	quack-bench -exp serve -sessions 16   # multi-session sweep 1,4,16
+//
+// -json merges into the target file section by section (the scaling
+// sweep owns points/selective_filter, the serve sweep owns serve), so
+// sequential invocations build one BENCH_BASELINE.json.
 package main
 
 import (
@@ -24,15 +29,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, scaling, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, figure1, ancode, transfer, bulkupdate, engine, joins, checksum, dashboard, scaling, serve, all)")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor")
 	threads := flag.Int("threads", 8, "maximum worker count for the scaling sweep (powers of two up to this)")
-	jsonPath := flag.String("json", "", "write the scaling sweep's points as JSON to this path (CI bench trajectory)")
-	baseline := flag.String("baseline", "", "compare the scaling sweep against this committed JSON and fail on regression (CI bench gate)")
+	sessions := flag.Int("sessions", 16, "maximum session count for the serve sweep (1, 4, ... up to this)")
+	jsonPath := flag.String("json", "", "merge this run's sweep sections as JSON into this path (CI bench trajectory)")
+	baseline := flag.String("baseline", "", "compare the sweeps against this committed JSON and fail on regression (CI bench gate)")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed slowdown vs the baseline before the gate fails (0.30 = +30%)")
 	flag.Parse()
 
-	if err := run(*exp, bench.Scale(*scale), *threads, *jsonPath, *baseline, *tolerance); err != nil {
+	if err := run(*exp, bench.Scale(*scale), *threads, *sessions, *jsonPath, *baseline, *tolerance); err != nil {
 		fmt.Fprintln(os.Stderr, "quack-bench:", err)
 		os.Exit(1)
 	}
@@ -51,7 +57,20 @@ func threadSweep(maxThreads int) []int {
 	return append(out, maxThreads)
 }
 
-func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, tolerance float64) error {
+// sessionSweep lists the serve-mode session counts: 1, 4, 16, ... up to
+// and including maxSessions.
+func sessionSweep(maxSessions int) []int {
+	if maxSessions < 1 {
+		maxSessions = 1
+	}
+	var out []int
+	for n := 1; n < maxSessions; n *= 4 {
+		out = append(out, n)
+	}
+	return append(out, maxSessions)
+}
+
+func run(exp string, scale bench.Scale, threads, sessions int, jsonPath, baseline string, tolerance float64) error {
 	w := os.Stdout
 	sep := func() {
 		fmt.Fprintln(w, "\n"+string(make([]byte, 0))+"----------------------------------------------------------------")
@@ -155,22 +174,40 @@ func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, 
 			// Write the trajectory artifact BEFORE gating: a failed gate
 			// is exactly when the fresh numbers are needed for debugging.
 			if jsonPath != "" {
-				data, err := json.MarshalIndent(map[string]any{
-					"experiment":       "scaling",
-					"rows":             rows,
-					"points":           points,
-					"selective_filter": selective,
-				}, "", "  ")
-				if err != nil {
+				if err := mergeBenchFile(w, jsonPath, func(f *benchFile) {
+					f.Rows = rows
+					f.Points = points
+					f.Selective = selective
+				}); err != nil {
 					return err
 				}
-				if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "wrote %s\n", jsonPath)
 			}
 			if baseline != "" {
 				if err := gateScaling(w, baseline, points, selective, tolerance); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"serve", func() error {
+			rows := int(500_000 * float64(scale))
+			if rows < 50_000 {
+				rows = 50_000
+			}
+			serve, err := bench.Serve(w, rows, threads, sessionSweep(sessions))
+			if err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				if err := mergeBenchFile(w, jsonPath, func(f *benchFile) {
+					f.ServeRows = rows
+					f.Serve = serve
+				}); err != nil {
+					return err
+				}
+			}
+			if baseline != "" {
+				if err := gateServe(w, baseline, serve, tolerance); err != nil {
 					return err
 				}
 			}
@@ -196,13 +233,55 @@ func run(exp string, scale bench.Scale, threads int, jsonPath, baseline string, 
 	return nil
 }
 
-// scalingFile is the JSON shape of both the uploaded trajectory
-// artifact and the committed BENCH_BASELINE.json.
-type scalingFile struct {
+// benchFile is the JSON shape of both the uploaded trajectory artifact
+// and the committed BENCH_BASELINE.json. The scaling sweep owns
+// rows/points/selective_filter; the serve sweep owns serve_rows/serve;
+// mergeBenchFile lets either run refresh its sections without clobbering
+// the other's.
+type benchFile struct {
 	Experiment string                   `json:"experiment"`
-	Rows       int                      `json:"rows"`
-	Points     []bench.ScalingPoint     `json:"points"`
-	Selective  []bench.SelectivityPoint `json:"selective_filter"`
+	Rows       int                      `json:"rows,omitempty"`
+	Points     []bench.ScalingPoint     `json:"points,omitempty"`
+	Selective  []bench.SelectivityPoint `json:"selective_filter,omitempty"`
+	ServeRows  int                      `json:"serve_rows,omitempty"`
+	Serve      []bench.ServePoint       `json:"serve,omitempty"`
+}
+
+// readBenchFile loads the artifact/baseline; a missing file is an empty
+// one (the first sweep to run creates it).
+func readBenchFile(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// mergeBenchFile applies one sweep's sections to the artifact file,
+// preserving whatever other sweeps already wrote there.
+func mergeBenchFile(w io.Writer, path string, update func(*benchFile)) error {
+	f, err := readBenchFile(path)
+	if err != nil {
+		return err
+	}
+	f.Experiment = "quack-bench"
+	update(&f)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+	return nil
 }
 
 // gateScaling compares the fresh sweep against the committed baseline
@@ -212,16 +291,27 @@ type scalingFile struct {
 // off its fast path), not single-digit noise. Label a PR skip-bench-gate
 // for intentional slowdowns and refresh the baseline in the same change.
 func gateScaling(w io.Writer, path string, fresh []bench.ScalingPoint, freshSel []bench.SelectivityPoint, tolerance float64) error {
-	data, err := os.ReadFile(path)
+	base, err := readBenchFile(path)
 	if err != nil {
 		return fmt.Errorf("bench gate: %w", err)
 	}
-	var base scalingFile
-	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("bench gate: parse %s: %w", path, err)
-	}
 	regressions := bench.CompareScaling(base.Points, fresh, tolerance)
 	regressions = append(regressions, bench.CompareSelective(base.Selective, freshSel, tolerance)...)
+	return reportGate(w, path, regressions, tolerance)
+}
+
+// gateServe compares the fresh serve sweep's throughput per session
+// count against the committed baseline, same tolerance discipline as
+// the scaling gate.
+func gateServe(w io.Writer, path string, fresh []bench.ServePoint, tolerance float64) error {
+	base, err := readBenchFile(path)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	return reportGate(w, path, bench.CompareServe(base.Serve, fresh, tolerance), tolerance)
+}
+
+func reportGate(w io.Writer, path string, regressions []string, tolerance float64) error {
 	if len(regressions) == 0 {
 		fmt.Fprintf(w, "bench gate: all workloads within +%.0f%% of %s\n", tolerance*100, path)
 		return nil

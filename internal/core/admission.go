@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// defaultMemoryShare is the fraction of the engine-wide budget one
+// query claims at admission when the session has not chosen one. The
+// default is the whole budget: operators reserve from the shared pool
+// up to the full limit and hard-fail paths (hash-join builds, scan
+// materialization) cannot shed to disk, so admitting strangers into a
+// budget sized for one query trades correctness for concurrency.
+// Budgeted queries therefore serialize unless the session opts in by
+// lowering PRAGMA memory_share, which caps its claim and lets
+// 1/share queries overlap.
+const defaultMemoryShare = 1.0
+
+// defaultAdmissionDepth bounds the admission queue per arriving
+// session when PRAGMA admission_queue_depth has not chosen one.
+const defaultAdmissionDepth = 32
+
+// admitState is the engine-wide admission controller. When a memory
+// budget is enforced (PRAGMA memory_limit / QUACK_MEMORY_LIMIT), every
+// query claims a share of the engine-wide pool before it starts; a
+// query whose claim does not fit either waits in a bounded queue or
+// fails fast, per the session's admission_queue_depth. This turns the
+// paper's cooperation requirement (§4) from a per-query property into a
+// whole-process one: N greedy sessions cannot multiply the budget by N.
+//
+// Rules, in order:
+//   - No budget → no gating (the common embedded case stays zero-cost).
+//   - One query is always admitted, even if its claim exceeds the whole
+//     budget — progress beats strict accounting, and the operators
+//     under it spill to stay inside the real limit anyway.
+//   - Otherwise a query is admitted when the sum of admitted claims
+//     stays within the budget.
+//   - Waiters are served highest priority first (FIFO within equal
+//     priority); a session with depth 0 fails fast instead of queuing,
+//     and a full queue rejects new waiters with a distinct error.
+type admitState struct {
+	db      *Database
+	mu      sync.Mutex
+	cond    *sync.Cond
+	claimed int64 // bytes claimed by admitted queries
+	running int   // admitted queries
+	queue   []*admitWaiter
+	seq     uint64
+}
+
+type admitWaiter struct {
+	priority int
+	seq      uint64
+}
+
+func (a *admitState) init(db *Database) {
+	a.db = db
+	a.cond = sync.NewCond(&a.mu)
+}
+
+// admit blocks until the query's claim fits (or returns an error per
+// the fail-fast/queue-full rules). The returned release must be called
+// exactly once when the query finishes; it is never nil.
+func (a *admitState) admit(share float64, depth, priority int) (release func(), err error) {
+	noop := func() {}
+	limit := a.db.pool.Limit()
+	if limit <= 0 {
+		return noop, nil
+	}
+	if share <= 0 {
+		share = defaultMemoryShare
+	} else if share > 1 {
+		share = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var w *admitWaiter
+	leave := func() {
+		if w == nil {
+			return
+		}
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		w = nil
+	}
+	for {
+		// Re-read the budget every round: PRAGMA memory_limit can move
+		// (or vanish) while a query waits, and waiters must observe it.
+		limit = a.db.pool.Limit()
+		if limit <= 0 {
+			leave()
+			return noop, nil
+		}
+		claim := int64(share * float64(limit))
+		if claim < 1 {
+			claim = 1
+		}
+		// A queued waiter may only be admitted while it is head of line —
+		// including through the nothing-running escape hatch, which would
+		// otherwise let whichever waiter the broadcast happened to wake
+		// first barge past a higher-priority one. A fresh arrival (w ==
+		// nil) still takes the escape hatch even with waiters queued:
+		// progress beats strict ordering when the alternative is an idle
+		// engine.
+		if (w == nil || a.first() == w) && (a.running == 0 || a.claimed+claim <= limit) {
+			leave()
+			a.running++
+			a.claimed += claim
+			// Wake the remaining waiters: more than one claim may fit, and
+			// the new head of line must re-check rather than sleep until
+			// the next release.
+			a.cond.Broadcast()
+			var once sync.Once
+			return func() {
+				once.Do(func() {
+					a.mu.Lock()
+					a.running--
+					a.claimed -= claim
+					a.mu.Unlock()
+					a.cond.Broadcast()
+				})
+			}, nil
+		}
+		if w == nil {
+			if depth <= 0 {
+				return noop, fmt.Errorf("query admission: memory budget exhausted (session fails fast; raise PRAGMA admission_queue_depth to queue)")
+			}
+			if len(a.queue) >= depth {
+				return noop, fmt.Errorf("query admission: queue full (%d waiting)", len(a.queue))
+			}
+			a.seq++
+			w = &admitWaiter{priority: priority, seq: a.seq}
+			a.queue = append(a.queue, w)
+		}
+		a.cond.Wait()
+	}
+}
+
+// first returns the waiter next in line: highest priority, FIFO within
+// equal priority. Callers hold a.mu and guarantee the queue is
+// non-empty.
+func (a *admitState) first() *admitWaiter {
+	best := a.queue[0]
+	for _, q := range a.queue[1:] {
+		if q.priority > best.priority || (q.priority == best.priority && q.seq < best.seq) {
+			best = q
+		}
+	}
+	return best
+}

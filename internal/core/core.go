@@ -19,6 +19,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/memtest"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/table"
 	"repro/internal/txn"
@@ -68,6 +69,8 @@ type Database struct {
 	monitor *adaptive.Monitor
 	policy  *adaptive.Policy
 	logger  walLogger
+	sched   *sched.Scheduler
+	admit   admitState
 
 	ddlMu       sync.Mutex // serializes DDL and checkpoints
 	pendingFree []storage.BlockID
@@ -112,6 +115,13 @@ func Open(cfg Config) (*Database, error) {
 	db.policy = adaptive.NewPolicy(db.monitor, cfg.TotalRAM)
 	db.threads.Store(int64(cfg.Threads))
 	db.zoneMapsOff.Store(defaultZoneMapsDisabled())
+	// One engine-wide worker pool multiplexes runnable morsels from every
+	// active query (morsel-driven scheduling): total engine goroutines are
+	// bounded by the pool size no matter how many sessions run queries
+	// concurrently. PRAGMA threads resizes it; per-session Threads only
+	// caps how many tasks a single query keeps runnable.
+	db.sched = sched.New(cfg.Threads)
+	db.admit.init(db)
 
 	if !store.InMemory() {
 		log, err := wal.Open(cfg.Path + ".wal")
@@ -181,7 +191,14 @@ func (db *Database) SetThreads(n int) {
 		n = defaultThreads()
 	}
 	db.threads.Store(int64(n))
+	// The shared pool follows the database default so PRAGMA threads
+	// sweeps (benchmarks, harnesses) exercise real pool sizes; session
+	// Threads overrides never resize it — they only cap task width.
+	db.sched.Resize(n)
 }
+
+// Scheduler exposes the engine-wide morsel scheduler (tests).
+func (db *Database) Scheduler() *sched.Scheduler { return db.sched }
 
 // defaultThreads resolves the engine-wide default parallelism: the
 // QUACK_THREADS environment variable lets harnesses (CI matrices,
@@ -421,6 +438,9 @@ func (db *Database) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
+	// Callers must have drained their queries; retiring the pool first
+	// turns a violation into a loud panic instead of a hung checkpoint.
+	db.sched.Stop()
 	var firstErr error
 	if !db.store.InMemory() {
 		if err := db.Checkpoint(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/csvio"
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -47,8 +48,24 @@ type Session struct {
 	// JoinStrategy overrides the adaptive join choice for experiments.
 	JoinStrategy exec.JoinStrategy
 	// Threads overrides the database's default query parallelism for
-	// this session; <=0 means "use the database default".
+	// this session; <=0 means "use the database default". It caps how
+	// many tasks this session's queries keep runnable on the shared
+	// pool — it does not resize the pool itself.
 	Threads int
+	// Priority is this session's scheduling weight (PRAGMA priority):
+	// a priority-200 query receives twice the pool share of a
+	// priority-100 one, and admission serves higher priorities first.
+	// <=0 means the default (100).
+	Priority int
+	// MemoryShare is the fraction of the engine-wide memory budget one
+	// query of this session claims at admission (PRAGMA memory_share).
+	// Meaningful only when a memory_limit is enforced.
+	MemoryShare float64
+	// AdmissionQueueDepth bounds how many queries may wait for
+	// admission before new arrivals are rejected (PRAGMA
+	// admission_queue_depth). 0 makes this session fail fast instead
+	// of queuing.
+	AdmissionQueueDepth int
 }
 
 // threads resolves the parallelism for this session's next query.
@@ -60,7 +77,21 @@ func (s *Session) threads() int {
 }
 
 // NewSession opens a session.
-func (db *Database) NewSession() *Session { return &Session{db: db} }
+func (db *Database) NewSession() *Session {
+	return &Session{
+		db:                  db,
+		MemoryShare:         defaultMemoryShare,
+		AdmissionQueueDepth: defaultAdmissionDepth,
+	}
+}
+
+// priority resolves this session's scheduling priority.
+func (s *Session) priority() int {
+	if s.Priority > 0 {
+		return s.Priority
+	}
+	return sched.DefaultPriority
+}
 
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.current != nil && !s.current.Done() }
@@ -206,6 +237,10 @@ func (s *Session) executeInTxn(stmt sql.Statement, params []types.Value, tx *txn
 }
 
 func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
+	// Knob snapshot: every db-level knob a query consults (threads,
+	// zone maps, memory limit via Pool) is resolved here or read through
+	// atomics, so a PRAGMA issued concurrently on another session never
+	// tears a running query's view of the configuration.
 	return &exec.Context{
 		Txn:             tx,
 		Pool:            s.db.pool,
@@ -215,10 +250,17 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 		Threads:         s.threads(),
 		Stats:           &s.db.execStats,
 		DisableZoneMaps: !s.db.ZoneMapsEnabled(),
+		Sched:           s.db.sched,
+		Priority:        s.priority(),
 	}
 }
 
 func (s *Session) runPlan(node plan.Node, tx *txn.Transaction) (*Result, error) {
+	release, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	node = plan.Optimize(node)
 	ctx := s.execContext(tx)
 	op, err := exec.BuildParallel(node, ctx.Threads)
@@ -275,6 +317,11 @@ func (s *Session) ExecuteRowEngine(sqlText string, params ...types.Value) ([][]t
 }
 
 func (s *Session) runDML(node plan.Node, tx *txn.Transaction) (*Result, error) {
+	release, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	node = plan.Optimize(node)
 	// DML input scans parallelize like any query (the write itself runs
 	// on the consuming thread); the scan-open segment snapshot keeps
@@ -508,9 +555,19 @@ func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, e
 	// Surface how aggregation cooperates with an enforced memory_limit:
 	// partitions whose accumulator states outgrow the budget spill to
 	// sorted state runs and merge back at finish — at full parallelism.
-	if s.db.pool.Limit() > 0 && exec.HasAggregate(node) {
+	if lim := s.db.pool.Limit(); lim > 0 && exec.HasAggregate(node) {
 		out.AppendRow(types.NewVarchar(
 			"NOTE: aggregation spills partition-wise under memory_limit (see PRAGMA agg_spill_partitions)"))
+		// Surface the budget floor: states touched by in-flight morsels
+		// cannot spill, so a tight budget admits fewer accumulation
+		// workers instead of hard-failing the reservation.
+		if agg := exec.FindAggregate(node); agg != nil {
+			threads := s.threads()
+			if w := exec.AggWorkersAdmitted(lim, threads, agg); w < threads {
+				out.AppendRow(types.NewVarchar(fmt.Sprintf(
+					"NOTE: memory_limit admits %d of %d aggregation workers (unspillable in-flight states)", w, threads)))
+			}
+		}
 	}
 	return &Result{
 		Columns: []string{"plan"},
@@ -554,6 +611,58 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 			return readback(strconv.FormatInt(int64(s.db.Threads()), 10)), nil
 		}
 		s.db.SetThreads(int(intVal))
+		return &Result{}, nil
+	case "priority":
+		// Session scheduling weight on the shared pool; higher = larger
+		// CPU share and earlier admission. Fairness only — results are
+		// identical at every priority.
+		if !hasVal {
+			return readback(strconv.Itoa(s.priority())), nil
+		}
+		if intVal <= 0 {
+			return nil, fmt.Errorf("PRAGMA priority requires a positive integer")
+		}
+		s.Priority = int(intVal)
+		return &Result{}, nil
+	case "memory_share":
+		// Fraction of the engine-wide memory budget one query of this
+		// session claims at admission (meaningful under memory_limit).
+		if !hasVal {
+			return readback(strconv.FormatFloat(s.MemoryShare, 'g', -1, 64)), nil
+		}
+		f, err := strconv.ParseFloat(strVal, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return nil, fmt.Errorf("PRAGMA memory_share requires a fraction in (0, 1], got %q", strVal)
+		}
+		s.MemoryShare = f
+		return &Result{}, nil
+	case "admission_queue_depth":
+		// How many queries may wait for admission before new arrivals
+		// are rejected; 0 makes this session fail fast instead of
+		// queuing.
+		if !hasVal {
+			return readback(strconv.Itoa(s.AdmissionQueueDepth)), nil
+		}
+		if intVal < 0 {
+			return nil, fmt.Errorf("PRAGMA admission_queue_depth requires a non-negative integer")
+		}
+		s.AdmissionQueueDepth = int(intVal)
+		return &Result{}, nil
+	case "rebuild_stats":
+		// Recompute a table's per-segment zone-map statistics exactly
+		// from the currently visible rows: deletes and rollbacks widen
+		// stats conservatively at runtime, and this tightens them back
+		// so scans can refute the vacated ranges again.
+		if !hasVal {
+			return nil, fmt.Errorf("PRAGMA rebuild_stats requires a table name, e.g. PRAGMA rebuild_stats='t'")
+		}
+		entry, err := s.db.cat.Table(strVal)
+		if err != nil {
+			return nil, err
+		}
+		if err := entry.Data.RebuildStats(s.db.txns.OldestVisibleTS()); err != nil {
+			return nil, err
+		}
 		return &Result{}, nil
 	case "memtest":
 		if !hasVal {

@@ -59,6 +59,16 @@ func (a *parAggOp) build(ctx *Context) error {
 	if err := a.scan.Open(ctx); err != nil {
 		return err
 	}
+	// Budget floor: states touched by an in-flight morsel never spill,
+	// so every worker must be able to hold one morsel's worth of
+	// distinct groups resident. Clamp the worker count to what the
+	// budget admits instead of letting reservation hard-fail (EXPLAIN
+	// surfaces the clamp as a NOTE).
+	if ctx.Pool != nil {
+		if lim := ctx.Pool.Limit(); lim > 0 {
+			a.scan.maxWorkers = AggWorkersAdmitted(lim, ctx.Threads, a.node)
+		}
+	}
 	workers := a.scan.workerCount(ctx)
 	// mkSink runs on the coordinating goroutine, and the partials are
 	// only read back after consume has joined every worker, so the
@@ -78,6 +88,54 @@ func (a *parAggOp) build(ctx *Context) error {
 		return err
 	}
 	a.fin = fin
+	return nil
+}
+
+// AggWorkersAdmitted reports how many parallel accumulation workers an
+// enforced memory budget admits for this aggregation. States touched by
+// the morsel a worker is accumulating can never spill, so in the worst
+// case (every morsel row a distinct group) each worker pins SegRows ×
+// per-group state bytes that spilling cannot reclaim; admitting only
+// limit / that many workers keeps the unspillable total inside the
+// budget instead of letting reservation hard-fail mid-query. Real
+// workloads repeat groups across rows, so the clamp binds only when the
+// budget is within a few morsels' worth of states. EXPLAIN uses the
+// same formula to surface the clamp.
+func AggWorkersAdmitted(limit int64, threads int, n *plan.AggNode) int {
+	if threads < 1 {
+		threads = 1
+	}
+	if limit <= 0 || threads == 1 {
+		return threads
+	}
+	rowEstimate := keyBytesEstimate(groupTypes(n)) + int64(len(n.Aggs))*48 + 64
+	floor := int64(table.SegRows) * rowEstimate
+	// Keep one floor's worth of headroom: the flat estimate is exact for
+	// the states themselves but covers none of the chunk buffers, spill
+	// block buffers or resident shed thresholds sharing the budget, and
+	// filling the limit to the byte with unspillable state flips the
+	// hard floor at the slightest timing skew.
+	w := int(limit/floor) - 1
+	if w < 1 {
+		w = 1
+	}
+	if w > threads {
+		w = threads
+	}
+	return w
+}
+
+// FindAggregate returns the first hash aggregation in the plan, if any
+// (EXPLAIN consults it for the worker-clamp NOTE).
+func FindAggregate(node plan.Node) *plan.AggNode {
+	if n, ok := node.(*plan.AggNode); ok {
+		return n
+	}
+	for _, c := range node.Children() {
+		if n := FindAggregate(c); n != nil {
+			return n
+		}
+	}
 	return nil
 }
 

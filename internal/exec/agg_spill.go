@@ -619,29 +619,60 @@ func finishAggTables(ctx *Context, node *plan.AggNode, tables []*aggTable) (*agg
 			sorters[w].SetPool(ctx.Pool)
 		}
 	}
+	// Worker w's task merges partitions w, w+W, ... one partition per
+	// scheduler step (re-submitting between partitions), so long merges
+	// share the pool fairly with other queries.
 	f.mergeGroups = make([]int64, workers)
-	errCh := make(chan error, workers)
-	var wg sync.WaitGroup
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	remaining := workers
+	done := make(chan struct{})
+	q := ctx.queryTasks()
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for p := w; p < aggFanout; p += workers {
-				if err := mergeAggPartition(p, node, tables, outTypes, sorters[w], &f.mergeGroups[w]); err != nil {
-					errCh <- err
-					return
+		w := w
+		p := w
+		var task func()
+		task = func() {
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop || p >= aggFanout {
+				mu.Lock()
+				remaining--
+				if remaining == 0 {
+					close(done)
 				}
+				mu.Unlock()
+				return
 			}
-		}(w)
+			if err := mergeAggPartition(p, node, tables, outTypes, sorters[w], &f.mergeGroups[w]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				if remaining == 0 {
+					close(done)
+				}
+				mu.Unlock()
+				return
+			}
+			p += workers
+			q.Submit(task)
+		}
+		q.Submit(task)
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+	<-done
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
 		for _, s := range sorters {
 			s.Close()
 		}
 		return nil, err
-	default:
 	}
 	iter, err := extsort.MergeFinish(sorters)
 	if err != nil {

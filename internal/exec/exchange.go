@@ -2,18 +2,22 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/vector"
 )
 
 // exchangeOp repartitions a single-threaded chunk stream — typically a
-// pipeline breaker's output (sort, aggregate, union) — across a worker
-// pool running per-worker stages (filter, project), so the plan above a
-// breaker no longer collapses to one thread. A producer goroutine pulls
-// the child (operators are not safe for concurrent Next) and deals
-// chunks round-robin-by-arrival to the workers; each worker runs its own
-// stage instances and posts results.
+// pipeline breaker's output (sort, aggregate, union) — across the
+// engine-wide scheduler running per-item stages (filter, project), so
+// the plan above a breaker no longer collapses to one thread. The
+// consumer itself pulls the child (operators are not safe for
+// concurrent Next) whenever the ticket window has room and submits each
+// chunk as a one-shot scheduler task; tasks draw stage instances from a
+// free list, so scratch buffers are reused without any goroutine owning
+// them.
 //
 // With ordered=true the consumer reassembles results in input-chunk
 // order, so the operator is row-for-row transparent: filter and project
@@ -25,22 +29,24 @@ type exchangeOp struct {
 	stages  []stageFactory
 	ordered bool
 
-	feed    chan exItem
 	results chan exResult
-	cancel  chan struct{}
+	free    chan []stage // reusable per-task stage instances
 
 	// buf is the shared ordered-merge state machine: a ticket is taken
 	// before feeding a chunk and returned when that chunk's results are
 	// emitted, so the reorder buffer holds at most its window depth in
-	// entries even when one worker stalls on an expensive chunk.
+	// entries even when one task stalls on an expensive chunk.
 	buf *reorderBuf
 
-	cancelOnce sync.Once
-	closeOnce  sync.Once
-	inner      sync.WaitGroup // producer + workers
-	all        sync.WaitGroup // inner + the results-closing watcher
+	q         *sched.Query
+	cancelled atomic.Bool
+	closeOnce sync.Once
 
-	drained bool
+	seq       int      // next item sequence to feed
+	pending   []exItem // split items not yet submitted
+	inflight  int      // submitted items whose results are unreceived
+	childDone bool
+
 	failed  error
 	started bool
 	workers int
@@ -58,8 +64,7 @@ type exItem struct {
 }
 
 // exResult is one processed chunk: the stages' output for input seq
-// (empty when every row was filtered out), or an error. seq is -1 for a
-// producer (child.Next) error.
+// (empty when every row was filtered out), or an error.
 type exResult struct {
 	seq    int
 	chunks []*vector.Chunk
@@ -74,8 +79,6 @@ func (e *exchangeOp) Open(ctx *Context) error {
 	return e.child.Open(ctx)
 }
 
-// start spawns the producer, the worker pool and the watcher that closes
-// the results channel once all of them are done.
 func (e *exchangeOp) start(ctx *Context) {
 	e.started = true
 	workers := ctx.Threads
@@ -87,57 +90,76 @@ func (e *exchangeOp) start(ctx *Context) {
 		e.probe = e.stages[0]()
 	}
 	depth := workers * 4
-	e.feed = make(chan exItem, depth)
-	e.results = make(chan exResult, depth)
+	e.results = make(chan exResult, depth) // cap = tickets: sends never block
+	e.free = make(chan []stage, depth)
 	e.buf = newReorderBuf(depth)
-	e.cancel = make(chan struct{})
-	e.drained = false
-
-	e.inner.Add(1)
-	e.all.Add(1)
-	go e.producer(ctx)
-	for i := 0; i < workers; i++ {
-		e.inner.Add(1)
-		e.all.Add(1)
-		go e.worker(ctx)
-	}
-	e.all.Add(1)
-	go func() {
-		defer e.all.Done()
-		e.inner.Wait()
-		close(e.results)
-	}()
+	e.q = ctx.queryTasks()
 }
 
-func (e *exchangeOp) producer(ctx *Context) {
-	defer e.inner.Done()
-	defer e.all.Done()
-	seq := 0
-	for {
+// takeStages pops a reusable stage set or builds a fresh one. Stage
+// instances carry only per-chunk scratch, so any task may use any set —
+// exclusively, which the free list guarantees.
+func (e *exchangeOp) takeStages() []stage {
+	select {
+	case s := <-e.free:
+		return s
+	default:
+	}
+	s := make([]stage, len(e.stages))
+	for i, f := range e.stages {
+		s[i] = f()
+	}
+	return s
+}
+
+func (e *exchangeOp) putStages(s []stage) {
+	select {
+	case e.free <- s:
+	default:
+	}
+}
+
+// submit schedules one item. The item holds a window ticket, and the
+// results channel has one slot per ticket, so the task's send cannot
+// block a pool worker.
+func (e *exchangeOp) submit(ctx *Context, it exItem) {
+	e.inflight++
+	e.q.Submit(func() {
+		if e.cancelled.Load() {
+			e.results <- exResult{seq: it.seq}
+			return
+		}
+		stages := e.takeStages()
+		var out []*vector.Chunk
+		err := runItem(ctx, stages, it, func(c *vector.Chunk) error {
+			if c.Len() > 0 {
+				out = append(out, c)
+			}
+			return nil
+		})
+		e.putStages(stages)
+		e.results <- exResult{seq: it.seq, chunks: out, err: err}
+	})
+}
+
+// nextItem returns the next work item, pulling the child inline (on the
+// consumer goroutine) and splitting oversized chunks as needed. ok is
+// false when the child is exhausted.
+func (e *exchangeOp) nextItem(ctx *Context) (exItem, bool, error) {
+	for len(e.pending) == 0 {
 		chunk, err := e.child.Next(ctx)
 		if err != nil {
-			select {
-			case e.results <- exResult{seq: -1, err: err}:
-			case <-e.cancel:
-			}
-			return
+			return exItem{}, false, err
 		}
 		if chunk == nil {
-			close(e.feed)
-			return
+			return exItem{}, false, nil
 		}
-		for _, it := range e.splitChunk(chunk, seq) {
-			if !e.buf.acquire(e.cancel) {
-				return
-			}
-			select {
-			case e.feed <- it:
-			case <-e.cancel:
-				return
-			}
-			seq++
-		}
+		e.pending = e.splitChunk(chunk, e.seq)
+		e.seq += len(e.pending)
 	}
+	it := e.pending[0]
+	e.pending = e.pending[1:]
+	return it, true, nil
 }
 
 // splitChunk turns one child chunk into work items. Engine-sized chunks
@@ -145,7 +167,7 @@ func (e *exchangeOp) producer(ctx *Context) {
 // them, e.g. the window operator's one-chunk-per-partition stream — is
 // re-split into ChunkCapacity-aligned slices capped at 4 per worker, so
 // a single huge partition spreads across the pool instead of pinning
-// one worker while the rest idle. Slices share the chunk; workers
+// one worker while the rest idle. Slices share the chunk; tasks
 // evaluate their own row range (sliceStage) or copy it out. Alignment
 // to ChunkCapacity keeps the re-assembled output's chunk boundaries
 // exactly those of the unsplit evaluation. Splitting is ordered-mode
@@ -174,42 +196,6 @@ func (e *exchangeOp) splitChunk(chunk *vector.Chunk, seq int) []exItem {
 		seq++
 	}
 	return items
-}
-
-func (e *exchangeOp) worker(ctx *Context) {
-	defer e.inner.Done()
-	defer e.all.Done()
-	stages := make([]stage, len(e.stages))
-	for i, f := range e.stages {
-		stages[i] = f()
-	}
-	for {
-		var it exItem
-		var ok bool
-		select {
-		case <-e.cancel:
-			return
-		case it, ok = <-e.feed:
-			if !ok {
-				return
-			}
-		}
-		var out []*vector.Chunk
-		err := runItem(ctx, stages, it, func(c *vector.Chunk) error {
-			if c.Len() > 0 {
-				out = append(out, c)
-			}
-			return nil
-		})
-		select {
-		case e.results <- exResult{seq: it.seq, chunks: out, err: err}:
-		case <-e.cancel:
-			return
-		}
-		if err != nil {
-			return
-		}
-	}
 }
 
 // sliceStage is a stage that can evaluate a row range of a chunk
@@ -248,9 +234,11 @@ func runItem(ctx *Context, stages []stage, it exItem, sink func(*vector.Chunk) e
 	return runStages(ctx, stages, sub, sink)
 }
 
-// Next reassembles the workers' output. In ordered mode out-of-order
-// results wait in a reorder buffer bounded by the window tickets: at
-// most cap(window) chunks are in flight between producer and emission.
+// Next drives the exchange: it feeds the child's chunks to the
+// scheduler while the ticket window has room, then reassembles the
+// results. In ordered mode out-of-order results wait in a reorder
+// buffer bounded by the window tickets: at most cap(window) chunks are
+// in flight between feed and emission.
 func (e *exchangeOp) Next(ctx *Context) (*vector.Chunk, error) {
 	if e.failed != nil {
 		return nil, e.failed
@@ -262,54 +250,60 @@ func (e *exchangeOp) Next(ctx *Context) (*vector.Chunk, error) {
 		if out, ok := e.buf.pop(); ok {
 			return out, nil
 		}
-		if e.ordered {
-			if e.buf.advance() { // emitted: lets the producer feed another chunk
-				continue
-			}
-			if e.drained {
-				if e.buf.parked() == 0 {
-					return nil, nil
-				}
-				// Every fed seq posted a result, so a gap can only be a
-				// seq that produced no chunks before an error path; skip.
-				e.buf.skip()
-				continue
-			}
-		} else if e.drained {
-			return nil, nil
-		}
-		res, ok := <-e.results
-		if !ok {
-			e.drained = true
+		if e.ordered && e.buf.advance() {
 			continue
 		}
-		if res.err != nil {
-			e.failed = res.err
-			return nil, res.err
+		if !e.childDone && e.buf.tryAcquire() {
+			it, ok, err := e.nextItem(ctx)
+			if err != nil {
+				e.buf.release()
+				e.failed = err
+				return nil, err
+			}
+			if !ok {
+				e.buf.release()
+				e.childDone = true
+				continue
+			}
+			e.submit(ctx, it)
+			continue
 		}
-		if e.ordered {
-			e.buf.park(res.seq, res.chunks)
-		} else {
-			e.buf.enqueue(res.chunks)
+		if e.inflight > 0 {
+			res := <-e.results
+			e.inflight--
+			if res.err != nil {
+				e.failed = res.err
+				return nil, res.err
+			}
+			if e.ordered {
+				e.buf.park(res.seq, res.chunks)
+			} else {
+				e.buf.enqueue(res.chunks)
+			}
+			continue
 		}
+		// Nothing in flight and either the child is done or the window
+		// is exhausted by parked sequences; a remaining gap can only be
+		// a seq abandoned by an error path.
+		if e.ordered && e.buf.parked() > 0 {
+			e.buf.skip()
+			continue
+		}
+		return nil, nil
 	}
 }
 
-// cancelWorkers asks the producer and outstanding workers to stop.
-func (e *exchangeOp) cancelWorkers() {
-	e.cancelOnce.Do(func() {
-		if e.cancel != nil {
-			close(e.cancel)
-		}
-	})
-}
-
-// Close cancels the pool, joins every goroutine and closes the child.
+// Close drains outstanding tasks and closes the child. Queued tasks
+// observe the cancel flag and post empty results immediately; every
+// submitted item posts exactly one result, so the drain terminates.
 func (e *exchangeOp) Close(ctx *Context) {
 	e.closeOnce.Do(func() {
 		if e.started {
-			e.cancelWorkers()
-			e.all.Wait()
+			e.cancelled.Store(true)
+			for e.inflight > 0 {
+				<-e.results
+				e.inflight--
+			}
 		}
 		if e.buf != nil {
 			e.buf.drop()

@@ -33,10 +33,13 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -96,10 +99,48 @@ type Context struct {
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
 	// from the pool limit.
 	SortBudget int64
-	// Threads sizes the worker pools of parallel pipelines; <=1 runs
-	// every operator single-threaded. It must match the value the plan
-	// was built with (BuildParallel).
+	// Threads sizes the worker state of parallel pipelines (morsel
+	// scanners, partial tables, merge ranges); <=1 runs every operator
+	// single-threaded. It must match the value the plan was built with
+	// (BuildParallel). Execution itself runs on Sched's engine-wide
+	// pool, so Threads bounds a query's task width, not its goroutines.
 	Threads int
+	// Sched is the engine-wide worker pool shared by every session of a
+	// database. nil falls back to a process-global default pool sized at
+	// GOMAXPROCS (bare test contexts).
+	Sched *sched.Scheduler
+	// Query is this query's scheduler account (fair share + priority).
+	// Lazily created on first use; the core layer pre-creates it with
+	// the session's PRAGMA priority.
+	Query *sched.Query
+	// Priority seeds the lazily created Query (0 = default weight).
+	Priority int
+}
+
+var (
+	defSchedOnce sync.Once
+	defSched     *sched.Scheduler
+)
+
+// defaultSched is the process-global pool used by contexts without an
+// engine (direct exec tests). Sized at GOMAXPROCS like core.Open.
+func defaultSched() *sched.Scheduler {
+	defSchedOnce.Do(func() { defSched = sched.New(runtime.GOMAXPROCS(0)) })
+	return defSched
+}
+
+// queryTasks returns the query's scheduling account, creating it on the
+// session goroutine at first use. Operators capture the result at start
+// time and submit all their steps through it.
+func (c *Context) queryTasks() *sched.Query {
+	if c.Query == nil {
+		s := c.Sched
+		if s == nil {
+			s = defaultSched()
+		}
+		c.Query = s.NewQuery(c.Priority)
+	}
+	return c.Query
 }
 
 func (c *Context) sortBudget() int64 {

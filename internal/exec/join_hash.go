@@ -331,12 +331,15 @@ func (h *hashJoinOp) parallelBuild(ctx *Context, pr *parScanOp) error {
 		globalIdx[cp.w][cp.local] = g
 	}
 
-	// Merge: one task per partition, partitions in parallel.
+	// Merge: one scheduler task per partition, partitions in parallel
+	// on the engine-wide pool (pure compute; tasks never block).
 	h.parts = make([]map[string][]buildRef, nparts)
 	var wg sync.WaitGroup
+	q := ctx.queryTasks()
 	for p := 0; p < nparts; p++ {
+		p := p
 		wg.Add(1)
-		go func(p int) {
+		q.Submit(func() {
 			defer wg.Done()
 			merged := make(map[string][]buildRef)
 			for w, bw := range workers {
@@ -354,7 +357,7 @@ func (h *hashJoinOp) parallelBuild(ctx *Context, pr *parScanOp) error {
 				sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
 			}
 			h.parts[p] = merged
-		}(p)
+		})
 	}
 	wg.Wait()
 	return nil

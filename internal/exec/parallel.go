@@ -3,6 +3,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/sched"
 	"repro/internal/table"
 	"repro/internal/vector"
 )
@@ -15,27 +16,41 @@ type parResult struct {
 	err    error
 }
 
-// parScanOp executes a morsel-driven pipeline with a worker pool. Each
-// worker draws segments from a shared MorselSource, runs its own stage
-// instances over them, and posts the results; the operator's Next
-// reassembles the chunks in morsel order, so consumers observe exactly
-// the chunk stream the sequential scan→filter→project chain would
-// produce — parallelism never changes row order.
+// parScanOp executes a morsel-driven pipeline on the engine-wide
+// scheduler. The operator keeps Threads worker states (a morsel scanner
+// plus private stage instances each); every state advances by short
+// re-submitting steps — claim a morsel, run the stages, post the result
+// — so the actual goroutines belong to the shared pool and a query
+// never spawns its own. The operator's Next reassembles the chunks in
+// morsel order, so consumers observe exactly the chunk stream the
+// sequential scan→filter→project chain would produce — parallelism
+// never changes row order.
+//
+// Flow control: a worker state takes a reorder-buffer ticket before
+// claiming a morsel and the merger returns it when that morsel is
+// emitted. A state that finds no ticket parks (costing the pool
+// nothing) and is re-submitted by the consumer when it frees one; the
+// results channel's capacity equals the ticket window, so a step's send
+// never blocks a pool worker.
 //
 // The operator has a second execution mode for pipeline breakers:
-// consume() pushes every worker's chunks straight into a worker-local
-// sink (a partial aggregate or a join build partition) without the
-// ordering barrier.
+// consume() pushes every worker state's chunks straight into a
+// worker-local sink (a partial aggregate or a join build partition)
+// without the ordering barrier.
 type parScanOp struct {
 	spec  *pipelineSpec
 	extra []stageFactory // stages attached by a parent (join probe)
 
-	src        *table.MorselSource
-	results    chan parResult
-	cancel     chan struct{}
-	cancelOnce sync.Once
-	closeOnce  sync.Once
-	wg         sync.WaitGroup
+	src     *table.MorselSource
+	results chan parResult
+
+	mu        sync.Mutex
+	idle      *sync.Cond    // signalled when active reaches zero
+	parked    []*scanWorker // states waiting for a ticket
+	active    int           // states queued or running on the pool
+	cancelled bool
+
+	closeOnce sync.Once
 
 	// buf is the shared ordered-merge state machine: workers take a
 	// ticket before claiming a morsel and the merger returns it when
@@ -43,9 +58,23 @@ type parScanOp struct {
 	// window depth in morsels even under scheduling skew.
 	buf *reorderBuf
 
+	// maxWorkers, when >0, caps the worker-state count below
+	// ctx.Threads — the aggregation budget floor clamps through it.
+	maxWorkers int
+
 	nmorsel int
 	failed  error
 	started bool
+}
+
+// scanWorker is one worker state: a morsel scanner and private stage
+// instances. Its step method is the unit the scheduler runs.
+type scanWorker struct {
+	op     *parScanOp
+	ctx    *Context
+	ms     *table.MorselScanner
+	stages []stage
+	q      *sched.Query
 }
 
 func newParScanOp(spec *pipelineSpec) *parScanOp { return &parScanOp{spec: spec} }
@@ -55,9 +84,13 @@ func newParScanOp(spec *pipelineSpec) *parScanOp { return &parScanOp{spec: spec}
 // consume — workers snapshot their stages when they start.
 func (p *parScanOp) attachStages(f ...stageFactory) { p.extra = append(p.extra, f...) }
 
-// workerCount sizes the pool: no more workers than morsels, at least 1.
+// workerCount sizes the worker state: no more states than morsels, at
+// least 1, capped by maxWorkers when a budget clamp is in force.
 func (p *parScanOp) workerCount(ctx *Context) int {
 	w := ctx.Threads
+	if p.maxWorkers > 0 && w > p.maxWorkers {
+		w = p.maxWorkers
+	}
 	if w > p.nmorsel {
 		w = p.nmorsel
 	}
@@ -86,7 +119,7 @@ func (p *parScanOp) workerStages() []stage {
 }
 
 // Open acquires the morsel source (pinning the scanned columns, which
-// can fail under a memory budget). Workers spawn lazily on the first
+// can fail under a memory budget). Workers start lazily on the first
 // Next, so parents may still attach stages after a successful Open.
 func (p *parScanOp) Open(ctx *Context) error {
 	if p.src != nil {
@@ -95,57 +128,92 @@ func (p *parScanOp) Open(ctx *Context) error {
 	return p.openSource(ctx)
 }
 
-// start spawns the worker pool feeding the ordered merge.
+// start submits the worker states feeding the ordered merge.
 func (p *parScanOp) start(ctx *Context) {
 	p.started = true
 	workers := p.workerCount(ctx)
 	win := workers * 4
-	p.results = make(chan parResult, win)
+	p.results = make(chan parResult, win) // cap = tickets: sends never block
 	p.buf = newReorderBuf(win)
-	p.cancel = make(chan struct{})
+	p.idle = sync.NewCond(&p.mu)
+	q := ctx.queryTasks()
+	p.active = workers
 	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
-		go p.worker(ctx)
+		w := &scanWorker{op: p, ctx: ctx, ms: p.src.Worker(), stages: p.workerStages(), q: q}
+		q.Submit(w.step)
 	}
 }
 
-func (p *parScanOp) worker(ctx *Context) {
-	defer p.wg.Done()
-	ms := p.src.Worker()
-	stages := p.workerStages()
-	for {
-		if !p.buf.acquire(p.cancel) {
-			return
-		}
-		seq, chunk, err := ms.Next()
-		if seq < 0 && err == nil {
-			p.buf.release() // no morsel claimed; return the ticket
-			return
-		}
-		var out []*vector.Chunk
-		if err == nil && chunk != nil {
-			err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
-				if c.Len() > 0 {
-					out = append(out, c)
-				}
-				return nil
-			})
-		}
-		select {
-		case p.results <- parResult{seq: seq, chunks: out, err: err}:
-		case <-p.cancel:
-			return
-		}
-		if err != nil {
-			return
-		}
+// exitLocked retires one worker state. Caller holds p.mu.
+func (p *parScanOp) exitLocked() {
+	p.active--
+	if p.active == 0 {
+		p.idle.Broadcast()
 	}
+}
+
+// step processes one morsel and re-submits itself. It never blocks on
+// the pool: a missing ticket parks the state instead, and the results
+// channel always has room for ticket holders.
+func (w *scanWorker) step() {
+	p := w.op
+	p.mu.Lock()
+	if p.cancelled {
+		p.exitLocked()
+		p.mu.Unlock()
+		return
+	}
+	if !p.buf.tryAcquire() {
+		p.parked = append(p.parked, w)
+		p.exitLocked()
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	seq, chunk, err := w.ms.Next()
+	if seq < 0 && err == nil {
+		p.mu.Lock()
+		p.buf.release() // no morsel claimed; return the ticket
+		p.exitLocked()
+		p.mu.Unlock()
+		return
+	}
+	var out []*vector.Chunk
+	if err == nil && chunk != nil {
+		err = runStages(w.ctx, w.stages, chunk, func(c *vector.Chunk) error {
+			if c.Len() > 0 {
+				out = append(out, c)
+			}
+			return nil
+		})
+	}
+	p.results <- parResult{seq: seq, chunks: out, err: err}
+	if err != nil {
+		p.mu.Lock()
+		p.exitLocked()
+		p.mu.Unlock()
+		return
+	}
+	w.q.Submit(w.step)
+}
+
+// unparkOne re-submits one parked worker state after the consumer freed
+// a ticket. Spurious unparks are harmless: the state parks again.
+func (p *parScanOp) unparkOne() {
+	p.mu.Lock()
+	if !p.cancelled && len(p.parked) > 0 {
+		w := p.parked[len(p.parked)-1]
+		p.parked = p.parked[:len(p.parked)-1]
+		p.active++
+		w.q.Submit(w.step)
+	}
+	p.mu.Unlock()
 }
 
 // Next implements Operator: it emits the workers' chunks in morsel
 // order. Out-of-order results are parked in a bounded reorder buffer
-// (workers block on the results channel, so at most workers+capacity
-// morsels are ever buffered).
+// (claims require tickets, so at most the window depth in morsels is
+// ever buffered).
 func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
 	if p.failed != nil {
 		return nil, p.failed
@@ -160,7 +228,8 @@ func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
 		if p.buf.seq() >= p.nmorsel {
 			return nil, nil
 		}
-		if p.buf.advance() { // emitted: lets a worker claim another morsel
+		if p.buf.advance() { // freed a ticket: let a parked state claim it
+			p.unparkOne()
 			continue
 		}
 		res := <-p.results
@@ -172,20 +241,20 @@ func (p *parScanOp) Next(ctx *Context) (*vector.Chunk, error) {
 	}
 }
 
-// cancelWorkers asks outstanding workers to stop at their next step.
-func (p *parScanOp) cancelWorkers() {
-	p.cancelOnce.Do(func() {
-		if p.cancel != nil {
-			close(p.cancel)
-		}
-	})
-}
-
-// Close cancels outstanding workers and releases the morsel source.
+// Close stops the worker states and releases the morsel source. Queued
+// steps observe the cancel flag and retire; parked states are dropped
+// without costing the pool a slot.
 func (p *parScanOp) Close(ctx *Context) {
 	p.closeOnce.Do(func() {
-		p.cancelWorkers()
-		p.wg.Wait()
+		if p.started {
+			p.mu.Lock()
+			p.cancelled = true
+			p.parked = nil
+			for p.active > 0 {
+				p.idle.Wait()
+			}
+			p.mu.Unlock()
+		}
 		if p.src != nil {
 			p.src.Close()
 		}
@@ -196,10 +265,14 @@ func (p *parScanOp) Close(ctx *Context) {
 }
 
 // consume runs the pipeline in sink mode for pipeline breakers: worker
-// w pushes each (seq, chunk) it produces into the sink mkSink(w)
+// state w pushes each (seq, chunk) it produces into the sink mkSink(w)
 // returned for it, with no ordering barrier. It returns the number of
-// workers spawned (= number of sinks created). consume replaces
+// worker states (= number of sinks created). consume replaces
 // Open/Next; Close must still be called to release the source.
+//
+// Each state is a re-submitting step, so the FIFO round-robins morsels
+// across states even on a one-worker pool — partial sinks stay spread
+// the way per-state goroutines would have spread them.
 func (p *parScanOp) consume(ctx *Context, mkSink func(w int) func(seq int, c *vector.Chunk) error) (int, error) {
 	if p.src == nil {
 		if err := p.openSource(ctx); err != nil {
@@ -208,46 +281,65 @@ func (p *parScanOp) consume(ctx *Context, mkSink func(w int) func(seq int, c *ve
 	}
 	p.started = true
 	workers := p.workerCount(ctx)
-	p.cancel = make(chan struct{})
-	errCh := make(chan error, workers)
+	q := ctx.queryTasks()
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		cancelled bool
+	)
+	remaining := workers
+	done := make(chan struct{})
+	finish := func() {
+		mu.Lock()
+		remaining--
+		if remaining == 0 {
+			close(done)
+		}
+		mu.Unlock()
+	}
 	for i := 0; i < workers; i++ {
-		p.wg.Add(1)
 		sink := mkSink(i)
-		go func() {
-			defer p.wg.Done()
-			ms := p.src.Worker()
-			stages := p.workerStages()
-			for {
-				select {
-				case <-p.cancel:
-					return
-				default:
-				}
-				seq, chunk, err := ms.Next()
-				if seq < 0 && err == nil {
-					return
-				}
-				if err == nil && chunk != nil {
-					err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
-						if c.Len() == 0 {
-							return nil
-						}
-						return sink(seq, c)
-					})
-				}
-				if err != nil {
-					errCh <- err
-					p.cancelWorkers()
-					return
-				}
+		ms := p.src.Worker()
+		stages := p.workerStages()
+		var step func()
+		step = func() {
+			mu.Lock()
+			stop := cancelled
+			mu.Unlock()
+			if stop {
+				finish()
+				return
 			}
-		}()
+			seq, chunk, err := ms.Next()
+			if seq < 0 && err == nil {
+				finish()
+				return
+			}
+			if err == nil && chunk != nil {
+				err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
+					if c.Len() == 0 {
+						return nil
+					}
+					return sink(seq, c)
+				})
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				cancelled = true
+				mu.Unlock()
+				finish()
+				return
+			}
+			q.Submit(step)
+		}
+		q.Submit(step)
 	}
-	p.wg.Wait()
-	select {
-	case err := <-errCh:
-		return workers, err
-	default:
-		return workers, nil
-	}
+	<-done
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	return workers, err
 }

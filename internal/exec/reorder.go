@@ -1,22 +1,23 @@
 package exec
 
 import (
-	"errors"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/extsort"
+	"repro/internal/sched"
 	"repro/internal/vector"
 )
 
 // reorderBuf is the ordered-merge state machine shared by the operators
-// that fan work out to a pool and must re-emit the results in a
+// that fan work out to the scheduler and must re-emit the results in a
 // deterministic sequence order: the morsel-ordered parallel scan
 // (parScanOp), the exchange operator and the parallel window operator's
 // partition merge (which runs on the exchange). It bounds how far
 // producers may run ahead of the merge point: a ticket is taken
-// (acquire) before work is submitted and returned when that sequence's
-// results are emitted, so the reorder buffer holds at most cap(window)
-// entries even under scheduling skew.
+// (tryAcquire) before work is submitted and returned when that
+// sequence's results are emitted, so the reorder buffer holds at most
+// cap(window) entries even under scheduling skew.
 //
 // The consumer side is single-threaded: park stashes a completed
 // sequence, advance promotes the next expected sequence's chunks to the
@@ -35,12 +36,13 @@ func newReorderBuf(depth int) *reorderBuf {
 	}
 }
 
-// acquire takes a ticket, or reports false if cancel fires first.
-func (b *reorderBuf) acquire(cancel <-chan struct{}) bool {
+// tryAcquire takes a ticket if one is free. Scheduler steps must not
+// block, so a producer that misses parks itself instead of waiting.
+func (b *reorderBuf) tryAcquire() bool {
 	select {
 	case b.window <- struct{}{}:
 		return true
-	case <-cancel:
+	default:
 		return false
 	}
 }
@@ -102,11 +104,8 @@ func (b *reorderBuf) drop() {
 
 // ---- partitioned-merge re-emission ----
 
-// errMergeCancelled tells a merge worker its consumer went away.
-var errMergeCancelled = errors.New("exec: merge cancelled")
-
-// mergeStreamDepth bounds how many chunks each range worker may run
-// ahead of the in-order consumer.
+// mergeStreamDepth bounds how many chunks each range may run ahead of
+// the in-order consumer.
 const mergeStreamDepth = 4
 
 type mergeMsg struct {
@@ -114,69 +113,120 @@ type mergeMsg struct {
 	err   error
 }
 
+// rangeCursor produces one key range's output chunks in order: either
+// an extsort partition iterator directly, or a transforming wrapper
+// (the window operator cuts partitions on the way out). nil means the
+// range is exhausted. Steps call it from pool workers, one chunk per
+// step.
+type rangeCursor interface {
+	Next() (*vector.Chunk, error)
+}
+
 // parMergeStream is the consumer side of the partitioned merge: N
-// workers each loser-tree-merge one disjoint key range (an Iterator
-// from extsort.PartitionMerge, optionally transformed — the window
-// operator cuts partitions on the way out) and the stream re-emits
-// their chunks in range order, which is the exact order the
-// single-threaded merge would produce. Each worker's channel bounds how
-// far it runs ahead, like the reorder buffer's ticket window; unlike
-// the reorder buffer the per-range queues stream, so range i+1 makes
-// progress while range i is still being emitted.
+// ranges each loser-tree-merge one disjoint key range (an Iterator from
+// extsort.PartitionMerge, optionally transformed) and the stream
+// re-emits their chunks in range order, which is the exact order the
+// single-threaded merge would produce. Each range runs as a
+// re-submitting scheduler step producing one chunk at a time; its
+// channel bounds how far it runs ahead, and a range whose channel is
+// full parks — costing the shared pool nothing — until the consumer
+// drains it.
 type parMergeStream struct {
 	outs   []chan mergeMsg
-	cancel chan struct{}
-	once   sync.Once
+	ranges []*mergeRange
+	q      *sched.Query
+	cancel atomic.Bool
 	wg     sync.WaitGroup
 	cur    int
 	err    error
+	closed bool
 
-	// rows counts rows emitted per range worker. Written worker-locally;
-	// read only after the stream is drained or Closed (wg joined).
+	// rows counts rows emitted per range. Written by the range's own
+	// step chain; read only after the stream is drained or Closed.
 	rows []int64
 }
 
-// mergeDrain pulls one key-range iterator dry, pushing output chunks to
-// emit. Implementations run on the worker goroutine.
-type mergeDrain func(w int, part *extsort.Iterator, emit func(*vector.Chunk) error) error
+// mergeRange is one key range's task state. Exactly one step is
+// outstanding per range at any time (queued, running or parked), so
+// finish runs exactly once.
+type mergeRange struct {
+	s      *parMergeStream
+	w      int
+	part   *extsort.Iterator
+	cur    rangeCursor
+	mu     sync.Mutex
+	parked bool
+}
 
-func newParMergeStream(parts []*extsort.Iterator, drain mergeDrain) *parMergeStream {
+func newParMergeStream(ctx *Context, parts []*extsort.Iterator, mkCursor func(w int, part *extsort.Iterator) rangeCursor) *parMergeStream {
 	s := &parMergeStream{
 		outs:   make([]chan mergeMsg, len(parts)),
-		cancel: make(chan struct{}),
+		ranges: make([]*mergeRange, len(parts)),
+		q:      ctx.queryTasks(),
 		rows:   make([]int64, len(parts)),
 	}
 	for i := range parts {
 		s.outs[i] = make(chan mergeMsg, mergeStreamDepth)
+		s.ranges[i] = &mergeRange{s: s, w: i, part: parts[i], cur: mkCursor(i, parts[i])}
 		s.wg.Add(1)
-		go func(w int, part *extsort.Iterator) {
-			defer s.wg.Done()
-			defer close(s.outs[w])
-			// Drop the range's cursors when done: boundary-capped clones
-			// may still hold a loaded (pool-accounted) chunk. The shared
-			// parent keeps the underlying files open.
-			defer part.Close()
-			emit := func(c *vector.Chunk) error {
-				if c == nil || c.Len() == 0 {
-					return nil
-				}
-				select {
-				case s.outs[w] <- mergeMsg{chunk: c}:
-					s.rows[w] += int64(c.Len())
-					return nil
-				case <-s.cancel:
-					return errMergeCancelled
-				}
-			}
-			if err := drain(w, part, emit); err != nil && err != errMergeCancelled {
-				select {
-				case s.outs[w] <- mergeMsg{err: err}:
-				case <-s.cancel:
-				}
-			}
-		}(i, parts[i])
+		s.q.Submit(s.ranges[i].step)
 	}
 	return s
+}
+
+// finish retires the range: the channel close is the consumer's
+// end-of-range signal, and dropping the range's cursors releases any
+// loaded (pool-accounted) chunk of its boundary-capped clones. The
+// shared parent keeps the underlying files open.
+func (r *mergeRange) finish() {
+	close(r.s.outs[r.w])
+	r.part.Close()
+	r.s.wg.Done()
+}
+
+// step produces one chunk. The channel-room check happens before the
+// cursor runs and the step is the channel's only sender, so the send
+// can never block a pool worker; a full channel parks the range until
+// the consumer frees a slot.
+func (r *mergeRange) step() {
+	s := r.s
+	if s.cancel.Load() {
+		r.finish()
+		return
+	}
+	r.mu.Lock()
+	if len(s.outs[r.w]) == cap(s.outs[r.w]) {
+		r.parked = true
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	c, err := r.cur.Next()
+	if err != nil {
+		s.outs[r.w] <- mergeMsg{err: err}
+		r.finish()
+		return
+	}
+	if c == nil {
+		r.finish()
+		return
+	}
+	if c.Len() > 0 {
+		s.rows[r.w] += int64(c.Len())
+		s.outs[r.w] <- mergeMsg{chunk: c}
+	}
+	s.q.Submit(r.step)
+}
+
+// unpark re-submits a parked range after the consumer freed a slot.
+func (s *parMergeStream) unpark(w int) {
+	r := s.ranges[w]
+	r.mu.Lock()
+	if r.parked && !s.cancel.Load() {
+		r.parked = false
+		s.q.Submit(r.step)
+	}
+	r.mu.Unlock()
 }
 
 // Next returns the next chunk in global key order, or nil at the end.
@@ -190,6 +240,7 @@ func (s *parMergeStream) Next() (*vector.Chunk, error) {
 			s.cur++
 			continue
 		}
+		s.unpark(s.cur)
 		if msg.err != nil {
 			s.err = msg.err
 			return nil, msg.err
@@ -199,25 +250,25 @@ func (s *parMergeStream) Next() (*vector.Chunk, error) {
 	return nil, nil
 }
 
-// Close cancels outstanding workers and joins them. It must be called
-// before the parent iterator (which owns the shared run files) closes.
+// Close cancels outstanding range steps and joins them. It must be
+// called before the parent iterator (which owns the shared run files)
+// closes.
 func (s *parMergeStream) Close() {
-	s.once.Do(func() { close(s.cancel) })
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.cancel.Store(true)
+	for _, r := range s.ranges {
+		r.mu.Lock()
+		if r.parked {
+			r.parked = false
+			s.q.Submit(r.step)
+		}
+		r.mu.Unlock()
+	}
 	s.wg.Wait()
 }
 
-// drainMergeChunks is the plain mergeDrain: forward sorted chunks as-is.
-func drainMergeChunks(_ int, part *extsort.Iterator, emit func(*vector.Chunk) error) error {
-	for {
-		c, err := part.Next()
-		if err != nil {
-			return err
-		}
-		if c == nil {
-			return nil
-		}
-		if err := emit(c); err != nil {
-			return err
-		}
-	}
-}
+// chunkCursor is the plain rangeCursor: forward sorted chunks as-is.
+func chunkCursor(_ int, part *extsort.Iterator) rangeCursor { return part }

@@ -194,7 +194,7 @@ func (s *parSortOp) build(ctx *Context) error {
 			return err
 		}
 		if len(parts) > 1 {
-			s.merge = newParMergeStream(parts, drainMergeChunks)
+			s.merge = newParMergeStream(ctx, parts, chunkCursor)
 		}
 	}
 	return nil

@@ -315,27 +315,58 @@ func (w *windowPartitionOp) build(ctx *Context) error {
 		}
 		if len(parts) > 1 {
 			lay := w.lay
-			w.merge = newParMergeStream(parts, func(wk int, part *extsort.Iterator, emit func(*vector.Chunk) error) error {
-				cutter := newPartitionCutter(lay)
-				for {
-					c, err := part.Next()
-					if err != nil {
-						return err
-					}
-					if c == nil {
-						return cutter.flush(emit)
-					}
-					if c.Len() == 0 {
-						continue
-					}
-					if err := cutter.feed(c, emit); err != nil {
-						return err
-					}
-				}
+			w.merge = newParMergeStream(ctx, parts, func(wk int, part *extsort.Iterator) rangeCursor {
+				return &partitionCutCursor{part: part, cutter: newPartitionCutter(lay)}
 			})
 		}
 	}
 	return nil
+}
+
+// partitionCutCursor adapts the partition cutter to the pull-based
+// mergeCursor the partitioned merge runs on the scheduler: each Next
+// feeds range chunks to the cutter until at least one whole partition
+// is queued, then emits queued partitions one at a time.
+type partitionCutCursor struct {
+	part   *extsort.Iterator
+	cutter *partitionCutter
+	queue  []*vector.Chunk
+	done   bool
+}
+
+func (pc *partitionCutCursor) enq(c *vector.Chunk) error {
+	pc.queue = append(pc.queue, c)
+	return nil
+}
+
+func (pc *partitionCutCursor) Next() (*vector.Chunk, error) {
+	for {
+		if len(pc.queue) > 0 {
+			c := pc.queue[0]
+			pc.queue = pc.queue[1:]
+			return c, nil
+		}
+		if pc.done {
+			return nil, nil
+		}
+		c, err := pc.part.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			pc.done = true
+			if err := pc.cutter.flush(pc.enq); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if c.Len() == 0 {
+			continue
+		}
+		if err := pc.cutter.feed(c, pc.enq); err != nil {
+			return nil, err
+		}
+	}
 }
 
 // Next emits the next partition as one chunk in the extended layout.

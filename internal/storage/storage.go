@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/checksum"
 )
@@ -105,7 +106,13 @@ type Manager struct {
 	free       []BlockID
 	version    uint64  // header version counter
 	root       BlockID // catalog chain head as of the last checkpoint
-	checksums  bool    // verify-on-read (experiment E8 toggles this)
+
+	// checksums is verify-on-read (experiment E8 and PRAGMA
+	// checksum_verification toggle it). Atomic, not mu-guarded: the
+	// PRAGMA may flip it from one session while another session's query
+	// is mid-read, and reads must not serialize on the allocator mutex
+	// just to observe a knob.
+	checksums atomic.Bool
 
 	// Stats, read via Stats().
 	blocksRead    int64
@@ -127,8 +134,8 @@ func Open(path string, opts Options) (*Manager, bool, error) {
 		path:       path,
 		root:       InvalidBlock,
 		blockCount: headerSlots,
-		checksums:  !opts.DisableChecksums,
 	}
+	m.checksums.Store(!opts.DisableChecksums)
 	if path == "" || path == ":memory:" {
 		m.f = &memFile{}
 		m.inMemory = true
@@ -168,11 +175,7 @@ func (m *Manager) Path() string { return m.path }
 func (m *Manager) InMemory() bool { return m.inMemory }
 
 // SetChecksums toggles verification on read (used by experiment E8).
-func (m *Manager) SetChecksums(on bool) {
-	m.mu.Lock()
-	m.checksums = on
-	m.mu.Unlock()
-}
+func (m *Manager) SetChecksums(on bool) { m.checksums.Store(on) }
 
 // Root returns the catalog root block recorded by the last checkpoint.
 func (m *Manager) Root() BlockID {
@@ -262,10 +265,11 @@ func (m *Manager) ReadBlock(id BlockID) ([]byte, error) {
 		return nil, fmt.Errorf("storage: read block %d payload: %w", id, err)
 	}
 	m.mu.Lock()
-	verify := m.checksums
 	m.blocksRead++
 	m.mu.Unlock()
-	if verify {
+	// Snapshot the knob once per read; a concurrent PRAGMA flip applies
+	// to subsequent reads, never to a half-verified one.
+	if m.checksums.Load() {
 		if err := checksum.Verify(buf, checksum.Get(hdr)); err != nil {
 			return nil, fmt.Errorf("%w: block %d: %v", ErrCorrupt, id, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/txn"
 	"repro/internal/types"
 )
 
@@ -338,6 +339,93 @@ func (t *DataTable) SegmentStats(c int) []ColStats {
 		s.mu.RUnlock()
 	}
 	return out
+}
+
+// RebuildStats recomputes every segment's per-column zone-map
+// statistics exactly from the versions still reachable by some active
+// or future snapshot (PRAGMA rebuild_stats). Runtime maintenance only
+// ever widens stats — a committed delete or a rolled-back append
+// leaves its values covered forever — so over time the maps drift
+// toward uselessness on churned tables; this narrows them back.
+// Excluded are rows whose append rolled back and rows whose delete is
+// committed and visible to every snapshot at or above oldestVisible;
+// still-linked undo versions are included (Vacuum prunes the ones
+// nobody can read).
+func (t *DataTable) RebuildStats(oldestVisible uint64) error {
+	cols := make([]int, len(t.typs))
+	for i := range cols {
+		cols[i] = i
+	}
+	// Pinning keeps every column resident (decoded or encoded) for the
+	// duration; encoded segments are decoded transiently below without
+	// disturbing their pooled compressed form.
+	release, err := t.PinColumns(cols)
+	if err != nil {
+		return err
+	}
+	defer release()
+	t.mu.RLock()
+	segs := t.segs
+	t.mu.RUnlock()
+	for _, s := range segs {
+		// The write lock spans the scan and the install: a concurrent
+		// update widening the old stats between the two would otherwise
+		// be lost, leaving the maps able to refute a live value.
+		s.mu.Lock()
+		err := s.rebuildStatsLocked(t.typs, oldestVisible)
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildStatsLocked recomputes one segment's stats. Caller holds s.mu.
+func (s *segment) rebuildStatsLocked(typs []types.Type, oldestVisible uint64) error {
+	live := make([]bool, s.n)
+	for r := 0; r < s.n; r++ {
+		if s.loadInsert(r) == txn.Aborted {
+			continue // rolled-back append: no snapshot reads the slot
+		}
+		if d := s.loadDelete(r); d != 0 && d < txn.TxnIDStart && d <= oldestVisible {
+			continue // delete committed and visible to every snapshot
+		}
+		live[r] = true
+	}
+	for c := range typs {
+		data := s.cols[c]
+		if data == nil && s.enc != nil && s.enc[c] != nil {
+			v, err := decodeSegColumn(s.enc[c], typs[c])
+			if err != nil {
+				return fmt.Errorf("table: rebuild stats: %w", err)
+			}
+			data = v
+		}
+		if data == nil && s.n > 0 {
+			continue // nothing to recompute from; keep the old stats
+		}
+		st := ColStats{Valid: true}
+		if data != nil {
+			n := s.n
+			if data.Len() < n {
+				n = data.Len()
+			}
+			for r := 0; r < n; r++ {
+				if live[r] {
+					st.widenValue(data.Get(r))
+				}
+			}
+		}
+		// Undo versions still reachable by old snapshots stay covered.
+		for nd := s.updates[c]; nd != nil; nd = nd.next {
+			for j := range nd.rows {
+				st.widenValue(nd.old.Get(j))
+			}
+		}
+		s.stats[c] = st
+	}
+	return nil
 }
 
 // ZoneSkipInfo evaluates filters against every segment's zone maps and

@@ -372,8 +372,15 @@ func (t *DataTable) ensureLoaded(c int) error {
 // are still in their compressed checkpoint form, swapping the encoded
 // footprint for the decoded one in the buffer pool. Zone-map-refuted
 // segments never reach this point — that is what lets a selective scan
-// skip a cold segment without touching its bytes. Lock order matches
-// ensureLoaded/Evict: loadMu before the segment lock.
+// skip a cold segment without touching its bytes.
+//
+// Decode and the pool reservation happen OUTSIDE loadMu: the pool's
+// eviction callback takes loadMu via TryLock, so reserving under it
+// made every column of this table unevictable for the duration — a
+// tight budget then hard-failed a scan that eviction of an unpinned
+// column would have satisfied. The cost is that two scanners hitting
+// the same cold segment may both decode it; the loser discards its copy
+// and releases its reservation at install time.
 func (t *DataTable) materializeSegCols(seg *segment, cols []int) error {
 	seg.mu.RLock()
 	need := false
@@ -389,8 +396,6 @@ func (t *DataTable) materializeSegCols(seg *segment, cols []int) error {
 	if !need {
 		return nil
 	}
-	t.loadMu.Lock()
-	defer t.loadMu.Unlock()
 	for _, c := range cols {
 		seg.mu.RLock()
 		var enc []byte
@@ -412,19 +417,39 @@ func (t *DataTable) materializeSegCols(seg *segment, cols []int) error {
 			return fmt.Errorf("table: segment holds %d rows, payload %d", n, v.Len())
 		}
 		delta := vectorBytes(v) - encSegBytes(enc)
+		accounted := delta
 		if t.pool != nil && delta > 0 {
 			if err := t.pool.Reserve(delta); err != nil {
-				return err
+				// A scan must materialize a surviving segment to read it —
+				// a pipeline leaf has no spill alternative — so residency
+				// accounting is best-effort under pressure, like the merge
+				// read-back cursors: Reserve already tried eviction, and
+				// the morsel proceeds unaccounted rather than failing the
+				// query. Spilling operators downstream still enforce the
+				// budget hard.
+				accounted = 0
 			}
 		}
+		t.loadMu.Lock()
 		seg.mu.Lock()
+		if seg.enc == nil || seg.enc[c] == nil {
+			// Lost the decode race: another scanner installed this column
+			// while we worked. Drop our copy and its reservation.
+			seg.mu.Unlock()
+			t.loadMu.Unlock()
+			if t.pool != nil && accounted > 0 {
+				t.pool.Release(accounted)
+			}
+			continue
+		}
 		seg.cols[c] = v
 		seg.enc[c] = nil
 		seg.mu.Unlock()
-		if t.pool != nil && delta < 0 {
-			t.pool.Release(-delta)
+		if t.pool != nil && accounted < 0 {
+			t.pool.Release(-accounted)
 		}
-		t.cols[c].bytes += delta
+		t.cols[c].bytes += accounted
+		t.loadMu.Unlock()
 	}
 	return nil
 }

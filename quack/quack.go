@@ -31,6 +31,37 @@
 // changes results — chunks arrive in the same deterministic order at
 // every thread count, so the zero-copy chunk API above is unaffected.
 //
+// All queries — across every session — share one engine-wide worker
+// pool sized at Open (WithThreads / QUACK_THREADS, resized by PRAGMA
+// threads), so the engine's goroutine count stays bounded by the pool
+// size no matter how many sessions run concurrently. The pool schedules
+// morsel-sized steps by weighted fair share with priority aging: PRAGMA
+// priority raises a session's CPU share (priority 200 receives twice
+// the share of the default 100) without letting any session starve,
+// and a per-session Threads override caps how many steps one query
+// keeps runnable without resizing the pool. Scheduling, like thread
+// count, never changes results.
+//
+// When a memory budget is enforced (WithMemoryLimit, PRAGMA
+// memory_limit, or the QUACK_MEMORY_LIMIT environment variable), the
+// budget is engine-wide — it covers every session together, not each
+// session separately — and queries pass admission control before they
+// start: each query claims PRAGMA memory_share of the budget (default
+// 1.0, the whole budget — budgeted queries serialize unless a session
+// opts into overlap by lowering its share), and a query whose claim
+// does not fit waits in a bounded queue, served highest-priority
+// first. PRAGMA admission_queue_depth
+// bounds that queue (default 32); setting it to 0 makes the session
+// fail fast instead of queuing. One query is always admitted, so a
+// budget smaller than any claim degrades to serial execution rather
+// than deadlock, and the operators below it spill to stay within the
+// real limit.
+//
+// PRAGMA rebuild_stats='t' recomputes table t's per-segment zone-map
+// statistics exactly from the currently visible rows; runtime
+// maintenance only ever widens them, so this tightens the maps back
+// after heavy deletes or rolled-back loads.
+//
 // Scans keep per-segment zone maps (min/max, null counts, maintained at
 // append time and persisted through checkpoints) and skip the segments
 // a WHERE conjunct refutes — consulting the compressed encodings
@@ -168,6 +199,43 @@ func (db *DB) Exec(sql string, args ...any) (int64, error) {
 func (db *DB) Query(sql string, args ...any) (*Rows, error) {
 	sess := db.core.NewSession()
 	return query(sess, sql, args)
+}
+
+// Conn is a dedicated session on the database: session-scoped settings
+// (PRAGMA priority, memory_share, admission_queue_depth, threads, and
+// the JoinStrategy/Threads overrides on Tx) persist across its queries,
+// unlike DB.Exec/DB.Query which run each call on a fresh session. A
+// Conn is not safe for concurrent use; open one per goroutine — they
+// are cheap, and all of them share the database's worker pool and
+// memory budget.
+type Conn struct {
+	sess *core.Session
+}
+
+// Conn opens a dedicated session.
+func (db *DB) Conn() *Conn { return &Conn{sess: db.core.NewSession()} }
+
+// Exec runs a statement on this session and returns the number of
+// affected rows.
+func (c *Conn) Exec(sql string, args ...any) (int64, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return 0, err
+	}
+	results, err := c.sess.Execute(sql, params...)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, r := range results {
+		n += r.RowsAffected
+	}
+	return n, nil
+}
+
+// Query runs a SELECT on this session and returns its result set.
+func (c *Conn) Query(sql string, args ...any) (*Rows, error) {
+	return query(c.sess, sql, args)
 }
 
 // Checkpoint forces all committed data into the database file and
