@@ -194,7 +194,7 @@ func run(exp string, scale bench.Scale, threads, sessions int, jsonPath, baselin
 			if rows < 50_000 {
 				rows = 50_000
 			}
-			serve, err := bench.Serve(w, rows, threads, sessionSweep(sessions))
+			serve, serveMetrics, err := bench.Serve(w, rows, threads, sessionSweep(sessions))
 			if err != nil {
 				return err
 			}
@@ -202,6 +202,7 @@ func run(exp string, scale bench.Scale, threads, sessions int, jsonPath, baselin
 				if err := mergeBenchFile(w, jsonPath, func(f *benchFile) {
 					f.ServeRows = rows
 					f.Serve = serve
+					f.ServeMetrics = serveMetrics
 				}); err != nil {
 					return err
 				}
@@ -245,6 +246,10 @@ type benchFile struct {
 	Selective  []bench.SelectivityPoint `json:"selective_filter,omitempty"`
 	ServeRows  int                      `json:"serve_rows,omitempty"`
 	Serve      []bench.ServePoint       `json:"serve,omitempty"`
+	// ServeMetrics is the engine's metrics-registry snapshot after the
+	// serve sweep — recorded in the artifact, never gated (counters move
+	// with machine and scale).
+	ServeMetrics map[string]int64 `json:"serve_metrics,omitempty"`
 }
 
 // readBenchFile loads the artifact/baseline; a missing file is an empty

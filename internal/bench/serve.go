@@ -45,17 +45,20 @@ const serveItersPerSession = 24
 // per-query latency. Every result is verified byte-identical to the
 // answers computed before the sweep — concurrency must not change
 // results — so a divergence fails the benchmark rather than skewing it.
-func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoint, error) {
+// The second return is the engine's metrics-registry snapshot taken
+// after the sweep (scheduler, admission, scan and pool counters), so
+// the JSON artifact records how the engine behaved, not just how fast.
+func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoint, map[string]int64, error) {
 	if len(sessionCounts) == 0 {
 		sessionCounts = []int{1, 4, 16}
 	}
 	db, err := quack.Open(":memory:", quack.WithThreads(threads))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer db.Close()
 	if err := GenSalesTable(db, "t", rows, 0.0, 13); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	render := func(c *quack.Conn, q string) (string, error) {
@@ -78,7 +81,7 @@ func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoin
 	warm := db.Conn()
 	for i, q := range serveQueries {
 		if want[i], err = render(warm, q); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -113,7 +116,7 @@ func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoin
 		wall := time.Since(start)
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		var all []time.Duration
@@ -134,6 +137,7 @@ func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoin
 		})
 	}
 
+	metrics := db.Metrics()
 	if w != nil {
 		fmt.Fprintf(w, "serve: %d sessions-axis sweep (%d rows, %d pool workers, %d queries/session; results verified identical to sequential)\n",
 			len(sessionCounts), rows, threads, serveItersPerSession)
@@ -142,8 +146,14 @@ func Serve(w io.Writer, rows int, threads int, sessionCounts []int) ([]ServePoin
 			fmt.Fprintf(w, "%-10d %-9d %-10.1f %-12v %v\n",
 				p.Sessions, p.Queries, p.QPS, p.P50.Round(time.Microsecond), p.P99.Round(time.Microsecond))
 		}
+		fmt.Fprintf(w, "engine: %d sched steps (wait p99 %v), %d admitted, %d segments scanned, %d skipped\n",
+			metrics["sched_steps_total"],
+			time.Duration(metrics["sched_step_wait_p99_ns"]).Round(time.Microsecond),
+			metrics["admission_admitted_total"],
+			metrics["scan_segments_scanned_total"],
+			metrics["scan_segments_skipped_total"])
 	}
-	return out, nil
+	return out, metrics, nil
 }
 
 // CompareServe gates the serve trajectory on throughput only: a session

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // defaultMemoryShare is the fraction of the engine-wide budget one
@@ -46,6 +49,17 @@ type admitState struct {
 	running int   // admitted queries
 	queue   []*admitWaiter
 	seq     uint64
+
+	met admitMetrics // optional registry hooks (zero value: off)
+}
+
+// admitMetrics are the admission controller's registry hooks, wired at
+// database open. All fields optional.
+type admitMetrics struct {
+	admitted *obs.Counter   // queries admitted (gated path only)
+	queued   *obs.Counter   // queries that had to wait in the queue
+	rejected *obs.Counter   // fail-fast and queue-full rejections
+	wait     *obs.Histogram // admission wait per admitted query
 }
 
 type admitWaiter struct {
@@ -60,12 +74,14 @@ func (a *admitState) init(db *Database) {
 
 // admit blocks until the query's claim fits (or returns an error per
 // the fail-fast/queue-full rules). The returned release must be called
-// exactly once when the query finishes; it is never nil.
-func (a *admitState) admit(share float64, depth, priority int) (release func(), err error) {
+// exactly once when the query finishes; it is never nil. wait is how
+// long the query spent queued before admission (zero when it was
+// admitted immediately or no budget gates admission).
+func (a *admitState) admit(share float64, depth, priority int) (release func(), wait time.Duration, err error) {
 	noop := func() {}
 	limit := a.db.pool.Limit()
 	if limit <= 0 {
-		return noop, nil
+		return noop, 0, nil
 	}
 	if share <= 0 {
 		share = defaultMemoryShare
@@ -75,6 +91,7 @@ func (a *admitState) admit(share float64, depth, priority int) (release func(), 
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var w *admitWaiter
+	var arrived time.Time
 	leave := func() {
 		if w == nil {
 			return
@@ -86,6 +103,7 @@ func (a *admitState) admit(share float64, depth, priority int) (release func(), 
 			}
 		}
 		w = nil
+		wait = time.Since(arrived)
 	}
 	for {
 		// Re-read the budget every round: PRAGMA memory_limit can move
@@ -93,7 +111,7 @@ func (a *admitState) admit(share float64, depth, priority int) (release func(), 
 		limit = a.db.pool.Limit()
 		if limit <= 0 {
 			leave()
-			return noop, nil
+			return noop, wait, nil
 		}
 		claim := int64(share * float64(limit))
 		if claim < 1 {
@@ -110,6 +128,12 @@ func (a *admitState) admit(share float64, depth, priority int) (release func(), 
 			leave()
 			a.running++
 			a.claimed += claim
+			if a.met.admitted != nil {
+				a.met.admitted.Inc()
+			}
+			if a.met.wait != nil {
+				a.met.wait.Observe(wait.Nanoseconds())
+			}
 			// Wake the remaining waiters: more than one claim may fit, and
 			// the new head of line must re-check rather than sleep until
 			// the next release.
@@ -123,21 +147,50 @@ func (a *admitState) admit(share float64, depth, priority int) (release func(), 
 					a.mu.Unlock()
 					a.cond.Broadcast()
 				})
-			}, nil
+			}, wait, nil
 		}
 		if w == nil {
 			if depth <= 0 {
-				return noop, fmt.Errorf("query admission: memory budget exhausted (session fails fast; raise PRAGMA admission_queue_depth to queue)")
+				if a.met.rejected != nil {
+					a.met.rejected.Inc()
+				}
+				return noop, 0, fmt.Errorf("query admission: memory budget exhausted (session fails fast; raise PRAGMA admission_queue_depth to queue)")
 			}
 			if len(a.queue) >= depth {
-				return noop, fmt.Errorf("query admission: queue full (%d waiting)", len(a.queue))
+				if a.met.rejected != nil {
+					a.met.rejected.Inc()
+				}
+				return noop, 0, fmt.Errorf("query admission: queue full (%d waiting)", len(a.queue))
 			}
 			a.seq++
 			w = &admitWaiter{priority: priority, seq: a.seq}
 			a.queue = append(a.queue, w)
+			arrived = time.Now()
+			if a.met.queued != nil {
+				a.met.queued.Inc()
+			}
 		}
 		a.cond.Wait()
 	}
+}
+
+// queueDepth/runningCount/claimedBytes are the registry's gauge reads.
+func (a *admitState) queueDepth() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.queue))
+}
+
+func (a *admitState) runningCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.running)
+}
+
+func (a *admitState) claimedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.claimed
 }
 
 // first returns the waiter next in line: highest priority, FIFO within

@@ -21,7 +21,7 @@ func admitDB(t *testing.T, limit int64) *Database {
 func TestAdmitUnlimited(t *testing.T) {
 	db := admitDB(t, -1)
 	for i := 0; i < 100; i++ {
-		release, err := db.admit.admit(1.0, 0, 100)
+		release, _, err := db.admit.admit(1.0, 0, 100)
 		if err != nil {
 			t.Fatalf("admission gated an unlimited database: %v", err)
 		}
@@ -33,17 +33,17 @@ func TestAdmitUnlimited(t *testing.T) {
 // immediately, and the slot frees on release.
 func TestAdmitFailFast(t *testing.T) {
 	db := admitDB(t, 1<<20)
-	r1, err := db.admit.admit(0.6, 0, 100)
+	r1, _, err := db.admit.admit(0.6, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.admit.admit(0.6, 0, 100); err == nil {
+	if _, _, err := db.admit.admit(0.6, 0, 100); err == nil {
 		t.Fatal("second 0.6 claim of a full budget admitted with depth 0")
 	} else if !strings.Contains(err.Error(), "fail") {
 		t.Fatalf("unexpected fail-fast error: %v", err)
 	}
 	r1()
-	r2, err := db.admit.admit(0.6, 0, 100)
+	r2, _, err := db.admit.admit(0.6, 0, 100)
 	if err != nil {
 		t.Fatalf("claim after release rejected: %v", err)
 	}
@@ -54,7 +54,7 @@ func TestAdmitFailFast(t *testing.T) {
 // when nothing else runs — serial progress beats deadlock.
 func TestAdmitAlwaysOne(t *testing.T) {
 	db := admitDB(t, 1)
-	release, err := db.admit.admit(1.0, 0, 100)
+	release, _, err := db.admit.admit(1.0, 0, 100)
 	if err != nil {
 		t.Fatalf("sole query rejected: %v", err)
 	}
@@ -65,13 +65,13 @@ func TestAdmitAlwaysOne(t *testing.T) {
 // releases.
 func TestAdmitQueueWaits(t *testing.T) {
 	db := admitDB(t, 1<<20)
-	r1, err := db.admit.admit(0.8, 0, 100)
+	r1, _, err := db.admit.admit(0.8, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	admitted := make(chan func(), 1)
 	go func() {
-		r2, err := db.admit.admit(0.8, 8, 100)
+		r2, _, err := db.admit.admit(0.8, 8, 100)
 		if err != nil {
 			t.Errorf("queued claim rejected: %v", err)
 		}
@@ -95,7 +95,7 @@ func TestAdmitQueueWaits(t *testing.T) {
 // the queue-full error while earlier waiters keep their place.
 func TestAdmitQueueFull(t *testing.T) {
 	db := admitDB(t, 1<<20)
-	r1, err := db.admit.admit(0.9, 0, 100)
+	r1, _, err := db.admit.admit(0.9, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestAdmitQueueFull(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			started <- struct{}{}
-			r, err := db.admit.admit(0.9, depth, 100)
+			r, _, err := db.admit.admit(0.9, depth, 100)
 			if err != nil {
 				t.Errorf("waiter rejected: %v", err)
 				return
@@ -132,7 +132,7 @@ func TestAdmitQueueFull(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := db.admit.admit(0.9, depth, 100); err == nil {
+	if _, _, err := db.admit.admit(0.9, depth, 100); err == nil {
 		t.Fatal("arrival beyond queue depth admitted")
 	} else if !strings.Contains(err.Error(), "queue full") {
 		t.Fatalf("unexpected queue-full error: %v", err)
@@ -145,14 +145,14 @@ func TestAdmitQueueFull(t *testing.T) {
 // admitted first even though it arrived second.
 func TestAdmitPriorityOrder(t *testing.T) {
 	db := admitDB(t, 1<<20)
-	r1, err := db.admit.admit(0.9, 0, 100)
+	r1, _, err := db.admit.admit(0.9, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	order := make(chan int, 2)
 	enqueue := func(prio int) {
 		go func() {
-			r, err := db.admit.admit(0.9, 8, prio)
+			r, _, err := db.admit.admit(0.9, 8, prio)
 			if err != nil {
 				t.Errorf("waiter rejected: %v", err)
 				return

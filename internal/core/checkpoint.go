@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -28,7 +29,8 @@ func (db *Database) Checkpoint() error {
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 
-	return db.txns.Quiesce(func(snap *txn.Transaction, inFlight int) error {
+	start := time.Now()
+	err := db.txns.Quiesce(func(snap *txn.Transaction, inFlight int) error {
 		if inFlight > 0 {
 			return ErrBusy
 		}
@@ -118,6 +120,7 @@ func (db *Database) Checkpoint() error {
 			if entry.Data.LayoutDiverged() {
 				entry.ChainBlocks = make([][]storage.BlockID, len(entry.Columns))
 				entry.Data = table.NewPersisted(entry.Types(), entry.DiskRows, db.columnLoader(entry), db.pool)
+				entry.Data.SetDecodeCounter(db.decodeBytes)
 				entry.Data.SetSegmentStats(entry.Stats)
 				continue
 			}
@@ -126,4 +129,8 @@ func (db *Database) Checkpoint() error {
 		}
 		return nil
 	})
+	if err == nil && db.checkpointNs != nil {
+		db.checkpointNs.Observe(time.Since(start).Nanoseconds())
+	}
+	return err
 }

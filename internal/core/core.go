@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/memtest"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/table"
@@ -55,6 +57,11 @@ type Config struct {
 	// then runtime.GOMAXPROCS(0). 1 disables intra-query parallelism.
 	// Sessions and PRAGMA threads can override it.
 	Threads int
+	// LogSink receives one line per engine log event (today: the
+	// slow-query log enabled by PRAGMA log_min_duration_ms). Each call
+	// is one complete JSON object without a trailing newline. nil
+	// discards — the embedded default is silence.
+	LogSink func(line string)
 }
 
 // Database is one embedded database instance. It is safe for concurrent
@@ -81,6 +88,19 @@ type Database struct {
 
 	// execStats collects engine-level counters (surfaced via PRAGMA).
 	execStats exec.Stats
+
+	// metrics is the engine-wide registry; every subsystem counter above
+	// and beside it is registered there at open, so one snapshot reads
+	// the whole engine. The legacy PRAGMA counters read through it.
+	metrics      *obs.Registry
+	decodeBytes  *obs.ShardedCounter // segment bytes decompressed by scans
+	checkpointNs *obs.Histogram
+	queryNs      *obs.Histogram
+
+	// Slow-query log: queries at or above this duration (milliseconds)
+	// emit one JSON line to logSink; <0 (default) disables.
+	logMinDurMs atomic.Int64
+	logSink     func(string)
 }
 
 // Open opens or creates a database.
@@ -122,6 +142,9 @@ func Open(cfg Config) (*Database, error) {
 	// caps how many tasks a single query keeps runnable.
 	db.sched = sched.New(cfg.Threads)
 	db.admit.init(db)
+	db.logSink = cfg.LogSink
+	db.logMinDurMs.Store(-1)
+	db.initMetrics()
 
 	if !store.InMemory() {
 		log, err := wal.Open(cfg.Path + ".wal")
@@ -153,6 +176,74 @@ func Open(cfg Config) (*Database, error) {
 		return nil, fmt.Errorf("recovery: %w", err)
 	}
 	return db, nil
+}
+
+// initMetrics builds the engine-wide registry and hooks every
+// subsystem into it. Counters that predate the registry (exec.Stats
+// atomics, pool gauges) are bridged rather than moved, so the legacy
+// PRAGMA readbacks and the registry report the same cells.
+func (db *Database) initMetrics() {
+	m := obs.NewRegistry()
+	db.metrics = m
+
+	// Scans. The *_total names bridge the exec.Stats atomics the
+	// per-scan hooks already maintain; decode bytes are booked by the
+	// table layer on every segment materialization.
+	m.Int64("scan_segments_scanned_total", &db.execStats.SegmentsScanned)
+	m.Int64("scan_segments_skipped_total", &db.execStats.SegmentsSkipped)
+	db.decodeBytes = m.Sharded("scan_bytes_decompressed_total")
+
+	// Operator spilling under an enforced memory_limit.
+	m.Int64("agg_spill_partitions_total", &db.execStats.AggSpillPartitions)
+	m.Int64("agg_spill_bytes_total", &db.execStats.AggSpilledBytes)
+	m.Int64("sort_spill_bytes_total", &db.execStats.SortSpilledBytes)
+
+	// Buffer pool (the cooperation surface of §4).
+	m.Gauge("pool_reserved_bytes", db.pool.Used)
+	m.Gauge("pool_peak_bytes", db.pool.Peak)
+	m.Gauge("pool_limit_bytes", db.pool.Limit)
+	m.Gauge("pool_evictions_total", db.pool.Evictions)
+
+	// Durability: WAL growth and checkpoint latency.
+	m.Gauge("wal_bytes", db.WALSize)
+	db.checkpointNs = m.Histogram("checkpoint")
+
+	// Engine-wide morsel scheduler.
+	db.sched.SetMetrics(sched.Metrics{
+		Steps:      m.Counter("sched_steps_total"),
+		StepWait:   m.Histogram("sched_step_wait"),
+		AgingPicks: m.Counter("sched_aging_picks_total"),
+	})
+	m.Gauge("sched_runnable_depth", func() int64 { return int64(db.sched.RunnableDepth()) })
+
+	// Admission control.
+	db.admit.met = admitMetrics{
+		admitted: m.Counter("admission_admitted_total"),
+		queued:   m.Counter("admission_queued_total"),
+		rejected: m.Counter("admission_rejected_total"),
+		wait:     m.Histogram("admission_wait"),
+	}
+	m.Gauge("admission_queue_depth", db.admit.queueDepth)
+	m.Gauge("admission_running", db.admit.runningCount)
+	m.Gauge("admission_claimed_bytes", db.admit.claimedBytes)
+
+	// Query-level latency (SELECT and DML plans).
+	db.queryNs = m.Histogram("query")
+}
+
+// Metrics snapshots the engine-wide registry as sorted samples.
+func (db *Database) Metrics() []obs.Sample { return db.metrics.Snapshot() }
+
+// MetricsMap snapshots the registry as a name→value map.
+func (db *Database) MetricsMap() map[string]int64 { return db.metrics.SnapshotMap() }
+
+// MetricsText writes the registry in "name value\n" text exposition.
+func (db *Database) MetricsText(w io.Writer) error { return db.metrics.WriteText(w) }
+
+// metricValue reads one registry cell (PRAGMA readbacks).
+func (db *Database) metricValue(name string) int64 {
+	v, _ := db.metrics.Get(name)
+	return v
 }
 
 func (db *Database) closeFiles() {
@@ -300,6 +391,7 @@ func (db *Database) loadCatalog() error {
 		}
 		entry.ChainBlocks = make([][]storage.BlockID, len(dt.Columns))
 		entry.Data = table.NewPersisted(entry.Types(), dt.DiskRows, db.columnLoader(entry), db.pool)
+		entry.Data.SetDecodeCounter(db.decodeBytes)
 		entry.Data.SetSegmentStats(dt.Stats)
 		if err := db.cat.CreateTable(entry); err != nil {
 			return err
@@ -362,6 +454,7 @@ func (db *Database) applyRecord(rec wal.Record) error {
 			entry.Columns = append(entry.Columns, catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull})
 		}
 		entry.Data = table.New(entry.Types(), db.pool)
+		entry.Data.SetDecodeCounter(db.decodeBytes)
 		return db.cat.CreateTable(entry)
 	case wal.RecDropTable:
 		name, _, err := getString(rec.Payload)

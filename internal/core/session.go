@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/csvio"
@@ -66,6 +68,43 @@ type Session struct {
 	// admission_queue_depth). 0 makes this session fail fast instead
 	// of queuing.
 	AdmissionQueueDepth int
+	// Profiling enables the per-operator query profiler for every
+	// statement this session runs (PRAGMA profiling); EXPLAIN ANALYZE
+	// profiles its statement regardless. Off by default — the operator
+	// hooks are nil-checked, so unprofiled queries pay nothing.
+	Profiling bool
+
+	lastProfile *queryProfile // most recent profiled query (PRAGMA last_profile)
+	analyzing   bool          // inside EXPLAIN ANALYZE
+	curQuery    string        // SQL text of the batch in flight
+	parseNs     int64         // parse span attributed to the statement in flight
+	bindNs      int64         // bind span of the statement in flight
+}
+
+// queryProfile is one query's complete profile: the phase spans around
+// execution plus the plan-mirrored operator tree. PRAGMA last_profile
+// serializes it; EXPLAIN ANALYZE renders it.
+type queryProfile struct {
+	Query       string              `json:"query"`
+	Threads     int                 `json:"threads"`
+	ParseNs     int64               `json:"parse_ns"`
+	BindNs      int64               `json:"bind_ns"`
+	OptimizeNs  int64               `json:"optimize_ns"`
+	AdmitWaitNs int64               `json:"admit_wait_ns"`
+	ExecuteNs   int64               `json:"execute_ns"`
+	Rows        int64               `json:"rows"`
+	SpillBytes  int64               `json:"spill_bytes"`
+	Plan        *exec.OpProfileSnap `json:"plan,omitempty"`
+}
+
+// slowLogLine is the JSON shape of one slow-query log record (PRAGMA
+// log_min_duration_ms).
+type slowLogLine struct {
+	Query       string `json:"query"`
+	DurationMs  int64  `json:"duration_ms"`
+	AdmitWaitMs int64  `json:"admit_wait_ms"`
+	Rows        int64  `json:"rows"`
+	SpillBytes  int64  `json:"spill_bytes"`
 }
 
 // threads resolves the parallelism for this session's next query.
@@ -100,12 +139,18 @@ func (s *Session) InTransaction() bool { return s.current != nil && !s.current.D
 // returning one result per statement. Parameters substitute `?`
 // placeholders across all statements.
 func (s *Session) Execute(sqlText string, params ...types.Value) ([]*Result, error) {
+	start := time.Now()
 	stmts, err := sql.Parse(sqlText)
 	if err != nil {
 		return nil, err
 	}
+	// The parse span covers the whole batch; it is attributed to each
+	// statement's profile (batches are overwhelmingly one statement).
+	s.curQuery = sqlText
+	s.parseNs = time.Since(start).Nanoseconds()
 	results := make([]*Result, 0, len(stmts))
 	for _, stmt := range stmts {
+		s.bindNs = 0
 		res, err := s.executeStmt(stmt, params)
 		if err != nil {
 			return results, err
@@ -194,27 +239,33 @@ func (s *Session) inTxn(fn func(tx *txn.Transaction) (*Result, error)) (*Result,
 
 func (s *Session) executeInTxn(stmt sql.Statement, params []types.Value, tx *txn.Transaction) (*Result, error) {
 	binder := &plan.Binder{Cat: s.db.cat, Params: params}
+	bind := func(f func() (plan.Node, error)) (plan.Node, error) {
+		t0 := time.Now()
+		node, err := f()
+		s.bindNs = time.Since(t0).Nanoseconds()
+		return node, err
+	}
 	switch st := stmt.(type) {
 	case *sql.SelectStmt:
-		node, err := binder.BindSelect(st)
+		node, err := bind(func() (plan.Node, error) { return binder.BindSelect(st) })
 		if err != nil {
 			return nil, err
 		}
 		return s.runPlan(node, tx)
 	case *sql.InsertStmt:
-		node, err := binder.BindInsert(st)
+		node, err := bind(func() (plan.Node, error) { return binder.BindInsert(st) })
 		if err != nil {
 			return nil, err
 		}
 		return s.runDML(node, tx)
 	case *sql.UpdateStmt:
-		node, err := binder.BindUpdate(st)
+		node, err := bind(func() (plan.Node, error) { return binder.BindUpdate(st) })
 		if err != nil {
 			return nil, err
 		}
 		return s.runDML(node, tx)
 	case *sql.DeleteStmt:
-		node, err := binder.BindDelete(st)
+		node, err := bind(func() (plan.Node, error) { return binder.BindDelete(st) })
 		if err != nil {
 			return nil, err
 		}
@@ -255,28 +306,101 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 	}
 }
 
+// profilingOn reports whether the statement in flight collects a full
+// per-operator profile.
+func (s *Session) profilingOn() bool { return s.Profiling || s.analyzing }
+
+// slowLogOn reports whether the slow-query log observes statements.
+func (s *Session) slowLogOn() bool {
+	return s.db.logSink != nil && s.db.logMinDurMs.Load() >= 0
+}
+
+// queryTimes carries the phase spans measured around one plan's
+// execution; parse and bind spans live on the session scratch fields.
+type queryTimes struct {
+	optimizeNs  int64
+	admitWaitNs int64
+	executeNs   int64
+}
+
+// finishQuery closes out one executed plan: it records the engine-wide
+// latency histogram, publishes the profile when one was collected
+// (PRAGMA last_profile), and emits a slow-query log line when the
+// statement crossed the session's threshold.
+func (s *Session) finishQuery(ctx *exec.Context, prof *exec.Profiler, t queryTimes, rows int64) {
+	totalNs := s.parseNs + s.bindNs + t.optimizeNs + t.admitWaitNs + t.executeNs
+	if s.db.queryNs != nil {
+		s.db.queryNs.Observe(totalNs)
+	}
+	var spill int64
+	if ctx.QStats != nil {
+		spill = ctx.QStats.SpillBytes.Load()
+	}
+	if prof != nil {
+		s.lastProfile = &queryProfile{
+			Query:       s.curQuery,
+			Threads:     ctx.Threads,
+			ParseNs:     s.parseNs,
+			BindNs:      s.bindNs,
+			OptimizeNs:  t.optimizeNs,
+			AdmitWaitNs: t.admitWaitNs,
+			ExecuteNs:   t.executeNs,
+			Rows:        rows,
+			SpillBytes:  spill,
+			Plan:        prof.Snapshot(),
+		}
+	}
+	if s.slowLogOn() && totalNs/1e6 >= s.db.logMinDurMs.Load() {
+		line, err := json.Marshal(slowLogLine{
+			Query:       s.curQuery,
+			DurationMs:  totalNs / 1e6,
+			AdmitWaitMs: t.admitWaitNs / 1e6,
+			Rows:        rows,
+			SpillBytes:  spill,
+		})
+		if err == nil {
+			s.db.logSink(string(line))
+		}
+	}
+}
+
 func (s *Session) runPlan(node plan.Node, tx *txn.Transaction) (*Result, error) {
-	release, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
+	release, admitWait, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	t0 := time.Now()
 	node = plan.Optimize(node)
+	optimizeNs := time.Since(t0).Nanoseconds()
 	ctx := s.execContext(tx)
-	op, err := exec.BuildParallel(node, ctx.Threads)
+	ctx.QStats = &exec.QueryStats{}
+	var prof *exec.Profiler
+	if s.profilingOn() {
+		prof = exec.NewProfiler(node)
+		ctx.Prof = prof
+	}
+	op, err := exec.BuildParallelProfiled(node, ctx.Threads, prof)
 	if err != nil {
 		return nil, err
 	}
+	tExec := time.Now()
 	chunks, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err
 	}
+	executeNs := time.Since(tExec).Nanoseconds()
 	schema := node.Schema()
 	res := &Result{HasRows: true, Chunks: chunks}
 	for _, c := range schema {
 		res.Columns = append(res.Columns, c.Name)
 		res.Types = append(res.Types, c.Type)
 	}
+	s.finishQuery(ctx, prof, queryTimes{
+		optimizeNs:  optimizeNs,
+		admitWaitNs: admitWait.Nanoseconds(),
+		executeNs:   executeNs,
+	}, res.NumRows())
 	return res, nil
 }
 
@@ -317,28 +441,43 @@ func (s *Session) ExecuteRowEngine(sqlText string, params ...types.Value) ([][]t
 }
 
 func (s *Session) runDML(node plan.Node, tx *txn.Transaction) (*Result, error) {
-	release, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
+	release, admitWait, err := s.db.admit.admit(s.MemoryShare, s.AdmissionQueueDepth, s.priority())
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	t0 := time.Now()
 	node = plan.Optimize(node)
+	optimizeNs := time.Since(t0).Nanoseconds()
 	// DML input scans parallelize like any query (the write itself runs
 	// on the consuming thread); the scan-open segment snapshot keeps
 	// self-referencing statements safe.
 	ctx := s.execContext(tx)
-	op, err := exec.BuildParallel(node, ctx.Threads)
+	ctx.QStats = &exec.QueryStats{}
+	var prof *exec.Profiler
+	if s.profilingOn() {
+		prof = exec.NewProfiler(node)
+		ctx.Prof = prof
+	}
+	op, err := exec.BuildParallelProfiled(node, ctx.Threads, prof)
 	if err != nil {
 		return nil, err
 	}
+	tExec := time.Now()
 	chunks, err := exec.Collect(ctx, op)
 	if err != nil {
 		return nil, err
 	}
+	executeNs := time.Since(tExec).Nanoseconds()
 	var affected int64
 	if len(chunks) > 0 && chunks[0].Len() > 0 {
 		affected = chunks[0].Cols[0].I64[0]
 	}
+	s.finishQuery(ctx, prof, queryTimes{
+		optimizeNs:  optimizeNs,
+		admitWaitNs: admitWait.Nanoseconds(),
+		executeNs:   executeNs,
+	}, affected)
 	return &Result{RowsAffected: affected}, nil
 }
 
@@ -504,6 +643,9 @@ func (s *Session) copy(st *sql.CopyStmt, tx *txn.Transaction) (*Result, error) {
 }
 
 func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, error) {
+	if st.Analyze {
+		return s.explainAnalyze(st, params)
+	}
 	binder := &plan.Binder{Cat: s.db.cat, Params: params}
 	var node plan.Node
 	var err error
@@ -571,6 +713,51 @@ func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, e
 	}
 	return &Result{
 		Columns: []string{"plan"},
+		Types:   []types.Type{types.Varchar},
+		Chunks:  []*vector.Chunk{out},
+		HasRows: true,
+	}, nil
+}
+
+// explainAnalyze executes the statement with the profiler attached and
+// returns the measured operator tree plus the phase spans instead of
+// the statement's rows. The run is a real execution — same admission,
+// same scheduler, same transaction semantics — so the numbers are the
+// numbers a plain run would have produced.
+func (s *Session) explainAnalyze(st *sql.ExplainStmt, params []types.Value) (*Result, error) {
+	sel, ok := st.Stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("EXPLAIN ANALYZE supports SELECT")
+	}
+	s.analyzing = true
+	defer func() { s.analyzing = false }()
+	if _, err := s.inTxn(func(tx *txn.Transaction) (*Result, error) {
+		binder := &plan.Binder{Cat: s.db.cat, Params: params}
+		t0 := time.Now()
+		node, err := binder.BindSelect(sel)
+		s.bindNs = time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, err
+		}
+		return s.runPlan(node, tx)
+	}); err != nil {
+		return nil, err
+	}
+	p := s.lastProfile
+	out := vector.NewChunk([]types.Type{types.Varchar})
+	var sb strings.Builder
+	p.Plan.WriteTree(&sb, 0)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		out.AppendRow(types.NewVarchar(line))
+	}
+	out.AppendRow(types.NewVarchar(fmt.Sprintf(
+		"phases: parse=%s bind=%s optimize=%s admit_wait=%s execute=%s",
+		exec.FmtDur(p.ParseNs), exec.FmtDur(p.BindNs), exec.FmtDur(p.OptimizeNs),
+		exec.FmtDur(p.AdmitWaitNs), exec.FmtDur(p.ExecuteNs))))
+	out.AppendRow(types.NewVarchar(fmt.Sprintf(
+		"totals: threads=%d rows=%d spilled=%dB", p.Threads, p.Rows, p.SpillBytes)))
+	return &Result{
+		Columns: []string{"explain analyze"},
 		Types:   []types.Type{types.Varchar},
 		Chunks:  []*vector.Chunk{out},
 		HasRows: true,
@@ -695,19 +882,78 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 		s.db.SetZoneMaps(intVal != 0 || strings.EqualFold(strVal, "true"))
 		return &Result{}, nil
 	case "segments_scanned":
-		// Table-scan segments materialized since open.
-		return readback(strconv.FormatInt(s.db.execStats.SegmentsScanned.Load(), 10)), nil
+		// Table-scan segments materialized since open. Reads the registry
+		// cell bridging the same atomic scans increment, so PRAGMA and
+		// PRAGMA metrics can never disagree.
+		return readback(strconv.FormatInt(s.db.metricValue("scan_segments_scanned_total"), 10)), nil
 	case "segments_skipped":
 		// Table-scan segments refuted by zone maps (or their compressed
 		// payloads) without being touched.
-		return readback(strconv.FormatInt(s.db.execStats.SegmentsSkipped.Load(), 10)), nil
+		return readback(strconv.FormatInt(s.db.metricValue("scan_segments_skipped_total"), 10)), nil
 	case "agg_spill_partitions":
 		// Aggregation partition-spill events under memory_limit (each is
 		// one partition's states written to a sorted state run).
-		return readback(strconv.FormatInt(s.db.execStats.AggSpillPartitions.Load(), 10)), nil
+		return readback(strconv.FormatInt(s.db.metricValue("agg_spill_partitions_total"), 10)), nil
 	case "agg_spilled_bytes":
 		// Total bytes written to aggregation state runs.
-		return readback(strconv.FormatInt(s.db.execStats.AggSpilledBytes.Load(), 10)), nil
+		return readback(strconv.FormatInt(s.db.metricValue("agg_spill_bytes_total"), 10)), nil
+	case "sort_spilled_bytes":
+		// Total bytes external sorts (ORDER BY, window partitioning)
+		// wrote to spill runs.
+		return readback(strconv.FormatInt(s.db.metricValue("sort_spill_bytes_total"), 10)), nil
+	case "profiling":
+		// Per-operator query profiler for this session's statements; the
+		// result lands in PRAGMA last_profile. EXPLAIN ANALYZE profiles
+		// its statement regardless of this switch.
+		if !hasVal {
+			if s.Profiling {
+				return readback("1"), nil
+			}
+			return readback("0"), nil
+		}
+		s.Profiling = intVal != 0 || strings.EqualFold(strVal, "true")
+		return &Result{}, nil
+	case "last_profile":
+		// The most recent profiled query of this session, as one JSON
+		// object ("{}" before any profiled query ran).
+		if s.lastProfile == nil {
+			return readback("{}"), nil
+		}
+		buf, err := json.Marshal(s.lastProfile)
+		if err != nil {
+			return nil, err
+		}
+		return readback(string(buf)), nil
+	case "log_min_duration_ms":
+		// Slow-query log threshold: statements taking at least this many
+		// milliseconds emit one JSON line to the configured log sink.
+		// 0 logs everything; negative (the default) disables.
+		if !hasVal {
+			return readback(strconv.FormatInt(s.db.logMinDurMs.Load(), 10)), nil
+		}
+		s.db.logMinDurMs.Store(intVal)
+		return &Result{}, nil
+	case "memory_usage":
+		// Bytes currently reserved from the buffer pool (alias of
+		// memory_used, named for symmetry with memory_peak).
+		return readback(strconv.FormatInt(s.db.pool.Used(), 10)), nil
+	case "memory_peak":
+		// High-water mark of buffer-pool reservation since open (or the
+		// last pool peak reset).
+		return readback(strconv.FormatInt(s.db.pool.Peak(), 10)), nil
+	case "metrics":
+		// Engine-wide metrics registry snapshot as (name, value) rows —
+		// every subsystem counter, gauge and histogram in one read.
+		out := vector.NewChunk([]types.Type{types.Varchar, types.BigInt})
+		for _, smp := range s.db.Metrics() {
+			out.AppendRow(types.NewVarchar(smp.Name), types.NewBigInt(smp.Value))
+		}
+		return &Result{
+			Columns: []string{"name", "value"},
+			Types:   []types.Type{types.Varchar, types.BigInt},
+			Chunks:  []*vector.Chunk{out},
+			HasRows: true,
+		}, nil
 	case "parallel_agg_fallbacks":
 		// Deprecated (kept one release for embedders' dashboards):
 		// budgeted parallel aggregation no longer degrades to one worker

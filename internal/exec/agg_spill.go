@@ -73,6 +73,8 @@ type aggTable struct {
 	pool        *buffer.Pool
 	tmpDir      string
 	stats       *Stats
+	prof        *OpProfile  // aggregate node's profile slot (nil off)
+	qstats      *QueryStats // per-query roll-up for the slow log (nil off)
 	// spillable marks an enforced budget: reservation failures spill a
 	// partition instead of failing the query.
 	spillable bool
@@ -111,6 +113,8 @@ func newAggTable(ctx *Context, n *plan.AggNode, retain bool, tables int) *aggTab
 		pool:       ctx.Pool,
 		tmpDir:     ctx.TmpDir,
 		stats:      ctx.Stats,
+		prof:       ctx.Prof.Slot(n),
+		qstats:     ctx.QStats,
 	}
 	t.rowEstimate = keyBytesEstimate(t.groupTypes) + int64(len(n.Aggs))*48 + 64
 	t.spillable = ctx.Pool != nil && ctx.Pool.Limit() > 0
@@ -343,6 +347,13 @@ func (t *aggTable) spillPart(p int) error {
 	if t.stats != nil {
 		t.stats.AggSpillPartitions.Add(1)
 		t.stats.AggSpilledBytes.Add(run.Bytes())
+	}
+	if t.prof != nil {
+		t.prof.SpillParts.Add(1)
+		t.prof.SpillBytes.Add(run.Bytes())
+	}
+	if t.qstats != nil {
+		t.qstats.SpillBytes.Add(run.Bytes())
 	}
 	return nil
 }

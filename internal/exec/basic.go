@@ -36,6 +36,10 @@ func scanOptions(ctx *Context, n *plan.ScanNode) table.ScanOptions {
 		opts.SegsScanned = &ctx.Stats.SegmentsScanned
 		opts.SegsSkipped = &ctx.Stats.SegmentsSkipped
 	}
+	if slot := ctx.Prof.Slot(n); slot != nil {
+		opts.ProfSegsScanned = &slot.SegsScanned
+		opts.ProfSegsSkipped = &slot.SegsSkipped
+	}
 	return opts
 }
 

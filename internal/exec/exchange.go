@@ -318,7 +318,7 @@ func (e *exchangeOp) Close(ctx *Context) {
 // the chain's stages run on the exchange's worker pool instead of
 // single-threaded operators. The ordered merge keeps output identical to
 // the sequential chain. Returns ok=false when the shape does not match.
-func buildExchange(node plan.Node, threads int) (Operator, bool, error) {
+func buildExchange(node plan.Node, threads int, prof *Profiler) (Operator, bool, error) {
 	var stages []stageFactory
 	cur := node
 peel:
@@ -326,11 +326,13 @@ peel:
 		switch n := cur.(type) {
 		case *plan.FilterNode:
 			cond := n.Cond
-			stages = append(stages, func() stage { return &filterStage{cond: cond} })
+			stages = append(stages, profFactory(prof.Slot(n),
+				func() stage { return &filterStage{cond: cond} }))
 			cur = n.Child
 		case *plan.ProjectNode:
 			exprs := n.Exprs
-			stages = append(stages, func() stage { return &projectStage{exprs: exprs} })
+			stages = append(stages, profFactory(prof.Slot(n),
+				func() stage { return &projectStage{exprs: exprs} }))
 			cur = n.Child
 		default:
 			break peel
@@ -344,7 +346,7 @@ peel:
 	default:
 		return nil, false, nil
 	}
-	base, err := build(cur, threads)
+	base, err := build(cur, threads, prof)
 	if err != nil {
 		return nil, true, err
 	}
@@ -353,5 +355,7 @@ peel:
 	for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
 		stages[i], stages[j] = stages[j], stages[i]
 	}
-	return newExchangeOp(base, stages, true), true, nil
+	// The top node's stage already counts rows; the wrapper adds wall
+	// time at the exchange boundary.
+	return prof.wrap(newExchangeOp(base, stages, true), node, false), true, nil
 }

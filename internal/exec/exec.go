@@ -81,6 +81,9 @@ type Stats struct {
 	// compressed payloads) without being touched.
 	SegmentsScanned atomic.Int64
 	SegmentsSkipped atomic.Int64
+	// SortSpilledBytes totals the bytes external sorts (ORDER BY, window
+	// sorts) wrote to spill runs under a memory budget.
+	SortSpilledBytes atomic.Int64
 }
 
 // Context carries per-query execution state.
@@ -115,6 +118,14 @@ type Context struct {
 	Query *sched.Query
 	// Priority seeds the lazily created Query (0 = default weight).
 	Priority int
+	// Prof, when non-nil, collects this query's per-operator profile
+	// (EXPLAIN ANALYZE / PRAGMA profiling). The tree must have been
+	// built with BuildParallelProfiled using the same Profiler. nil is
+	// the off state: no hooks fire, nothing allocates.
+	Prof *Profiler
+	// QStats, when non-nil, receives the per-query roll-ups the
+	// slow-query log reports.
+	QStats *QueryStats
 }
 
 var (
@@ -167,14 +178,23 @@ type Operator interface {
 
 // Build translates a logical plan into a single-threaded physical
 // operator tree.
-func Build(node plan.Node) (Operator, error) { return build(node, 1) }
+func Build(node plan.Node) (Operator, error) { return build(node, 1, nil) }
 
 // BuildParallel translates a logical plan into a physical operator tree
 // whose parallelizable pipelines run on worker pools of the given size.
 // The returned tree must be executed with a Context whose Threads field
 // carries the same value. threads <= 1 is identical to Build.
 func BuildParallel(node plan.Node, threads int) (Operator, error) {
-	return build(node, threads)
+	return build(node, threads, nil)
+}
+
+// BuildParallelProfiled is BuildParallel with profiling hooks compiled
+// into the tree: operators are wrapped with their plan node's profile
+// slot and pipeline stages count rows per node. prof must come from
+// NewProfiler over the same (optimized) plan, and the executing Context
+// must carry it in Prof. A nil prof is identical to BuildParallel.
+func BuildParallelProfiled(node plan.Node, threads int, prof *Profiler) (Operator, error) {
+	return build(node, threads, prof)
 }
 
 // HasAggregate reports whether the plan contains a hash aggregation.
@@ -193,11 +213,14 @@ func HasAggregate(node plan.Node) bool {
 	return false
 }
 
-func build(node plan.Node, threads int) (Operator, error) {
+func build(node plan.Node, threads int, prof *Profiler) (Operator, error) {
 	if threads > 1 {
 		// A maximal scan→filter→project chain becomes one morsel-driven
-		// parallel pipeline streaming into whatever sits above it.
-		if spec := compilePipeline(node); spec != nil {
+		// parallel pipeline streaming into whatever sits above it. The
+		// pipeline operator is never wrapped: its per-node row counts
+		// come from stage hooks and the morsel claim site, and parents
+		// (the hash join) type-assert on *parScanOp to attach stages.
+		if spec := compilePipeline(node, prof); spec != nil {
 			return newParScanOp(spec), nil
 		}
 		// A hash aggregate directly over such a chain breaks the
@@ -205,124 +228,124 @@ func build(node plan.Node, threads int) (Operator, error) {
 		// DISTINCT aggregates participate: their per-worker value sets
 		// merge by set union.
 		if n, ok := node.(*plan.AggNode); ok {
-			if spec := compilePipeline(n.Child); spec != nil {
-				return newParAggOp(spec, n), nil
+			if spec := compilePipeline(n.Child, prof); spec != nil {
+				return prof.wrap(newParAggOp(spec, n), n, true), nil
 			}
 		}
 		// A sort over such a chain builds per-worker sorted runs and
 		// k-way merges them at the breaker.
 		if n, ok := node.(*plan.SortNode); ok {
-			if spec := compilePipeline(n.Child); spec != nil {
-				return newParSortOp(spec, n), nil
+			if spec := compilePipeline(n.Child, prof); spec != nil {
+				return prof.wrap(newParSortOp(spec, n), n, true), nil
 			}
 		}
 		// A window over such a chain sorts per worker too, and evaluates
 		// its partitions on an exchange pool.
 		if n, ok := node.(*plan.WindowNode); ok {
-			if spec := compilePipeline(n.Child); spec != nil {
-				return newParWindowOp(spec, n), nil
+			if spec := compilePipeline(n.Child, prof); spec != nil {
+				return prof.wrap(newParWindowOp(spec, n), n, true), nil
 			}
 		}
 		// Filter/project chains stranded above a breaker (HAVING over an
 		// aggregate, the projection stripping hidden sort columns, ...)
 		// run on an exchange instead of single-threaded operators.
-		if op, ok, err := buildExchange(node, threads); ok {
+		if op, ok, err := buildExchange(node, threads, prof); ok {
 			return op, err
 		}
 	}
 	switch n := node.(type) {
 	case *plan.ScanNode:
-		return newScanOp(n), nil
+		return prof.wrap(newScanOp(n), n, true), nil
 	case *plan.FilterNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &filterOp{child: child, cond: n.Cond}, nil
+		return prof.wrap(&filterOp{child: child, cond: n.Cond}, n, true), nil
 	case *plan.ProjectNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &projectOp{child: child, exprs: n.Exprs, types: schemaTypes(n.Schema())}, nil
+		return prof.wrap(&projectOp{child: child, exprs: n.Exprs, types: schemaTypes(n.Schema())}, n, true), nil
 	case *plan.JoinNode:
-		left, err := build(n.Left, threads)
+		left, err := build(n.Left, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		right, err := build(n.Right, threads)
+		right, err := build(n.Right, threads, prof)
 		if err != nil {
 			return nil, err
 		}
 		if len(n.LeftKeys) == 0 {
 			if n.Type == plan.JoinCross && n.Extra == nil {
-				return newNLJoin(left, right, n, nil), nil
+				return prof.wrap(newNLJoin(left, right, n, nil), n, true), nil
 			}
-			return newNLJoin(left, right, n, n.Extra), nil
+			return prof.wrap(newNLJoin(left, right, n, n.Extra), n, true), nil
 		}
-		return newEquiJoin(left, right, n), nil
+		return prof.wrap(newEquiJoin(left, right, n), n, true), nil
 	case *plan.AggNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return newAggOp(child, n), nil
+		return prof.wrap(newAggOp(child, n), n, true), nil
 	case *plan.SortNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return newSortOp(child, n), nil
+		return prof.wrap(newSortOp(child, n), n, true), nil
 	case *plan.WindowNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return newWindowOp(child, n), nil
+		return prof.wrap(newWindowOp(child, n), n, true), nil
 	case *plan.LimitNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &limitOp{child: child, limit: n.Limit, offset: n.Offset}, nil
+		return prof.wrap(&limitOp{child: child, limit: n.Limit, offset: n.Offset}, n, true), nil
 	case *plan.UnionAllNode:
 		ops := make([]Operator, len(n.Inputs))
 		for i, in := range n.Inputs {
-			op, err := build(in, threads)
+			op, err := build(in, threads, prof)
 			if err != nil {
 				return nil, err
 			}
 			ops[i] = op
 		}
-		return &unionOp{inputs: ops}, nil
+		return prof.wrap(&unionOp{inputs: ops}, n, true), nil
 	case *plan.ValuesNode:
-		return &valuesOp{node: n}, nil
+		return prof.wrap(&valuesOp{node: n}, n, true), nil
 	case *plan.InsertNode:
 		// DML input scans run parallel like any query: the morsel source
 		// snapshots the segment list at open, so an INSERT ... SELECT
 		// reading its own target inserts exactly the pre-existing rows,
 		// and the ordered merge keeps the consumed row order identical to
 		// the sequential plan. The write itself stays on the consumer.
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &insertOp{child: child, table: n.Table}, nil
+		return prof.wrap(&insertOp{child: child, table: n.Table}, n, true), nil
 	case *plan.UpdateNode:
 		// UPDATE/DELETE materialize every row id before touching the
 		// table (Halloween protection), so their filter scans can fan
 		// out across workers too.
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &updateOp{child: child, node: n}, nil
+		return prof.wrap(&updateOp{child: child, node: n}, n, true), nil
 	case *plan.DeleteNode:
-		child, err := build(n.Child, threads)
+		child, err := build(n.Child, threads, prof)
 		if err != nil {
 			return nil, err
 		}
-		return &deleteOp{child: child, table: n.Table}, nil
+		return prof.wrap(&deleteOp{child: child, table: n.Table}, n, true), nil
 	default:
 		return nil, fmt.Errorf("exec: no operator for %T", node)
 	}

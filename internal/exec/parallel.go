@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/table"
@@ -170,6 +171,11 @@ func (w *scanWorker) step() {
 		return
 	}
 	p.mu.Unlock()
+	slot := p.spec.scanSlot
+	var t0 time.Time
+	if slot != nil {
+		t0 = time.Now()
+	}
 	seq, chunk, err := w.ms.Next()
 	if seq < 0 && err == nil {
 		p.mu.Lock()
@@ -177,6 +183,13 @@ func (w *scanWorker) step() {
 		p.exitLocked()
 		p.mu.Unlock()
 		return
+	}
+	if slot != nil {
+		slot.Morsels.Add(1)
+		if chunk != nil && p.spec.countScanRows {
+			slot.Rows.Add(int64(chunk.Len()))
+			slot.Chunks.Add(1)
+		}
 	}
 	var out []*vector.Chunk
 	if err == nil && chunk != nil {
@@ -186,6 +199,9 @@ func (w *scanWorker) step() {
 			}
 			return nil
 		})
+	}
+	if slot != nil {
+		slot.BusyNs.Add(time.Since(t0).Nanoseconds())
 	}
 	p.results <- parResult{seq: seq, chunks: out, err: err}
 	if err != nil {
@@ -310,10 +326,22 @@ func (p *parScanOp) consume(ctx *Context, mkSink func(w int) func(seq int, c *ve
 				finish()
 				return
 			}
+			slot := p.spec.scanSlot
+			var t0 time.Time
+			if slot != nil {
+				t0 = time.Now()
+			}
 			seq, chunk, err := ms.Next()
 			if seq < 0 && err == nil {
 				finish()
 				return
+			}
+			if slot != nil {
+				slot.Morsels.Add(1)
+				if chunk != nil && p.spec.countScanRows {
+					slot.Rows.Add(int64(chunk.Len()))
+					slot.Chunks.Add(1)
+				}
 			}
 			if err == nil && chunk != nil {
 				err = runStages(ctx, stages, chunk, func(c *vector.Chunk) error {
@@ -322,6 +350,9 @@ func (p *parScanOp) consume(ctx *Context, mkSink func(w int) func(seq int, c *ve
 					}
 					return sink(seq, c)
 				})
+			}
+			if slot != nil {
+				slot.BusyNs.Add(time.Since(t0).Nanoseconds())
 			}
 			if err != nil {
 				mu.Lock()

@@ -25,6 +25,16 @@ type stageFactory func() stage
 type pipelineSpec struct {
 	scan   *plan.ScanNode
 	stages []stageFactory
+
+	// scanSlot is the scan node's profile slot when the query is
+	// profiled (nil otherwise): workers add morsel counts and busy time
+	// there. countScanRows means the raw morsel chunks are the scan
+	// node's output (no filter was pushed into the scan) and the claim
+	// site counts their rows; with a pushed filter the wrapped filter
+	// stage counts the post-filter rows instead, matching the
+	// sequential scan operator exactly.
+	scanSlot      *OpProfile
+	countScanRows bool
 }
 
 // newStages instantiates the pipeline's stages for one worker.
@@ -39,30 +49,39 @@ func (p *pipelineSpec) newStages() []stage {
 // compilePipeline decomposes a plan subtree into a morsel-driven
 // pipeline, or returns nil when the subtree contains a pipeline breaker
 // (aggregate, join, sort, limit, ...) or a non-table source. Filters
-// pushed into the scan become the pipeline's first stage.
-func compilePipeline(node plan.Node) *pipelineSpec {
+// pushed into the scan become the pipeline's first stage. When prof is
+// non-nil every stage is wrapped with its plan node's profile slot so
+// per-node row counts survive the pipeline collapse.
+func compilePipeline(node plan.Node, prof *Profiler) *pipelineSpec {
 	switch n := node.(type) {
 	case *plan.ScanNode:
-		spec := &pipelineSpec{scan: n}
+		spec := &pipelineSpec{scan: n, scanSlot: prof.Slot(n), countScanRows: true}
 		if f := n.Filter; f != nil {
-			spec.stages = append(spec.stages, func() stage { return &filterStage{cond: f} })
+			// The pushed filter is part of the scan node's semantics: the
+			// scan slot counts post-filter rows, exactly what the
+			// sequential scan operator emits.
+			spec.countScanRows = false
+			spec.stages = append(spec.stages, profFactory(spec.scanSlot,
+				func() stage { return &filterStage{cond: f} }))
 		}
 		return spec
 	case *plan.FilterNode:
-		spec := compilePipeline(n.Child)
+		spec := compilePipeline(n.Child, prof)
 		if spec == nil {
 			return nil
 		}
 		cond := n.Cond
-		spec.stages = append(spec.stages, func() stage { return &filterStage{cond: cond} })
+		spec.stages = append(spec.stages, profFactory(prof.Slot(n),
+			func() stage { return &filterStage{cond: cond} }))
 		return spec
 	case *plan.ProjectNode:
-		spec := compilePipeline(n.Child)
+		spec := compilePipeline(n.Child, prof)
 		if spec == nil {
 			return nil
 		}
 		exprs := n.Exprs
-		spec.stages = append(spec.stages, func() stage { return &projectStage{exprs: exprs} })
+		spec.stages = append(spec.stages, profFactory(prof.Slot(n),
+			func() stage { return &projectStage{exprs: exprs} }))
 		return spec
 	default:
 		return nil

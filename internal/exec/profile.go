@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// OpProfile is one operator's slot in a query profile. The profile tree
+// mirrors the optimized plan tree — not the physical operator tree — so
+// its shape is identical at every thread count; workers of a parallel
+// pipeline all add into the same slot's atomics, and row counts come
+// out equal to the sequential run's by the engine's determinism
+// guarantee.
+type OpProfile struct {
+	Name     string
+	Children []*OpProfile
+
+	// WallNs is inclusive wall time observed at the operator boundary
+	// (Open+Next+Close, children included). Pipeline-collapsed operators
+	// report BusyNs instead: the summed worker time spent scanning and
+	// running stages.
+	WallNs atomic.Int64
+	BusyNs atomic.Int64
+
+	Rows    atomic.Int64
+	Chunks  atomic.Int64
+	Morsels atomic.Int64
+
+	SegsScanned atomic.Int64
+	SegsSkipped atomic.Int64
+
+	SpillBytes atomic.Int64
+	SpillParts atomic.Int64
+}
+
+// Profiler collects one query's profile. A nil *Profiler is the "off"
+// state: every hook is a nil check and no allocation happens anywhere
+// on the query path.
+type Profiler struct {
+	Root  *OpProfile
+	slots map[plan.Node]*OpProfile
+}
+
+// NewProfiler builds the profile tree mirroring an optimized plan.
+func NewProfiler(root plan.Node) *Profiler {
+	p := &Profiler{slots: make(map[plan.Node]*OpProfile)}
+	p.Root = p.mirror(root)
+	return p
+}
+
+func (p *Profiler) mirror(n plan.Node) *OpProfile {
+	slot := &OpProfile{Name: n.Explain()}
+	p.slots[n] = slot
+	for _, c := range n.Children() {
+		slot.Children = append(slot.Children, p.mirror(c))
+	}
+	return slot
+}
+
+// Slot returns the profile slot for a plan node, or nil when profiling
+// is off (nil receiver) or the node is not part of the mirrored plan.
+func (p *Profiler) Slot(n plan.Node) *OpProfile {
+	if p == nil {
+		return nil
+	}
+	return p.slots[n]
+}
+
+// wrap decorates a physical operator with its plan node's profile slot.
+// countRows=false is for operators whose output rows are already
+// counted by pipeline stages (the exchange) — the wrapper then records
+// wall time only.
+func (p *Profiler) wrap(op Operator, n plan.Node, countRows bool) Operator {
+	slot := p.Slot(n)
+	if slot == nil {
+		return op
+	}
+	return &profOp{inner: op, slot: slot, countRows: countRows}
+}
+
+// profOp times an operator at its pull boundary and counts the chunks
+// it emits. Wall time is inclusive of children, like every EXPLAIN
+// ANALYZE the authors have ever read.
+type profOp struct {
+	inner     Operator
+	slot      *OpProfile
+	countRows bool
+}
+
+func (p *profOp) Open(ctx *Context) error {
+	t0 := time.Now()
+	err := p.inner.Open(ctx)
+	p.slot.WallNs.Add(time.Since(t0).Nanoseconds())
+	return err
+}
+
+func (p *profOp) Next(ctx *Context) (*vector.Chunk, error) {
+	t0 := time.Now()
+	chunk, err := p.inner.Next(ctx)
+	p.slot.WallNs.Add(time.Since(t0).Nanoseconds())
+	if chunk != nil && p.countRows {
+		p.slot.Rows.Add(int64(chunk.Len()))
+		p.slot.Chunks.Add(1)
+	}
+	return chunk, err
+}
+
+func (p *profOp) Close(ctx *Context) {
+	t0 := time.Now()
+	p.inner.Close(ctx)
+	p.slot.WallNs.Add(time.Since(t0).Nanoseconds())
+}
+
+// profFactory wraps a stage factory so every chunk the stage emits is
+// counted into slot. Stage wrapping is how pipeline-collapsed plan
+// nodes (filters and projections that became morsel-pipeline or
+// exchange stages) keep per-node row counts that match the sequential
+// operators exactly. Row-transparent wrapping only — never applied to
+// sliceStage implementors.
+func profFactory(slot *OpProfile, f stageFactory) stageFactory {
+	if slot == nil {
+		return f
+	}
+	return func() stage { return &profStage{inner: f(), slot: slot} }
+}
+
+type profStage struct {
+	inner stage
+	slot  *OpProfile
+}
+
+func (s *profStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
+	return s.inner.run(ctx, c, func(out *vector.Chunk) error {
+		s.slot.Rows.Add(int64(out.Len()))
+		s.slot.Chunks.Add(1)
+		return emit(out)
+	})
+}
+
+// recordSortSpill books bytes an operator's external sorters spilled:
+// into the engine-wide counter, the query's stats (slow-query log) and
+// the operator's profile slot. All three sinks are optional.
+func recordSortSpill(ctx *Context, n plan.Node, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	if ctx.Stats != nil {
+		ctx.Stats.SortSpilledBytes.Add(bytes)
+	}
+	if ctx.QStats != nil {
+		ctx.QStats.SpillBytes.Add(bytes)
+	}
+	if slot := ctx.Prof.Slot(n); slot != nil {
+		slot.SpillBytes.Add(bytes)
+	}
+}
+
+// QueryStats is the per-query roll-up consulted by the slow-query log.
+// Allocated only when profiling or the slow-query log is active.
+type QueryStats struct {
+	SpillBytes atomic.Int64
+}
+
+// OpProfileSnap is the plain (JSON-marshalable) snapshot of a profile
+// slot, taken after the query finished.
+type OpProfileSnap struct {
+	Name            string           `json:"name"`
+	WallNs          int64            `json:"wall_ns,omitempty"`
+	BusyNs          int64            `json:"busy_ns,omitempty"`
+	Rows            int64            `json:"rows"`
+	Chunks          int64            `json:"chunks,omitempty"`
+	Morsels         int64            `json:"morsels,omitempty"`
+	SegmentsScanned int64            `json:"segments_scanned,omitempty"`
+	SegmentsSkipped int64            `json:"segments_skipped,omitempty"`
+	SpillBytes      int64            `json:"spill_bytes,omitempty"`
+	SpillPartitions int64            `json:"spill_partitions,omitempty"`
+	Children        []*OpProfileSnap `json:"children,omitempty"`
+}
+
+// Snapshot returns the profile tree as plain values.
+func (p *Profiler) Snapshot() *OpProfileSnap {
+	if p == nil || p.Root == nil {
+		return nil
+	}
+	return snapOp(p.Root)
+}
+
+func snapOp(o *OpProfile) *OpProfileSnap {
+	s := &OpProfileSnap{
+		Name:            o.Name,
+		WallNs:          o.WallNs.Load(),
+		BusyNs:          o.BusyNs.Load(),
+		Rows:            o.Rows.Load(),
+		Chunks:          o.Chunks.Load(),
+		Morsels:         o.Morsels.Load(),
+		SegmentsScanned: o.SegsScanned.Load(),
+		SegmentsSkipped: o.SegsSkipped.Load(),
+		SpillBytes:      o.SpillBytes.Load(),
+		SpillPartitions: o.SpillParts.Load(),
+	}
+	for _, c := range o.Children {
+		s.Children = append(s.Children, snapOp(c))
+	}
+	return s
+}
+
+// Totals sums the counters the engine also tracks globally, so callers
+// can reconcile a set of per-query profiles against the metrics
+// registry.
+func (s *OpProfileSnap) Totals() (segsScanned, segsSkipped, spillBytes int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	segsScanned, segsSkipped, spillBytes = s.SegmentsScanned, s.SegmentsSkipped, s.SpillBytes
+	for _, c := range s.Children {
+		a, b, sp := c.Totals()
+		segsScanned += a
+		segsSkipped += b
+		spillBytes += sp
+	}
+	return segsScanned, segsSkipped, spillBytes
+}
+
+// WriteTree renders the snapshot as an indented text tree — the body of
+// EXPLAIN ANALYZE.
+func (s *OpProfileSnap) WriteTree(sb *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	sb.WriteString(s.Name)
+	sb.WriteString("  [")
+	fmt.Fprintf(sb, "rows=%d", s.Rows)
+	if ns := s.WallNs; ns > 0 {
+		fmt.Fprintf(sb, " time=%s", fmtDur(ns))
+	}
+	if ns := s.BusyNs; ns > 0 {
+		fmt.Fprintf(sb, " busy=%s", fmtDur(ns))
+	}
+	if s.Morsels > 0 {
+		fmt.Fprintf(sb, " morsels=%d", s.Morsels)
+	}
+	if s.SegmentsScanned > 0 || s.SegmentsSkipped > 0 {
+		fmt.Fprintf(sb, " segs=%d/%d scanned/skipped", s.SegmentsScanned, s.SegmentsSkipped)
+	}
+	if s.SpillBytes > 0 {
+		fmt.Fprintf(sb, " spilled=%dB", s.SpillBytes)
+	}
+	if s.SpillPartitions > 0 {
+		fmt.Fprintf(sb, " spill_parts=%d", s.SpillPartitions)
+	}
+	sb.WriteString("]\n")
+	for _, c := range s.Children {
+		c.WriteTree(sb, depth+1)
+	}
+}
+
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// FmtDur renders a nanosecond span the way the profile tree does
+// (callers composing EXPLAIN ANALYZE phase lines).
+func FmtDur(ns int64) string { return fmtDur(ns) }

@@ -79,6 +79,7 @@ func (s *sortOp) build(ctx *Context) error {
 	if err != nil {
 		return err
 	}
+	recordSortSpill(ctx, s.node, sorter.SpilledBytes())
 	s.iter = iter
 	return nil
 }

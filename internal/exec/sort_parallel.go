@@ -178,6 +178,11 @@ func (s *parSortOp) build(ctx *Context) error {
 		}
 		return err
 	}
+	var spilled int64
+	for _, sorter := range sorters {
+		spilled += sorter.SpilledBytes()
+	}
+	recordSortSpill(ctx, s.node, spilled)
 	s.iter = iter
 
 	// Partitioned merge phase: split the cursors' key domain at sampled

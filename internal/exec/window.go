@@ -257,6 +257,7 @@ func (w *windowPartitionOp) build(ctx *Context) error {
 			sorter.Close()
 			return err
 		}
+		recordSortSpill(ctx, w.node, sorter.SpilledBytes())
 		w.iter = iter
 		return nil
 	}
@@ -300,6 +301,11 @@ func (w *windowPartitionOp) build(ctx *Context) error {
 		}
 		return err
 	}
+	var spilled int64
+	for _, sorter := range sorters {
+		spilled += sorter.SpilledBytes()
+	}
+	recordSortSpill(ctx, w.node, spilled)
 	w.iter = iter
 
 	// Partitioned merge: cut the key domain on the partition-key prefix

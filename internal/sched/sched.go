@@ -28,6 +28,8 @@ package sched
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Task is one scheduler step. It must not block waiting for another
@@ -57,6 +59,39 @@ type Scheduler struct {
 	// lastV is the highest virtual time any query had after service;
 	// a query arriving into an idle pool re-enters at this floor.
 	lastV float64
+
+	met Metrics // optional observability hooks (zero value: off)
+}
+
+// Metrics are the scheduler's observability hooks, registered by the
+// core layer at database open. All fields are optional; the zero value
+// disables collection.
+type Metrics struct {
+	// Steps counts completed scheduler steps.
+	Steps *obs.Counter
+	// StepWait records, per picked step, how long its query had been
+	// runnable without service — the queueing delay fairness is supposed
+	// to bound.
+	StepWait *obs.Histogram
+	// AgingPicks counts picks where priority aging changed the decision:
+	// the chosen query was not the one with the lowest raw virtual time.
+	AgingPicks *obs.Counter
+}
+
+// SetMetrics installs the observability hooks (hooks fire under the
+// scheduler mutex, so installation at any point is safe).
+func (s *Scheduler) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	s.met = m
+	s.mu.Unlock()
+}
+
+// RunnableDepth reports how many queries currently have queued steps —
+// the scheduler's instantaneous backlog.
+func (s *Scheduler) RunnableDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runnable)
 }
 
 // Query is one query's scheduling account: a FIFO of pending steps plus
@@ -173,13 +208,23 @@ func (s *Scheduler) pickLocked() (Task, *Query) {
 	}
 	now := time.Now()
 	best, bestKey := -1, 0.0
+	rawBest, rawV := -1, 0.0
 	for i, q := range s.runnable {
 		key := q.vtime - agingRate*float64(now.Sub(q.wait))
 		if best < 0 || key < bestKey {
 			best, bestKey = i, key
 		}
+		if rawBest < 0 || q.vtime < rawV {
+			rawBest, rawV = i, q.vtime
+		}
 	}
 	q := s.runnable[best]
+	if s.met.StepWait != nil {
+		s.met.StepWait.Observe(now.Sub(q.wait).Nanoseconds())
+	}
+	if s.met.AgingPicks != nil && best != rawBest {
+		s.met.AgingPicks.Inc()
+	}
 	t := q.tasks[0]
 	q.tasks = q.tasks[1:]
 	if len(q.tasks) == 0 {
@@ -219,6 +264,9 @@ func (s *Scheduler) worker() {
 		t()
 		d := time.Since(start)
 		s.mu.Lock()
+		if s.met.Steps != nil {
+			s.met.Steps.Inc()
+		}
 		q.running--
 		q.vtime += float64(d) / q.weight
 		if q.vtime > s.lastV {

@@ -157,9 +157,12 @@ type CopyStmt struct {
 	Delimiter rune
 }
 
-// ExplainStmt wraps a statement for plan display.
+// ExplainStmt wraps a statement for plan display. Analyze additionally
+// executes the statement and reports the measured per-operator profile
+// (EXPLAIN ANALYZE).
 type ExplainStmt struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 // PragmaStmt reads or sets an engine setting

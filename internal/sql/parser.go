@@ -327,11 +327,14 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseCopy()
 	case "EXPLAIN":
 		p.advance()
+		// ANALYZE is contextual: it lexes as an identifier and only has
+		// meaning directly after EXPLAIN, so tables may keep the name.
+		analyze := p.acceptContextual("ANALYZE")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case "PRAGMA":
 		return p.parsePragma()
 	default:

@@ -104,16 +104,12 @@ func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
 	}
 	seg := w.src.segs[idx]
 	if len(w.src.opts.ZoneFilters) > 0 && segRefuted(w.src.t, seg, w.src.opts.ZoneFilters) {
-		if w.src.opts.SegsSkipped != nil {
-			w.src.opts.SegsSkipped.Add(1)
-		}
+		w.src.opts.countSkipped()
 		return int(idx), nil, nil
 	}
 	if err := w.src.t.materializeSegCols(seg, w.src.cols); err != nil {
 		return int(idx), nil, err
 	}
-	if w.src.opts.SegsScanned != nil {
-		w.src.opts.SegsScanned.Add(1)
-	}
+	w.src.opts.countScanned()
 	return int(idx), w.scanSegment(seg, idx*SegRows, w.src.ns[idx]), nil
 }

@@ -28,6 +28,30 @@ type ScanOptions struct {
 	// materialized vs. refuted (EXPLAIN/PRAGMA observability).
 	SegsScanned *atomic.Int64
 	SegsSkipped *atomic.Int64
+	// ProfSegsScanned/ProfSegsSkipped are the same counts routed into a
+	// per-query profile slot (EXPLAIN ANALYZE); nil when the query is
+	// not profiled.
+	ProfSegsScanned *atomic.Int64
+	ProfSegsSkipped *atomic.Int64
+}
+
+// countScanned/countSkipped book one segment into every wired counter.
+func (o *ScanOptions) countScanned() {
+	if o.SegsScanned != nil {
+		o.SegsScanned.Add(1)
+	}
+	if o.ProfSegsScanned != nil {
+		o.ProfSegsScanned.Add(1)
+	}
+}
+
+func (o *ScanOptions) countSkipped() {
+	if o.SegsSkipped != nil {
+		o.SegsSkipped.Add(1)
+	}
+	if o.ProfSegsSkipped != nil {
+		o.ProfSegsSkipped.Add(1)
+	}
 }
 
 // segReader holds the per-reader state needed to materialize one
@@ -205,17 +229,13 @@ func (s *Scanner) Next() (*vector.Chunk, error) {
 		s.segIdx++
 
 		if len(s.opts.ZoneFilters) > 0 && segRefuted(s.t, seg, s.opts.ZoneFilters) {
-			if s.opts.SegsSkipped != nil {
-				s.opts.SegsSkipped.Add(1)
-			}
+			s.opts.countSkipped()
 			continue
 		}
 		if err := s.t.materializeSegCols(seg, s.cols); err != nil {
 			return nil, err
 		}
-		if s.opts.SegsScanned != nil {
-			s.opts.SegsScanned.Add(1)
-		}
+		s.opts.countScanned()
 		chunk := s.scanSegment(seg, base, maxRows)
 		if chunk != nil {
 			return chunk, nil

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/buffer"
+	"repro/internal/obs"
 	"repro/internal/txn"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -139,7 +140,16 @@ type DataTable struct {
 	// append rolled back). Diverged tables keep their columns resident:
 	// reloading from disk would shift row positions.
 	layoutDiverged atomic.Bool
+
+	// decodeBytes, when set, counts the decoded bytes segment
+	// materialization produces (engine metrics; sharded because every
+	// morsel worker of a cold scan hits it).
+	decodeBytes *obs.ShardedCounter
 }
+
+// SetDecodeCounter wires the engine-wide bytes-decompressed metric.
+// Call before the table is scanned; nil disables counting.
+func (t *DataTable) SetDecodeCounter(c *obs.ShardedCounter) { t.decodeBytes = c }
 
 // New creates an empty table with the given column types.
 func New(typs []types.Type, pool *buffer.Pool) *DataTable {
@@ -410,6 +420,9 @@ func (t *DataTable) materializeSegCols(seg *segment, cols []int) error {
 		v, err := decodeSegColumn(enc, t.typs[c])
 		if err != nil {
 			return fmt.Errorf("table: materialize column %d: %w", c, err)
+		}
+		if t.decodeBytes != nil {
+			t.decodeBytes.Add(vectorBytes(v))
 		}
 		if v.Len() != n {
 			// Writes always materialize first, so an encoded segment's row

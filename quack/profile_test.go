@@ -1,0 +1,406 @@
+package quack_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/quack"
+)
+
+// profNode mirrors the JSON operator tree of PRAGMA last_profile.
+type profNode struct {
+	Name        string      `json:"name"`
+	Rows        int64       `json:"rows"`
+	Morsels     int64       `json:"morsels"`
+	SegsScanned int64       `json:"segments_scanned"`
+	SegsSkipped int64       `json:"segments_skipped"`
+	SpillBytes  int64       `json:"spill_bytes"`
+	Children    []*profNode `json:"children"`
+}
+
+// profDoc mirrors the JSON envelope of PRAGMA last_profile.
+type profDoc struct {
+	Query      string    `json:"query"`
+	Threads    int       `json:"threads"`
+	Rows       int64     `json:"rows"`
+	SpillBytes int64     `json:"spill_bytes"`
+	ExecuteNs  int64     `json:"execute_ns"`
+	Plan       *profNode `json:"plan"`
+}
+
+// lastProfile runs q with profiling on and returns the parsed profile.
+func lastProfile(t *testing.T, c *quack.Conn, q string) *profDoc {
+	t.Helper()
+	if _, err := c.Exec("PRAGMA profiling=1"); err != nil {
+		t.Fatalf("enable profiling: %v", err)
+	}
+	rows, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	for rows.NextChunk() != nil {
+	}
+	pr, err := c.Query("PRAGMA last_profile")
+	if err != nil {
+		t.Fatalf("last_profile: %v", err)
+	}
+	if !pr.Next() {
+		t.Fatal("last_profile returned no rows")
+	}
+	var doc profDoc
+	if err := json.Unmarshal([]byte(pr.Value(0).String()), &doc); err != nil {
+		t.Fatalf("last_profile JSON: %v", err)
+	}
+	if doc.Plan == nil {
+		t.Fatalf("last_profile has no plan tree: %s", pr.Value(0).String())
+	}
+	return &doc
+}
+
+// flattenRows renders the tree as "name=rows" in preorder — the
+// determinism fingerprint compared across thread counts and budgets.
+func flattenRows(n *profNode, out *[]string) {
+	*out = append(*out, fmt.Sprintf("%s=%d", n.Name, n.Rows))
+	for _, c := range n.Children {
+		flattenRows(c, out)
+	}
+}
+
+// sumTree totals one numeric field over the whole operator tree.
+func sumTree(n *profNode, f func(*profNode) int64) int64 {
+	total := f(n)
+	for _, c := range n.Children {
+		total += sumTree(c, f)
+	}
+	return total
+}
+
+// profilePalette exercises every profiled operator family: parallel
+// scan+filter pipelines, hash join, grouped aggregation (including the
+// high-cardinality shape that spills under a budget), external sort
+// and a window function.
+var profilePalette = []string{
+	"SELECT grp, count(*), sum(qty) FROM facts JOIN dims ON id = key GROUP BY grp",
+	"SELECT id, price FROM facts WHERE qty > 100 ORDER BY price, id",
+	"SELECT id - id % 8, count(*), sum(price) FROM facts GROUP BY 1",
+	"SELECT id, sum(qty) OVER (PARTITION BY grp ORDER BY id) FROM facts WHERE id < 8000",
+}
+
+// TestProfileRowDeterminism pins the profiler to the engine's core
+// invariant: per-operator row counts are identical at every thread
+// count, with and without a memory budget — parallelism and spilling
+// may change timings, never what flowed through the plan.
+func TestProfileRowDeterminism(t *testing.T) {
+	type config struct {
+		name    string
+		threads int
+		budget  string // PRAGMA memory_limit after the fixture is built
+	}
+	configs := []config{
+		{"t1", 1, ""},
+		{"t2", 2, ""},
+		{"t8", 8, ""},
+		{"t8-budget", 8, "2MB"},
+	}
+	want := make(map[string][]string) // query → fingerprint from config 0
+	for _, cfg := range configs {
+		db := differentialDBWith(t, quack.WithThreads(cfg.threads))
+		if cfg.budget != "" {
+			mustExec(t, db, "PRAGMA memory_limit='"+cfg.budget+"'")
+		}
+		conn := db.Conn()
+		for _, q := range profilePalette {
+			doc := lastProfile(t, conn, q)
+			if doc.Threads != cfg.threads {
+				t.Errorf("%s %q: profile says %d threads, want %d", cfg.name, q, doc.Threads, cfg.threads)
+			}
+			var got []string
+			flattenRows(doc.Plan, &got)
+			if base, ok := want[q]; !ok {
+				want[q] = got
+			} else if strings.Join(base, "\n") != strings.Join(got, "\n") {
+				t.Errorf("%s %q: operator rows diverged\nbase: %v\n got: %v", cfg.name, q, base, got)
+			}
+			if doc.Plan.Rows != doc.Rows {
+				t.Errorf("%s %q: root operator rows %d != result rows %d", cfg.name, q, doc.Plan.Rows, doc.Rows)
+			}
+		}
+	}
+}
+
+// TestProfileRegistryReconciliation cross-checks the two observability
+// surfaces against each other: the registry deltas a profiled query
+// causes must equal the totals summed over its profile tree (scan and
+// spill counters feed both through the same increments).
+func TestProfileRegistryReconciliation(t *testing.T) {
+	db := differentialDBWith(t, quack.WithThreads(4))
+	conn := db.Conn()
+	// A filter zone maps can refute: some segments skip, the rest scan.
+	q := "SELECT count(*), sum(qty) FROM facts WHERE id < 7000"
+	m0 := db.Metrics()
+	doc := lastProfile(t, conn, q)
+	m1 := db.Metrics()
+
+	scanned := sumTree(doc.Plan, func(n *profNode) int64 { return n.SegsScanned })
+	skipped := sumTree(doc.Plan, func(n *profNode) int64 { return n.SegsSkipped })
+	if d := m1["scan_segments_scanned_total"] - m0["scan_segments_scanned_total"]; d != scanned {
+		t.Errorf("registry says %d segments scanned, profile says %d", d, scanned)
+	}
+	if d := m1["scan_segments_skipped_total"] - m0["scan_segments_skipped_total"]; d != skipped {
+		t.Errorf("registry says %d segments skipped, profile says %d", d, skipped)
+	}
+	if scanned == 0 {
+		t.Error("profiled scan reports zero segments scanned")
+	}
+	if skipped == 0 {
+		t.Error("zone-mappable filter skipped no segments")
+	}
+	if d := m1["query_count"] - m0["query_count"]; d != 1 {
+		t.Errorf("query histogram advanced by %d, want 1", d)
+	}
+	if m1["sched_steps_total"] <= m0["sched_steps_total"] {
+		t.Error("scheduler steps did not advance across a parallel query")
+	}
+}
+
+// TestProfileSpillReconciliation forces the aggregation spill path and
+// checks the bytes agree between profile tree, profile envelope and
+// registry delta.
+func TestProfileSpillReconciliation(t *testing.T) {
+	db := differentialDBWith(t, quack.WithThreads(2))
+	mustExec(t, db, "PRAGMA memory_limit='256KB'")
+	conn := db.Conn()
+	q := "SELECT id - id % 4, count(*), sum(price), min(qty) FROM facts GROUP BY 1"
+	m0 := db.Metrics()
+	doc := lastProfile(t, conn, q)
+	m1 := db.Metrics()
+	treeSpill := sumTree(doc.Plan, func(n *profNode) int64 { return n.SpillBytes })
+	if treeSpill != doc.SpillBytes {
+		t.Errorf("tree spill %dB != envelope spill %dB", treeSpill, doc.SpillBytes)
+	}
+	if treeSpill == 0 {
+		t.Error("256KB budget over ~7500 groups spilled nothing; fixture no longer forces the spill path")
+	}
+	regSpill := (m1["agg_spill_bytes_total"] - m0["agg_spill_bytes_total"]) +
+		(m1["sort_spill_bytes_total"] - m0["sort_spill_bytes_total"])
+	if regSpill != doc.SpillBytes {
+		t.Errorf("registry spill delta %dB != profile spill %dB", regSpill, doc.SpillBytes)
+	}
+}
+
+// TestExplainAnalyze smoke-tests the text surface over a join+agg+sort
+// plan: the tree renders with measured row counts, the phase and totals
+// lines are present, and the reported row total matches a plain run.
+func TestExplainAnalyze(t *testing.T) {
+	db := differentialDBWith(t, quack.WithThreads(4))
+	conn := db.Conn()
+	q := "SELECT grp, count(*) AS n, sum(qty) FROM facts JOIN dims ON id = key GROUP BY grp ORDER BY grp"
+	direct, err := conn.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := direct.NumRows()
+
+	res, err := conn.Query("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		t.Fatalf("explain analyze: %v", err)
+	}
+	var lines []string
+	for res.Next() {
+		var s string
+		if err := res.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, s)
+	}
+	text := strings.Join(lines, "\n")
+	for _, wantPiece := range []string{"rows=", "morsels=", "phases: parse=", "totals: threads="} {
+		if !strings.Contains(text, wantPiece) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", wantPiece, text)
+		}
+	}
+	// The totals line reports the executed statement's real row count.
+	if want := fmt.Sprintf("rows=%d", wantRows); !strings.Contains(text, want) {
+		t.Errorf("EXPLAIN ANALYZE totals missing %q:\n%s", want, text)
+	}
+	// The profile of the analyzed run is retrievable afterwards.
+	pr, err := conn.Query("PRAGMA last_profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Next() {
+		t.Fatal("no last_profile after EXPLAIN ANALYZE")
+	}
+	var doc profDoc
+	if err := json.Unmarshal([]byte(pr.Value(0).String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows != wantRows {
+		t.Errorf("profile rows %d, want %d", doc.Rows, wantRows)
+	}
+	if !strings.Contains(doc.Query, "EXPLAIN ANALYZE") {
+		t.Errorf("profile query text %q does not carry the statement", doc.Query)
+	}
+}
+
+// TestSlowQueryLog exercises the WithLogger sink end to end: below the
+// threshold nothing is emitted, at threshold 0 every statement logs one
+// well-formed JSON line.
+func TestSlowQueryLog(t *testing.T) {
+	var mu sync.Mutex
+	var logLines []string
+	db := differentialDBWith(t, quack.WithThreads(2), quack.WithLogger(func(line string) {
+		mu.Lock()
+		logLines = append(logLines, line)
+		mu.Unlock()
+	}))
+	conn := db.Conn()
+
+	run := func(q string) {
+		t.Helper()
+		rows, err := conn.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rows.NextChunk() != nil {
+		}
+	}
+	run("SELECT count(*) FROM facts") // default: disabled, no line
+	mu.Lock()
+	if len(logLines) != 0 {
+		t.Fatalf("slow log emitted %d lines while disabled", len(logLines))
+	}
+	mu.Unlock()
+
+	if _, err := conn.Exec("PRAGMA log_min_duration_ms=0"); err != nil {
+		t.Fatal(err)
+	}
+	run("SELECT count(*) FROM facts WHERE qty > 100")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logLines) != 1 {
+		t.Fatalf("slow log emitted %d lines at threshold 0, want 1", len(logLines))
+	}
+	var rec struct {
+		Query      string `json:"query"`
+		DurationMs *int64 `json:"duration_ms"`
+		Rows       int64  `json:"rows"`
+		SpillBytes int64  `json:"spill_bytes"`
+	}
+	if err := json.Unmarshal([]byte(logLines[0]), &rec); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%q)", err, logLines[0])
+	}
+	if !strings.Contains(rec.Query, "qty > 100") {
+		t.Errorf("slow log query %q does not carry the statement", rec.Query)
+	}
+	if rec.DurationMs == nil {
+		t.Error("slow log line missing duration_ms")
+	}
+	if rec.Rows != 1 {
+		t.Errorf("slow log rows %d, want 1", rec.Rows)
+	}
+}
+
+// TestMetricsPragmas covers the remaining observability PRAGMAs: the
+// registry snapshot, the memory gauges, and the profiling readbacks —
+// plus agreement between legacy counter PRAGMAs and registry cells.
+func TestMetricsPragmas(t *testing.T) {
+	db := differentialDBWith(t, quack.WithThreads(2))
+	conn := db.Conn()
+	if _, err := conn.Exec("PRAGMA profiling=1"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := conn.Query("SELECT grp, count(*) FROM facts WHERE id < 9000 GROUP BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.NextChunk() != nil {
+	}
+
+	// PRAGMA metrics: (name, value) rows containing the fleet of
+	// engine-wide cells, and agreeing with the Go-API snapshot.
+	snap := db.Metrics()
+	res, err := conn.Query("PRAGMA metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for res.Next() {
+		var name string
+		var val int64
+		if err := res.Scan(&name, &val); err != nil {
+			t.Fatal(err)
+		}
+		got[name] = val
+	}
+	for _, name := range []string{
+		"sched_steps_total", "sched_step_wait_p99_ns", "sched_runnable_depth",
+		"admission_admitted_total", "admission_queue_depth",
+		"pool_reserved_bytes", "pool_peak_bytes", "wal_bytes",
+		"scan_segments_scanned_total", "scan_segments_skipped_total",
+		"scan_bytes_decompressed_total", "agg_spill_bytes_total",
+		"sort_spill_bytes_total", "query_count", "query_p50_ns",
+		"checkpoint_count",
+	} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("PRAGMA metrics missing %q", name)
+		}
+		if _, ok := snap[name]; !ok {
+			t.Errorf("DB.Metrics missing %q", name)
+		}
+	}
+	if got["query_count"] < 1 {
+		t.Errorf("query_count = %d after a query", got["query_count"])
+	}
+
+	// Legacy counter PRAGMAs read the same cells as the registry.
+	readPragma := func(name string) int64 {
+		t.Helper()
+		r, err := conn.Query("PRAGMA " + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Next() {
+			t.Fatalf("PRAGMA %s returned no rows", name)
+		}
+		n, err := strconv.ParseInt(r.Value(0).String(), 10, 64)
+		if err != nil {
+			t.Fatalf("PRAGMA %s: %v", name, err)
+		}
+		return n
+	}
+	fresh := db.Metrics()
+	if v, reg := readPragma("segments_scanned"), fresh["scan_segments_scanned_total"]; v != reg {
+		t.Errorf("PRAGMA segments_scanned %d != registry %d", v, reg)
+	}
+	if v, reg := readPragma("segments_skipped"), fresh["scan_segments_skipped_total"]; v != reg {
+		t.Errorf("PRAGMA segments_skipped %d != registry %d", v, reg)
+	}
+	if v, reg := readPragma("agg_spilled_bytes"), fresh["agg_spill_bytes_total"]; v != reg {
+		t.Errorf("PRAGMA agg_spilled_bytes %d != registry %d", v, reg)
+	}
+	if v, reg := readPragma("agg_spill_partitions"), fresh["agg_spill_partitions_total"]; v != reg {
+		t.Errorf("PRAGMA agg_spill_partitions %d != registry %d", v, reg)
+	}
+
+	// Memory gauges: peak bounds usage from above.
+	usage, peak := readPragma("memory_usage"), readPragma("memory_peak")
+	if usage < 0 || peak < usage {
+		t.Errorf("memory gauges inconsistent: usage=%d peak=%d", usage, peak)
+	}
+	if used := readPragma("memory_used"); used != usage {
+		t.Errorf("memory_used %d != memory_usage %d", used, usage)
+	}
+
+	// Profiling readbacks.
+	if r := queryAll(t, db, "PRAGMA profiling"); r[0][0] != "0" {
+		t.Errorf("fresh session PRAGMA profiling = %q, want 0", r[0][0])
+	}
+	if r := queryAll(t, db, "PRAGMA last_profile"); r[0][0] != "{}" {
+		t.Errorf("fresh session PRAGMA last_profile = %q, want {}", r[0][0])
+	}
+}

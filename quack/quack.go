@@ -73,10 +73,70 @@
 // variable sets the default off, mirroring QUACK_THREADS and
 // QUACK_MEMORY_LIMIT), and PRAGMA segments_scanned /
 // segments_skipped read the session's cumulative scan counters.
+//
+// # Observability
+//
+// EXPLAIN ANALYZE <select> executes the query and reports the measured
+// per-operator tree — rows, wall and busy time, morsels, segments
+// scanned/skipped, spill bytes per operator, aggregated across all
+// worker threads — plus the parse/bind/optimize/admit_wait/execute
+// phase spans. PRAGMA profiling=1 collects the same profile for every
+// statement a session runs, and PRAGMA last_profile returns the most
+// recent one as a single JSON object. Profiles are deterministic where
+// the engine is: per-operator row counts are identical at every thread
+// count.
+//
+// The engine also keeps one process-wide metrics registry covering the
+// scheduler (steps, step-wait quantiles, aging interventions, runnable
+// depth), admission control (admitted/queued/rejected, wait quantiles,
+// claimed bytes), the buffer pool (reserved/peak/limit, evictions),
+// durability (WAL bytes, checkpoint latency), scans (segments
+// scanned/skipped, bytes decompressed) and operator spilling. Read it
+// with DB.Metrics / DB.WriteMetrics or PRAGMA metrics; histogram
+// metrics expand to _count, _sum_ns, _p50_ns and _p99_ns cells. The
+// legacy counter PRAGMAs read through the registry, so both surfaces
+// always agree.
+//
+// WithLogger installs a log sink; PRAGMA log_min_duration_ms=N then
+// emits one JSON line (query, duration_ms, admit_wait_ms, rows,
+// spill_bytes) for every statement taking at least N milliseconds
+// (0 logs everything, negative — the default — disables).
+//
+// # Knobs
+//
+// Engine-wide (any session; environment variables set the default at
+// Open):
+//
+//	PRAGMA memory_limit='64MB'     QUACK_MEMORY_LIMIT       buffer-pool budget, unset = unlimited
+//	PRAGMA threads=N               QUACK_THREADS            shared worker-pool size, default GOMAXPROCS
+//	PRAGMA zone_maps=0|1           QUACK_DISABLE_ZONEMAPS   segment skipping, default on
+//	PRAGMA log_min_duration_ms=N   —                        slow-query log threshold, default -1 (off)
+//	PRAGMA memtest=0|1             —                        buffer allocation memory testing
+//	PRAGMA checksum_verification=0|1  —                     block checksum verification on read
+//	PRAGMA rebuild_stats='t'       —                        recompute table t's zone maps exactly
+//
+// Session-scoped:
+//
+//	PRAGMA priority=N              scheduling weight, default 100
+//	PRAGMA memory_share=F          fraction of the budget one query claims, default 1.0
+//	PRAGMA admission_queue_depth=N bounded admission queue, default 32; 0 = fail fast
+//	PRAGMA profiling=0|1           per-operator profiler for every statement, default off
+//
+// Read-only:
+//
+//	PRAGMA last_profile            most recent profile of this session, JSON
+//	PRAGMA metrics                 registry snapshot as (name, value) rows
+//	PRAGMA memory_usage            current buffer-pool reservation (alias: memory_used)
+//	PRAGMA memory_peak             reservation high-water mark
+//	PRAGMA wal_size, database_size storage sizes
+//	PRAGMA segments_scanned, segments_skipped          scan counters
+//	PRAGMA agg_spill_partitions, agg_spilled_bytes     aggregation spill counters
+//	PRAGMA sort_spilled_bytes                          external-sort spill bytes
 package quack
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/adaptive"
@@ -153,6 +213,16 @@ func WithTmpDir(dir string) Option {
 // setting. PRAGMA threads changes it at runtime.
 func WithThreads(n int) Option {
 	return func(c *core.Config) { c.Threads = n }
+}
+
+// WithLogger installs a sink for engine log lines — today the
+// slow-query log: once PRAGMA log_min_duration_ms is set >= 0, every
+// statement at or above the threshold emits one JSON line (query,
+// duration_ms, admit_wait_ms, rows, spill_bytes). Each call receives
+// one complete line without a trailing newline; the sink may be called
+// from multiple sessions concurrently. The default is silence.
+func WithLogger(sink func(line string)) Option {
+	return func(c *core.Config) { c.LogSink = sink }
 }
 
 // DB is an embedded database handle, safe for concurrent use.
@@ -250,6 +320,16 @@ func (db *DB) SetAppUsage(ramBytes int64, cpuFraction float64) {
 
 // MemoryUsed returns the engine's currently reserved bytes.
 func (db *DB) MemoryUsed() int64 { return db.core.Pool().Used() }
+
+// Metrics snapshots the engine-wide metrics registry as a name→value
+// map: scheduler, admission control, buffer pool, WAL/checkpoint, scan
+// and spill counters in one read. Histogram metrics expand to _count,
+// _sum_ns, _p50_ns and _p99_ns cells.
+func (db *DB) Metrics() map[string]int64 { return db.core.MetricsMap() }
+
+// WriteMetrics writes the metrics registry in text exposition form —
+// one "name value" line per cell, sorted by name.
+func (db *DB) WriteMetrics(w io.Writer) error { return db.core.MetricsText(w) }
 
 // Internal returns the underlying engine facade. It is exported for the
 // benchmark harness and examples that exercise engine internals; regular
