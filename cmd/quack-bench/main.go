@@ -146,7 +146,7 @@ func run(exp string, scale bench.Scale, threads, sessions int, jsonPath, baselin
 			if err != nil {
 				return err
 			}
-			defer os.RemoveAll(dir)
+			defer func() { _ = os.RemoveAll(dir) }()
 			_, err = bench.Checksum(w, dir, rows)
 			return err
 		}},

@@ -1,0 +1,96 @@
+// Command quack-lint runs the engine-invariant static analyzers
+// (internal/analysis) over the given package patterns:
+//
+//	go run ./cmd/quack-lint ./...
+//	go run ./cmd/quack-lint -json ./... > lint.json
+//
+// Exit status: 0 when the tree is clean, 1 when any diagnostic fires
+// (including malformed //lint:ignore directives), 2 when loading or
+// type-checking fails. Honored suppressions are counted on stderr so
+// waivers stay visible, and appear in -json output under
+// "suppressed".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit machine-readable diagnostics (file/line/analyzer/message) on stdout")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: quack-lint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quack-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadPatterns(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quack-lint:", err)
+		os.Exit(2)
+	}
+
+	res := analysis.Run(pkgs, analysis.All())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+			Suppressed  []analysis.Diagnostic `json:"suppressed"`
+		}{res.Diags, res.Suppressed}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []analysis.Diagnostic{}
+		}
+		if out.Suppressed == nil {
+			out.Suppressed = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "quack-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d.String())
+		}
+	}
+
+	summary := fmt.Sprintf("quack-lint: %d package(s), %d diagnostic(s), %d suppression(s) honored",
+		len(pkgs), len(res.Diags), len(res.Suppressed))
+	if len(res.Suppressed) > 0 {
+		var lines []string
+		for _, s := range res.Suppressed {
+			lines = append(lines, fmt.Sprintf("  suppressed %s:%d %s: %s", s.File, s.Line, s.Analyzer, s.SuppressReason))
+		}
+		summary += "\n" + strings.Join(lines, "\n")
+	}
+	fmt.Fprintln(os.Stderr, summary)
+	if len(res.Diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -21,7 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }()
 	dbPath := filepath.Join(dir, "edge.qdb")
 
 	// --- day 1: collect and summarize ---

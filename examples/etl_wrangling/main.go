@@ -18,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }()
 
 	csvPath := filepath.Join(dir, "sensors.csv")
 	writeRawCSV(csvPath, 200_000)
@@ -94,7 +94,11 @@ func writeRawCSV(path string, rows int) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
+	defer func() {
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	rng := rand.New(rand.NewSource(42))
 	fmt.Fprintln(f, "sensor,celsius,humidity")
 	for i := 0; i < rows; i++ {

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield flags struct fields that are accessed through sync/atomic
+// in one place and by plain load/store in another. Mixing the two is a
+// data race even when the plain access sits under a mutex the atomic
+// readers do not take — the PR 7 checksum-flag bug class. Fields whose
+// atomic accesses address slice elements (&s.f[i]) are tracked at
+// element granularity: header operations (nil checks, len, reslicing,
+// whole-slice assignment) stay legal, plain element reads/writes do
+// not.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "struct field mixing sync/atomic and plain access",
+	Run:  runAtomicfield,
+}
+
+type atomicUse struct {
+	elem bool   // atomics address elements of a slice/array field
+	via  string // one atomic callsite, for the message
+}
+
+func runAtomicfield(pass *Pass) {
+	info := pass.Info
+	// Pass A: which fields are accessed atomically, and how.
+	fields := map[*types.Var]*atomicUse{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(un.X)
+			elem := false
+			if ix, ok := target.(*ast.IndexExpr); ok {
+				target = ast.Unparen(ix.X)
+				elem = true
+			}
+			sel, ok := target.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := selectedField(info, sel)
+			if fv == nil {
+				return true
+			}
+			if prev, ok := fields[fv]; !ok {
+				fields[fv] = &atomicUse{elem: elem, via: atomicCallName(info, call)}
+			} else {
+				prev.elem = prev.elem || elem
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+	// Pass B: find plain accesses to those fields.
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := selectedField(info, sel)
+			use, tracked := fields[fv]
+			if !tracked {
+				return true
+			}
+			if insideAtomicArg(info, stack) {
+				return true
+			}
+			if use.elem {
+				checkElemAccess(pass, sel, stack, use)
+			} else {
+				checkScalarAccess(pass, sel, stack, use)
+			}
+			return true
+		})
+	}
+}
+
+// checkElemAccess flags plain element reads/writes (x.f[i], range with
+// a value variable) of a field whose elements are accessed atomically.
+func checkElemAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node, use *atomicUse) {
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.IndexExpr:
+		if parent.X == sel {
+			pass.Reportf(sel.Pos(), "plain element access of %s, whose elements are accessed with %s elsewhere: this races with the lock-free atomic readers; use the atomic accessor", sel.Sel.Name, use.via)
+		}
+	case *ast.RangeStmt:
+		if parent.X == sel && parent.Value != nil {
+			pass.Reportf(sel.Pos(), "ranging over the values of %s, whose elements are accessed with %s elsewhere: element reads race with atomic writers; index and load atomically", sel.Sel.Name, use.via)
+		}
+	}
+}
+
+// checkScalarAccess flags any plain read or write of a scalar field
+// that is accessed atomically elsewhere, except composite-literal
+// initialization (the value is private until published).
+func checkScalarAccess(pass *Pass, sel *ast.SelectorExpr, stack []ast.Node, use *atomicUse) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.CompositeLit); ok {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "plain access of %s, which is accessed with %s elsewhere: mixed atomic/plain access is a data race; use sync/atomic consistently (or an atomic.* typed field)", sel.Sel.Name, use.via)
+}
+
+// insideAtomicArg reports whether the selector sits inside the &arg of
+// a sync/atomic call (that is the sanctioned access).
+func insideAtomicArg(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok {
+			return isAtomicCall(info, call)
+		}
+	}
+	return false
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return hasAnyPrefix(f.Name(), "Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or")
+}
+
+func atomicCallName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "sync/atomic"
+	}
+	return "atomic." + f.Name()
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder flags iteration over a map whose body feeds an ordered
+// output — a writer, a chunk/row emitter, a channel, or a slice that is
+// never sorted in the same function. Go randomizes map iteration order,
+// so any such flow breaks the engine's bit-identical-results guarantee
+// (EXPLAIN text, metrics exposition, serialized state, merge inputs).
+// The sanctioned pattern is collect-then-sort: append the keys to a
+// slice, sort it, then iterate the slice.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration feeding ordered output without an intervening sort",
+	Run:  runDetorder,
+}
+
+func runDetorder(pass *Pass) {
+	info := pass.Info
+	for _, fs := range funcBodies(pass.Package) {
+		body := fs.decl.Body
+		// All sort calls in the function, keyed by the object sorted.
+		sorted := sortedObjects(info, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs, sorted)
+			return true
+		})
+	}
+}
+
+// sortedObjects returns the set of objects that appear as arguments to
+// a sort.* or slices.Sort* call anywhere in the function body.
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := argObject(info, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// argObject resolves the object a sort/append argument refers to: the
+// field for selectors, the variable for identifiers.
+func argObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		if f := selectedField(info, e); f != nil {
+			return f
+		}
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	info := pass.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send inside map iteration: receiver observes a random order; collect into a slice and sort before sending")
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x is never sorted in this function.
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) {
+				return true
+			}
+			target := argObject(info, s.Lhs[0])
+			if target == nil || sorted[target] {
+				return true
+			}
+			// A slice declared inside the loop body is a per-iteration
+			// bucket (dst := m[k]; dst = append(dst, ...); m[k] = dst):
+			// no order accumulates across iterations.
+			if target.Pos() >= rs.Pos() && target.Pos() < rs.End() {
+				return true
+			}
+			pass.Reportf(s.Pos(), "append inside map iteration builds %q in random order and it is never sorted in this function; sort it before use or sort the keys first", targetName(s.Lhs[0]))
+		case *ast.CallExpr:
+			if name, sink := orderedSink(info, s); sink {
+				pass.Reportf(s.Pos(), "%s inside map iteration emits in random order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func targetName(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "value"
+}
+
+// orderedSink reports whether call writes to an order-sensitive output:
+// fmt print functions and Write*/Append*/Emit* methods (writers,
+// builders, chunk emitters, run writers).
+func orderedSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return "", false
+	}
+	name := f.Name()
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprintf", "Fprint", "Fprintln", "Printf", "Print", "Println":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if hasAnyPrefix(name, "Write", "Append", "Emit") {
+		recv := namedTypeName(sig.Recv().Type())
+		if recv == "" {
+			recv = "receiver"
+		}
+		return recv + "." + name, true
+	}
+	return "", false
+}
+
+func hasAnyPrefix(s string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if len(s) >= len(p) && s[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Erracc flags discarded errors on the engine's durability and spill
+// I/O surfaces: calls whose last result is an error, used as a bare
+// statement (or deferred), where the callee is an os.File method, an
+// os file-manipulation function, or any function of the WAL, storage,
+// external-sort or CSV packages. A swallowed error on these paths turns
+// a short write or failed fsync into silent data loss. Deliberate
+// discards must be explicit: assign to `_` (the error truly cannot
+// matter) or suppress with //lint:ignore erracc <reason>.
+var Erracc = &Analyzer{
+	Name: "erracc",
+	Doc:  "discarded error on a spill/WAL/checkpoint I/O path",
+	Run:  runErracc,
+}
+
+// erraccPkgSuffixes are the module packages whose error returns are
+// load-bearing for durability. Matched by import-path suffix so the
+// rule is independent of the module name.
+var erraccPkgSuffixes = []string{
+	"internal/wal",
+	"internal/storage",
+	"internal/extsort",
+	"internal/csvio",
+}
+
+func runErracc(pass *Pass) {
+	info := pass.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = s.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !lastResultIsError(fn) {
+				return true
+			}
+			if why, scoped := erraccScope(fn); scoped {
+				pass.Reportf(call.Pos(), "discarded error from %s (%s): on spill/WAL/checkpoint paths a swallowed error is silent data loss; handle it, or discard explicitly with `_ =`", calleeDisplay(fn), why)
+			}
+			return true
+		})
+	}
+}
+
+// erraccScope decides whether fn's errors are on an I/O path the
+// engine must not ignore.
+func erraccScope(fn *types.Func) (string, bool) {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := types.Unalias(sig.Recv().Type())
+		if p, ok := t.(*types.Pointer); ok {
+			t = types.Unalias(p.Elem())
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File" {
+				return "os.File method", true
+			}
+		}
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	if path == "os" {
+		switch fn.Name() {
+		case "Remove", "RemoveAll", "Rename", "Truncate", "Mkdir", "MkdirAll":
+			return "os file operation", true
+		}
+		return "", false
+	}
+	for _, suf := range erraccPkgSuffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return "package " + suf, true
+		}
+	}
+	return "", false
+}
+
+func calleeDisplay(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedTypeName(sig.Recv().Type()); n != "" {
+			return n + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

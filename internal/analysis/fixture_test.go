@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches the golden-diagnostic markers in fixture sources:
+//
+//	expr // want `regex`
+//
+// The analyzer under test must report a diagnostic on that line whose
+// message matches the regex, and must report nothing anywhere else.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func scanWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, path := range matches {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &expectation{file: filepath.Base(path), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its own fixture package and
+// checks the diagnostics against the // want markers, both ways: every
+// diagnostic must be expected and every expectation must fire.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			pkg, err := LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Run([]*Package{pkg}, []*Analyzer{a})
+			wants := scanWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatal("fixture has no // want markers: it demonstrates nothing")
+			}
+			for _, d := range res.Diags {
+				matched := false
+				for _, w := range wants {
+					if !w.hit && filepath.Base(d.File) == w.file && d.Line == w.line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no diagnostic matching `%s`", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestLintIgnore checks the suppression contract: a directive naming
+// the analyzer and carrying a reason silences (and counts) its
+// diagnostic, a directive naming the wrong analyzer does not, and a
+// directive without a reason is itself a diagnostic.
+func TestLintIgnore(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "lintignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run([]*Package{pkg}, All())
+
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want exactly 1", res.Suppressed)
+	}
+	if got, want := res.Suppressed[0].SuppressReason, "best-effort temp cleanup in a fixture"; got != want {
+		t.Errorf("suppress reason = %q, want %q", got, want)
+	}
+	if res.Suppressed[0].Analyzer != "erracc" {
+		t.Errorf("suppressed analyzer = %q, want erracc", res.Suppressed[0].Analyzer)
+	}
+
+	byAnalyzer := map[string]int{}
+	for _, d := range res.Diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	if len(res.Diags) != 2 || byAnalyzer["lintignore"] != 1 || byAnalyzer["erracc"] != 1 {
+		t.Errorf("active diagnostics = %v, want one lintignore (missing reason) and one erracc (wrong-analyzer directive)", res.Diags)
+	}
+}
+
+// TestCleanCorpus pins the real tree at zero diagnostics: the suite is
+// only trustworthy while the default answer stays "clean", so any new
+// violation (or analyzer false positive) fails here before it fails in
+// CI.
+func TestCleanCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := LoadPatterns(filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadPatterns matched no packages")
+	}
+	res := Run(pkgs, All())
+	for _, d := range res.Diags {
+		t.Errorf("corpus diagnostic: %s", d)
+	}
+	for _, s := range res.Suppressed {
+		if s.SuppressReason == "" {
+			t.Errorf("suppression without a reason: %s", s)
+		}
+	}
+	t.Logf("%d packages, %d suppressions honored", len(pkgs), len(res.Suppressed))
+}

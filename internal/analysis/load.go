@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis. Only
+// non-test GoFiles are loaded: the analyzers encode invariants of the
+// engine itself, and test helpers legitimately do things (unsorted
+// debug dumps, discarded cleanup errors) the engine must not.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// LoadPatterns resolves the given package patterns (e.g. "./...")
+// relative to dir with the go tool, then parses and type-checks every
+// matched module package plus its in-module dependencies using only
+// the standard library (go/parser + go/types; stdlib imports resolve
+// through the source importer). It returns the packages matched by the
+// patterns, in dependency order.
+func LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	roots, err := goList(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	closure, err := goList(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	rootSet := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		rootSet[r.ImportPath] = true
+	}
+
+	inModule := make(map[string]*listPkg, len(closure))
+	for _, p := range closure {
+		if !p.Standard {
+			inModule[p.ImportPath] = p
+		}
+	}
+	order := topoSort(inModule)
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package, len(order))
+	imp := &chainImporter{
+		checked: checked,
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	var out []*Package
+	for _, lp := range order {
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		checked[lp.ImportPath] = pkg.Types
+		if rootSet[lp.ImportPath] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// (every non-test .go file), resolving imports from the standard
+// library only. Fixture tests use this: testdata packages are invisible
+// to the go tool, so they cannot be loaded through go list.
+func LoadDir(dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	lp := &listPkg{ImportPath: filepath.Base(dir), Dir: dir}
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		lp.GoFiles = append(lp.GoFiles, base)
+	}
+	if len(lp.GoFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		checked: map[string]*types.Package{},
+		source:  importer.ForCompiler(fset, "source", nil),
+	}
+	return checkPackage(fset, imp, lp)
+}
+
+func checkPackage(fset *token.FileSet, imp types.ImporterFrom, lp *listPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// chainImporter serves already-checked module packages from its cache
+// and everything else (the standard library) from the source importer,
+// sharing one FileSet so positions stay coherent.
+type chainImporter struct {
+	checked map[string]*types.Package
+	source  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	if from, ok := c.source.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return c.source.Import(path)
+}
+
+func goList(dir string, patterns []string, deps bool) ([]*listPkg, error) {
+	args := []string{"list", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages dependency-first. go list -deps already
+// emits that order, but the contract is undocumented enough that the
+// loader re-derives it.
+func topoSort(pkgs map[string]*listPkg) []*listPkg {
+	order := make([]*listPkg, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := pkgs[path]
+		if !ok || state[path] != 0 {
+			return // stdlib, already emitted, or a cycle go build would reject
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		state[path] = 2
+		order = append(order, p)
+	}
+	// Deterministic iteration: visit in sorted import-path order.
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}

@@ -1,0 +1,50 @@
+// Package atomicfield exercises the atomicfield analyzer: struct
+// fields mixing sync/atomic and plain access.
+package atomicfield
+
+import "sync/atomic"
+
+type counterHolder struct {
+	flag uint64
+}
+
+func (c *counterHolder) bump() {
+	atomic.AddUint64(&c.flag, 1)
+}
+
+// racyRead reads the flag without the atomic the writers use — a data
+// race even if the caller holds a lock the atomic writers do not take.
+func (c *counterHolder) racyRead() uint64 {
+	return c.flag // want `plain access of flag, which is accessed with atomic\.AddUint64`
+}
+
+type segment struct {
+	insertID []uint64
+}
+
+func (s *segment) stamp(i int, id uint64) {
+	atomic.StoreUint64(&s.insertID[i], id)
+}
+
+func (s *segment) racyElem(i int) uint64 {
+	return s.insertID[i] // want `plain element access of insertID`
+}
+
+func (s *segment) racySum() uint64 {
+	var sum uint64
+	for _, v := range s.insertID { // want `ranging over the values of insertID`
+		sum += v
+	}
+	return sum
+}
+
+// headerOps stays legal at element granularity: nil checks, len and
+// whole-slice assignment touch the header, not the racing elements.
+func (s *segment) headerOps(n int) int {
+	if s.insertID == nil {
+		s.insertID = make([]uint64, n)
+	}
+	return len(s.insertID)
+}
+
+var _ = []any{(*counterHolder).bump, (*counterHolder).racyRead, (*segment).stamp, (*segment).racyElem, (*segment).racySum, (*segment).headerOps}

@@ -1,0 +1,68 @@
+// Package detorder exercises the detorder analyzer: map iteration
+// feeding ordered output without an intervening sort.
+package detorder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// explainBad is the seeded violation class from EXPLAIN ANALYZE:
+// per-operator timings keyed by name, printed straight out of the map.
+func explainBad(timings map[string]int64) {
+	for op, ns := range timings {
+		fmt.Fprintf(os.Stdout, "%s: %dns\n", op, ns) // want `fmt\.Fprintf inside map iteration emits in random order`
+	}
+}
+
+func appendBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside map iteration builds "keys" in random order`
+	}
+	return keys
+}
+
+func sendBad(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// RunWriter stands in for the engine's ordered emitters: any method
+// named Write*/Append*/Emit* counts as an ordered sink.
+type RunWriter struct{}
+
+func (w *RunWriter) WriteRow(k string) {}
+
+func methodSinkBad(m map[string]int, w *RunWriter) {
+	for k := range m {
+		w.WriteRow(k) // want `RunWriter\.WriteRow inside map iteration emits in random order`
+	}
+}
+
+// collectThenSort is the sanctioned pattern: the slice is sorted in the
+// same function before anyone observes its order.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKeyBucket appends to a slice declared inside the loop body: no
+// order accumulates across iterations.
+func perKeyBucket(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		dst := out[k]
+		dst = append(dst, vs...)
+		out[k] = dst
+	}
+	return out
+}
+
+var _ = []any{explainBad, appendBad, sendBad, methodSinkBad, collectThenSort, perKeyBucket}

@@ -1,0 +1,31 @@
+// Package erracc exercises the erracc analyzer: discarded errors on
+// durability and spill I/O surfaces.
+package erracc
+
+import "os"
+
+// flushBad swallows the Close error: on a spill path this is silent
+// data loss.
+func flushBad(f *os.File) {
+	f.Close() // want `discarded error from File\.Close \(os\.File method\)`
+}
+
+func removeBad(path string) {
+	os.Remove(path) // want `discarded error from os\.Remove \(os file operation\)`
+}
+
+func deferBad(f *os.File) {
+	defer f.Sync() // want `discarded error from File\.Sync \(os\.File method\)`
+}
+
+// closeExplicit is the sanctioned deliberate discard.
+func closeExplicit(f *os.File) {
+	_ = f.Close()
+}
+
+// closeChecked propagates the error.
+func closeChecked(f *os.File) error {
+	return f.Close()
+}
+
+var _ = []any{flushBad, removeBad, deferBad, closeExplicit, closeChecked}

@@ -1,0 +1,94 @@
+// Package hotpath exercises the hotpath analyzer: allocation, clock
+// and unguarded-hook work inside //quack:hotpath functions.
+package hotpath
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// OpProfile mirrors the engine's per-operator profile slot: the
+// analyzer recognizes hook values by this type name.
+type OpProfile struct {
+	Rows   atomic.Int64
+	BusyNs atomic.Int64
+}
+
+type op struct {
+	slot *OpProfile
+}
+
+//quack:hotpath
+func (o *op) badClock() int64 {
+	t0 := time.Now() // want `time\.Now in a //quack:hotpath function outside a profiling nil-guard`
+	return t0.UnixNano()
+}
+
+//quack:hotpath
+func (o *op) goodClock() {
+	if o.slot != nil {
+		t0 := time.Now()
+		defer func() { o.slot.BusyNs.Add(time.Since(t0).Nanoseconds()) }()
+	}
+}
+
+//quack:hotpath
+func (o *op) badFormat(v int) string {
+	return fmt.Sprintf("row %d", v) // want `fmt\.Sprintf in a //quack:hotpath function allocates per row`
+}
+
+// goodPanic may format: panic paths are cold by definition.
+//
+//quack:hotpath
+func (o *op) goodPanic(n, max int) {
+	if n > max {
+		panic(fmt.Sprintf("row %d out of range %d", n, max))
+	}
+}
+
+//quack:hotpath
+func badAlloc(rows [][]int) int {
+	total := 0
+	for range rows {
+		buf := make([]int, 8) // want `make\(\) inside a loop in a //quack:hotpath function`
+		total += len(buf)
+	}
+	return total
+}
+
+// goodAlloc hoists the buffer out of the loop and reuses it.
+//
+//quack:hotpath
+func goodAlloc(rows [][]int) int {
+	buf := make([]int, 0, 8)
+	total := 0
+	for _, r := range rows {
+		buf = append(buf, r...)
+		total += len(buf)
+		buf = buf[:0]
+	}
+	return total
+}
+
+//quack:hotpath
+func (o *op) badHook(n int) {
+	o.slot.Rows.Add(int64(n)) // want `profiler hook call without a nil guard`
+}
+
+// goodHook uses the early-bailout guard form.
+//
+//quack:hotpath
+func (o *op) goodHook(n int) {
+	if o.slot == nil {
+		return
+	}
+	o.slot.Rows.Add(int64(n))
+}
+
+// coldFormat is unmarked: the analyzer leaves it alone.
+func coldFormat(v int) string {
+	return fmt.Sprintf("row %d", v)
+}
+
+var _ = []any{(*op).badClock, (*op).goodClock, (*op).badFormat, (*op).goodPanic, badAlloc, goodAlloc, (*op).badHook, (*op).goodHook, coldFormat}

@@ -1,0 +1,24 @@
+// Package lintignore exercises suppression directives: a well-formed
+// //lint:ignore silences its diagnostic (and is counted), a directive
+// naming the wrong analyzer does not, and a directive without a reason
+// is itself a diagnostic.
+package lintignore
+
+import "os"
+
+func suppressedRemove(path string) {
+	//lint:ignore erracc best-effort temp cleanup in a fixture
+	os.Remove(path)
+}
+
+func wrongAnalyzer(path string) {
+	//lint:ignore detorder directive names the wrong analyzer
+	os.Remove(path)
+}
+
+func missingReason(path string) {
+	//lint:ignore erracc
+	_ = path
+}
+
+var _ = []any{suppressedRemove, wrongAnalyzer, missingReason}

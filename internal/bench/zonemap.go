@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -210,7 +211,12 @@ func CompareSelective(baseline, fresh []SelectivityPoint, tolerance float64) []s
 				(float64(p.ZoneOnDur)/float64(b)-1)*100, tolerance*100))
 		}
 	}
+	labels := make([]string, 0, len(base))
 	for label := range base {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
 		found := false
 		for _, p := range fresh {
 			if p.Label == label {

@@ -149,7 +149,7 @@ func Open(cfg Config) (*Database, error) {
 	if !store.InMemory() {
 		log, err := wal.Open(cfg.Path + ".wal")
 		if err != nil {
-			store.Close()
+			_ = store.Close()
 			return nil, err
 		}
 		db.wal = log
@@ -246,11 +246,14 @@ func (db *Database) metricValue(name string) int64 {
 	return v
 }
 
+// closeFiles releases the store and WAL on Open error paths; the
+// original error takes precedence, so close errors are discarded
+// explicitly (Database.Close is the path that propagates them).
 func (db *Database) closeFiles() {
 	if db.wal != nil {
-		db.wal.Close()
+		_ = db.wal.Close()
 	}
-	db.store.Close()
+	_ = db.store.Close()
 }
 
 // Catalog exposes the schema objects.

@@ -584,7 +584,7 @@ func (s *Session) copy(st *sql.CopyStmt, tx *txn.Transaction) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer r.Close()
+		defer func() { _ = r.Close() }()
 		var total int64
 		for {
 			chunk, err := r.NextChunk()
@@ -616,7 +616,7 @@ func (s *Session) copy(st *sql.CopyStmt, tx *txn.Transaction) (*Result, error) {
 	}
 	sc, err := entry.Data.NewScanner(tx, table.ScanOptions{})
 	if err != nil {
-		w.Close()
+		_ = w.Close()
 		return nil, err
 	}
 	defer sc.Close()
@@ -624,14 +624,14 @@ func (s *Session) copy(st *sql.CopyStmt, tx *txn.Transaction) (*Result, error) {
 	for {
 		chunk, err := sc.Next()
 		if err != nil {
-			w.Close()
+			_ = w.Close()
 			return nil, err
 		}
 		if chunk == nil {
 			break
 		}
 		if err := w.WriteChunk(chunk); err != nil {
-			w.Close()
+			_ = w.Close()
 			return nil, err
 		}
 		total += int64(chunk.Len())

@@ -48,7 +48,7 @@ func NewReader(path string, colTypes []types.Type, opts Options) (*Reader, error
 	r := &Reader{f: f, cr: cr, colTypes: colTypes}
 	if opts.Header {
 		if _, err := cr.Read(); err != nil && err != io.EOF {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("csv: header: %w", err)
 		}
 	}
@@ -116,7 +116,7 @@ func NewWriter(path string, colNames []string, opts Options) (*Writer, error) {
 	w := &Writer{f: f, cw: cw}
 	if opts.Header {
 		if err := cw.Write(colNames); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
@@ -145,7 +145,7 @@ func (w *Writer) WriteChunk(c *vector.Chunk) error {
 func (w *Writer) Close() error {
 	w.cw.Flush()
 	if err := w.cw.Error(); err != nil {
-		w.f.Close()
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()
@@ -159,7 +159,7 @@ func InferTypes(path string, opts Options, sampleRows int) ([]string, []types.Ty
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	cr := csv.NewReader(f)
 	if opts.Delimiter != 0 {
 		cr.Comma = opts.Delimiter

@@ -584,7 +584,6 @@ func finishAggTables(ctx *Context, node *plan.AggNode, tables []*aggTable) (*agg
 
 	if !spilled {
 		f.states = mergeResidentTables(node, tables)
-		sort.Slice(f.states, func(i, j int) bool { return f.states[i].firstPos < f.states[j].firstPos })
 		if ng == 0 && len(f.states) == 0 {
 			f.states = append(f.states, emptyGlobalState(node))
 		}
@@ -699,7 +698,9 @@ func finishAggTables(ctx *Context, node *plan.AggNode, tables []*aggTable) (*agg
 // mergeResidentTables merges the tables' resident states in memory
 // (spill-free finish), keeping the earliest first-seen position per
 // group. States migrate into the first table's maps; reservation
-// ownership stays with the tables.
+// ownership stays with the tables. The returned states are sorted by
+// first-seen position — the map iteration order they are collected in
+// must never reach the emission stream.
 func mergeResidentTables(node *plan.AggNode, tables []*aggTable) []*aggState {
 	var states []*aggState
 	for p := 0; p < aggFanout; p++ {
@@ -726,6 +727,7 @@ func mergeResidentTables(node *plan.AggNode, tables []*aggTable) []*aggState {
 			states = append(states, st)
 		}
 	}
+	sort.Slice(states, func(i, j int) bool { return states[i].firstPos < states[j].firstPos })
 	return states
 }
 

@@ -156,6 +156,8 @@ func (p *parScanOp) exitLocked() {
 // step processes one morsel and re-submits itself. It never blocks on
 // the pool: a missing ticket parks the state instead, and the results
 // channel always has room for ticket holders.
+//
+//quack:hotpath
 func (w *scanWorker) step() {
 	p := w.op
 	p.mu.Lock()

@@ -90,6 +90,8 @@ func compilePipeline(node plan.Node, prof *Profiler) *pipelineSpec {
 
 // runStages threads a chunk through the stages, fanning emitted chunks
 // into sink.
+//
+//quack:hotpath
 func runStages(ctx *Context, stages []stage, c *vector.Chunk, sink func(*vector.Chunk) error) error {
 	if len(stages) == 0 {
 		return sink(c)
@@ -107,6 +109,7 @@ type filterStage struct {
 	selBuf []int
 }
 
+//quack:hotpath
 func (f *filterStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
 	mask, err := f.cond.Eval(c)
 	if err != nil {
@@ -129,6 +132,7 @@ type projectStage struct {
 	exprs []expr.Expr
 }
 
+//quack:hotpath
 func (p *projectStage) run(ctx *Context, c *vector.Chunk, emit func(*vector.Chunk) error) error {
 	out := &vector.Chunk{Cols: make([]*vector.Vector, len(p.exprs))}
 	for i, e := range p.exprs {

@@ -138,6 +138,7 @@ func (s *Sorter) spill() error {
 		return fmt.Errorf("extsort: create run: %w", err)
 	}
 	// Unlink immediately; the fd keeps it alive (no litter on crash).
+	//lint:ignore erracc unlink-while-open spill idiom: a failed remove only delays tmp cleanup, the data lives on the open fd
 	os.Remove(f.Name())
 	out := vector.NewChunk(s.colTypes)
 	samples := vector.NewChunk(s.colTypes)
@@ -171,13 +172,13 @@ func (s *Sorter) spill() error {
 		out.AppendRowFrom(s.chunks[ref.chunk], ref.row)
 		if out.Len() == vector.ChunkCapacity {
 			if err := flush(); err != nil {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("extsort: write run: %w", err)
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("extsort: write run: %w", err)
 	}
 	s.runs = append(s.runs, runFile{f: f, offs: offs, samples: samples})
@@ -274,7 +275,7 @@ func (s *Sorter) registerInto(it *Iterator) error {
 // runs drain).
 func (s *Sorter) Close() {
 	for _, r := range s.runs {
-		r.f.Close()
+		_ = r.f.Close()
 	}
 	s.runs = nil
 	s.chunks = nil
@@ -381,7 +382,7 @@ func (it *Iterator) Close() {
 		return
 	}
 	for _, f := range it.files {
-		f.Close()
+		_ = f.Close()
 	}
 	it.files = nil
 	if it.pool != nil && it.reserved > 0 {

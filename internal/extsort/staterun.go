@@ -48,6 +48,7 @@ func NewStateSpillFile(tmpDir string) (*StateSpillFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("extsort: create state spill file: %w", err)
 	}
+	//lint:ignore erracc unlink-while-open spill idiom: a failed remove only delays tmp cleanup, the data lives on the open fd
 	os.Remove(f.Name())
 	return &StateSpillFile{f: f}, nil
 }
@@ -60,7 +61,7 @@ func (sf *StateSpillFile) File() *os.File { return sf.f }
 // it. Idempotent.
 func (sf *StateSpillFile) Close() {
 	if sf.f != nil {
-		sf.f.Close()
+		_ = sf.f.Close()
 		sf.f = nil
 	}
 }

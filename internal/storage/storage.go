@@ -151,18 +151,18 @@ func Open(path string, opts Options) (*Manager, bool, error) {
 	m.f = f
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, false, err
 	}
 	if st.Size() == 0 {
 		if err := m.writeHeader(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, false, err
 		}
 		return m, true, nil
 	}
 	if err := m.readHeader(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, false, err
 	}
 	return m, false, nil

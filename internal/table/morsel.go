@@ -97,6 +97,8 @@ type MorselScanner struct {
 // so callers can account for every morsel — skipping changes which
 // morsels do work, never the merged output). seq is -1 when the source
 // is exhausted.
+//
+//quack:hotpath
 func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
 	idx := w.src.next.Add(1) - 1
 	if idx >= int64(len(w.src.segs)) {

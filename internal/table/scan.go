@@ -36,6 +36,8 @@ type ScanOptions struct {
 }
 
 // countScanned/countSkipped book one segment into every wired counter.
+//
+//quack:hotpath
 func (o *ScanOptions) countScanned() {
 	if o.SegsScanned != nil {
 		o.SegsScanned.Add(1)
@@ -45,6 +47,7 @@ func (o *ScanOptions) countScanned() {
 	}
 }
 
+//quack:hotpath
 func (o *ScanOptions) countSkipped() {
 	if o.SegsSkipped != nil {
 		o.SegsSkipped.Add(1)

@@ -73,6 +73,7 @@ func newSegment(ncols int) *segment {
 	return s
 }
 
+//quack:hotpath
 func (s *segment) loadInsert(r int) uint64 {
 	if s.insertID == nil {
 		return s.insertAll
@@ -80,6 +81,7 @@ func (s *segment) loadInsert(r int) uint64 {
 	return atomic.LoadUint64(&s.insertID[r])
 }
 
+//quack:hotpath
 func (s *segment) loadDelete(r int) uint64 {
 	if s.deleteID == nil {
 		return 0
@@ -591,7 +593,9 @@ func (t *DataTable) Append(tx *txn.Transaction, chunk *vector.Chunk) error {
 			for c := range t.typs {
 				s.cols[c].AppendFrom(chunk.Cols[c], row+i)
 			}
-			s.insertID[first+i] = tx.ID()
+			// Atomic like every other insertID access: concurrent
+			// scanners read these stamps lock-free via loadInsert.
+			atomic.StoreUint64(&s.insertID[first+i], tx.ID())
 		}
 		s.n += k
 		s.widenStats(chunk, row, k)
@@ -679,7 +683,7 @@ func (t *DataTable) AppendCommitted(chunk *vector.Chunk, stamp uint64) error {
 				s.cols[c].AppendFrom(chunk.Cols[c], row+i)
 			}
 			if s.insertID != nil {
-				s.insertID[first+i] = stamp
+				atomic.StoreUint64(&s.insertID[first+i], stamp)
 			}
 		}
 		s.n += k
@@ -731,7 +735,9 @@ func (t *DataTable) Delete(tx *txn.Transaction, rowIDs []int64) (int64, error) {
 		s.materializeDeleteIDs()
 		for ; i < len(rowIDs) && int(rowIDs[i]/SegRows) == segIdx; i++ {
 			r := int32(rowIDs[i] % SegRows)
-			cur := s.deleteID[r]
+			// Atomic: deleteAction.Commit/Rollback store these stamps
+			// and scanners load them without taking s.mu.
+			cur := atomic.LoadUint64(&s.deleteID[r])
 			if cur != 0 {
 				if tx.Sees(cur) {
 					continue // already deleted in our snapshot
@@ -739,7 +745,7 @@ func (t *DataTable) Delete(tx *txn.Transaction, rowIDs []int64) (int64, error) {
 				s.mu.Unlock()
 				return deleted, txn.ErrConflict
 			}
-			s.deleteID[r] = tx.ID()
+			atomic.StoreUint64(&s.deleteID[r], tx.ID())
 			batch = append(batch, r)
 		}
 		s.mu.Unlock()
@@ -946,7 +952,7 @@ func (t *DataTable) Vacuum(oldestVisible uint64) {
 		}
 		if s.insertID != nil && s.n > 0 {
 			uniform := true
-			first := s.insertID[0]
+			first := atomic.LoadUint64(&s.insertID[0])
 			if first > oldestVisible {
 				uniform = false
 			}

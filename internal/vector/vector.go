@@ -302,6 +302,8 @@ func (v *Vector) SetFrom(dstRow int, src *Vector, srcRow int) {
 }
 
 // AppendFrom appends row srcRow of src to this vector. Types must match.
+//
+//quack:hotpath
 func (v *Vector) AppendFrom(src *Vector, srcRow int) {
 	i := v.length
 	v.SetLen(i + 1)
@@ -458,6 +460,8 @@ func (c *Chunk) AppendRow(vals ...types.Value) {
 }
 
 // AppendRowFrom appends row srcRow of src (same schema) to this chunk.
+//
+//quack:hotpath
 func (c *Chunk) AppendRowFrom(src *Chunk, srcRow int) {
 	for i, col := range c.Cols {
 		col.AppendFrom(src.Cols[i], srcRow)

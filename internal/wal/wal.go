@@ -56,7 +56,7 @@ func Open(path string) (*Log, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &Log{f: f, path: path, size: st.Size()}, nil
