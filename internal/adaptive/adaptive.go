@@ -160,6 +160,57 @@ func (c *CompressedIntermediate) SetLevel(l compress.Level) (time.Duration, erro
 	return time.Since(start), nil
 }
 
+// Select evaluates "value op c" over the intermediate and returns the
+// indexes of matching entries. At Light the payload stays compressed
+// and the predicate runs over the encoding itself — one comparison per
+// RLE run, or a packed-domain compare for frame-of-reference — so the
+// structure is queryable without giving back the RAM the policy just
+// reclaimed. Heavy (flate) and None fall back to a plain scan.
+func (c *CompressedIntermediate) Select(op compress.CmpOp, cval int64) ([]int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.level == compress.None {
+		return selectInt64Slice(c.raw, op, cval), nil
+	}
+	if n, ok := compress.Int64Count(c.enc); ok {
+		match := make([]bool, n)
+		for i := range match {
+			match[i] = true
+		}
+		if compress.SelectInt64(c.enc, op, cval, match) {
+			sel := make([]int, 0, n)
+			for i, m := range match {
+				if m {
+					sel = append(sel, i)
+				}
+			}
+			return sel, nil
+		}
+	}
+	raw, err := compress.DecompressInt64(c.enc)
+	if err != nil {
+		return nil, err
+	}
+	return selectInt64Slice(raw, op, cval), nil
+}
+
+func selectInt64Slice(vals []int64, op compress.CmpOp, c int64) []int {
+	sel := make([]int, 0, len(vals))
+	for i, v := range vals {
+		cmp := 0
+		switch {
+		case v < c:
+			cmp = -1
+		case v > c:
+			cmp = 1
+		}
+		if compress.OpHolds(op, cmp) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
 // Values decodes the current contents (for correctness checks and for
 // the DBMS's own operators to consume).
 func (c *CompressedIntermediate) Values() ([]int64, error) {

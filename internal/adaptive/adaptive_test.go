@@ -92,6 +92,38 @@ func TestCompressedIntermediateLifecycle(t *testing.T) {
 	}
 }
 
+func TestCompressedIntermediateSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]int64, 20_000)
+	for i := range data {
+		data[i] = rng.Int63n(64) - 32
+	}
+	ci := NewCompressedIntermediate(append([]int64(nil), data...))
+	ops := []compress.CmpOp{compress.CmpEq, compress.CmpNe, compress.CmpLt, compress.CmpLe, compress.CmpGt, compress.CmpGe}
+	for _, level := range []compress.Level{compress.None, compress.Light, compress.Heavy} {
+		if _, err := ci.SetLevel(level); err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			for _, c := range []int64{-40, -1, 0, 17, 63} {
+				got, err := ci.Select(op, c)
+				if err != nil {
+					t.Fatalf("level %v: %v", level, err)
+				}
+				want := selectInt64Slice(data, op, c)
+				if len(got) != len(want) {
+					t.Fatalf("level %v op %d c %d: %d matches, want %d", level, op, c, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("level %v op %d c %d: index %d = %d, want %d", level, op, c, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestSetLevelIdempotent(t *testing.T) {
 	ci := NewCompressedIntermediate([]int64{1, 2, 3})
 	d, err := ci.SetLevel(compress.None)

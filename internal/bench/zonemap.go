@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,8 +15,10 @@ import (
 
 // SelectivityPoint is one row of the zone-map selective-filter sweep:
 // the same clustered-range query timed with segment skipping on and off
-// at one selectivity. The JSON shape rides in the CI bench artifact and
-// BENCH_BASELINE.json next to the scaling points.
+// at one selectivity, plus the cold-file encoded-execution legs (filter
+// kernels over the compressed segments vs. full decode). The JSON shape
+// rides in the CI bench artifact and BENCH_BASELINE.json next to the
+// scaling points.
 type SelectivityPoint struct {
 	Label           string        `json:"label"`
 	Selectivity     float64       `json:"selectivity"`
@@ -23,13 +27,26 @@ type SelectivityPoint struct {
 	Improvement     float64       `json:"improvement"` // zone_off / zone_on
 	SegmentsSkipped int64         `json:"segments_skipped"`
 	SegmentsScanned int64         `json:"segments_scanned"`
+
+	// Encoded-execution legs, measured against a checkpointed file
+	// reopened cold so the segments are actually compressed. EncOnDur
+	// runs the selection kernels over the encoded payloads with late
+	// materialization; EncOffDur decodes the surviving segments fully.
+	EncOnDur        time.Duration `json:"enc_on_ns,omitempty"`
+	EncOffDur       time.Duration `json:"enc_off_ns,omitempty"`
+	EncImprovement  float64       `json:"enc_improvement,omitempty"` // enc_off / enc_on
+	SegmentsEncoded int64         `json:"segments_encoded,omitempty"`
 }
 
 // Durations returns the point's gated durations keyed by the names the
-// bench gate reports (only the zone-on path is gated; the zone-off
-// numbers exist to report the improvement, not to be protected).
+// bench gate reports (the zone-on and encoded-on paths are gated; the
+// off legs exist to report the improvement, not to be protected).
 func (p SelectivityPoint) Durations() map[string]time.Duration {
-	return map[string]time.Duration{"filter_" + p.Label: p.ZoneOnDur}
+	out := map[string]time.Duration{"filter_" + p.Label: p.ZoneOnDur}
+	if p.EncOnDur > 0 {
+		out["filter_enc_"+p.Label] = p.EncOnDur
+	}
+	return out
 }
 
 // zoneMapSelectivities are the swept filter selectivities: the paper's
@@ -45,11 +62,85 @@ var zoneMapSelectivities = []struct {
 	{"50pct", 0.5},
 }
 
+// render drains a query into a comparable string.
+func render(db *quack.DB, q string) (string, error) {
+	res, err := db.Query(q)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	for {
+		c := res.NextChunk()
+		if c == nil {
+			return out.String(), nil
+		}
+		for r := 0; r < c.Len(); r++ {
+			fmt.Fprintln(&out, c.Row(r))
+		}
+	}
+}
+
+// timeQuery reports the best-of-5 wall time of draining q.
+func timeQuery(db *quack.DB, q string) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			return 0, err
+		}
+		for res.NextChunk() != nil {
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func counter(db *quack.DB, name string) (int64, error) {
+	s, err := render(db, "PRAGMA "+name)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(strings.Trim(strings.TrimSpace(s), "[]"), 10, 64)
+}
+
+// selQuery centers the clustered range so both tails are refutable.
+func selQuery(rows int, frac float64) string {
+	n := int64(float64(rows) * frac)
+	if n < 1 {
+		n = 1
+	}
+	lo := (int64(rows) - n) / 2
+	return fmt.Sprintf("SELECT count(*), sum(qty), sum(price) FROM t WHERE id >= %d AND id < %d", lo, lo+n)
+}
+
+// encQuery is the encoded-execution sweep's predicate: d is uniform in
+// [0, 10000) with no append-order clustering, so zone maps refute
+// nothing and every segment survives to the scan. The selective work —
+// comparing the bit-packed frame-of-reference payload against the
+// rewritten constant and materializing only the matches — is then done
+// entirely by the kernels, which is the case the sweep is measuring
+// (the clustered queries above already collapse under segment skipping
+// before the kernels could matter).
+func encQuery(frac float64) string {
+	hi := int64(10_000 * frac)
+	if hi < 10 {
+		hi = 10
+	}
+	return fmt.Sprintf("SELECT count(*), sum(qty), sum(price) FROM t WHERE d < %d", hi)
+}
+
 // ZoneMapFilter measures zone-map segment skipping on clustered-range
 // predicates over the append-ordered sales table: each selectivity's
 // aggregate query is timed best-of-5 with skipping enabled and disabled,
 // results are verified identical both ways, and the skip counters report
-// how many segments the pushed predicate refuted.
+// how many segments the pushed predicate refuted. A second sweep over a
+// checkpointed file reopened cold then times the same queries with
+// encoded execution on (selection kernels over the compressed segments,
+// only surviving rows materialized) and off (surviving segments decoded
+// in full), again verifying identical results.
 func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 	db, err := quack.Open(":memory:", quack.WithThreads(threads))
 	if err != nil {
@@ -60,45 +151,6 @@ func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 		return nil, err
 	}
 
-	render := func(q string) (string, error) {
-		res, err := db.Query(q)
-		if err != nil {
-			return "", err
-		}
-		var out strings.Builder
-		for {
-			c := res.NextChunk()
-			if c == nil {
-				return out.String(), nil
-			}
-			for r := 0; r < c.Len(); r++ {
-				fmt.Fprintln(&out, c.Row(r))
-			}
-		}
-	}
-	timeQuery := func(q string) (time.Duration, error) {
-		best := time.Duration(0)
-		for rep := 0; rep < 5; rep++ {
-			start := time.Now()
-			res, err := db.Query(q)
-			if err != nil {
-				return 0, err
-			}
-			for res.NextChunk() != nil {
-			}
-			if d := time.Since(start); best == 0 || d < best {
-				best = d
-			}
-		}
-		return best, nil
-	}
-	counter := func(name string) (int64, error) {
-		s, err := render("PRAGMA " + name)
-		if err != nil {
-			return 0, err
-		}
-		return strconv.ParseInt(strings.Trim(strings.TrimSpace(s), "[]"), 10, 64)
-	}
 	setZoneMaps := func(on int) error {
 		_, err := db.Exec(fmt.Sprintf("PRAGMA zone_maps=%d", on))
 		return err
@@ -106,41 +158,35 @@ func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 
 	var out []SelectivityPoint
 	for _, sel := range zoneMapSelectivities {
-		// Center the range so both tails are refutable.
-		n := int64(float64(rows) * sel.frac)
-		if n < 1 {
-			n = 1
-		}
-		lo := (int64(rows) - n) / 2
-		q := fmt.Sprintf("SELECT count(*), sum(qty), sum(price) FROM t WHERE id >= %d AND id < %d", lo, lo+n)
+		q := selQuery(rows, sel.frac)
 
 		if err := setZoneMaps(1); err != nil {
 			return nil, err
 		}
-		wantOn, err := render(q)
+		wantOn, err := render(db, q)
 		if err != nil {
 			return nil, err
 		}
-		skippedBefore, err := counter("segments_skipped")
+		skippedBefore, err := counter(db, "segments_skipped")
 		if err != nil {
 			return nil, err
 		}
-		scannedBefore, err := counter("segments_scanned")
+		scannedBefore, err := counter(db, "segments_scanned")
 		if err != nil {
 			return nil, err
 		}
-		if _, err := render(q); err != nil { // one counted pass
+		if _, err := render(db, q); err != nil { // one counted pass
 			return nil, err
 		}
-		skipped, err := counter("segments_skipped")
+		skipped, err := counter(db, "segments_skipped")
 		if err != nil {
 			return nil, err
 		}
-		scanned, err := counter("segments_scanned")
+		scanned, err := counter(db, "segments_scanned")
 		if err != nil {
 			return nil, err
 		}
-		onDur, err := timeQuery(q)
+		onDur, err := timeQuery(db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -148,14 +194,14 @@ func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 		if err := setZoneMaps(0); err != nil {
 			return nil, err
 		}
-		wantOff, err := render(q)
+		wantOff, err := render(db, q)
 		if err != nil {
 			return nil, err
 		}
 		if wantOff != wantOn {
 			return nil, fmt.Errorf("zone-map skipping changes %s results", sel.label)
 		}
-		offDur, err := timeQuery(q)
+		offDur, err := timeQuery(db, q)
 		if err != nil {
 			return nil, err
 		}
@@ -174,6 +220,10 @@ func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 		})
 	}
 
+	if err := encodedFilterSweep(out, rows, threads); err != nil {
+		return nil, err
+	}
+
 	if w != nil {
 		fmt.Fprintf(w, "zone-map selective filters (%d rows, %d threads; results verified identical with skipping on and off)\n", rows, threads)
 		fmt.Fprintf(w, "%-12s %-14s %-14s %-12s %s\n", "selectivity", "zone maps on", "zone maps off", "improvement", "segments skipped/touched")
@@ -182,50 +232,144 @@ func ZoneMapFilter(w io.Writer, rows, threads int) ([]SelectivityPoint, error) {
 				p.Label, p.ZoneOnDur.Round(time.Microsecond), p.ZoneOffDur.Round(time.Microsecond),
 				fmt.Sprintf("%.2fx", p.Improvement), p.SegmentsSkipped, p.SegmentsSkipped+p.SegmentsScanned)
 		}
+		fmt.Fprintf(w, "encoded execution, cold file (results verified identical with kernels on and off)\n")
+		fmt.Fprintf(w, "%-12s %-14s %-14s %-12s %s\n", "selectivity", "encoded on", "encoded off", "improvement", "segments encoded")
+		for _, p := range out {
+			fmt.Fprintf(w, "%-12s %-14v %-14v %-12s %d\n",
+				p.Label, p.EncOnDur.Round(time.Microsecond), p.EncOffDur.Round(time.Microsecond),
+				fmt.Sprintf("%.2fx", p.EncImprovement), p.SegmentsEncoded)
+		}
 	}
 	return out, nil
 }
 
-// CompareSelective gates the zone-on filter durations like
-// CompareScaling gates the scaling workloads: a regression line for
-// every selectivity whose fresh zone-on duration is more than tolerance
+// encodedFilterSweep fills the encoded-execution legs of the sweep. The
+// sales table is checkpointed into a file once; every selectivity then
+// reopens it cold and measures the encoded path FIRST — a decoded scan
+// installs materialized columns (a column is encoded or decoded, never
+// both), so the order is what keeps the segments compressed for the
+// kernel leg. The off-leg afterwards decodes the survivors and re-times
+// the same query over materialized columns.
+func encodedFilterSweep(points []SelectivityPoint, rows, threads int) error {
+	dir, err := os.MkdirTemp("", "quack-bench-enc-*")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	path := filepath.Join(dir, "sales.qdb")
+
+	fdb, err := quack.Open(path, quack.WithThreads(threads))
+	if err != nil {
+		return err
+	}
+	if err := GenSalesTable(fdb, "t", rows, 0.0, 17); err != nil {
+		fdb.Close()
+		return err
+	}
+	if err := fdb.Close(); err != nil { // checkpoint compresses the segments
+		return err
+	}
+
+	for i := range points {
+		q := encQuery(points[i].Selectivity)
+		db, err := quack.Open(path, quack.WithThreads(threads))
+		if err != nil {
+			return err
+		}
+		if _, err := db.Exec("PRAGMA zone_maps=1"); err != nil {
+			db.Close()
+			return err
+		}
+		if _, err := db.Exec("PRAGMA encoded_exec=1"); err != nil {
+			db.Close()
+			return err
+		}
+		// First pass loads the column chains (and is the counted pass);
+		// the timed passes then run over resident compressed payloads.
+		wantOn, err := render(db, q)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		encoded, err := counter(db, "segments_encoded")
+		if err != nil {
+			db.Close()
+			return err
+		}
+		encOn, err := timeQuery(db, q)
+		if err != nil {
+			db.Close()
+			return err
+		}
+
+		if _, err := db.Exec("PRAGMA encoded_exec=0"); err != nil {
+			db.Close()
+			return err
+		}
+		wantOff, err := render(db, q) // decodes and installs the survivors
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if wantOff != wantOn {
+			db.Close()
+			return fmt.Errorf("encoded execution changes %s results", points[i].Label)
+		}
+		encOff, err := timeQuery(db, q)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		db.Close()
+
+		points[i].EncOnDur = encOn
+		points[i].EncOffDur = encOff
+		points[i].EncImprovement = float64(encOff) / float64(encOn)
+		points[i].SegmentsEncoded = encoded
+	}
+	return nil
+}
+
+// CompareSelective gates the zone-on and encoded-on filter durations
+// like CompareScaling gates the scaling workloads: a regression line for
+// every selectivity whose fresh gated duration is more than tolerance
 // slower than the committed baseline's. Labels absent from the baseline
-// (newly added) pass; the zone-off column is informational and ungated.
+// (newly added) pass; the off columns are informational and ungated.
 func CompareSelective(baseline, fresh []SelectivityPoint, tolerance float64) []string {
 	base := map[string]time.Duration{}
 	for _, p := range baseline {
-		if p.ZoneOnDur > 0 {
-			base[p.Label] = p.ZoneOnDur
+		for k, d := range p.Durations() {
+			if d > 0 {
+				base[k] = d
+			}
+		}
+	}
+	freshDur := map[string]time.Duration{}
+	for _, p := range fresh {
+		for k, d := range p.Durations() {
+			if d > 0 {
+				freshDur[k] = d
+			}
 		}
 	}
 	var regressions []string
-	for _, p := range fresh {
-		b, ok := base[p.Label]
-		if !ok {
-			continue
-		}
-		if float64(p.ZoneOnDur) > float64(b)*(1+tolerance) {
-			regressions = append(regressions, fmt.Sprintf(
-				"filter_%s: %v vs baseline %v (+%.0f%%, tolerance +%.0f%%)",
-				p.Label, p.ZoneOnDur.Round(time.Microsecond), b.Round(time.Microsecond),
-				(float64(p.ZoneOnDur)/float64(b)-1)*100, tolerance*100))
-		}
-	}
 	labels := make([]string, 0, len(base))
 	for label := range base {
 		labels = append(labels, label)
 	}
 	sort.Strings(labels)
 	for _, label := range labels {
-		found := false
-		for _, p := range fresh {
-			if p.Label == label {
-				found = true
-				break
-			}
+		b := base[label]
+		f, ok := freshDur[label]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from the fresh sweep", label))
+			continue
 		}
-		if !found {
-			regressions = append(regressions, fmt.Sprintf("filter_%s: missing from the fresh sweep", label))
+		if float64(f) > float64(b)*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %v vs baseline %v (+%.0f%%, tolerance +%.0f%%)",
+				label, f.Round(time.Microsecond), b.Round(time.Microsecond),
+				(float64(f)/float64(b)-1)*100, tolerance*100))
 		}
 	}
 	return regressions

@@ -1,0 +1,455 @@
+package compress
+
+import (
+	"encoding/binary"
+)
+
+// Selection kernels: evaluate a comparison predicate directly over a
+// CompressInt64 payload, producing a per-row match vector without
+// materializing the column. Frame-of-reference payloads rewrite the
+// constant into the delta domain once and compare the packed offsets
+// unsigned; RLE payloads compare once per run; raw payloads scan the
+// stored words. DEFLATE schemes decline (ok=false) — entropy-coded
+// buffers have no cheap per-row access — and callers fall back to
+// decompression.
+//
+// All kernels intersect: they only ever clear bits of match, never set
+// them, so a caller can AND several predicates into one vector. On
+// ok=false the contents of match are unspecified; evaluate into a
+// scratch vector and intersect only on success.
+
+// CmpOp is the comparison operator a selection kernel applies,
+// value-versus-constant.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// OpHolds reports whether op accepts a comparison outcome cmp, where
+// cmp is negative/zero/positive for value less-than/equal/greater-than
+// the constant. It is how callers apply a CmpOp to domains the kernels
+// do not handle natively (strings, total-ordered floats).
+func OpHolds(op CmpOp, cmp int) bool {
+	switch op {
+	case CmpEq:
+		return cmp == 0
+	case CmpNe:
+		return cmp != 0
+	case CmpLt:
+		return cmp < 0
+	case CmpLe:
+		return cmp <= 0
+	case CmpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+func holdsI64(op CmpOp, v, c int64) bool {
+	switch op {
+	case CmpEq:
+		return v == c
+	case CmpNe:
+		return v != c
+	case CmpLt:
+		return v < c
+	case CmpLe:
+		return v <= c
+	case CmpGt:
+		return v > c
+	default:
+		return v >= c
+	}
+}
+
+func holdsU64(op CmpOp, v, c uint64) bool {
+	switch op {
+	case CmpEq:
+		return v == c
+	case CmpNe:
+		return v != c
+	case CmpLt:
+		return v < c
+	case CmpLe:
+		return v <= c
+	case CmpGt:
+		return v > c
+	default:
+		return v >= c
+	}
+}
+
+// SelectInt64 intersects match with the predicate "value op c" over a
+// CompressInt64 payload. match must cover the payload's row count.
+func SelectInt64(data []byte, op CmpOp, c int64, match []bool) bool {
+	if len(data) == 0 {
+		return false
+	}
+	switch data[0] {
+	case schemeRaw:
+		return selectRaw(data[1:], op, c, match)
+	case schemeRLE:
+		return selectRLE(data[1:], op, c, match)
+	case schemeFOR:
+		return selectFOR(data[1:], op, c, match)
+	default:
+		return false
+	}
+}
+
+func selectRaw(body []byte, op CmpOp, c int64, match []bool) bool {
+	n, k := binary.Uvarint(body)
+	if k <= 0 || n > uint64(len(match)) || uint64(len(body)-k) < 8*n {
+		return false
+	}
+	body = body[k:]
+	for i := uint64(0); i < n; i++ {
+		if match[i] && !holdsI64(op, int64(binary.LittleEndian.Uint64(body[8*i:])), c) {
+			match[i] = false
+		}
+	}
+	return true
+}
+
+func selectRLE(body []byte, op CmpOp, c int64, match []bool) bool {
+	n, k := binary.Uvarint(body)
+	if k <= 0 || n > uint64(len(match)) {
+		return false
+	}
+	body = body[k:]
+	var at uint64
+	for at < n {
+		runLen, k1 := binary.Uvarint(body)
+		if k1 <= 0 {
+			return false
+		}
+		body = body[k1:]
+		val, k2 := binary.Varint(body)
+		if k2 <= 0 {
+			return false
+		}
+		body = body[k2:]
+		if at+runLen > n {
+			return false
+		}
+		// One comparison decides the whole run.
+		if !holdsI64(op, val, c) {
+			for i := at; i < at+runLen; i++ {
+				match[i] = false
+			}
+		}
+		at += runLen
+	}
+	return true
+}
+
+// forHeader parses a FOR body into (n, minV, width, packed deltas).
+func forHeader(body []byte) (n uint64, minV int64, width int, packed []byte, ok bool) {
+	n, k := binary.Uvarint(body)
+	if k <= 0 {
+		return 0, 0, 0, nil, false
+	}
+	body = body[k:]
+	if n == 0 {
+		return 0, 0, 0, nil, true
+	}
+	minV, k2 := binary.Varint(body)
+	if k2 <= 0 || len(body) <= k2 {
+		return 0, 0, 0, nil, false
+	}
+	width = int(body[k2])
+	packed = body[k2+1:]
+	if width > 64 || uint64(len(packed)) < (n*uint64(width)+7)/8 {
+		return 0, 0, 0, nil, false
+	}
+	return n, minV, width, packed, true
+}
+
+// forDelta extracts the width-bit field starting at bitPos from the
+// LSB-first packed stream — one 64-bit load plus shift/mask instead of
+// a per-bit walk. Callers guarantee the field lies inside packed (the
+// forHeader length check).
+func forDelta(packed []byte, bitPos, width int) uint64 {
+	byteOff := bitPos >> 3
+	shift := uint(bitPos & 7)
+	var w uint64
+	if byteOff+8 <= len(packed) {
+		w = binary.LittleEndian.Uint64(packed[byteOff:])
+	} else {
+		// Tail: fewer than 8 bytes remain, and they hold every bit of
+		// the field, so assemble what is there.
+		for j := len(packed) - 1; j >= byteOff; j-- {
+			w = w<<8 | uint64(packed[j])
+		}
+	}
+	v := w >> shift
+	if got := 64 - int(shift); width > got {
+		// The field spills into a 9th byte (width close to 64 with a
+		// nonzero shift); it exists because the field fits in packed.
+		v |= uint64(packed[byteOff+8]) << uint(got)
+	}
+	if width < 64 {
+		v &= (uint64(1) << uint(width)) - 1
+	}
+	return v
+}
+
+func selectFOR(body []byte, op CmpOp, c int64, match []bool) bool {
+	n, minV, width, packed, ok := forHeader(body)
+	if !ok || n > uint64(len(match)) {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+	if width == 0 {
+		// Constant column: one comparison decides every row.
+		if !holdsI64(op, minV, c) {
+			clearMatch(match, n)
+		}
+		return true
+	}
+	// Rewrite c into the delta domain: v = minV + delta with delta in
+	// [0, maxDelta], so "v op c" becomes an unsigned comparison of the
+	// packed deltas against c-minV — unless c falls outside the frame,
+	// in which case the header alone answers for every row.
+	if c < minV {
+		// Every value is >= minV > c.
+		switch op {
+		case CmpEq, CmpLt, CmpLe:
+			clearMatch(match, n)
+		}
+		return true
+	}
+	maxDelta := ^uint64(0)
+	if width < 64 {
+		maxDelta = (uint64(1) << uint(width)) - 1
+	}
+	// Exact even when c-minV overflows int64: two's-complement
+	// subtraction yields the true unsigned difference for c >= minV.
+	cDelta := uint64(c) - uint64(minV)
+	if cDelta > maxDelta {
+		// Every value is <= minV+maxDelta < c.
+		switch op {
+		case CmpEq, CmpGt, CmpGe:
+			clearMatch(match, n)
+		}
+		return true
+	}
+	for i := uint64(0); i < n; i++ {
+		if !match[i] {
+			continue
+		}
+		if !holdsU64(op, forDelta(packed, int(i)*width, width), cDelta) {
+			match[i] = false
+		}
+	}
+	return true
+}
+
+func clearMatch(match []bool, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		match[i] = false
+	}
+}
+
+// SelectInt64In intersects match with per-value membership: row i
+// survives iff member[v_i]. Values must index member — the dictionary
+// code case, where the predicate was evaluated once per unique string
+// and the packed code array is scanned without decoding. Out-of-range
+// values decline (corrupt payload; the decode path reports it).
+func SelectInt64In(data []byte, member []bool, match []bool) bool {
+	if len(data) == 0 {
+		return false
+	}
+	switch data[0] {
+	case schemeRaw:
+		body := data[1:]
+		n, k := binary.Uvarint(body)
+		if k <= 0 || n > uint64(len(match)) || uint64(len(body)-k) < 8*n {
+			return false
+		}
+		body = body[k:]
+		for i := uint64(0); i < n; i++ {
+			v := int64(binary.LittleEndian.Uint64(body[8*i:]))
+			if v < 0 || v >= int64(len(member)) {
+				return false
+			}
+			if match[i] && !member[v] {
+				match[i] = false
+			}
+		}
+		return true
+	case schemeRLE:
+		body := data[1:]
+		n, k := binary.Uvarint(body)
+		if k <= 0 || n > uint64(len(match)) {
+			return false
+		}
+		body = body[k:]
+		var at uint64
+		for at < n {
+			runLen, k1 := binary.Uvarint(body)
+			if k1 <= 0 {
+				return false
+			}
+			body = body[k1:]
+			val, k2 := binary.Varint(body)
+			if k2 <= 0 {
+				return false
+			}
+			body = body[k2:]
+			if at+runLen > n || val < 0 || val >= int64(len(member)) {
+				return false
+			}
+			if !member[val] {
+				for i := at; i < at+runLen; i++ {
+					match[i] = false
+				}
+			}
+			at += runLen
+		}
+		return true
+	case schemeFOR:
+		n, minV, width, packed, ok := forHeader(data[1:])
+		if !ok || n > uint64(len(match)) {
+			return false
+		}
+		if n == 0 {
+			return true
+		}
+		if width == 0 {
+			if minV < 0 || minV >= int64(len(member)) {
+				return false
+			}
+			if !member[minV] {
+				clearMatch(match, n)
+			}
+			return true
+		}
+		for i := uint64(0); i < n; i++ {
+			v := minV + int64(forDelta(packed, int(i)*width, width))
+			if v < 0 || v >= int64(len(member)) {
+				return false
+			}
+			if match[i] && !member[v] {
+				match[i] = false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// GatherInt64 decodes only the rows listed in sel (ascending row
+// indexes into the payload) into out[:len(sel)] — the late-
+// materialization counterpart of the selection kernels. Raw payloads
+// read the selected words directly, FOR payloads extract the selected
+// bit fields at random offsets, RLE payloads make one forward pass over
+// the runs. DEFLATE declines.
+func GatherInt64(data []byte, sel []int, out []int64) bool {
+	if len(sel) == 0 {
+		return true
+	}
+	if len(data) == 0 || len(out) < len(sel) {
+		return false
+	}
+	switch data[0] {
+	case schemeRaw:
+		body := data[1:]
+		n, k := binary.Uvarint(body)
+		if k <= 0 || uint64(len(body)-k) < 8*n || uint64(sel[len(sel)-1]) >= n {
+			return false
+		}
+		body = body[k:]
+		for i, r := range sel {
+			out[i] = int64(binary.LittleEndian.Uint64(body[8*r:]))
+		}
+		return true
+	case schemeRLE:
+		body := data[1:]
+		n, k := binary.Uvarint(body)
+		if k <= 0 || uint64(sel[len(sel)-1]) >= n {
+			return false
+		}
+		body = body[k:]
+		var at uint64
+		p := 0
+		for at < n && p < len(sel) {
+			runLen, k1 := binary.Uvarint(body)
+			if k1 <= 0 {
+				return false
+			}
+			body = body[k1:]
+			val, k2 := binary.Varint(body)
+			if k2 <= 0 {
+				return false
+			}
+			body = body[k2:]
+			if at+runLen > n {
+				return false
+			}
+			end := at + runLen
+			for p < len(sel) && uint64(sel[p]) < end {
+				out[p] = val
+				p++
+			}
+			at = end
+		}
+		return p == len(sel)
+	case schemeFOR:
+		n, minV, width, packed, ok := forHeader(data[1:])
+		if !ok || uint64(sel[len(sel)-1]) >= n {
+			return false
+		}
+		if width == 0 {
+			for i := range sel {
+				out[i] = minV
+			}
+			return true
+		}
+		for i, r := range sel {
+			out[i] = minV + int64(forDelta(packed, r*width, width))
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Int64SchemeSelectable reports whether SelectInt64/GatherInt64 can
+// operate on this payload without decompression (the light schemes).
+func Int64SchemeSelectable(data []byte) bool {
+	if len(data) == 0 {
+		return false
+	}
+	switch data[0] {
+	case schemeRaw, schemeRLE, schemeFOR:
+		return true
+	default:
+		return false
+	}
+}
+
+// Int64Count returns the number of values in a selectable payload
+// without decoding it. All three light schemes carry the count as the
+// uvarint right after the scheme tag.
+func Int64Count(data []byte) (int, bool) {
+	if !Int64SchemeSelectable(data) {
+		return 0, false
+	}
+	n, k := binary.Uvarint(data[1:])
+	if k <= 0 {
+		return 0, false
+	}
+	return int(n), true
+}

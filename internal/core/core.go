@@ -84,6 +84,7 @@ type Database struct {
 	commitCount atomic.Int64
 	threads     atomic.Int64 // default parallelism for new queries
 	zoneMapsOff atomic.Bool  // disables zone-map segment skipping
+	encExecOff  atomic.Bool  // disables encoded execution over compressed segments
 	closed      atomic.Bool
 
 	// execStats collects engine-level counters (surfaced via PRAGMA).
@@ -135,6 +136,7 @@ func Open(cfg Config) (*Database, error) {
 	db.policy = adaptive.NewPolicy(db.monitor, cfg.TotalRAM)
 	db.threads.Store(int64(cfg.Threads))
 	db.zoneMapsOff.Store(defaultZoneMapsDisabled())
+	db.encExecOff.Store(defaultEncodedExecDisabled())
 	// One engine-wide worker pool multiplexes runnable morsels from every
 	// active query (morsel-driven scheduling): total engine goroutines are
 	// bounded by the pool size no matter how many sessions run queries
@@ -191,6 +193,8 @@ func (db *Database) initMetrics() {
 	// table layer on every segment materialization.
 	m.Int64("scan_segments_scanned_total", &db.execStats.SegmentsScanned)
 	m.Int64("scan_segments_skipped_total", &db.execStats.SegmentsSkipped)
+	m.Int64("scan_segments_encoded_total", &db.execStats.SegmentsEncodedExec)
+	m.Int64("scan_rows_encoded_selected_total", &db.execStats.RowsEncodedSelected)
 	db.decodeBytes = m.Sharded("scan_bytes_decompressed_total")
 
 	// Operator spilling under an enforced memory_limit.
@@ -326,6 +330,23 @@ func (db *Database) SetZoneMaps(on bool) { db.zoneMapsOff.Store(!on) }
 // engine.
 func defaultZoneMapsDisabled() bool {
 	env := os.Getenv("QUACK_DISABLE_ZONEMAPS")
+	return env == "1" || env == "true" || env == "TRUE"
+}
+
+// EncodedExecEnabled reports whether scans may evaluate exact pushed
+// conjuncts directly over compressed segments and materialize only the
+// selected rows. Like zone maps this is a pure execution strategy —
+// results are byte-identical either way.
+func (db *Database) EncodedExecEnabled() bool { return !db.encExecOff.Load() }
+
+// SetEncodedExec toggles encoded execution (PRAGMA encoded_exec).
+func (db *Database) SetEncodedExec(on bool) { db.encExecOff.Store(!on) }
+
+// defaultEncodedExecDisabled resolves the QUACK_DISABLE_ENCODED_EXEC
+// environment variable; the CI differential matrix runs legs with
+// encoded execution forced off, mirroring QUACK_DISABLE_ZONEMAPS.
+func defaultEncodedExecDisabled() bool {
+	env := os.Getenv("QUACK_DISABLE_ENCODED_EXEC")
 	return env == "1" || env == "true" || env == "TRUE"
 }
 

@@ -293,16 +293,17 @@ func (s *Session) execContext(tx *txn.Transaction) *exec.Context {
 	// atomics, so a PRAGMA issued concurrently on another session never
 	// tears a running query's view of the configuration.
 	return &exec.Context{
-		Txn:             tx,
-		Pool:            s.db.pool,
-		Logger:          s.db.logger,
-		TmpDir:          s.db.TmpDir(),
-		JoinStrategy:    s.JoinStrategy,
-		Threads:         s.threads(),
-		Stats:           &s.db.execStats,
-		DisableZoneMaps: !s.db.ZoneMapsEnabled(),
-		Sched:           s.db.sched,
-		Priority:        s.priority(),
+		Txn:                tx,
+		Pool:               s.db.pool,
+		Logger:             s.db.logger,
+		TmpDir:             s.db.TmpDir(),
+		JoinStrategy:       s.JoinStrategy,
+		Threads:            s.threads(),
+		Stats:              &s.db.execStats,
+		DisableZoneMaps:    !s.db.ZoneMapsEnabled(),
+		DisableEncodedExec: !s.db.EncodedExecEnabled(),
+		Sched:              s.db.sched,
+		Priority:           s.priority(),
 	}
 }
 
@@ -686,6 +687,16 @@ func (s *Session) explain(st *sql.ExplainStmt, params []types.Value) (*Result, e
 					out.AppendRow(types.NewVarchar(fmt.Sprintf(
 						"NOTE: SCAN %s zone filters: %s; segments skipped: %d/%d",
 						sn.Table.Name, strings.Join(parts, " AND "), skipped, total)))
+					// Of the surviving segments, how many would evaluate the
+					// filters directly on their compressed payloads and
+					// materialize only the selected rows.
+					if s.db.EncodedExecEnabled() {
+						if enc, surv := sn.Table.Data.EncExecInfo(zf); enc > 0 {
+							out.AppendRow(types.NewVarchar(fmt.Sprintf(
+								"NOTE: SCAN %s encoded execution: %d/%d surviving segments",
+								sn.Table.Name, enc, surv)))
+						}
+					}
 				}
 			}
 			for _, c := range n.Children() {
@@ -881,6 +892,18 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 		}
 		s.db.SetZoneMaps(intVal != 0 || strings.EqualFold(strVal, "true"))
 		return &Result{}, nil
+	case "encoded_exec":
+		// Encoded execution: pushed filters evaluated directly over
+		// compressed segments, decoding only the selected rows. 1 (on,
+		// the default) or 0; results are byte-identical either way.
+		if !hasVal {
+			if s.db.EncodedExecEnabled() {
+				return readback("1"), nil
+			}
+			return readback("0"), nil
+		}
+		s.db.SetEncodedExec(intVal != 0 || strings.EqualFold(strVal, "true"))
+		return &Result{}, nil
 	case "segments_scanned":
 		// Table-scan segments materialized since open. Reads the registry
 		// cell bridging the same atomic scans increment, so PRAGMA and
@@ -890,6 +913,15 @@ func (s *Session) executePragma(st *sql.PragmaStmt) (*Result, error) {
 		// Table-scan segments refuted by zone maps (or their compressed
 		// payloads) without being touched.
 		return readback(strconv.FormatInt(s.db.metricValue("scan_segments_skipped_total"), 10)), nil
+	case "segments_encoded":
+		// Scanned segments whose pushed filters executed over the
+		// compressed payloads (late materialization); a subset of
+		// segments_scanned.
+		return readback(strconv.FormatInt(s.db.metricValue("scan_segments_encoded_total"), 10)), nil
+	case "rows_encoded_selected":
+		// Rows those encoded-executed segments selected and gathered
+		// instead of decoding their segments fully.
+		return readback(strconv.FormatInt(s.db.metricValue("scan_rows_encoded_selected_total"), 10)), nil
 	case "agg_spill_partitions":
 		// Aggregation partition-spill events under memory_limit (each is
 		// one partition's states written to a sorted state run).

@@ -81,6 +81,12 @@ type Stats struct {
 	// compressed payloads) without being touched.
 	SegmentsScanned atomic.Int64
 	SegmentsSkipped atomic.Int64
+	// SegmentsEncodedExec counts scanned segments whose pushed filters
+	// executed directly over the compressed payloads (also counted in
+	// SegmentsScanned); RowsEncodedSelected totals the rows those
+	// segments selected and gathered instead of decoding fully.
+	SegmentsEncodedExec atomic.Int64
+	RowsEncodedSelected atomic.Int64
 	// SortSpilledBytes totals the bytes external sorts (ORDER BY, window
 	// sorts) wrote to spill runs under a memory budget.
 	SortSpilledBytes atomic.Int64
@@ -99,6 +105,11 @@ type Context struct {
 	// DisableZoneMaps turns off zone-map segment skipping (the
 	// differential baseline: results must be byte-identical either way).
 	DisableZoneMaps bool
+	// DisableEncodedExec turns off encoded execution: predicates over
+	// still-compressed segments with late materialization. Same
+	// differential contract as DisableZoneMaps. Encoded execution rides
+	// on the pushed zone filters, so disabling zone maps disables it too.
+	DisableEncodedExec bool
 	// SortBudget caps the in-memory footprint of sorts; <=0 derives it
 	// from the pool limit.
 	SortBudget int64

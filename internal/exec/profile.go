@@ -33,6 +33,13 @@ type OpProfile struct {
 
 	SegsScanned atomic.Int64
 	SegsSkipped atomic.Int64
+	// SegsEncoded counts scanned segments that executed encoded;
+	// DecodedRows vs SelectedRows contrasts rows materialized against
+	// rows emitted — equal on the encoded path (late materialization),
+	// decoded >= selected on the full-decode path.
+	SegsEncoded  atomic.Int64
+	DecodedRows  atomic.Int64
+	SelectedRows atomic.Int64
 
 	SpillBytes atomic.Int64
 	SpillParts atomic.Int64
@@ -177,6 +184,9 @@ type OpProfileSnap struct {
 	Morsels         int64            `json:"morsels,omitempty"`
 	SegmentsScanned int64            `json:"segments_scanned,omitempty"`
 	SegmentsSkipped int64            `json:"segments_skipped,omitempty"`
+	SegmentsEncoded int64            `json:"segments_encoded,omitempty"`
+	DecodedRows     int64            `json:"decoded_rows,omitempty"`
+	SelectedRows    int64            `json:"selected_rows,omitempty"`
 	SpillBytes      int64            `json:"spill_bytes,omitempty"`
 	SpillPartitions int64            `json:"spill_partitions,omitempty"`
 	Children        []*OpProfileSnap `json:"children,omitempty"`
@@ -200,6 +210,9 @@ func snapOp(o *OpProfile) *OpProfileSnap {
 		Morsels:         o.Morsels.Load(),
 		SegmentsScanned: o.SegsScanned.Load(),
 		SegmentsSkipped: o.SegsSkipped.Load(),
+		SegmentsEncoded: o.SegsEncoded.Load(),
+		DecodedRows:     o.DecodedRows.Load(),
+		SelectedRows:    o.SelectedRows.Load(),
 		SpillBytes:      o.SpillBytes.Load(),
 		SpillPartitions: o.SpillParts.Load(),
 	}
@@ -246,6 +259,12 @@ func (s *OpProfileSnap) WriteTree(sb *strings.Builder, depth int) {
 	}
 	if s.SegmentsScanned > 0 || s.SegmentsSkipped > 0 {
 		fmt.Fprintf(sb, " segs=%d/%d scanned/skipped", s.SegmentsScanned, s.SegmentsSkipped)
+	}
+	if s.SegmentsEncoded > 0 {
+		fmt.Fprintf(sb, " enc=%d", s.SegmentsEncoded)
+	}
+	if s.DecodedRows > 0 || s.SelectedRows > 0 {
+		fmt.Fprintf(sb, " decoded=%d selected=%d", s.DecodedRows, s.SelectedRows)
 	}
 	if s.SpillBytes > 0 {
 		fmt.Fprintf(sb, " spilled=%dB", s.SpillBytes)

@@ -42,7 +42,8 @@ func collectZoneFilters(n *ScanNode, e expr.Expr, out *[]table.ZoneFilter) {
 			if x.Not {
 				op = table.ZoneNotNull
 			}
-			*out = append(*out, table.ZoneFilter{Col: col, Op: op})
+			// NULL-ness survives the lossless casts, so the test is exact.
+			*out = append(*out, table.ZoneFilter{Col: col, Op: op, Exact: true})
 		}
 	case *expr.Compare:
 		if f, ok := zoneCompare(n, x); ok {
@@ -56,12 +57,15 @@ func collectZoneFilters(n *ScanNode, e expr.Expr, out *[]table.ZoneFilter) {
 func zoneCompare(n *ScanNode, c *expr.Compare) (table.ZoneFilter, bool) {
 	if col, ok := scanColumn(n, c.L); ok {
 		if k, okc := c.R.(*expr.Const); okc && zonePushable(n.Table.Columns[col].Type, k.Val) {
-			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, false), Val: k.Val}, true
+			// zonePushable admits only pairings types.Compare orders without
+			// rounding, and scanColumn saw only through lossless monotone
+			// casts, so the conjunct's row-level truth is exactly col-op-Val.
+			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, false), Val: k.Val, Exact: true}, true
 		}
 	}
 	if col, ok := scanColumn(n, c.R); ok {
 		if k, okc := c.L.(*expr.Const); okc && zonePushable(n.Table.Columns[col].Type, k.Val) {
-			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, true), Val: k.Val}, true
+			return table.ZoneFilter{Col: col, Op: zoneOp(c.Op, true), Val: k.Val, Exact: true}, true
 		}
 	}
 	return table.ZoneFilter{}, false

@@ -72,7 +72,7 @@ func (m *MorselSource) NumMorsels() int { return len(m.segs) }
 // Each worker goroutine must use its own.
 func (m *MorselSource) Worker() *MorselScanner {
 	return &MorselScanner{
-		segReader: newSegReader(m.t, m.tx, m.cols, m.rowIDs),
+		segReader: newSegReader(m.t, m.tx, m.cols, m.rowIDs, m.opts.ZoneFilters),
 		src:       m,
 	}
 }
@@ -109,9 +109,22 @@ func (w *MorselScanner) Next() (seq int, chunk *vector.Chunk, err error) {
 		w.src.opts.countSkipped()
 		return int(idx), nil, nil
 	}
+	if w.src.opts.EncodedExec {
+		if chunk, selected, ok := w.scanSegmentEncoded(seg, idx*SegRows, w.src.ns[idx]); ok {
+			w.src.opts.countScanned()
+			w.src.opts.countEncoded(selected)
+			return int(idx), chunk, nil
+		}
+	}
 	if err := w.src.t.materializeSegCols(seg, w.src.cols); err != nil {
 		return int(idx), nil, err
 	}
 	w.src.opts.countScanned()
-	return int(idx), w.scanSegment(seg, idx*SegRows, w.src.ns[idx]), nil
+	chunk = w.scanSegment(seg, idx*SegRows, w.src.ns[idx])
+	rows := 0
+	if chunk != nil {
+		rows = chunk.Len()
+	}
+	w.src.opts.countMaterialized(w.src.ns[idx], rows)
+	return int(idx), chunk, nil
 }

@@ -24,15 +24,33 @@ type ScanOptions struct {
 	// optimization — callers must still apply the full predicate per
 	// row, so results are exact whether or not a segment was skipped.
 	ZoneFilters []ZoneFilter
+	// EncodedExec lets the scan evaluate Exact zone filters directly
+	// over still-compressed segment payloads and materialize only the
+	// selected rows (encexec.go). Purely an execution strategy: the
+	// surviving rows, their order and their chunk boundaries are
+	// identical with it on or off.
+	EncodedExec bool
 	// SegsScanned/SegsSkipped, when non-nil, count the segments the scan
 	// materialized vs. refuted (EXPLAIN/PRAGMA observability).
 	SegsScanned *atomic.Int64
 	SegsSkipped *atomic.Int64
+	// SegsEncoded counts the scanned segments that executed encoded
+	// (also counted in SegsScanned); RowsEncSelected counts the rows
+	// those segments selected and gathered.
+	SegsEncoded     *atomic.Int64
+	RowsEncSelected *atomic.Int64
 	// ProfSegsScanned/ProfSegsSkipped are the same counts routed into a
 	// per-query profile slot (EXPLAIN ANALYZE); nil when the query is
 	// not profiled.
 	ProfSegsScanned *atomic.Int64
 	ProfSegsSkipped *atomic.Int64
+	ProfSegsEncoded *atomic.Int64
+	// ProfDecodedRows/ProfSelectedRows contrast how many rows the scan
+	// materialized against how many it emitted: the decoded path
+	// materializes every segment row before visibility and filtering,
+	// the encoded path only the selected rows.
+	ProfDecodedRows  *atomic.Int64
+	ProfSelectedRows *atomic.Int64
 }
 
 // countScanned/countSkipped book one segment into every wired counter.
@@ -57,28 +75,71 @@ func (o *ScanOptions) countSkipped() {
 	}
 }
 
+// countEncoded books one encoded-executed segment and its selected rows
+// (callers also call countScanned — encoded segments are scanned ones).
+//
+//quack:hotpath
+func (o *ScanOptions) countEncoded(rows int) {
+	if o.SegsEncoded != nil {
+		o.SegsEncoded.Add(1)
+	}
+	if o.RowsEncSelected != nil {
+		o.RowsEncSelected.Add(int64(rows))
+	}
+	if o.ProfSegsEncoded != nil {
+		o.ProfSegsEncoded.Add(1)
+	}
+	if o.ProfDecodedRows != nil {
+		o.ProfDecodedRows.Add(int64(rows))
+	}
+	if o.ProfSelectedRows != nil {
+		o.ProfSelectedRows.Add(int64(rows))
+	}
+}
+
+// countMaterialized books a decoded-path segment: every segment row was
+// materialized, emitted rows survived visibility.
+//
+//quack:hotpath
+func (o *ScanOptions) countMaterialized(decoded, selected int) {
+	if o.ProfDecodedRows != nil {
+		o.ProfDecodedRows.Add(int64(decoded))
+	}
+	if o.ProfSelectedRows != nil {
+		o.ProfSelectedRows.Add(int64(selected))
+	}
+}
+
 // segReader holds the per-reader state needed to materialize one
 // segment's snapshot: the projected columns, the transaction whose
 // snapshot is reconstructed, and scratch buffers. It is shared by the
 // sequential Scanner and the morsel workers of a parallel scan; each
 // reader owns its own scratch, so readers never contend.
 type segReader struct {
-	t      *DataTable
-	tx     *txn.Transaction
-	cols   []int
-	rowIDs bool
-	pos    []int32
-	sel    []int
+	t       *DataTable
+	tx      *txn.Transaction
+	cols    []int
+	rowIDs  bool
+	filters []ZoneFilter
+	pos     []int32
+	sel     []int
+	// Encoded-execution scratch, allocated on first use: the combined
+	// match vector, the per-filter kernel scratch, and the int64 gather
+	// buffer (encexec.go).
+	match  []bool
+	kmatch []bool
+	gather []int64
 }
 
-func newSegReader(t *DataTable, tx *txn.Transaction, cols []int, rowIDs bool) segReader {
+func newSegReader(t *DataTable, tx *txn.Transaction, cols []int, rowIDs bool, filters []ZoneFilter) segReader {
 	return segReader{
-		t:      t,
-		tx:     tx,
-		cols:   cols,
-		rowIDs: rowIDs,
-		pos:    make([]int32, SegRows),
-		sel:    make([]int, 0, SegRows),
+		t:       t,
+		tx:      tx,
+		cols:    cols,
+		rowIDs:  rowIDs,
+		filters: filters,
+		pos:     make([]int32, SegRows),
+		sel:     make([]int, 0, SegRows),
 	}
 }
 
@@ -126,8 +187,15 @@ func (s *segReader) scanSegment(seg *segment, base int64, maxRows int) *vector.C
 		seg.cols[c].CompactInto(chunk.Cols[oi], s.sel)
 	}
 	chunk.SetLen(len(s.sel))
+	s.applyUndo(seg, chunk)
+	s.fillRowIDs(chunk, base)
+	return chunk
+}
 
-	// Apply undo records of changes this snapshot must not see.
+// applyUndo rewrites chunk cells whose current value this snapshot must
+// not see back to their undo-chain versions. Caller holds seg.mu and
+// has chunk rows parallel to s.sel.
+func (s *segReader) applyUndo(seg *segment, chunk *vector.Chunk) {
 	posBuilt := false
 	for oi, c := range s.cols {
 		for node := seg.updates[c]; node != nil; node = node.next {
@@ -150,14 +218,17 @@ func (s *segReader) scanSegment(seg *segment, base int64, maxRows int) *vector.C
 			}
 		}
 	}
+}
 
-	if s.rowIDs {
-		ridCol := chunk.Cols[len(s.cols)]
-		for outIdx, r := range s.sel {
-			ridCol.I64[outIdx] = base + int64(r)
-		}
+// fillRowIDs writes the synthetic row-id column when requested.
+func (s *segReader) fillRowIDs(chunk *vector.Chunk, base int64) {
+	if !s.rowIDs {
+		return
 	}
-	return chunk
+	ridCol := chunk.Cols[len(s.cols)]
+	for outIdx, r := range s.sel {
+		ridCol.I64[outIdx] = base + int64(r)
+	}
 }
 
 // resolveColumns expands a nil column list to all columns and validates.
@@ -207,7 +278,7 @@ func (t *DataTable) NewScanner(tx *txn.Transaction, opts ScanOptions) (*Scanner,
 	}
 	segs, ns := t.snapshotSegments()
 	return &Scanner{
-		segReader: newSegReader(t, tx, cols, opts.WithRowIDs),
+		segReader: newSegReader(t, tx, cols, opts.WithRowIDs, opts.ZoneFilters),
 		segs:      segs,
 		ns:        ns,
 		opts:      opts,
@@ -235,14 +306,26 @@ func (s *Scanner) Next() (*vector.Chunk, error) {
 			s.opts.countSkipped()
 			continue
 		}
+		if s.opts.EncodedExec {
+			if chunk, selected, ok := s.scanSegmentEncoded(seg, base, maxRows); ok {
+				s.opts.countScanned()
+				s.opts.countEncoded(selected)
+				if chunk != nil {
+					return chunk, nil
+				}
+				continue
+			}
+		}
 		if err := s.t.materializeSegCols(seg, s.cols); err != nil {
 			return nil, err
 		}
 		s.opts.countScanned()
 		chunk := s.scanSegment(seg, base, maxRows)
 		if chunk != nil {
+			s.opts.countMaterialized(maxRows, chunk.Len())
 			return chunk, nil
 		}
+		s.opts.countMaterialized(maxRows, 0)
 	}
 	return nil, nil
 }

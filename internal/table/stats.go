@@ -99,6 +99,13 @@ type ZoneFilter struct {
 	Col int
 	Op  ZoneOp
 	Val types.Value
+	// Exact marks a conjunct whose row-level truth is exactly
+	// "column Op Val" under the engine's comparison semantics — not
+	// merely implied by it. Refutation (a superset test) is safe either
+	// way, but only exact filters may drive encoded-execution selection
+	// kernels: an inexact filter could drop rows the full predicate
+	// would keep. See CONTRIBUTING.md "Engine invariants".
+	Exact bool
 }
 
 // String renders the filter for EXPLAIN output; name is the column name.

@@ -1,0 +1,188 @@
+package quack_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/quack"
+)
+
+// Predicate palette for the encoded-execution fuzz. The fixture is
+// built by encodedExecFixture below: cold segments hold
+// dictionary-encoded grp, FOR/RLE-packed id/qty and raw doubles, so
+// these exercise every kernel — dictionary equality and inequality
+// (including a value absent from some dictionaries), FOR-domain range
+// rewrites whose constants land inside, below and above the packed
+// domain, RLE run short-circuits over qty, double comparisons against
+// INTEGER and DOUBLE columns, NULL tests, and shapes the kernels must
+// decline (OR, joins) without changing results.
+var encodedExecQueries = []string{
+	"SELECT id, grp, qty FROM facts WHERE id >= 4000 AND id < 4100",
+	"SELECT count(*), sum(qty) FROM facts WHERE id < 600",
+	"SELECT count(*) FROM facts WHERE id >= 29900",
+	"SELECT id FROM facts WHERE id = 12345",
+	"SELECT count(*) FROM facts WHERE id <> 17",
+	"SELECT count(*) FROM facts WHERE grp = 'emea'",
+	"SELECT count(*) FROM facts WHERE grp <> 'north'",
+	"SELECT count(*) FROM facts WHERE grp = 'nowhere'",
+	"SELECT count(*) FROM facts WHERE grp > 'south'",
+	"SELECT count(*), sum(id) FROM facts WHERE qty = 250",
+	"SELECT count(*) FROM facts WHERE qty >= 490",
+	"SELECT count(*) FROM facts WHERE qty < 2.5",
+	"SELECT count(*) FROM facts WHERE price > 249.0",
+	"SELECT count(*) FROM facts WHERE price <= 0.25",
+	"SELECT count(*) FROM facts WHERE grp IS NULL",
+	"SELECT count(*) FROM facts WHERE qty IS NOT NULL AND id >= 29000",
+	"SELECT count(*) FROM facts WHERE grp = 'apac' AND qty > 100 AND id < 20000",
+	"SELECT id FROM facts WHERE id >= 100 AND id < 130 OR id = 29999",
+	"SELECT f.id, d.label FROM facts f JOIN dims d ON f.id = d.key WHERE f.id < 40",
+	"SELECT grp, count(*) FROM facts WHERE id >= 15000 AND id < 16000 GROUP BY grp ORDER BY grp",
+}
+
+// encodedExecFixture builds and checkpoints the mixed-type fixture,
+// returning the database path. Closing compresses every segment.
+func encodedExecFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "encexec.qdb")
+	db, err := quack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE facts (id BIGINT, grp VARCHAR, qty INTEGER, price DOUBLE, flag BOOLEAN)")
+	app, err := db.Appender("facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := []string{"north", "south", "east", "west", "emea", "apac"}
+	const rows = 30_000
+	for i := 0; i < rows; i++ {
+		var grp any = groups[(i*7)%len(groups)]
+		var qty any = int64((i / 31) % 500) // runs of 31 → RLE-friendly
+		var price any = float64((i*31)%1000) / 4
+		if i%97 == 0 {
+			grp = nil
+		}
+		if i%89 == 0 {
+			qty = nil
+		}
+		if i%83 == 0 {
+			price = nil
+		}
+		if err := app.AppendRow(int64(i), grp, qty, price, i%3 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE dims (key BIGINT, label VARCHAR)")
+	mustExec(t, db, "INSERT INTO dims SELECT id, grp FROM facts WHERE id < 64")
+	if err := db.Close(); err != nil { // checkpoint compresses the segments
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runEncodedPalette reopens the fixture cold, pins the knobs, runs the
+// whole palette at one thread count and returns every result set plus
+// the encoded-segment counter delta. A fresh open per leg matters: a
+// decoded scan installs materialized columns (a column is encoded or
+// decoded, never both), so running the disabled leg first would leave
+// nothing for the enabled leg to execute encoded.
+func runEncodedPalette(t *testing.T, path string, threads int, encodedExec bool) (results [][][]string, encodedSegs int64) {
+	t.Helper()
+	db, err := quack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Pin the knobs: the CI differential matrix also runs this suite
+	// with QUACK_DISABLE_ZONEMAPS=1 / QUACK_DISABLE_ENCODED_EXEC=1 as
+	// session defaults, and encoded execution rides on the zone-filter
+	// push-down.
+	mustExec(t, db, "PRAGMA zone_maps=1")
+	if encodedExec {
+		mustExec(t, db, "PRAGMA encoded_exec=1")
+	} else {
+		mustExec(t, db, "PRAGMA encoded_exec=0")
+	}
+	mustExec(t, db, fmt.Sprintf("PRAGMA threads=%d", threads))
+	before := pragmaInt(t, db, "segments_encoded")
+	for _, q := range encodedExecQueries {
+		results = append(results, queryAll(t, db, q))
+	}
+	return results, pragmaInt(t, db, "segments_encoded") - before
+}
+
+// TestEncodedExecDifferential checkpoints a mixed-type fixture and, per
+// thread count, replays the palette against two cold opens — encoded
+// execution enabled vs. disabled. Results must be byte-identical row
+// for row: the selection kernels change which bytes are inspected,
+// never what the scan returns. The encoded-segment counter must move
+// only on the enabled legs.
+func TestEncodedExecDifferential(t *testing.T) {
+	path := encodedExecFixture(t)
+	for _, threads := range []int{1, 2, 8} {
+		got, encOn := runEncodedPalette(t, path, threads, true)
+		want, encOff := runEncodedPalette(t, path, threads, false)
+		for i, q := range encodedExecQueries {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Errorf("threads=%d query %q diverges with encoded execution on:\n got (%d rows): %.300v\nwant (%d rows): %.300v",
+					threads, q, len(got[i]), got[i], len(want[i]), want[i])
+			}
+		}
+		if encOn == 0 {
+			t.Fatalf("threads=%d: the palette executed no segment encoded; kernels are not wired into the scan", threads)
+		}
+		if encOff != 0 {
+			t.Fatalf("threads=%d: PRAGMA encoded_exec=0 still executed %d segments encoded", threads, encOff)
+		}
+	}
+}
+
+// TestEncodedExecExplainAndWrites pins the observability surface and
+// the write interaction on a single connection: EXPLAIN (which stays
+// passive and never loads column chains) reports the encoded split once
+// segments are resident, the rows_encoded_selected counter moves, and
+// an UPDATE — which materializes its segments — steps encoded execution
+// aside without changing what a subsequent scan sees.
+func TestEncodedExecExplainAndWrites(t *testing.T) {
+	path := encodedExecFixture(t)
+	db, err := quack.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "PRAGMA zone_maps=1")
+	mustExec(t, db, "PRAGMA encoded_exec=1")
+
+	queryAll(t, db, "SELECT count(*) FROM facts WHERE grp = 'emea'")
+	if pragmaInt(t, db, "segments_encoded") == 0 {
+		t.Fatal("dictionary predicate executed no segment encoded")
+	}
+	if pragmaInt(t, db, "rows_encoded_selected") == 0 {
+		t.Fatal("encoded execution selected no rows")
+	}
+	var note string
+	for _, l := range queryAll(t, db, "EXPLAIN SELECT count(*) FROM facts WHERE grp = 'emea'") {
+		if strings.HasPrefix(l[0], "NOTE: SCAN facts encoded execution:") {
+			note = l[0]
+		}
+	}
+	if note == "" {
+		t.Fatal("EXPLAIN has no encoded-execution note for a dictionary predicate over resident segments")
+	}
+
+	// Writes materialize their segments; encoded execution must step
+	// aside without changing results.
+	mustExec(t, db, "UPDATE facts SET qty = 999 WHERE id >= 4000 AND id < 4010")
+	mustExec(t, db, "PRAGMA encoded_exec=0")
+	want := queryAll(t, db, "SELECT count(*), sum(qty) FROM facts WHERE qty = 999")
+	mustExec(t, db, "PRAGMA encoded_exec=1")
+	got := queryAll(t, db, "SELECT count(*), sum(qty) FROM facts WHERE qty = 999")
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-update scan diverges: got %v want %v", got, want)
+	}
+}

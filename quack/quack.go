@@ -74,6 +74,25 @@
 // QUACK_MEMORY_LIMIT), and PRAGMA segments_scanned /
 // segments_skipped read the session's cumulative scan counters.
 //
+// Segments that survive skipping can still execute without being
+// decompressed: exact pushed conjuncts run as selection kernels over
+// the compressed payloads themselves — string predicates evaluated
+// once against a segment's dictionary and then matched on the packed
+// code array, integer ranges rewritten into the frame-of-reference
+// delta domain and compared on the bit-packed words, run-length runs
+// answered with one comparison per run — and only the surviving rows
+// are materialized (late materialization). Like skipping, encoded
+// execution never changes results — the full filter still runs on what
+// the scan emits — and it steps aside automatically for segments with
+// in-flight updates or payload shapes a kernel cannot answer exactly.
+// PRAGMA encoded_exec=0|1 toggles it (QUACK_DISABLE_ENCODED_EXEC=1
+// sets the default off); because the kernels consume the pushed zone
+// filters, zone_maps=0 disables encoded execution too. EXPLAIN adds an
+// "encoded execution: X/Y surviving segments" note per scan, EXPLAIN
+// ANALYZE reports enc=N and decoded=N selected=N per operator, and
+// PRAGMA segments_encoded / rows_encoded_selected read the cumulative
+// counters.
+//
 // # Observability
 //
 // EXPLAIN ANALYZE <select> executes the query and reports the measured
@@ -110,6 +129,7 @@
 //	PRAGMA memory_limit='64MB'     QUACK_MEMORY_LIMIT       buffer-pool budget, unset = unlimited
 //	PRAGMA threads=N               QUACK_THREADS            shared worker-pool size, default GOMAXPROCS
 //	PRAGMA zone_maps=0|1           QUACK_DISABLE_ZONEMAPS   segment skipping, default on
+//	PRAGMA encoded_exec=0|1        QUACK_DISABLE_ENCODED_EXEC  filter kernels over compressed segments, default on
 //	PRAGMA log_min_duration_ms=N   —                        slow-query log threshold, default -1 (off)
 //	PRAGMA memtest=0|1             —                        buffer allocation memory testing
 //	PRAGMA checksum_verification=0|1  —                     block checksum verification on read
@@ -130,6 +150,7 @@
 //	PRAGMA memory_peak             reservation high-water mark
 //	PRAGMA wal_size, database_size storage sizes
 //	PRAGMA segments_scanned, segments_skipped          scan counters
+//	PRAGMA segments_encoded, rows_encoded_selected     encoded-execution counters
 //	PRAGMA agg_spill_partitions, agg_spilled_bytes     aggregation spill counters
 //	PRAGMA sort_spilled_bytes                          external-sort spill bytes
 package quack

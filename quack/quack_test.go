@@ -2,11 +2,25 @@ package quack_test
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/quack"
 )
+
+// fuzzIters resolves the iteration count for a differential fuzz loop:
+// the QUACK_FUZZ_ITERS environment variable when set (the nightly
+// workflow raises it well past the per-push defaults), def otherwise.
+func fuzzIters(def int) int {
+	if env := os.Getenv("QUACK_FUZZ_ITERS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 func openMem(t *testing.T) *quack.DB {
 	t.Helper()

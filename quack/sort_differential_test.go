@@ -77,7 +77,8 @@ func TestDifferentialOrderByFuzz(t *testing.T) {
 	pars := map[int]*quack.DB{2: sortFuzzDB(t, 2), 8: sortFuzzDB(t, 8)}
 	cols := []string{"b", "i", "l", "d", "s", "ts"}
 	rng := rand.New(rand.NewSource(7))
-	for q := 0; q < 40; q++ {
+	iters := fuzzIters(40)
+	for q := 0; q < iters; q++ {
 		nk := 1 + rng.Intn(3)
 		perm := rng.Perm(len(cols))[:nk]
 		keys := make([]string, 0, nk)

@@ -560,7 +560,7 @@ func TestWindowDifferentialFuzz(t *testing.T) {
 		"t8": windowDB(t, 8, rows),
 	}
 	cases := fixedWindowCases()
-	cases = append(cases, randomWindowCases(rand.New(rand.NewSource(20260729)), 25)...)
+	cases = append(cases, randomWindowCases(rand.New(rand.NewSource(20260729)), fuzzIters(25))...)
 	for ci, c := range cases {
 		expr := c.sql()
 		q := "SELECT id, " + expr + " FROM w ORDER BY id"
